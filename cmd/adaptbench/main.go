@@ -1,0 +1,85 @@
+// Command adaptbench regenerates the paper's evaluation exhibits
+// (Figures 7–11 and Table 1) on the simulated substrate.
+//
+// Usage:
+//
+//	adaptbench -exp fig9a                # one exhibit at full paper scale
+//	adaptbench -exp all -scale quick     # everything, reduced scale
+//	adaptbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adapt/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig7a..fig11b, table1, all)")
+	scale := flag.String("scale", "full", "full (paper scale) or quick")
+	out := flag.String("o", "", "write output to file instead of stdout")
+	csvDir := flag.String("csv", "", "additionally write one CSV per table into this directory")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		ids := append(bench.Experiments(), bench.Extensions()...)
+		fmt.Println(strings.Join(append(ids, "all"), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "adaptbench: -exp required (try -list)")
+		os.Exit(2)
+	}
+	var s bench.Scale
+	switch *scale {
+	case "full":
+		s = bench.Full()
+	case "quick":
+		s = bench.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "adaptbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	tables, err := bench.RunTables(*exp, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptbench:", err)
+				os.Exit(1)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptbench:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command adaptsim runs a single simulated collective with free-form
+// parameters — platform, library proxy, operation, message size, noise —
+// and prints the IMB-style average time. It is the exploratory companion
+// to adaptbench's fixed exhibits.
+//
+// Examples:
+//
+//	adaptsim -platform cori -nodes 32 -lib ompi-adapt -op bcast -size 4194304
+//	adaptsim -platform psg -nodes 8 -lib ompi-adapt -op reduce -size 33554432
+//	adaptsim -platform stampede2 -lib mvapich -op bcast -size 4194304 -noise 10 -fraction 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adapt/internal/comm"
+	"adapt/internal/imb"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trace"
+)
+
+func main() {
+	platform := flag.String("platform", "cori", "cori, stampede2 or psg")
+	nodes := flag.Int("nodes", 8, "number of nodes")
+	libName := flag.String("lib", "ompi-adapt", "library proxy (ompi-adapt, ompi-default, ompi-default-topo, intel, cray, mvapich)")
+	opName := flag.String("op", "bcast", "bcast or reduce")
+	size := flag.Int("size", 4<<20, "message size in bytes")
+	noisePct := flag.Int("noise", 0, "noise level in percent (paper's 5/10 laws)")
+	fraction := flag.Float64("fraction", 0.02, "fraction of ranks carrying the noise injector")
+	reps := flag.Int("reps", 0, "repetitions (0 = size-based default)")
+	seed := flag.Int64("seed", 0, "noise seed")
+	profile := flag.String("profile", "", "JSON platform profile file (overrides -platform/-nodes)")
+	stats := flag.Bool("stats", false, "report per-repetition min/avg/max (barrier-fenced)")
+	util := flag.Bool("util", false, "report the busiest simulated facilities")
+	traceRanks := flag.Int("trace", 0, "trace one operation and print a timeline for the first N ranks")
+	flag.Parse()
+
+	var p *netmodel.Platform
+	var err error
+	if *profile != "" {
+		f, ferr := os.Open(*profile)
+		fail(ferr)
+		p, err = netmodel.LoadPlatform(f)
+		f.Close()
+	} else {
+		p, err = netmodel.ByName(*platform, *nodes)
+	}
+	fail(err)
+	lib, err := libmodel.ByName(*libName, p)
+	fail(err)
+	var op imb.Op
+	switch *opName {
+	case "bcast":
+		op = imb.Bcast
+	case "reduce":
+		op = imb.Reduce
+	default:
+		fail(fmt.Errorf("unknown op %q", *opName))
+	}
+	spec := noise.Percent(*noisePct)
+	spec.Fraction = *fraction
+	spec.Seed = *seed
+
+	cfg := imb.Config{
+		Platform: p, Noise: spec, Library: lib, Op: op, Size: *size, Reps: *reps,
+	}
+	if *stats {
+		st := imb.MeasureStats(cfg)
+		fmt.Printf("%s %s %s on %s (%d ranks), noise=%s: %s\n",
+			lib.Name, *opName, sizeStr(*size), p.Name, p.Topo.Size(), spec, st)
+	} else {
+		avg := imb.Measure(cfg)
+		fmt.Printf("%s %s %s on %s (%d ranks), noise=%s: avg %v per op\n",
+			lib.Name, *opName, sizeStr(*size), p.Name, p.Topo.Size(), spec, avg)
+	}
+	if *util {
+		reportUtilization(p, spec, lib, op, *size)
+	}
+	if *traceRanks > 0 {
+		reportTrace(p, spec, lib, op, *size, *traceRanks)
+	}
+}
+
+// reportTrace reruns a single operation with event tracing and prints a
+// summary plus per-rank activity strips.
+func reportTrace(p *netmodel.Platform, spec noise.Spec, lib libmodel.Library, op imb.Op, size, nranks int) {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, spec)
+	w.Trace = &trace.Buffer{Cap: 1 << 20}
+	w.Spawn(func(c *simmpi.Comm) {
+		msg := comm.Sized(size)
+		if op == imb.Bcast {
+			lib.Bcast(c, 0, msg, 0)
+		} else {
+			lib.Reduce(c, 0, msg, 0)
+		}
+	})
+	k.MustRun()
+	w.Trace.Summarize().Fprint(os.Stdout)
+	if nranks > p.Topo.Size() {
+		nranks = p.Topo.Size()
+	}
+	ranks := make([]int, nranks)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	fmt.Println("timeline (S send-done, R recv-done, C compute, · idle):")
+	w.Trace.Timeline(os.Stdout, ranks, 72)
+}
+
+// reportUtilization reruns a single operation with facility accounting.
+func reportUtilization(p *netmodel.Platform, spec noise.Spec, lib libmodel.Library, op imb.Op, size int) {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, spec)
+	w.Spawn(func(c *simmpi.Comm) {
+		msg := comm.Sized(size)
+		if op == imb.Bcast {
+			lib.Bcast(c, 0, msg, 0)
+		} else {
+			lib.Reduce(c, 0, msg, 0)
+		}
+	})
+	end := k.MustRun()
+	w.Net.FprintUtilization(os.Stdout, end, 12)
+}
+
+func sizeStr(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+}

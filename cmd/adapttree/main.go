@@ -1,0 +1,122 @@
+// Command adapttree prints communication trees: shape statistics, the
+// per-level edge census of the topology-aware tree, and (with -draw) the
+// parent→children adjacency. Useful for understanding what the tree
+// builders actually produce on a given machine.
+//
+// Examples:
+//
+//	adapttree -platform cori -nodes 4 -config topo
+//	adapttree -platform psg -nodes 2 -config chain -draw
+//	adapttree -size 16 -builder binomial -root 3 -draw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adapt/internal/hwloc"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/trees"
+)
+
+func main() {
+	platform := flag.String("platform", "cori", "platform profile for topology-aware configs")
+	nodes := flag.Int("nodes", 4, "number of nodes")
+	config := flag.String("config", "topo", "topo (ADAPT default), reduce, chain — or use -builder")
+	builder := flag.String("builder", "", "flat builder over -size ranks (chain, binary, binomial, 4-nomial, 4-ary, flat, twotree)")
+	size := flag.Int("size", 16, "rank count for -builder mode")
+	root := flag.Int("root", 0, "root rank")
+	draw := flag.Bool("draw", false, "print the adjacency")
+	flag.Parse()
+
+	if *builder != "" {
+		printFlat(*builder, *size, *root, *draw)
+		return
+	}
+	p, err := netmodel.ByName(*platform, *nodes)
+	fail(err)
+	var cfg trees.TopoConfig
+	switch *config {
+	case "topo":
+		cfg = libmodel.AdaptDefaultConfig()
+	case "reduce":
+		cfg = libmodel.AdaptReduceConfig()
+	case "chain":
+		cfg = trees.ChainConfig()
+	default:
+		fail(fmt.Errorf("unknown config %q", *config))
+	}
+	t := trees.Topology(p.Topo, *root, cfg)
+	fmt.Printf("machine: %s\n", p.Topo)
+	fmt.Printf("config: inter-node=%s inter-socket=%s intra-socket=%s\n",
+		cfg.InterNode.Name, cfg.InterSocket.Name, cfg.IntraSocket.Name)
+	describe(t)
+	censusByLevel(p.Topo, t)
+	if *draw {
+		drawTree(t)
+	}
+}
+
+func printFlat(name string, size, root int, draw bool) {
+	if name == "twotree" {
+		a, b := trees.TwoTree(size, root)
+		fmt.Println("two-tree A:")
+		describe(a)
+		fmt.Println("two-tree B:")
+		describe(b)
+		if draw {
+			drawTree(a)
+			fmt.Println("--")
+			drawTree(b)
+		}
+		return
+	}
+	b, err := trees.ByName(name)
+	fail(err)
+	t := b.Build(size, root)
+	describe(t)
+	if draw {
+		drawTree(t)
+	}
+}
+
+func describe(t *trees.Tree) {
+	leaves := 0
+	for r := 0; r < t.Size(); r++ {
+		if t.IsLeaf(r) {
+			leaves++
+		}
+	}
+	fmt.Printf("  %s  leaves=%d interior=%d\n", t, leaves, t.Size()-leaves)
+}
+
+func censusByLevel(topo *hwloc.Topology, t *trees.Tree) {
+	counts := map[hwloc.Level]int{}
+	for r := 0; r < t.Size(); r++ {
+		if p := t.Parent[r]; p != -1 {
+			counts[topo.LevelBetween(p, r)]++
+		}
+	}
+	fmt.Println("  edges by lane:")
+	for _, l := range []hwloc.Level{hwloc.LevelCore, hwloc.LevelSocket, hwloc.LevelNode} {
+		fmt.Printf("    %-13s %d\n", l, counts[l])
+	}
+}
+
+func drawTree(t *trees.Tree) {
+	for r := 0; r < t.Size(); r++ {
+		if len(t.Children[r]) == 0 {
+			continue
+		}
+		fmt.Printf("  %4d → %v\n", r, t.Children[r])
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adapttree:", err)
+		os.Exit(1)
+	}
+}

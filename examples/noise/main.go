@@ -1,0 +1,68 @@
+// Noise resistance demo (paper §2 and Figure 7): the same 4 MB broadcast
+// under the three synchronization disciplines — blocking, nonblocking
+// with Waitall, and ADAPT's event-driven engine — on a simulated 128-rank
+// cluster, quiet and with the paper's 10 Hz noise injection.
+//
+//	go run ./examples/noise
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+func main() {
+	p := netmodel.Cori(4) // 128 simulated ranks
+	tree := trees.Topology(p.Topo, 0, libmodel.AdaptDefaultConfig())
+
+	measure := func(alg coll.Algorithm, spec noise.Spec) time.Duration {
+		k := sim.New()
+		w := simmpi.NewWorld(k, p, spec)
+		var t0, t1 time.Duration
+		w.Spawn(func(c *simmpi.Comm) {
+			opt := coll.DefaultOptions()
+			for rep := 0; rep < 6; rep++ {
+				opt.Seq = rep
+				coll.Bcast(c, tree, comm.Sized(4*netmodel.MB), opt, alg)
+			}
+			coll.Barrier(c, 99)
+			if c.Rank() == 0 {
+				t0 = c.Now()
+			}
+			for rep := 6; rep < 12; rep++ {
+				opt.Seq = rep
+				coll.Bcast(c, tree, comm.Sized(4*netmodel.MB), opt, alg)
+			}
+			if c.Rank() == 0 {
+				t1 = c.Now()
+			}
+		})
+		k.MustRun()
+		return (t1 - t0) / 6
+	}
+
+	noisy := noise.Percent(10)
+	noisy.Fraction = 0.05
+
+	fmt.Printf("4MB broadcast on %s, same topology-aware tree, three disciplines:\n\n", p)
+	fmt.Printf("  %-22s %12s %12s %10s\n", "discipline", "quiet", "10% noise", "slowdown")
+	for _, alg := range []coll.Algorithm{coll.Blocking, coll.NonBlocking, coll.Adapt} {
+		quiet := measure(alg, noise.None)
+		loud := measure(alg, noisy)
+		fmt.Printf("  %-22s %12v %12v %9.0f%%\n",
+			alg, quiet.Round(time.Microsecond), loud.Round(time.Microsecond),
+			100*(float64(loud)/float64(quiet)-1))
+	}
+	fmt.Println("\nThe event-driven discipline keeps only data dependencies, so noise")
+	fmt.Println("is absorbed by the in-flight windows instead of propagating through")
+	fmt.Println("handshakes (blocking) or Waitall barriers (nonblocking).")
+}

@@ -1,0 +1,204 @@
+package adaptive
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/hwloc"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+func TestDecideRegimes(t *testing.T) {
+	topo := hwloc.New(4, 2, 8)
+	small := Decide(topo, comm.KindBcast, 4<<10, Balanced)
+	if small.SegSize <= 4<<10 {
+		t.Error("small messages must not be segmented")
+	}
+	if small.Tree.IntraSocket.Name != "binomial" {
+		t.Errorf("small messages should use shallow trees, got %s", small.Tree.IntraSocket.Name)
+	}
+	large := Decide(topo, comm.KindBcast, 4<<20, Balanced)
+	if large.SegSize != 128<<10 {
+		t.Errorf("4MB segment size = %d", large.SegSize)
+	}
+	if large.Tree.IntraSocket.Name != "chain" {
+		t.Error("large messages should pipeline chains inside nodes")
+	}
+	if large.Tree.InterNode.Name != "binomial" {
+		t.Errorf("large bcast inter-node should be binomial, got %s", large.Tree.InterNode.Name)
+	}
+	reduce := Decide(topo, comm.KindReduce, 4<<20, Balanced)
+	if reduce.Tree.InterNode.Name != "binary" {
+		t.Errorf("large reduce inter-node should be binary, got %s", reduce.Tree.InterNode.Name)
+	}
+	huge := Decide(topo, comm.KindBcast, 32<<20, Balanced)
+	if huge.SegSize != 512<<10 || huge.SendWindow != 4 {
+		t.Errorf("huge choice = %+v", huge)
+	}
+}
+
+func TestDecideGoals(t *testing.T) {
+	topo := hwloc.New(4, 2, 8)
+	bw := Decide(topo, comm.KindBcast, 4<<20, MaxBandwidth)
+	if bw.Tree.InterNode.Name != "chain" {
+		t.Error("MaxBandwidth must pick the chain inter-node tree")
+	}
+	lat := Decide(topo, comm.KindBcast, 256<<10, MinLatency)
+	if lat.SegSize <= 256<<10 {
+		t.Error("MinLatency at 256KB should stay unsegmented")
+	}
+}
+
+func TestDecideWindowsValid(t *testing.T) {
+	topo := hwloc.New(2, 2, 4)
+	for _, size := range []int{1, 1 << 10, 64 << 10, 1 << 20, 64 << 20} {
+		for _, kind := range []comm.CollKind{comm.KindBcast, comm.KindReduce, comm.KindAllreduce} {
+			for _, goal := range []Goal{Balanced, MaxBandwidth, MinLatency} {
+				ch := Decide(topo, kind, size, goal)
+				if ch.SendWindow < 1 || ch.RecvWindow < ch.SendWindow {
+					t.Fatalf("invalid windows for size=%d kind=%v goal=%v: %+v", size, kind, goal, ch)
+				}
+				if ch.SegSize <= 0 {
+					t.Fatalf("invalid segsize: %+v", ch)
+				}
+				// Options must pass the engine's validation.
+				_ = ch.Options(0)
+				tree := trees.Topology(topo, 0, ch.Tree)
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("tree invalid: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// The adaptive entry points must be correct end-to-end on the live
+// runtime across the size regimes.
+func TestAdaptiveBcastReduceLive(t *testing.T) {
+	topo := hwloc.New(2, 2, 3) // 12 ranks
+	for _, sz := range []int{100, 40_000, 900_000} {
+		sz := sz
+		w := runtime.NewWorld(topo.Size())
+		want := payload(sz, int64(sz))
+		var mu sync.Mutex
+		results := map[int][]byte{}
+		var red []int64
+		w.Run(func(c *runtime.Comm) {
+			var msg comm.Msg
+			if c.Rank() == 0 {
+				msg = comm.Bytes(append([]byte(nil), want...))
+			} else {
+				msg = comm.Sized(sz)
+			}
+			out := Bcast(c, topo, 0, msg, 0, Balanced)
+			mu.Lock()
+			results[c.Rank()] = out.Data
+			mu.Unlock()
+
+			vals := []int64{int64(c.Rank()), 5}
+			r := Reduce(c, topo, 0, comm.Bytes(comm.EncodeInt64s(vals)), 1, Balanced)
+			if c.Rank() == 0 {
+				mu.Lock()
+				red = comm.DecodeInt64s(r.Data)
+				mu.Unlock()
+			}
+		})
+		for r := 0; r < topo.Size(); r++ {
+			if !bytes.Equal(results[r], want) {
+				t.Fatalf("size %d rank %d: bcast mismatch", sz, r)
+			}
+		}
+		n := topo.Size()
+		if red[0] != int64(n*(n-1)/2) || red[1] != int64(5*n) {
+			t.Fatalf("size %d: reduce = %v", sz, red)
+		}
+	}
+}
+
+func TestAdaptiveAllreduceLive(t *testing.T) {
+	topo := hwloc.New(2, 2, 2)
+	w := runtime.NewWorld(topo.Size())
+	var mu sync.Mutex
+	results := map[int]int64{}
+	w.Run(func(c *runtime.Comm) {
+		out := Allreduce(c, topo, comm.Bytes(comm.EncodeInt64s([]int64{int64(c.Rank() + 1)})), 0, Balanced)
+		mu.Lock()
+		results[c.Rank()] = comm.DecodeInt64s(out.Data)[0]
+		mu.Unlock()
+	})
+	n := topo.Size()
+	want := int64(n * (n + 1) / 2)
+	for r := 0; r < n; r++ {
+		if results[r] != want {
+			t.Fatalf("rank %d: %d != %d", r, results[r], want)
+		}
+	}
+}
+
+// The adaptive choice must beat a deliberately wrong fixed configuration
+// on the simulator at both ends of the size spectrum.
+func TestAdaptiveBeatsWrongFixedConfig(t *testing.T) {
+	p := netmodel.Cori(4)
+	run := func(size int, fixed *core.Options) time.Duration {
+		k := sim.New()
+		w := simmpi.NewWorld(k, p, noise.None)
+		w.Spawn(func(c *simmpi.Comm) {
+			if fixed != nil {
+				tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+				core.Bcast(c, tree, comm.Sized(size), *fixed)
+				return
+			}
+			Bcast(c, p.Topo, 0, comm.Sized(size), 0, Balanced)
+		})
+		return k.MustRun()
+	}
+	// Small message: a deep chain pipeline is latency-poison.
+	small := 8 << 10
+	fixedOpt := core.DefaultOptions()
+	if a, b := run(small, nil), run(small, &fixedOpt); a >= b {
+		t.Fatalf("adaptive small-message choice (%v) should beat chain pipeline (%v)", a, b)
+	}
+	// Large message: the unsegmented small-message config is bandwidth-poison.
+	large := 8 << 20
+	latOpt := core.DefaultOptions()
+	latOpt.SegSize = large + 1
+	latOpt.SendWindow, latOpt.RecvWindow = 1, 2
+	if a, b := run(large, nil), run(large, &latOpt); a >= b {
+		t.Fatalf("adaptive large-message choice (%v) should beat unsegmented config (%v)", a, b)
+	}
+}
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	x := uint64(seed)*2654435761 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+func TestGoalStrings(t *testing.T) {
+	for _, g := range []Goal{Balanced, MaxBandwidth, MinLatency} {
+		if g.String() == "" {
+			t.Errorf("goal %d has empty name", g)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown builder name must panic")
+		}
+	}()
+	builder("nonesuch")
+}

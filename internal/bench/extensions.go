@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/hwloc"
+	"adapt/internal/imb"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+// This file holds extension exhibits beyond the paper's evaluation,
+// exercising the future-work directions §7 sketches: more collectives,
+// richer hardware lanes (NVLink), and sensitivity to process placement.
+
+// runOnce executes body on a fresh world and returns the makespan.
+func runOnce(p *netmodel.Platform, spec noise.Spec, body func(c *simmpi.Comm)) time.Duration {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, spec)
+	w.Spawn(body)
+	return k.MustRun()
+}
+
+// ExtNVLink compares the GPU collectives on the PSG machine with and
+// without NVLink peer lanes: NVLink absorbs the intra-socket PCIe traffic
+// that the §4.1 staging buffer otherwise has to manage.
+func (s Scale) ExtNVLink() []*Table {
+	t := &Table{
+		ID:     "ext-nvlink",
+		Title:  fmt.Sprintf("GPU collectives, PCIe peers vs NVLink peers, %d nodes", s.PSGNodes),
+		Header: []string{"configuration", "bcast ms", "reduce ms"},
+		Notes:  []string{"extension beyond the paper: the intro's NVLink lane, modelled"},
+	}
+	size := s.GPUSizes[len(s.GPUSizes)-1]
+	for _, pf := range []*netmodel.Platform{netmodel.PSG(s.PSGNodes), netmodel.PSGNVLink(s.PSGNodes)} {
+		lib := libmodel.OMPIAdapt(pf)
+		b := s.measure(pf, noise.None, lib, imb.Bcast, size, 0)
+		r := s.measure(pf, noise.None, lib, imb.Reduce, size, 0)
+		t.AddRow("OMPI-adapt on "+pf.Name, ms(b), ms(r))
+	}
+	return []*Table{t}
+}
+
+// ExtPlacement shows why topology awareness matters: the same 4 MB
+// broadcast under the three mpirun placements. The topology-aware ADAPT
+// tree adapts to the placement; the rank-order chain of the tuned module
+// degrades as consecutive ranks move further apart.
+func (s Scale) ExtPlacement() []*Table {
+	t := &Table{
+		ID:     "ext-placement",
+		Title:  "Broadcast 4MB vs process placement (cori)",
+		Header: []string{"placement", "OMPI-adapt ms", "OMPI-default ms", "default/adapt"},
+		Notes:  []string{"extension beyond the paper: --map-by sensitivity"},
+	}
+	base := netmodel.Cori(s.CoriNodes)
+	for _, pl := range []hwloc.Placement{hwloc.PlaceByCore, hwloc.PlaceBySocket, hwloc.PlaceByNode} {
+		topo := hwloc.NewPlaced(base.Topo.Nodes, base.Topo.SocketsPerNode, base.Topo.CoresPerSocket, pl)
+		p := base.WithTopo(topo)
+		adapt := s.measure(p, noise.None, libmodel.OMPIAdapt(p), imb.Bcast, 4*netmodel.MB, 0)
+		def := s.measure(p, noise.None, libmodel.OMPIDefault(p), imb.Bcast, 4*netmodel.MB, 0)
+		t.AddRow(pl.String(), ms(adapt), ms(def), speedup(def, adapt))
+	}
+	return []*Table{t}
+}
+
+// ExtAllreduce compares the allreduce algorithms in the repository: the
+// fused event-driven tree pipeline (internal/core), sequential
+// reduce+bcast, the ring, and Rabenseifner's reduce-scatter+allgather.
+func (s Scale) ExtAllreduce() []*Table {
+	p := netmodel.Cori(s.CoriNodes)
+	tree := trees.Topology(p.Topo, 0, libmodel.AdaptReduceConfig())
+	t := &Table{
+		ID:     "ext-allreduce",
+		Title:  fmt.Sprintf("Allreduce algorithms vs message size, %d ranks (cori)", p.Topo.Size()),
+		Header: []string{"algorithm"},
+		Notes:  []string{"extension beyond the paper: §2.2.3 composition, measured"},
+	}
+	sizes := s.Sizes
+	for _, sz := range sizes {
+		t.Header = append(t.Header, sizeLabel(sz)+" ms")
+	}
+	algos := []struct {
+		name string
+		run  func(c *simmpi.Comm, size, seq int)
+	}{
+		{"fused tree (event-driven)", func(c *simmpi.Comm, size, seq int) {
+			opt := core.DefaultOptions()
+			opt.Seq = seq
+			core.Allreduce(c, tree, comm.Sized(size), opt)
+		}},
+		{"reduce + bcast (sequential)", func(c *simmpi.Comm, size, seq int) {
+			opt := core.DefaultOptions()
+			opt.Seq = seq
+			red := core.Reduce(c, tree, comm.Sized(size), opt)
+			opt.Seq = seq + 1
+			msg := comm.Sized(size)
+			if c.Rank() == 0 {
+				msg = red
+			}
+			core.Bcast(c, tree, msg, opt)
+		}},
+		{"ring (reduce-scatter+allgather)", func(c *simmpi.Comm, size, seq int) {
+			opt := coll.DefaultOptions()
+			opt.Seq = seq
+			coll.AllreduceRing(c, comm.Sized(size), opt)
+		}},
+		{"rabenseifner (rs + event allgather)", func(c *simmpi.Comm, size, seq int) {
+			opt := coll.DefaultOptions()
+			opt.Seq = seq
+			coll.AllreduceRabenseifner(c, comm.Sized(size), opt)
+		}},
+	}
+	for _, a := range algos {
+		row := []string{a.name}
+		for _, sz := range sizes {
+			sz := sz
+			// One warmup + a barrier-fenced two-op train, as imb.Measure.
+			var t0, t1 time.Duration
+			runOnce(p, noise.None, func(c *simmpi.Comm) {
+				a.run(c, sz, 0)
+				coll.Barrier(c, 999)
+				if c.Rank() == 0 {
+					t0 = c.Now()
+				}
+				a.run(c, sz, 2)
+				a.run(c, sz, 4)
+				coll.Barrier(c, 1000)
+				if c.Rank() == 0 {
+					t1 = c.Now()
+				}
+			})
+			row = append(row, ms((t1-t0)/2))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}

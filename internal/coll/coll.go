@@ -1,0 +1,265 @@
+// Package coll provides the collective-operation portfolio the paper
+// evaluates: broadcast and reduce under three synchronization disciplines
+// (§2.2.3's three building blocks) over arbitrary trees, the multi-level
+// multi-communicator topology scheme ADAPT is compared against (§3.1),
+// and the extended collectives of §2.2.3 (scatter, gather, allgather,
+// allreduce, barrier).
+//
+//	Algorithm 1 — Blocking:     Send/Recv per segment, strictly ordered.
+//	Algorithm 2 — NonBlocking:  Isend/Irecv with Waitall barriers.
+//	Algorithm 3 — Adapt:        event-driven, no waits (internal/core).
+//
+// All operations are group-parameterized: a group is an ordered member
+// list plus a tree over member positions, which lets the same code run a
+// whole-communicator collective or one phase of a multi-level scheme.
+package coll
+
+import (
+	"fmt"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/trees"
+)
+
+// Algorithm selects the synchronization discipline.
+type Algorithm int
+
+const (
+	// Blocking is the paper's Algorithm 1: blocking Send/Recv per segment.
+	Blocking Algorithm = iota
+	// NonBlocking is Algorithm 2: Isend/Irecv with per-segment Waitall.
+	NonBlocking
+	// Adapt is Algorithm 3: the event-driven engine with no waits.
+	Adapt
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Blocking:
+		return "blocking"
+	case NonBlocking:
+		return "nonblocking"
+	case Adapt:
+		return "adapt"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options re-exports the engine tuning for the whole package.
+type Options = core.Options
+
+// DefaultOptions returns the standard tuning.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Bcast broadcasts msg from t.Root over tree t with the given discipline.
+// At the root msg is the payload; elsewhere msg.Size declares the length.
+func Bcast(c comm.Comm, t *trees.Tree, msg comm.Msg, opt Options, alg Algorithm) comm.Msg {
+	switch alg {
+	case Adapt:
+		return core.Bcast(c, t, msg, opt)
+	case Blocking:
+		return bcastBlocking(c, wholeGroup(c), t, msg, opt)
+	case NonBlocking:
+		return bcastNonBlocking(c, wholeGroup(c), t, msg, opt)
+	}
+	panic("coll: unknown algorithm")
+}
+
+// Reduce reduces every rank's contribution to t.Root under opt.Op.
+// contrib.Data, when present, is folded in place — pass a private copy.
+func Reduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options, alg Algorithm) comm.Msg {
+	switch alg {
+	case Adapt:
+		return core.Reduce(c, t, contrib, opt)
+	case Blocking:
+		return reduceBlocking(c, wholeGroup(c), t, contrib, opt)
+	case NonBlocking:
+		return reduceNonBlocking(c, wholeGroup(c), t, contrib, opt)
+	}
+	panic("coll: unknown algorithm")
+}
+
+// group is an ordered member list; trees index into it by position.
+type group []int
+
+func wholeGroup(c comm.Comm) group {
+	g := make(group, c.Size())
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// pos returns the caller's position in the group, or -1.
+func (g group) pos(rank int) int {
+	for i, r := range g {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// bcastBlocking is the paper's Figure 1: every segment is pushed with
+// blocking sends in strict child order; an intermediate rank receives a
+// segment, forwards it to all children, and only then receives the next.
+func bcastBlocking(c comm.Comm, g group, t *trees.Tree, msg comm.Msg, opt Options) comm.Msg {
+	me := g.pos(c.Rank())
+	if me < 0 {
+		return msg
+	}
+	segs := comm.Segments(msg, opt.SegSize)
+	parent := t.Parent[me]
+	children := t.Children[me]
+	var outData []byte
+	if me != t.Root {
+		outData = nil
+	} else {
+		outData = msg.Data
+	}
+	for _, sg := range segs {
+		cur := sg.Msg
+		if me != t.Root {
+			st := c.Recv(g[parent], opt.TagOf(comm.KindBcast, sg.Index))
+			cur = st.Msg
+			if cur.Data != nil {
+				if outData == nil {
+					outData = make([]byte, msg.Size)
+				}
+				copy(outData[sg.Offset:], cur.Data)
+			}
+		}
+		for _, ch := range children {
+			c.Send(g[ch], opt.TagOf(comm.KindBcast, sg.Index), cur)
+		}
+	}
+	return comm.Msg{Data: outData, Size: msg.Size, Space: msg.Space}
+}
+
+// bcastNonBlocking is the paper's Figure 3: non-blocking operations with
+// Waitall per segment round. Non-roots keep two receives posted to absorb
+// out-of-order segments; intermediates forward each received segment with
+// Isends and a Waitall before waiting for the next — the synchronization
+// dependency ADAPT removes.
+func bcastNonBlocking(c comm.Comm, g group, t *trees.Tree, msg comm.Msg, opt Options) comm.Msg {
+	me := g.pos(c.Rank())
+	if me < 0 {
+		return msg
+	}
+	segs := comm.Segments(msg, opt.SegSize)
+	parent := t.Parent[me]
+	children := t.Children[me]
+
+	if me == t.Root {
+		for _, sg := range segs {
+			rs := make([]comm.Request, 0, len(children))
+			for _, ch := range children {
+				rs = append(rs, c.Isend(g[ch], opt.TagOf(comm.KindBcast, sg.Index), sg.Msg))
+			}
+			c.WaitAll(rs) // the Figure-3 Waitall
+		}
+		return msg
+	}
+
+	var outData []byte
+	recvs := make([]comm.Request, len(segs))
+	post := func(i int) {
+		if i < len(segs) {
+			recvs[i] = c.Irecv(g[parent], opt.TagOf(comm.KindBcast, i))
+		}
+	}
+	post(0)
+	post(1)
+	for i, sg := range segs {
+		st := c.Wait(recvs[i])
+		post(i + 2)
+		if st.Msg.Data != nil {
+			if outData == nil {
+				outData = make([]byte, msg.Size)
+			}
+			copy(outData[sg.Offset:], st.Msg.Data)
+		}
+		if len(children) > 0 {
+			rs := make([]comm.Request, 0, len(children))
+			for _, ch := range children {
+				rs = append(rs, c.Isend(g[ch], opt.TagOf(comm.KindBcast, sg.Index), st.Msg))
+			}
+			c.WaitAll(rs)
+		}
+	}
+	return comm.Msg{Data: outData, Size: msg.Size, Space: msg.Space}
+}
+
+// reduceBlocking: per segment, receive every child's contribution with
+// blocking receives in child order, fold, then push up with a blocking
+// send.
+func reduceBlocking(c comm.Comm, g group, t *trees.Tree, contrib comm.Msg, opt Options) comm.Msg {
+	me := g.pos(c.Rank())
+	if me < 0 {
+		return contrib
+	}
+	segs := comm.Segments(contrib, opt.SegSize)
+	parent := t.Parent[me]
+	children := t.Children[me]
+	for _, sg := range segs {
+		for _, ch := range children {
+			st := c.Recv(g[ch], opt.TagOf(comm.KindReduce, sg.Index))
+			fold(c, opt, sg.Msg, st.Msg)
+		}
+		if parent != -1 {
+			c.Send(g[parent], opt.TagOf(comm.KindReduce, sg.Index), sg.Msg)
+		}
+	}
+	return rootResult(me == t.Root, contrib)
+}
+
+// reduceNonBlocking: per segment, Irecv from every child, Waitall, fold,
+// Isend up, Waitall — Algorithm 2 applied to the reduction flow.
+func reduceNonBlocking(c comm.Comm, g group, t *trees.Tree, contrib comm.Msg, opt Options) comm.Msg {
+	me := g.pos(c.Rank())
+	if me < 0 {
+		return contrib
+	}
+	segs := comm.Segments(contrib, opt.SegSize)
+	parent := t.Parent[me]
+	children := t.Children[me]
+	var up comm.Request
+	for _, sg := range segs {
+		rs := make([]comm.Request, 0, len(children))
+		for _, ch := range children {
+			rs = append(rs, c.Irecv(g[ch], opt.TagOf(comm.KindReduce, sg.Index)))
+		}
+		c.WaitAll(rs)
+		for _, r := range rs {
+			st, _ := r.Test()
+			fold(c, opt, sg.Msg, st.Msg)
+		}
+		if parent != -1 {
+			if up != nil {
+				c.Wait(up) // previous segment must be out the door
+			}
+			up = c.Isend(g[parent], opt.TagOf(comm.KindReduce, sg.Index), sg.Msg)
+		}
+	}
+	if up != nil {
+		c.Wait(up)
+	}
+	return rootResult(me == t.Root, contrib)
+}
+
+// fold accumulates src into dst (real arithmetic when payloads are real,
+// cost charge always, scaled by the library's vectorization width).
+func fold(c comm.Comm, opt Options, dst, src comm.Msg) {
+	if dst.Data != nil && src.Data != nil {
+		opt.Op.Apply(dst.Data, src.Data, opt.Datatype)
+	}
+	c.Compute(opt.ReduceCost(src.Size), comm.ComputeReduce)
+}
+
+func rootResult(isRoot bool, contrib comm.Msg) comm.Msg {
+	if isRoot {
+		return contrib
+	}
+	return comm.Msg{Size: contrib.Size, Space: contrib.Space}
+}

@@ -1,0 +1,562 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adapt/internal/comm"
+	"adapt/internal/hwloc"
+	"adapt/internal/runtime"
+	"adapt/internal/trees"
+)
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// All three disciplines must deliver identical broadcast payloads.
+func TestBcastAllDisciplinesLive(t *testing.T) {
+	algs := []Algorithm{Blocking, NonBlocking, Adapt}
+	sizes := []int{0, 1, 999, 100_000}
+	for _, alg := range algs {
+		for _, sz := range sizes {
+			alg, sz := alg, sz
+			t.Run(fmt.Sprintf("%s/%dB", alg, sz), func(t *testing.T) {
+				t.Parallel()
+				const n = 12
+				tree := trees.Binomial(n, 2)
+				want := payload(sz, int64(sz))
+				w := runtime.NewWorld(n)
+				var mu sync.Mutex
+				results := map[int][]byte{}
+				w.Run(func(c *runtime.Comm) {
+					opt := DefaultOptions()
+					opt.SegSize = 8 << 10
+					var msg comm.Msg
+					if c.Rank() == 2 {
+						msg = comm.Bytes(append([]byte(nil), want...))
+					} else {
+						msg = comm.Sized(sz)
+					}
+					out := Bcast(c, tree, msg, opt, alg)
+					mu.Lock()
+					results[c.Rank()] = out.Data
+					mu.Unlock()
+				})
+				for r := 0; r < n; r++ {
+					if sz == 0 {
+						continue
+					}
+					if !bytes.Equal(results[r], want) {
+						t.Errorf("rank %d: mismatch under %s", r, alg)
+					}
+				}
+			})
+		}
+	}
+}
+
+// All three disciplines must produce the same reduction result.
+func TestReduceAllDisciplinesLive(t *testing.T) {
+	for _, alg := range []Algorithm{Blocking, NonBlocking, Adapt} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			const n, ne = 9, 3000
+			tree := trees.Kary(3)(n, 0)
+			w := runtime.NewWorld(n)
+			var got []int64
+			var mu sync.Mutex
+			w.Run(func(c *runtime.Comm) {
+				vals := make([]int64, ne)
+				for i := range vals {
+					vals[i] = int64((c.Rank() + 1) * (i + 1))
+				}
+				opt := DefaultOptions()
+				opt.SegSize = 4 << 10
+				opt.Datatype = comm.Int64
+				out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt, alg)
+				if c.Rank() == 0 {
+					mu.Lock()
+					got = comm.DecodeInt64s(out.Data)
+					mu.Unlock()
+				}
+			})
+			for i := 0; i < ne; i++ {
+				want := int64(0)
+				for r := 0; r < n; r++ {
+					want += int64((r + 1) * (i + 1))
+				}
+				if got[i] != want {
+					t.Fatalf("%s elem %d: got %d, want %d", alg, i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastMultiLevelLive(t *testing.T) {
+	topo := hwloc.New(2, 2, 4) // 16 ranks
+	spec := MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		IntraSocket: trees.Builder{Name: "flat", Build: trees.Flat},
+		Alg:         NonBlocking,
+	}
+	want := payload(50_000, 9)
+	for _, root := range []int{0, 5} {
+		root := root
+		w := runtime.NewWorld(topo.Size())
+		var mu sync.Mutex
+		results := map[int][]byte{}
+		w.Run(func(c *runtime.Comm) {
+			opt := DefaultOptions()
+			opt.SegSize = 8 << 10
+			var msg comm.Msg
+			if c.Rank() == root {
+				msg = comm.Bytes(append([]byte(nil), want...))
+			} else {
+				msg = comm.Sized(len(want))
+			}
+			out := BcastMultiLevel(c, topo, root, msg, opt, spec)
+			mu.Lock()
+			results[c.Rank()] = out.Data
+			mu.Unlock()
+		})
+		for r := 0; r < topo.Size(); r++ {
+			if !bytes.Equal(results[r], want) {
+				t.Errorf("root %d rank %d: multi-level bcast mismatch", root, r)
+			}
+		}
+	}
+}
+
+func TestReduceMultiLevelLive(t *testing.T) {
+	topo := hwloc.New(2, 2, 2) // 8 ranks
+	spec := MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		IntraSocket: trees.Builder{Name: "binomial", Build: trees.Binomial},
+		Alg:         Blocking,
+	}
+	const ne = 500
+	w := runtime.NewWorld(topo.Size())
+	var got []int64
+	var mu sync.Mutex
+	w.Run(func(c *runtime.Comm) {
+		vals := make([]int64, ne)
+		for i := range vals {
+			vals[i] = int64(c.Rank() ^ i)
+		}
+		opt := DefaultOptions()
+		opt.SegSize = 2 << 10
+		opt.Datatype = comm.Int64
+		opt.Op = comm.OpBXor
+		out := ReduceMultiLevel(c, topo, 0, comm.Bytes(comm.EncodeInt64s(vals)), opt, spec)
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = comm.DecodeInt64s(out.Data)
+			mu.Unlock()
+		}
+	})
+	for i := 0; i < ne; i++ {
+		want := int64(0)
+		for r := 0; r < topo.Size(); r++ {
+			want ^= int64(r ^ i)
+		}
+		if got[i] != want {
+			t.Fatalf("elem %d: got %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestBarrierLive(t *testing.T) {
+	const n = 10
+	w := runtime.NewWorld(n)
+	var phase [n]int32
+	w.Run(func(c *runtime.Comm) {
+		for round := 0; round < 5; round++ {
+			atomic.AddInt32(&phase[c.Rank()], 1)
+			Barrier(c, round)
+			// After the barrier every rank must have entered this round.
+			for r := 0; r < n; r++ {
+				if p := atomic.LoadInt32(&phase[r]); int(p) < round+1 {
+					t.Errorf("rank %d saw rank %d at phase %d in round %d", c.Rank(), r, p, round)
+				}
+			}
+		}
+	})
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		for _, root := range []int{0, n - 1} {
+			n, root := n, root
+			t.Run(fmt.Sprintf("p%d/root%d", n, root), func(t *testing.T) {
+				t.Parallel()
+				blk := 96
+				full := payload(blk*n, int64(n*31+root))
+				w := runtime.NewWorld(n)
+				var mu sync.Mutex
+				chunks := map[int][]byte{}
+				var gathered []byte
+				w.Run(func(c *runtime.Comm) {
+					opt := DefaultOptions()
+					var msg comm.Msg
+					if c.Rank() == root {
+						msg = comm.Bytes(append([]byte(nil), full...))
+					} else {
+						msg = comm.Sized(len(full))
+					}
+					mine := Scatter(c, root, msg, opt)
+					mu.Lock()
+					chunks[c.Rank()] = append([]byte(nil), mine.Data...)
+					mu.Unlock()
+					opt2 := opt
+					opt2.Seq++
+					out := Gather(c, root, mine, opt2)
+					if c.Rank() == root {
+						mu.Lock()
+						gathered = out.Data
+						mu.Unlock()
+					}
+				})
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(chunks[r], full[r*blk:(r+1)*blk]) {
+						t.Errorf("rank %d got wrong scatter chunk", r)
+					}
+				}
+				if !bytes.Equal(gathered, full) {
+					t.Errorf("gather(scatter(x)) != x")
+				}
+			})
+		}
+	}
+}
+
+func TestAllgatherLive(t *testing.T) {
+	for _, n := range []int{1, 2, 7} {
+		n := n
+		t.Run(fmt.Sprintf("p%d", n), func(t *testing.T) {
+			t.Parallel()
+			blk := 64
+			w := runtime.NewWorld(n)
+			var mu sync.Mutex
+			results := map[int][]byte{}
+			w.Run(func(c *runtime.Comm) {
+				mine := payload(blk, int64(c.Rank()))
+				out := Allgather(c, comm.Bytes(mine), DefaultOptions())
+				mu.Lock()
+				results[c.Rank()] = out.Data
+				mu.Unlock()
+			})
+			var want []byte
+			for r := 0; r < n; r++ {
+				want = append(want, payload(blk, int64(r))...)
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(results[r], want) {
+					t.Errorf("rank %d allgather mismatch", r)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastScatterAllgather(t *testing.T) {
+	for _, sz := range []int{1000, 4096, 99_999} {
+		sz := sz
+		t.Run(fmt.Sprintf("%dB", sz), func(t *testing.T) {
+			t.Parallel()
+			const n, root = 6, 1
+			want := payload(sz, int64(sz))
+			w := runtime.NewWorld(n)
+			var mu sync.Mutex
+			results := map[int][]byte{}
+			w.Run(func(c *runtime.Comm) {
+				var msg comm.Msg
+				if c.Rank() == root {
+					msg = comm.Bytes(append([]byte(nil), want...))
+				} else {
+					msg = comm.Sized(sz)
+				}
+				out := BcastScatterAllgather(c, root, msg, DefaultOptions())
+				mu.Lock()
+				results[c.Rank()] = out.Data
+				mu.Unlock()
+			})
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(results[r], want) {
+					t.Errorf("rank %d scatter-allgather bcast mismatch (%d vs %d bytes)", r, len(results[r]), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceTreeAndRingAgree(t *testing.T) {
+	const n, ne = 8, 1024
+	tree := trees.Binomial(n, 0)
+	w := runtime.NewWorld(n)
+	var mu sync.Mutex
+	treeRes := map[int][]int64{}
+	ringRes := map[int][]int64{}
+	w.Run(func(c *runtime.Comm) {
+		vals := make([]int64, ne)
+		for i := range vals {
+			vals[i] = int64(c.Rank()*7 + i)
+		}
+		opt := DefaultOptions()
+		opt.SegSize = 2 << 10
+		opt.Datatype = comm.Int64
+		a := Allreduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+		opt2 := opt
+		opt2.Seq = 100
+		b := AllreduceRing(c, comm.Bytes(comm.EncodeInt64s(vals)), opt2)
+		mu.Lock()
+		treeRes[c.Rank()] = comm.DecodeInt64s(a.Data)
+		ringRes[c.Rank()] = comm.DecodeInt64s(b.Data)
+		mu.Unlock()
+	})
+	for i := 0; i < ne; i++ {
+		want := int64(0)
+		for r := 0; r < n; r++ {
+			want += int64(r*7 + i)
+		}
+		for r := 0; r < n; r++ {
+			if treeRes[r][i] != want {
+				t.Fatalf("tree allreduce rank %d elem %d: %d != %d", r, i, treeRes[r][i], want)
+			}
+			if ringRes[r][i] != want {
+				t.Fatalf("ring allreduce rank %d elem %d: %d != %d", r, i, ringRes[r][i], want)
+			}
+		}
+	}
+}
+
+func TestChunk(t *testing.T) {
+	// Chunks tile the buffer exactly.
+	for _, c := range []struct{ n, p int }{{100, 7}, {0, 3}, {5, 5}, {13, 4}} {
+		total := 0
+		for r := 0; r < c.p; r++ {
+			off, ln := chunk(c.n, c.p, r)
+			if off != total {
+				t.Errorf("chunk(%d,%d,%d) offset %d, want %d", c.n, c.p, r, off, total)
+			}
+			total += ln
+		}
+		if total != c.n {
+			t.Errorf("chunks of (%d,%d) sum to %d", c.n, c.p, total)
+		}
+	}
+}
+
+func TestVecWidthScalesReduceCost(t *testing.T) {
+	// On the live runtime VecWidth only changes cost accounting (a no-op
+	// there); verify results stay identical and the accounting helper
+	// divides as documented.
+	opt := DefaultOptions()
+	if opt.ReduceCost(1000) != 1000 {
+		t.Fatalf("scalar cost = %d", opt.ReduceCost(1000))
+	}
+	opt.VecWidth = 2
+	if opt.ReduceCost(1000) != 500 {
+		t.Fatalf("vectorized cost = %d", opt.ReduceCost(1000))
+	}
+	const n = 6
+	tree := trees.Binomial(n, 0)
+	for _, vec := range []int{1, 4} {
+		vec := vec
+		w := runtime.NewWorld(n)
+		var got []int64
+		var mu sync.Mutex
+		w.Run(func(c *runtime.Comm) {
+			o := DefaultOptions()
+			o.Datatype = comm.Int64
+			o.VecWidth = vec
+			out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s([]int64{int64(c.Rank())})), o, NonBlocking)
+			if c.Rank() == 0 {
+				mu.Lock()
+				got = comm.DecodeInt64s(out.Data)
+				mu.Unlock()
+			}
+		})
+		if got[0] != n*(n-1)/2 {
+			t.Fatalf("vec=%d: sum = %d", vec, got[0])
+		}
+	}
+}
+
+func TestReduceScatterRing(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("p%d", n), func(t *testing.T) {
+			t.Parallel()
+			const perBlk = 50
+			w := runtime.NewWorld(n)
+			var mu sync.Mutex
+			results := map[int][]int64{}
+			w.Run(func(c *runtime.Comm) {
+				vals := make([]int64, perBlk*n)
+				for i := range vals {
+					vals[i] = int64((c.Rank() + 1) * (i + 1))
+				}
+				opt := DefaultOptions()
+				opt.Datatype = comm.Int64
+				out := ReduceScatterRing(c, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+				mu.Lock()
+				results[c.Rank()] = comm.DecodeInt64s(out.Data)
+				mu.Unlock()
+			})
+			for r := 0; r < n; r++ {
+				got := results[r]
+				if len(got) != perBlk {
+					t.Fatalf("rank %d block has %d elems, want %d", r, len(got), perBlk)
+				}
+				for j := 0; j < perBlk; j++ {
+					i := r*perBlk + j // element index within the full buffer
+					want := int64(0)
+					for s := 0; s < n; s++ {
+						want += int64((s + 1) * (i + 1))
+					}
+					if got[j] != want {
+						t.Fatalf("rank %d elem %d: got %d, want %d", r, j, got[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceRabenseifnerMatchesRing(t *testing.T) {
+	const n, ne = 8, 800
+	w := runtime.NewWorld(n)
+	var mu sync.Mutex
+	rab := map[int][]int64{}
+	ring := map[int][]int64{}
+	w.Run(func(c *runtime.Comm) {
+		vals := make([]int64, ne)
+		for i := range vals {
+			vals[i] = int64(c.Rank()*13 - i)
+		}
+		opt := DefaultOptions()
+		opt.Datatype = comm.Int64
+		a := AllreduceRabenseifner(c, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+		opt2 := opt
+		opt2.Seq = 50
+		b := AllreduceRing(c, comm.Bytes(comm.EncodeInt64s(vals)), opt2)
+		mu.Lock()
+		rab[c.Rank()] = comm.DecodeInt64s(a.Data)
+		ring[c.Rank()] = comm.DecodeInt64s(b.Data)
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		for i := 0; i < ne; i++ {
+			if rab[r][i] != ring[r][i] {
+				t.Fatalf("rank %d elem %d: rabenseifner %d != ring %d", r, i, rab[r][i], ring[r][i])
+			}
+		}
+	}
+}
+
+func TestScattervGathervRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		n := n
+		t.Run(fmt.Sprintf("p%d", n), func(t *testing.T) {
+			t.Parallel()
+			counts := make([]int, n)
+			for r := range counts {
+				counts[r] = 100*r + 7 // ragged, includes small blocks
+			}
+			layout := NewLayout(counts)
+			full := payload(layout.Total, int64(n))
+			tree := trees.Binomial(n, 0)
+			w := runtime.NewWorld(n)
+			var mu sync.Mutex
+			chunks := map[int][]byte{}
+			var gathered []byte
+			w.Run(func(c *runtime.Comm) {
+				opt := DefaultOptions()
+				var msg comm.Msg
+				if c.Rank() == 0 {
+					msg = comm.Bytes(append([]byte(nil), full...))
+				} else {
+					msg = comm.Sized(layout.Total)
+				}
+				mine := Scatterv(c, tree, layout, msg, opt)
+				mu.Lock()
+				chunks[c.Rank()] = append([]byte(nil), mine.Data...)
+				mu.Unlock()
+				opt2 := opt
+				opt2.Seq++
+				out := Gatherv(c, tree, layout, mine, opt2)
+				if c.Rank() == 0 {
+					mu.Lock()
+					gathered = out.Data
+					mu.Unlock()
+				}
+			})
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(chunks[r], layout.Block(full, r)) {
+					t.Errorf("rank %d got wrong ragged block (%d bytes)", r, len(chunks[r]))
+				}
+			}
+			if !bytes.Equal(gathered, full) {
+				t.Error("gatherv(scatterv(x)) != x")
+			}
+		})
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	l := NewLayout([]int{3, 0, 5})
+	if l.Total != 8 || l.Offsets[2] != 3 {
+		t.Fatalf("layout = %+v", l)
+	}
+	if l.Block(nil, 1) != nil {
+		t.Fatal("nil buffer must slice to nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count must panic")
+		}
+	}()
+	NewLayout([]int{1, -1})
+}
+
+func TestScattervZeroCountRank(t *testing.T) {
+	// A rank with a zero-byte block still participates in forwarding.
+	const n = 5
+	layout := NewLayout([]int{64, 0, 64, 0, 64})
+	full := payload(layout.Total, 77)
+	tree := trees.Chain(n, 0) // zero-count ranks sit mid-chain
+	w := runtime.NewWorld(n)
+	var mu sync.Mutex
+	sizes := map[int]int{}
+	w.Run(func(c *runtime.Comm) {
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Bytes(append([]byte(nil), full...))
+		} else {
+			msg = comm.Sized(layout.Total)
+		}
+		mine := Scatterv(c, tree, layout, msg, DefaultOptions())
+		mu.Lock()
+		sizes[c.Rank()] = mine.Size
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if sizes[r] != layout.Counts[r] {
+			t.Fatalf("rank %d block size %d, want %d", r, sizes[r], layout.Counts[r])
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package coll
+
+import (
+	"fmt"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/trees"
+)
+
+// This file extends the event-driven building block to the other
+// collectives the paper sketches in §2.2.3: scatter, gather, allgather,
+// the scatter+allgather large-message broadcast, and allreduce.
+
+// chunk returns rank r's block of an n-byte buffer split across P ranks:
+// offset and length (the last block absorbs the remainder).
+func chunk(n, p, r int) (off, ln int) {
+	base := n / p
+	off = base * r
+	if r == p-1 {
+		ln = n - off
+	} else {
+		ln = base
+	}
+	return off, ln
+}
+
+// Scatter distributes root's buffer in rank-order blocks: rank r receives
+// chunk r. It walks a binomial tree: each parent forwards to a child the
+// contiguous range of blocks owned by the child's subtree. Returns this
+// rank's chunk.
+func Scatter(c comm.Comm, root int, msg comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	me := c.Rank()
+	t := trees.Binomial(n, root)
+	tag := func() comm.Tag { return opt.TagOf(comm.KindScatter, 0) }
+
+	// subtreeRanks lists the ranks in r's subtree (contiguous in virtual
+	// rank space for a binomial tree, but we collect explicitly to stay
+	// correct for any root).
+	var subtree func(r int) []int
+	subtree = func(r int) []int {
+		out := []int{r}
+		for _, ch := range t.Children[r] {
+			out = append(out, subtree(ch)...)
+		}
+		return out
+	}
+
+	// recvBuf holds this subtree's blocks in subtree (DFS) order. The
+	// root's input is rank-ordered, so permute it first.
+	var recvBuf comm.Msg
+	if me == root {
+		recvBuf = msg
+		if msg.Data != nil {
+			reordered := make([]byte, msg.Size)
+			pos := 0
+			for _, r := range subtree(root) {
+				off, ln := chunk(msg.Size, n, r)
+				copy(reordered[pos:pos+ln], msg.Data[off:off+ln])
+				pos += ln
+			}
+			recvBuf = comm.Msg{Data: reordered, Size: msg.Size, Space: msg.Space}
+		}
+	} else {
+		st := c.Recv(t.Parent[me], tag())
+		recvBuf = st.Msg
+	}
+	// recvBuf holds the blocks for this whole subtree, ordered by the
+	// subtree listing. Slice out each child's range and forward.
+	mine := subtree(me)
+	offsetOf := func(rank int) int {
+		total := 0
+		for _, r := range mine {
+			if r == rank {
+				return total
+			}
+			_, ln := chunk(msg.Size, n, r)
+			total += ln
+		}
+		panic("coll: rank not in own subtree")
+	}
+	sliceFor := func(ranks []int) comm.Msg {
+		start := offsetOf(ranks[0])
+		total := 0
+		for _, r := range ranks {
+			_, ln := chunk(msg.Size, n, r)
+			total += ln
+		}
+		out := comm.Msg{Size: total, Space: msg.Space}
+		if recvBuf.Data != nil {
+			out.Data = recvBuf.Data[start : start+total]
+		}
+		return out
+	}
+	for _, ch := range t.Children[me] {
+		c.Send(ch, tag(), sliceFor(subtree(ch)))
+	}
+	return sliceFor([]int{me})
+}
+
+// Gather collects every rank's equally-sized block to the root in rank
+// order along a binomial tree (the reverse of Scatter). Returns the
+// concatenated buffer at the root.
+func Gather(c comm.Comm, root int, contrib comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	me := c.Rank()
+	t := trees.Binomial(n, root)
+	tag := func() comm.Tag { return opt.TagOf(comm.KindGather, 0) }
+
+	var subtree func(r int) []int
+	subtree = func(r int) []int {
+		out := []int{r}
+		for _, ch := range t.Children[r] {
+			out = append(out, subtree(ch)...)
+		}
+		return out
+	}
+	mine := subtree(me)
+	total := contrib.Size * len(mine)
+	var data []byte
+	if contrib.Data != nil {
+		data = make([]byte, total)
+		copy(data, contrib.Data)
+	}
+	// Children's subtree blocks land after ours, in child order.
+	off := contrib.Size
+	for _, ch := range t.Children[me] {
+		st := c.Recv(ch, tag())
+		if st.Msg.Data != nil && data != nil {
+			copy(data[off:], st.Msg.Data)
+		}
+		off += st.Msg.Size
+	}
+	blob := comm.Msg{Data: data, Size: total, Space: contrib.Space}
+	if me != root {
+		c.Send(t.Parent[me], tag(), blob)
+		return comm.Msg{Size: contrib.Size, Space: contrib.Space}
+	}
+	// Root: reorder subtree-order blocks into rank order.
+	if data == nil {
+		return blob
+	}
+	ordered := make([]byte, total)
+	pos := 0
+	for _, r := range mine {
+		copy(ordered[r*contrib.Size:(r+1)*contrib.Size], data[pos:pos+contrib.Size])
+		pos += contrib.Size
+	}
+	return comm.Msg{Data: ordered, Size: total, Space: contrib.Space}
+}
+
+// Allgather shares every rank's equally-sized block with everyone via the
+// ring algorithm: P−1 steps, each rank forwarding the block it received
+// in the previous step. Returns the rank-ordered concatenation.
+func Allgather(c comm.Comm, contrib comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	me := c.Rank()
+	total := contrib.Size * n
+	var data []byte
+	if contrib.Data != nil {
+		data = make([]byte, total)
+		copy(data[me*contrib.Size:], contrib.Data)
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := contrib
+	curOwner := me
+	for step := 0; step < n-1; step++ {
+		tg := opt.TagOf(comm.KindAllgather, step)
+		r := c.Irecv(left, tg)
+		c.Send(right, tg, cur)
+		st := c.Wait(r)
+		curOwner = (curOwner - 1 + n) % n
+		cur = st.Msg
+		if st.Msg.Data != nil && data != nil {
+			copy(data[curOwner*contrib.Size:], st.Msg.Data)
+		}
+	}
+	return comm.Msg{Data: data, Size: total, Space: contrib.Space}
+}
+
+// BcastScatterAllgather is the §2.2.3 large-message broadcast: scatter
+// the buffer into P blocks, then allgather them. Sizes that do not divide
+// evenly are handled by the uneven final chunk (allgather then uses the
+// max block size on the wire).
+func BcastScatterAllgather(c comm.Comm, root int, msg comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	if n == 1 {
+		return msg
+	}
+	if msg.Size%n != 0 {
+		// Keep wire blocks equal: pad the logical size up; receivers trim.
+		padded := ((msg.Size + n - 1) / n) * n
+		var data []byte
+		if msg.Data != nil && c.Rank() == root {
+			data = make([]byte, padded)
+			copy(data, msg.Data)
+		}
+		out := BcastScatterAllgather(c, root, comm.Msg{Data: data, Size: padded, Space: msg.Space}, opt)
+		if out.Data != nil {
+			out.Data = out.Data[:msg.Size]
+		}
+		out.Size = msg.Size
+		return out
+	}
+	mine := Scatter(c, root, msg, opt)
+	return Allgather(c, mine, opt)
+}
+
+// Allreduce reduces every rank's contribution and leaves the result on
+// all ranks: an ADAPT reduce to rank 0 followed by an ADAPT broadcast
+// over the same tree reversed (the composition §2.2.3 describes).
+// contrib.Data, when present, is folded in place — pass a private copy.
+func Allreduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) comm.Msg {
+	if t.Root != 0 {
+		panic(fmt.Sprintf("coll: Allreduce expects a rank-0-rooted tree, got root %d", t.Root))
+	}
+	optB := opt
+	optB.Seq = opt.Seq + 1 // disjoint tags for the broadcast half
+	red := core.Reduce(c, t, contrib, opt)
+	var msg comm.Msg
+	if c.Rank() == 0 {
+		msg = red
+	} else {
+		msg = comm.Msg{Size: contrib.Size, Space: contrib.Space}
+	}
+	return core.Bcast(c, t, msg, optB)
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce (reduce-scatter
+// followed by allgather), the algorithm deep-learning frameworks favour —
+// the paper's intro motivates exactly this workload. contrib.Data is
+// folded into freshly allocated state; the input is not modified.
+func AllreduceRing(c comm.Comm, contrib comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	me := c.Rank()
+	if n == 1 {
+		return contrib
+	}
+	if contrib.Data != nil && contrib.Size%(n*opt.Datatype.ElemSize()) != 0 {
+		panic("coll: AllreduceRing needs size divisible by ranks×elemsize")
+	}
+	blk := contrib.Size / n
+	buf := contrib
+	if contrib.Data != nil {
+		buf = comm.Bytes(append([]byte(nil), contrib.Data...))
+	}
+	slice := func(i int) comm.Msg {
+		out := comm.Msg{Size: blk, Space: contrib.Space}
+		if buf.Data != nil {
+			out.Data = buf.Data[i*blk : (i+1)*blk]
+		}
+		return out
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	// Reduce-scatter: after step s, block (me−s−1 mod n) holds the fold of
+	// s+2 contributions; after n−1 steps block (me+1 mod n) is complete.
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me - step + n) % n
+		recvIdx := (me - step - 1 + n) % n
+		tg := opt.TagOf(comm.KindAllreduce, step)
+		r := c.Irecv(left, tg)
+		c.Send(right, tg, slice(sendIdx))
+		st := c.Wait(r)
+		if st.Msg.Data != nil && buf.Data != nil {
+			opt.Op.Apply(buf.Data[recvIdx*blk:(recvIdx+1)*blk], st.Msg.Data, opt.Datatype)
+		}
+		c.Compute(blk, comm.ComputeReduce)
+	}
+	// Allgather phase: circulate the completed blocks.
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me + 1 - step + n) % n
+		recvIdx := (me - step + n) % n
+		tg := opt.TagOf(comm.KindAllreduce, n-1+step)
+		r := c.Irecv(left, tg)
+		c.Send(right, tg, slice(sendIdx))
+		st := c.Wait(r)
+		if st.Msg.Data != nil && buf.Data != nil {
+			copy(buf.Data[recvIdx*blk:(recvIdx+1)*blk], st.Msg.Data)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,179 @@
+package coll
+
+import (
+	"adapt/internal/comm"
+	"adapt/internal/hwloc"
+	"adapt/internal/trees"
+)
+
+// MultiLevelSpec configures the multi-communicator topology-aware scheme
+// the paper compares against (§3.1): one sub-collective per hardware
+// level, run strictly level-by-level with no overlap between levels —
+// a node leader finishes the entire inter-node phase (all segments)
+// before the intra-node phase starts.
+type MultiLevelSpec struct {
+	InterNode   trees.Builder
+	InterSocket trees.Builder
+	IntraSocket trees.Builder
+	// Alg is the discipline inside each phase (Blocking or NonBlocking;
+	// using Adapt here would still lack cross-level overlap).
+	Alg Algorithm
+}
+
+// levels computes the per-phase groups exactly as trees.Topology does, so
+// multi-level and single-tree runs are comparable: same leaders, same
+// per-level orders.
+type levelGroups struct {
+	nodeLeaders  group   // root's node first
+	socketGroups []group // per (node): socket leaders, node leader first
+	coreGroups   []group // per (node,socket): ranks, socket leader first
+}
+
+func buildLevels(topo *hwloc.Topology, root int) levelGroups {
+	var lg levelGroups
+	rootPlace := topo.PlaceOf(root)
+	nodeLeader := make([]int, topo.Nodes)
+	for node := 0; node < topo.Nodes; node++ {
+		if node == rootPlace.Node {
+			nodeLeader[node] = root
+		} else {
+			nodeLeader[node] = topo.RanksOnNode(node)[0]
+		}
+	}
+	lg.nodeLeaders = group{nodeLeader[rootPlace.Node]}
+	for node := 0; node < topo.Nodes; node++ {
+		if node != rootPlace.Node {
+			lg.nodeLeaders = append(lg.nodeLeaders, nodeLeader[node])
+		}
+	}
+	for node := 0; node < topo.Nodes; node++ {
+		lead := nodeLeader[node]
+		leadSocket := topo.PlaceOf(lead).Socket
+		socketLeader := make([]int, topo.SocketsPerNode)
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			if s == leadSocket {
+				socketLeader[s] = lead
+			} else {
+				socketLeader[s] = topo.RanksOnSocket(node, s)[0]
+			}
+		}
+		g := group{lead}
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			if s != leadSocket {
+				g = append(g, socketLeader[s])
+			}
+		}
+		lg.socketGroups = append(lg.socketGroups, g)
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			cg := group{socketLeader[s]}
+			for _, r := range topo.RanksOnSocket(node, s) {
+				if r != socketLeader[s] {
+					cg = append(cg, r)
+				}
+			}
+			lg.coreGroups = append(lg.coreGroups, cg)
+		}
+	}
+	return lg
+}
+
+// phaseBcast runs one phase's broadcast inside a group (position 0 is the
+// phase root).
+func phaseBcast(c comm.Comm, g group, b trees.Builder, msg comm.Msg, opt Options, alg Algorithm) comm.Msg {
+	if len(g) <= 1 || g.pos(c.Rank()) < 0 {
+		return msg
+	}
+	t := b.Build(len(g), 0)
+	switch alg {
+	case Blocking:
+		return bcastBlocking(c, g, t, msg, opt)
+	default:
+		return bcastNonBlocking(c, g, t, msg, opt)
+	}
+}
+
+func phaseReduce(c comm.Comm, g group, b trees.Builder, contrib comm.Msg, opt Options, alg Algorithm) comm.Msg {
+	if len(g) <= 1 || g.pos(c.Rank()) < 0 {
+		return contrib
+	}
+	t := b.Build(len(g), 0)
+	switch alg {
+	case Blocking:
+		return reduceBlocking(c, g, t, contrib, opt)
+	default:
+		return reduceNonBlocking(c, g, t, contrib, opt)
+	}
+}
+
+// BcastMultiLevel broadcasts level-by-level: node leaders first, then
+// socket leaders within each node, then within each socket. Each phase is
+// a complete sub-broadcast of the whole message (§3.1: "the next level
+// cannot start until the upper-level broadcast is finished").
+func BcastMultiLevel(c comm.Comm, topo *hwloc.Topology, root int, msg comm.Msg, opt Options, spec MultiLevelSpec) comm.Msg {
+	lg := buildLevels(topo, root)
+	me := c.Rank()
+	cur := msg
+
+	if lg.nodeLeaders.pos(me) >= 0 {
+		cur = phaseBcast(c, lg.nodeLeaders, spec.InterNode, cur, opt, spec.Alg)
+	}
+	for _, g := range lg.socketGroups {
+		if g.pos(me) >= 0 {
+			cur = phaseBcast(c, g, spec.InterSocket, cur, opt, spec.Alg)
+		}
+	}
+	for _, g := range lg.coreGroups {
+		if g.pos(me) >= 0 {
+			cur = phaseBcast(c, g, spec.IntraSocket, cur, opt, spec.Alg)
+		}
+	}
+	return cur
+}
+
+// ReduceMultiLevel reduces level-by-level, bottom-up: within each socket
+// to the socket leader, within each node to the node leader, then across
+// node leaders to the root.
+func ReduceMultiLevel(c comm.Comm, topo *hwloc.Topology, root int, contrib comm.Msg, opt Options, spec MultiLevelSpec) comm.Msg {
+	lg := buildLevels(topo, root)
+	me := c.Rank()
+	cur := contrib
+
+	for _, g := range lg.coreGroups {
+		if g.pos(me) >= 0 {
+			cur = phaseReduce(c, g, spec.IntraSocket, cur, opt, spec.Alg)
+			if g.pos(me) != 0 {
+				return cur // contributed; not a leader
+			}
+		}
+	}
+	for _, g := range lg.socketGroups {
+		if g.pos(me) >= 0 {
+			cur = phaseReduce(c, g, spec.InterSocket, cur, opt, spec.Alg)
+			if g.pos(me) != 0 {
+				return cur
+			}
+		}
+	}
+	if lg.nodeLeaders.pos(me) >= 0 {
+		cur = phaseReduce(c, lg.nodeLeaders, spec.InterNode, cur, opt, spec.Alg)
+	}
+	return cur
+}
+
+// Barrier is a dissemination barrier over the whole communicator: in
+// round k every rank signals (rank + 2^k) and waits for (rank − 2^k).
+func Barrier(c comm.Comm, seq int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.Rank()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		tg := comm.MakeTag(comm.KindBarrier, ((seq%comm.SeqWrap)+comm.SeqWrap)%comm.SeqWrap, round)
+		to := (me + k) % n
+		from := (me - k + n) % n
+		r := c.Irecv(from, tg)
+		c.Send(to, tg, comm.Msg{})
+		c.Wait(r)
+	}
+}

@@ -1,0 +1,78 @@
+package coll
+
+import (
+	"fmt"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+)
+
+// ReduceScatterRing folds every rank's n-block contribution and leaves
+// block r (fully reduced) on rank r — the ring reduce-scatter that is the
+// first half of Rabenseifner's allreduce and of the ring allreduce. The
+// ring's step dependencies are inherent (each step folds what the
+// previous step received), so this is a synchronized loop by nature;
+// contrast with the event-driven collectives in internal/core.
+//
+// contrib must have Size divisible by the communicator size; contrib.Data
+// is not modified. Returns this rank's reduced block.
+func ReduceScatterRing(c comm.Comm, contrib comm.Msg, opt Options) comm.Msg {
+	n := c.Size()
+	me := c.Rank()
+	if contrib.Size%n != 0 {
+		panic(fmt.Sprintf("coll: reduce-scatter buffer %dB not divisible by %d ranks", contrib.Size, n))
+	}
+	blk := contrib.Size / n
+	if n == 1 {
+		out := comm.Msg{Size: blk, Space: contrib.Space}
+		if contrib.Data != nil {
+			out.Data = append([]byte(nil), contrib.Data...)
+		}
+		return out
+	}
+	buf := contrib
+	if contrib.Data != nil {
+		buf = comm.Bytes(append([]byte(nil), contrib.Data...))
+	}
+	// The plain ring schedule leaves rank r with completed block
+	// (r+1) mod n; permute block addressing so rank r ends with block r:
+	// logical block b lives at physical slot (b−1+n) mod n of the ring
+	// schedule... equivalently, shift every schedule index by −1.
+	slice := func(i int) comm.Msg {
+		i = (i - 1 + n) % n // schedule index → logical block
+		out := comm.Msg{Size: blk, Space: contrib.Space}
+		if buf.Data != nil {
+			out.Data = buf.Data[i*blk : (i+1)*blk]
+		}
+		return out
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me - step + n) % n
+		recvIdx := (me - step - 1 + n) % n
+		tg := opt.TagOf(comm.KindAllreduce, step)
+		r := c.Irecv(left, tg)
+		c.Send(right, tg, slice(sendIdx))
+		st := c.Wait(r)
+		dst := slice(recvIdx)
+		if st.Msg.Data != nil && dst.Data != nil {
+			opt.Op.Apply(dst.Data, st.Msg.Data, opt.Datatype)
+		}
+		c.Compute(opt.ReduceCost(blk), comm.ComputeReduce)
+	}
+	// Completed schedule slot is (me+1); with the −1 shift that is
+	// logical block me.
+	return slice((me + 1) % n)
+}
+
+// AllreduceRabenseifner is Rabenseifner's algorithm: a ring
+// reduce-scatter followed by the event-driven ring allgather — the
+// bandwidth-optimal composition for large reductions (each byte crosses
+// each link ~2× regardless of P). Consumes opt.Seq and opt.Seq+1.
+func AllreduceRabenseifner(c comm.Comm, contrib comm.Msg, opt Options) comm.Msg {
+	mine := ReduceScatterRing(c, contrib, opt)
+	opt2 := opt
+	opt2.Seq = opt.Seq + 1
+	return core.Allgather(c, mine, opt2)
+}

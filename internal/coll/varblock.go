@@ -1,0 +1,171 @@
+package coll
+
+import (
+	"fmt"
+
+	"adapt/internal/comm"
+	"adapt/internal/trees"
+)
+
+// Variable-block scatter/gather (MPI_Scatterv / MPI_Gatherv): rank r's
+// block has Counts[r] bytes. The tree walk matches Scatter/Gather in
+// internal/core but blocks are ragged, so ranges come from a prefix-sum
+// layout instead of a fixed block size.
+
+// Layout precomputes offsets for a Counts vector.
+type Layout struct {
+	Counts  []int
+	Offsets []int
+	Total   int
+}
+
+// NewLayout validates counts (non-negative, one per rank) and prefix-sums
+// them.
+func NewLayout(counts []int) Layout {
+	l := Layout{Counts: counts, Offsets: make([]int, len(counts))}
+	for r, n := range counts {
+		if n < 0 {
+			panic(fmt.Sprintf("coll: negative count %d for rank %d", n, r))
+		}
+		l.Offsets[r] = l.Total
+		l.Total += n
+	}
+	return l
+}
+
+// Block slices rank r's range out of a full buffer (nil-safe).
+func (l Layout) Block(buf []byte, r int) []byte {
+	if buf == nil {
+		return nil
+	}
+	return buf[l.Offsets[r] : l.Offsets[r]+l.Counts[r]]
+}
+
+// subtreeBytes sums the counts across r's subtree.
+func subtreeBytes(t *trees.Tree, l Layout, r int) int {
+	total := l.Counts[r]
+	for _, c := range t.Children[r] {
+		total += subtreeBytes(t, l, c)
+	}
+	return total
+}
+
+// Scatterv distributes root's buffer so rank r receives its Counts[r]-byte
+// block. Blocks travel as whole subtree blobs down tree t (blocking
+// discipline; the event-driven fixed-block variant is core.Scatter).
+// At the root msg must hold layout.Total bytes (or declare that size).
+func Scatterv(c comm.Comm, t *trees.Tree, layout Layout, msg comm.Msg, opt Options) comm.Msg {
+	me := c.Rank()
+	if len(layout.Counts) != c.Size() {
+		panic(fmt.Sprintf("coll: layout has %d counts for %d ranks", len(layout.Counts), c.Size()))
+	}
+	tag := opt.TagOf(comm.KindScatter, 0)
+
+	var order func(r int) []int
+	order = func(r int) []int {
+		out := []int{r}
+		for _, ch := range t.Children[r] {
+			out = append(out, order(ch)...)
+		}
+		return out
+	}
+
+	// My inbound blob: my subtree's blocks in DFS order.
+	var blob []byte
+	blobSize := subtreeBytes(t, layout, me)
+	if me == t.Root {
+		if msg.Size != layout.Total {
+			panic(fmt.Sprintf("coll: scatterv buffer %dB != layout total %dB", msg.Size, layout.Total))
+		}
+		if msg.Data != nil {
+			blob = make([]byte, blobSize)
+			pos := 0
+			for _, r := range order(me) {
+				copy(blob[pos:], layout.Block(msg.Data, r))
+				pos += layout.Counts[r]
+			}
+		}
+	} else {
+		st := c.Recv(t.Parent[me], tag)
+		if st.Msg.Size != blobSize {
+			panic(fmt.Sprintf("coll: rank %d received %dB subtree blob, want %dB", me, st.Msg.Size, blobSize))
+		}
+		blob = st.Msg.Data
+	}
+
+	// Forward each child its contiguous DFS range.
+	pos := layout.Counts[me]
+	for _, ch := range t.Children[me] {
+		span := subtreeBytes(t, layout, ch)
+		out := comm.Msg{Size: span, Space: msg.Space}
+		if blob != nil {
+			out.Data = blob[pos : pos+span]
+		}
+		c.Send(ch, tag, out)
+		pos += span
+	}
+	mine := comm.Msg{Size: layout.Counts[me], Space: msg.Space}
+	if blob != nil {
+		mine.Data = blob[:layout.Counts[me]]
+	}
+	return mine
+}
+
+// Gatherv collects rank r's Counts[r]-byte block to the root in rank
+// order (the reverse of Scatterv).
+func Gatherv(c comm.Comm, t *trees.Tree, layout Layout, contrib comm.Msg, opt Options) comm.Msg {
+	me := c.Rank()
+	if len(layout.Counts) != c.Size() {
+		panic(fmt.Sprintf("coll: layout has %d counts for %d ranks", len(layout.Counts), c.Size()))
+	}
+	if contrib.Size != layout.Counts[me] {
+		panic(fmt.Sprintf("coll: rank %d contributes %dB, layout says %dB", me, contrib.Size, layout.Counts[me]))
+	}
+	tag := opt.TagOf(comm.KindGather, 0)
+
+	var order func(r int) []int
+	order = func(r int) []int {
+		out := []int{r}
+		for _, ch := range t.Children[r] {
+			out = append(out, order(ch)...)
+		}
+		return out
+	}
+
+	blobSize := subtreeBytes(t, layout, me)
+	var blob []byte
+	if contrib.Data != nil {
+		blob = make([]byte, blobSize)
+		copy(blob, contrib.Data)
+	}
+	pos := layout.Counts[me]
+	for _, ch := range t.Children[me] {
+		span := subtreeBytes(t, layout, ch)
+		st := c.Recv(ch, tag)
+		if st.Msg.Size != span {
+			panic(fmt.Sprintf("coll: rank %d got %dB from child %d, want %dB", me, st.Msg.Size, ch, span))
+		}
+		if st.Msg.Data != nil && blob != nil {
+			copy(blob[pos:], st.Msg.Data)
+		}
+		pos += span
+	}
+	out := comm.Msg{Size: blobSize, Space: contrib.Space}
+	out.Data = blob
+	if me != t.Root {
+		c.Send(t.Parent[me], tag, out)
+		return comm.Msg{Size: contrib.Size, Space: contrib.Space}
+	}
+	// Root: DFS order → rank order.
+	final := comm.Msg{Size: layout.Total, Space: contrib.Space}
+	if blob != nil {
+		ordered := make([]byte, layout.Total)
+		pos := 0
+		for _, r := range order(me) {
+			copy(ordered[layout.Offsets[r]:layout.Offsets[r]+layout.Counts[r]], blob[pos:pos+layout.Counts[r]])
+			pos += layout.Counts[r]
+		}
+		final.Data = ordered
+	}
+	return final
+}

@@ -1,0 +1,115 @@
+package comm
+
+import "time"
+
+// Status describes a completed operation. For receives, Source/RecvTag/Msg
+// are filled in from the matched message; for sends they echo the posted
+// destination and tag.
+type Status struct {
+	Source int
+	Tag    Tag
+	Msg    Msg
+}
+
+// Request is a handle to an in-flight non-blocking operation.
+type Request interface {
+	// Test reports completion without blocking. Once it returns true it
+	// keeps returning the same Status.
+	Test() (Status, bool)
+	// IsSend reports whether the request is a send (vs a receive).
+	IsSend() bool
+}
+
+// ComputeKind classifies local work for cost accounting. The live runtime
+// performs the work for real and treats Compute as a no-op; the simulator
+// charges kind-specific per-byte costs from the platform profile.
+type ComputeKind uint8
+
+const (
+	// ComputeReduce is CPU reduction arithmetic (γ_cpu per byte).
+	ComputeReduce ComputeKind = iota
+	// ComputeCopy is a host memory copy (unexpected-message drain, pack).
+	ComputeCopy
+	// ComputeApp is application work (e.g. ASP's relaxation loop).
+	ComputeApp
+)
+
+// Comm is one rank's endpoint of a communicator. A Comm value is owned by
+// exactly one goroutine (the rank); all methods must be called from it.
+// Completion callbacks registered with OnComplete run on the owning
+// goroutine, from inside Progress, Wait, WaitAny or WaitAll — never
+// concurrently with rank code. This mirrors Open MPI's single-threaded
+// progress-engine discipline that ADAPT relies on.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the communicator.
+	Size() int
+
+	// Send performs a blocking standard-mode send: it returns when the
+	// message buffer may be reused, which for large (rendezvous-protocol)
+	// messages implies the receiver has posted a matching receive. This
+	// implicit handshake is the synchronization that lets noise propagate
+	// through blocking collectives (paper §2.1.1).
+	Send(dst int, tag Tag, msg Msg)
+	// Recv blocks until a message matching (src, tag) arrives; src may be
+	// AnySource and tag may be AnyTag.
+	Recv(src int, tag Tag) Status
+
+	// Isend starts a non-blocking send.
+	Isend(dst int, tag Tag, msg Msg) Request
+	// Irecv posts a non-blocking receive for a message matching (src, tag).
+	Irecv(src int, tag Tag) Request
+
+	// Wait blocks until r completes, firing any ready callbacks meanwhile.
+	Wait(r Request) Status
+	// WaitAll blocks until every request completes.
+	WaitAll(rs []Request)
+	// WaitAny blocks until at least one request completes and returns its
+	// index. Completed requests must be removed by the caller before the
+	// next WaitAny (as with MPI_Waitany's inactive handles, a completed
+	// request passed again returns immediately).
+	WaitAny(rs []Request) (int, Status)
+
+	// OnComplete attaches a completion callback to a request. If r has
+	// already completed the callback fires during the next Progress/Wait.
+	// This is the low-level hook Open MPI lacks at the MPI_Isend level and
+	// that ADAPT adds below it (paper §2.2.1).
+	OnComplete(r Request, fn func(Status))
+	// Progress blocks until at least one pending completion is processed,
+	// then fires all ready callbacks and returns. It panics if no
+	// operation is in flight (a stuck progress loop is a bug).
+	Progress()
+	// TryProgress fires any ready callbacks without blocking and reports
+	// whether it did anything — the MPI_Test-style poke applications use
+	// to drive collectives forward from inside compute loops.
+	TryProgress() bool
+
+	// Compute performs (live) or charges (simulated) n bytes of local work.
+	Compute(n int, kind ComputeKind)
+
+	// Now returns elapsed time on this rank's clock: virtual time in the
+	// simulator, wall time in the live runtime.
+	Now() time.Duration
+}
+
+// DeviceComm is implemented by comms on accelerator platforms. Collectives
+// that exploit GPUs type-assert to it and fall back gracefully otherwise.
+type DeviceComm interface {
+	Comm
+	// IrecvIn posts a non-blocking receive whose buffer lives in the given
+	// memory space. Receiving inter-node traffic into MemHost instead of
+	// MemDevice is the §4.1 staging optimization: it skips the delivery
+	// hop across the GPU's PCIe link.
+	IrecvIn(src int, tag Tag, space MemSpace) Request
+	// DeviceReduce offloads reduction of n bytes to the rank's GPU on an
+	// asynchronous stream. The returned request completes when the kernel
+	// finishes; the CPU rank is free meanwhile (paper §4.2).
+	DeviceReduce(n int) Request
+	// AsyncCopy starts an asynchronous copy of n bytes between host and
+	// device memory across the rank's PCIe link (paper §4.1's staging
+	// flush). from/to must be MemHost/MemDevice in some order.
+	AsyncCopy(n int, from, to MemSpace) Request
+	// DefaultSpace reports where this rank's payload buffers live.
+	DefaultSpace() MemSpace
+}

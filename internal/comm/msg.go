@@ -1,0 +1,118 @@
+// Package comm defines the communication abstraction shared by the live
+// in-process runtime (internal/runtime) and the discrete-event simulator
+// (internal/simmpi). Collective algorithms (internal/coll, internal/core)
+// are written once against the Comm interface and run unchanged on both.
+package comm
+
+import "fmt"
+
+// MemSpace identifies which memory a message buffer lives in. It only
+// matters on platforms with accelerators, where the route of a transfer
+// (and therefore its cost) depends on whether the endpoints are device
+// or host memory.
+type MemSpace uint8
+
+const (
+	// MemDefault means "wherever this rank's payloads normally live":
+	// host memory on CPU platforms, device memory on GPU platforms.
+	MemDefault MemSpace = iota
+	// MemHost forces host (CPU) memory, e.g. an explicit staging buffer.
+	MemHost
+	// MemDevice forces device (GPU) memory.
+	MemDevice
+)
+
+func (s MemSpace) String() string {
+	switch s {
+	case MemDefault:
+		return "default"
+	case MemHost:
+		return "host"
+	case MemDevice:
+		return "device"
+	}
+	return fmt.Sprintf("MemSpace(%d)", uint8(s))
+}
+
+// Msg is a message payload descriptor.
+//
+// Size is the logical byte count used for all cost accounting. Data may be
+// nil (pure-simulation runs, where materializing multi-megabyte payloads
+// across a thousand ranks would be wasteful) or hold exactly Size bytes
+// (live runs and simulator correctness tests). Algorithms must treat a nil
+// Data as "payload elided" and skip real arithmetic while still charging
+// the corresponding Compute cost.
+type Msg struct {
+	Data  []byte
+	Size  int
+	Space MemSpace
+}
+
+// Bytes builds a Msg carrying real data.
+func Bytes(b []byte) Msg { return Msg{Data: b, Size: len(b)} }
+
+// Sized builds a payload-elided Msg of n logical bytes.
+func Sized(n int) Msg { return Msg{Size: n} }
+
+// InSpace returns a copy of m tagged with the given memory space.
+func (m Msg) InSpace(s MemSpace) Msg { m.Space = s; return m }
+
+// Elided reports whether the payload bytes have been elided.
+func (m Msg) Elided() bool { return m.Data == nil && m.Size > 0 }
+
+func (m Msg) String() string {
+	if m.Elided() {
+		return fmt.Sprintf("Msg{%dB elided %s}", m.Size, m.Space)
+	}
+	return fmt.Sprintf("Msg{%dB %s}", m.Size, m.Space)
+}
+
+// Segment describes one pipeline segment of a larger buffer.
+type Segment struct {
+	Index  int // segment number, 0-based
+	Offset int // byte offset into the full buffer
+	Msg    Msg
+}
+
+// Segments splits msg into ceil(Size/segSize) pipeline segments. The last
+// segment may be short. segSize must be positive. A zero-size message
+// yields a single empty segment so that every collective still performs
+// one transfer round (matching MPI semantics for zero-count operations).
+func Segments(msg Msg, segSize int) []Segment {
+	if segSize <= 0 {
+		panic("comm: non-positive segment size")
+	}
+	if msg.Size == 0 {
+		return []Segment{{Index: 0, Offset: 0, Msg: Msg{Data: msg.Data, Size: 0, Space: msg.Space}}}
+	}
+	n := (msg.Size + segSize - 1) / segSize
+	segs := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		off := i * segSize
+		sz := segSize
+		if off+sz > msg.Size {
+			sz = msg.Size - off
+		}
+		var data []byte
+		if msg.Data != nil {
+			data = msg.Data[off : off+sz]
+		}
+		segs = append(segs, Segment{
+			Index:  i,
+			Offset: off,
+			Msg:    Msg{Data: data, Size: sz, Space: msg.Space},
+		})
+	}
+	return segs
+}
+
+// NumSegments returns how many segments Segments would produce.
+func NumSegments(size, segSize int) int {
+	if segSize <= 0 {
+		panic("comm: non-positive segment size")
+	}
+	if size == 0 {
+		return 1
+	}
+	return (size + segSize - 1) / segSize
+}

@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentsExact(t *testing.T) {
+	m := Bytes(make([]byte, 1024))
+	segs := Segments(m, 256)
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments, want 4", len(segs))
+	}
+	for i, s := range segs {
+		if s.Index != i {
+			t.Errorf("segment %d has index %d", i, s.Index)
+		}
+		if s.Offset != i*256 || s.Msg.Size != 256 {
+			t.Errorf("segment %d: offset=%d size=%d", i, s.Offset, s.Msg.Size)
+		}
+	}
+}
+
+func TestSegmentsRagged(t *testing.T) {
+	segs := Segments(Sized(1000), 256)
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments, want 4", len(segs))
+	}
+	if last := segs[3]; last.Msg.Size != 1000-3*256 {
+		t.Errorf("last segment size = %d, want %d", last.Msg.Size, 1000-3*256)
+	}
+}
+
+func TestSegmentsZeroSize(t *testing.T) {
+	segs := Segments(Msg{}, 128)
+	if len(segs) != 1 || segs[0].Msg.Size != 0 {
+		t.Fatalf("zero-size message must yield one empty segment, got %v", segs)
+	}
+}
+
+func TestSegmentsPanicsOnBadSegSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for segSize=0")
+		}
+	}()
+	Segments(Sized(10), 0)
+}
+
+// Property: segmentation reassembles to the identity, for real payloads.
+func TestSegmentsReassembleQuick(t *testing.T) {
+	f := func(payload []byte, segSizeSeed uint16) bool {
+		segSize := int(segSizeSeed)%4096 + 1
+		m := Bytes(payload)
+		segs := Segments(m, segSize)
+		var rebuilt []byte
+		total := 0
+		for _, s := range segs {
+			rebuilt = append(rebuilt, s.Msg.Data...)
+			total += s.Msg.Size
+		}
+		if len(payload) == 0 {
+			return len(segs) == 1 && total == 0
+		}
+		return bytes.Equal(rebuilt, payload) && total == len(payload) &&
+			len(segs) == NumSegments(len(payload), segSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: elided segmentation conserves total size and segment count.
+func TestSegmentsElidedQuick(t *testing.T) {
+	f := func(sizeSeed uint32, segSizeSeed uint16) bool {
+		size := int(sizeSeed) % (1 << 22)
+		segSize := int(segSizeSeed)%65536 + 1
+		segs := Segments(Sized(size), segSize)
+		total := 0
+		for i, s := range segs {
+			if s.Index != i {
+				return false
+			}
+			total += s.Msg.Size
+		}
+		return total == size && len(segs) == NumSegments(size, segSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInSpace(t *testing.T) {
+	m := Sized(64).InSpace(MemDevice)
+	if m.Space != MemDevice || m.Size != 64 {
+		t.Fatalf("InSpace mangled message: %v", m)
+	}
+	if !m.Elided() {
+		t.Fatal("Sized message should be elided")
+	}
+	if Bytes([]byte{1}).Elided() {
+		t.Fatal("Bytes message should not be elided")
+	}
+}

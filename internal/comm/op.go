@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype identifies the element type of a reduction payload.
+type Datatype uint8
+
+const (
+	Float64 Datatype = iota
+	Int64
+	Byte
+)
+
+// ElemSize returns the size in bytes of one element.
+func (d Datatype) ElemSize() int {
+	switch d {
+	case Float64, Int64:
+		return 8
+	case Byte:
+		return 1
+	}
+	panic(fmt.Sprintf("comm: unknown datatype %d", d))
+}
+
+func (d Datatype) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	case Byte:
+		return "byte"
+	}
+	return fmt.Sprintf("Datatype(%d)", uint8(d))
+}
+
+// Op is a predefined reduction operation. All predefined ops are
+// associative and commutative, so trees may combine partial results in any
+// order (floating-point results are reproducible here because the
+// simulator is deterministic; the live runtime combines in tree order).
+type Op uint8
+
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+	OpBAnd
+	OpBOr
+	OpBXor
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpBAnd:
+		return "band"
+	case OpBOr:
+		return "bor"
+	case OpBXor:
+		return "bxor"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Apply folds src into dst element-wise: dst = dst ⊕ src. Both slices must
+// have the same length, a multiple of dt.ElemSize(). Apply is the "CPU
+// reduction kernel"; cost accounting is the caller's job (Comm.Compute).
+func (o Op) Apply(dst, src []byte, dt Datatype) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reduce length mismatch %d != %d", len(dst), len(src)))
+	}
+	es := dt.ElemSize()
+	if len(dst)%es != 0 {
+		panic(fmt.Sprintf("comm: reduce buffer %dB not a multiple of element size %d", len(dst), es))
+	}
+	switch dt {
+	case Float64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(o.foldF64(a, b)))
+		}
+	case Int64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(o.foldI64(a, b)))
+		}
+	case Byte:
+		for i := range dst {
+			dst[i] = o.foldByte(dst[i], src[i])
+		}
+	default:
+		panic("comm: unknown datatype")
+	}
+}
+
+func (o Op) foldF64(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic(fmt.Sprintf("comm: op %s not defined for float64", o))
+}
+
+func (o Op) foldI64(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	case OpBXor:
+		return a ^ b
+	}
+	panic(fmt.Sprintf("comm: op %s not defined for int64", o))
+}
+
+func (o Op) foldByte(a, b byte) byte {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpBAnd:
+		return a & b
+	case OpBOr:
+		return a | b
+	case OpBXor:
+		return a ^ b
+	}
+	panic(fmt.Sprintf("comm: op %s not defined for byte", o))
+}
+
+// EncodeFloat64s packs a float64 slice into a fresh byte buffer.
+func EncodeFloat64s(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// DecodeFloat64s unpacks a byte buffer produced by EncodeFloat64s.
+func DecodeFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("comm: float64 buffer length not a multiple of 8")
+	}
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}
+
+// EncodeInt64s packs an int64 slice into a fresh byte buffer.
+func EncodeInt64s(v []int64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+// DecodeInt64s unpacks a byte buffer produced by EncodeInt64s.
+func DecodeInt64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("comm: int64 buffer length not a multiple of 8")
+	}
+	v := make([]int64, len(b)/8)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}

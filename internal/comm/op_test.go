@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpSumFloat64(t *testing.T) {
+	a := EncodeFloat64s([]float64{1, 2, 3})
+	b := EncodeFloat64s([]float64{10, 20, 30})
+	OpSum.Apply(a, b, Float64)
+	got := DecodeFloat64s(a)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpsFloat64Table(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpSum, 1.5, 2.5, 4},
+		{OpProd, 3, 4, 12},
+		{OpMax, -1, 7, 7},
+		{OpMax, 9, 7, 9},
+		{OpMin, -1, 7, -1},
+		{OpMin, 2, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		a := EncodeFloat64s([]float64{c.a})
+		c.op.Apply(a, EncodeFloat64s([]float64{c.b}), Float64)
+		if got := DecodeFloat64s(a)[0]; got != c.want {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpsInt64Table(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpSum, 5, -3, 2},
+		{OpProd, 7, 6, 42},
+		{OpMax, -5, -3, -3},
+		{OpMin, -5, -3, -5},
+		{OpBAnd, 0b1100, 0b1010, 0b1000},
+		{OpBOr, 0b1100, 0b1010, 0b1110},
+		{OpBXor, 0b1100, 0b1010, 0b0110},
+	}
+	for _, c := range cases {
+		a := EncodeInt64s([]int64{c.a})
+		c.op.Apply(a, EncodeInt64s([]int64{c.b}), Int64)
+		if got := DecodeInt64s(a)[0]; got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpByte(t *testing.T) {
+	a := []byte{1, 200, 7}
+	OpMax.Apply(a, []byte{3, 100, 7}, Byte)
+	if a[0] != 3 || a[1] != 200 || a[2] != 7 {
+		t.Fatalf("byte max wrong: %v", a)
+	}
+}
+
+// Property: integer Sum/Max/Min/Bit-ops are associative and commutative,
+// so any tree combination order yields the same result.
+func TestIntOpsAssocCommQuick(t *testing.T) {
+	for _, op := range []Op{OpSum, OpMax, OpMin, OpBAnd, OpBOr, OpBXor} {
+		op := op
+		f := func(x, y, z int64) bool {
+			// commutativity
+			a1 := EncodeInt64s([]int64{x})
+			op.Apply(a1, EncodeInt64s([]int64{y}), Int64)
+			a2 := EncodeInt64s([]int64{y})
+			op.Apply(a2, EncodeInt64s([]int64{x}), Int64)
+			if DecodeInt64s(a1)[0] != DecodeInt64s(a2)[0] {
+				return false
+			}
+			// associativity: (x op y) op z == x op (y op z)
+			l := EncodeInt64s([]int64{x})
+			op.Apply(l, EncodeInt64s([]int64{y}), Int64)
+			op.Apply(l, EncodeInt64s([]int64{z}), Int64)
+			yz := EncodeInt64s([]int64{y})
+			op.Apply(yz, EncodeInt64s([]int64{z}), Int64)
+			r := EncodeInt64s([]int64{x})
+			op.Apply(r, yz, Int64)
+			return DecodeInt64s(l)[0] == DecodeInt64s(r)[0]
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+}
+
+// Property: float64 Max/Min are exactly associative/commutative; Sum is
+// commutative (a+b == b+a exactly in IEEE 754).
+func TestFloatOpsQuick(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		for _, op := range []Op{OpSum, OpMax, OpMin} {
+			a := EncodeFloat64s([]float64{x})
+			op.Apply(a, EncodeFloat64s([]float64{y}), Float64)
+			b := EncodeFloat64s([]float64{y})
+			op.Apply(b, EncodeFloat64s([]float64{x}), Float64)
+			if DecodeFloat64s(a)[0] != DecodeFloat64s(b)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	OpSum.Apply(make([]byte, 8), make([]byte, 16), Float64)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := []float64{1.5, -2.25, math.Pi, 0, math.Inf(1)}
+	got := DecodeFloat64s(EncodeFloat64s(f))
+	for i := range f {
+		if got[i] != f[i] {
+			t.Fatalf("float64 round-trip[%d]: %v != %v", i, got[i], f[i])
+		}
+	}
+	iv := []int64{0, -1, 1 << 62, math.MinInt64}
+	gi := DecodeInt64s(EncodeInt64s(iv))
+	for i := range iv {
+		if gi[i] != iv[i] {
+			t.Fatalf("int64 round-trip[%d]: %v != %v", i, gi[i], iv[i])
+		}
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	if Float64.String() != "float64" || Int64.String() != "int64" || Byte.String() != "byte" {
+		t.Error("datatype names wrong")
+	}
+	for _, op := range []Op{OpSum, OpProd, OpMax, OpMin, OpBAnd, OpBOr, OpBXor} {
+		if op.String() == "" || op.String()[0] == 'O' {
+			t.Errorf("op %d name %q", op, op.String())
+		}
+	}
+	if Bytes([]byte{1}).String() == "" || Sized(5).String() == "" {
+		t.Error("msg strings empty")
+	}
+	if MemHost.String() != "host" || MemDevice.String() != "device" || MemDefault.String() != "default" {
+		t.Error("memspace names wrong")
+	}
+	for k := KindP2P; k <= KindRTS; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestByteOpsAll(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b byte
+		want byte
+	}{
+		{OpSum, 200, 100, 44}, // wraps mod 256
+		{OpProd, 7, 3, 21},
+		{OpMax, 9, 200, 200},
+		{OpMin, 9, 200, 9},
+		{OpBAnd, 0b1100, 0b1010, 0b1000},
+		{OpBOr, 0b1100, 0b1010, 0b1110},
+		{OpBXor, 0b1100, 0b1010, 0b0110},
+	}
+	for _, c := range cases {
+		a := []byte{c.a}
+		c.op.Apply(a, []byte{c.b}, Byte)
+		if a[0] != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, a[0], c.want)
+		}
+	}
+}

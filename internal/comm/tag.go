@@ -1,0 +1,93 @@
+package comm
+
+import "fmt"
+
+// Tag is a message tag. Collective implementations encode the collective
+// kind, an operation sequence number and the segment index into the tag so
+// that concurrent collectives and pipeline segments never mis-match.
+type Tag int64
+
+// Wildcards for Recv/Irecv. AnyTag matches every tag; AnySource (used as a
+// source rank) matches every sender.
+const (
+	AnyTag    Tag = -1
+	AnySource int = -1
+)
+
+// Tag layout: | kind (8 bits) | op sequence (24 bits) | segment (24 bits) |.
+const (
+	tagSegBits = 24
+	tagSeqBits = 24
+	tagSegMask = 1<<tagSegBits - 1
+	tagSeqMask = 1<<tagSeqBits - 1
+)
+
+// CollKind identifies a collective operation family in a tag.
+type CollKind uint8
+
+const (
+	KindP2P CollKind = iota
+	KindBcast
+	KindReduce
+	KindScatter
+	KindGather
+	KindAllgather
+	KindAllreduce
+	KindAlltoall
+	KindBarrier
+	KindRTS // internal rendezvous control
+)
+
+func (k CollKind) String() string {
+	switch k {
+	case KindP2P:
+		return "p2p"
+	case KindBcast:
+		return "bcast"
+	case KindReduce:
+		return "reduce"
+	case KindScatter:
+		return "scatter"
+	case KindGather:
+		return "gather"
+	case KindAllgather:
+		return "allgather"
+	case KindAllreduce:
+		return "allreduce"
+	case KindAlltoall:
+		return "alltoall"
+	case KindBarrier:
+		return "barrier"
+	case KindRTS:
+		return "rts"
+	}
+	return fmt.Sprintf("CollKind(%d)", uint8(k))
+}
+
+// MakeTag packs (kind, seq, segment) into a Tag. seq and seg must fit in
+// 24 bits each; collective sequence numbers wrap via SeqWrap.
+func MakeTag(kind CollKind, seq, seg int) Tag {
+	if seg < 0 || seg > tagSegMask {
+		panic(fmt.Sprintf("comm: segment %d out of tag range", seg))
+	}
+	if seq < 0 || seq > tagSeqMask {
+		panic(fmt.Sprintf("comm: sequence %d out of tag range", seq))
+	}
+	return Tag(uint64(kind)<<(tagSegBits+tagSeqBits) | uint64(seq)<<tagSegBits | uint64(seg))
+}
+
+// SeqWrap is the modulus for collective sequence numbers.
+const SeqWrap = tagSeqMask + 1
+
+// Kind extracts the collective kind from a tag.
+func (t Tag) Kind() CollKind { return CollKind(uint64(t) >> (tagSegBits + tagSeqBits)) }
+
+// Seq extracts the operation sequence number from a tag.
+func (t Tag) Seq() int { return int(uint64(t) >> tagSegBits & tagSeqMask) }
+
+// Seg extracts the segment index from a tag.
+func (t Tag) Seg() int { return int(uint64(t) & tagSegMask) }
+
+// Matches reports whether a posted receive tag (possibly AnyTag) matches a
+// message tag.
+func (t Tag) Matches(msgTag Tag) bool { return t == AnyTag || t == msgTag }

@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind CollKind
+		seq  int
+		seg  int
+	}{
+		{KindBcast, 0, 0},
+		{KindReduce, 1, 42},
+		{KindBarrier, SeqWrap - 1, 1<<24 - 1},
+		{KindAllreduce, 12345, 678},
+	}
+	for _, c := range cases {
+		tag := MakeTag(c.kind, c.seq, c.seg)
+		if tag.Kind() != c.kind || tag.Seq() != c.seq || tag.Seg() != c.seg {
+			t.Errorf("MakeTag(%v,%d,%d) round-tripped to (%v,%d,%d)",
+				c.kind, c.seq, c.seg, tag.Kind(), tag.Seq(), tag.Seg())
+		}
+	}
+}
+
+func TestTagRoundTripQuick(t *testing.T) {
+	f := func(kindSeed uint8, seqSeed, segSeed uint32) bool {
+		kind := CollKind(kindSeed % 10)
+		seq := int(seqSeed) & tagSeqMask
+		seg := int(segSeed) & tagSegMask
+		tag := MakeTag(kind, seq, seg)
+		return tag.Kind() == kind && tag.Seq() == seq && tag.Seg() == seg && tag >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagUniqueAcrossSegments(t *testing.T) {
+	seen := map[Tag]bool{}
+	for seg := 0; seg < 100; seg++ {
+		for seq := 0; seq < 10; seq++ {
+			tag := MakeTag(KindBcast, seq, seg)
+			if seen[tag] {
+				t.Fatalf("duplicate tag for seq=%d seg=%d", seq, seg)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestTagMatches(t *testing.T) {
+	tag := MakeTag(KindBcast, 1, 2)
+	if !AnyTag.Matches(tag) {
+		t.Error("AnyTag must match everything")
+	}
+	if !tag.Matches(tag) {
+		t.Error("tag must match itself")
+	}
+	if tag.Matches(MakeTag(KindBcast, 1, 3)) {
+		t.Error("different segments must not match")
+	}
+}
+
+func TestMakeTagPanicsOutOfRange(t *testing.T) {
+	for _, c := range []struct{ seq, seg int }{{-1, 0}, {0, -1}, {SeqWrap, 0}, {0, 1 << 24}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeTag(%d,%d) should panic", c.seq, c.seg)
+				}
+			}()
+			MakeTag(KindBcast, c.seq, c.seg)
+		}()
+	}
+}

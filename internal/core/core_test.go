@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// TestBcastLiveMatrix checks payload delivery across tree shapes, rank
+// counts, sizes and roots on the live runtime.
+func TestBcastLiveMatrix(t *testing.T) {
+	sizes := []int{0, 1, 1000, 40_000, 300_000}
+	ranks := []int{1, 2, 5, 8, 16}
+	for _, b := range trees.Builders() {
+		for _, n := range ranks {
+			for _, sz := range sizes {
+				b, n, sz := b, n, sz
+				t.Run(fmt.Sprintf("%s/p%d/%dB", b.Name, n, sz), func(t *testing.T) {
+					t.Parallel()
+					root := (n - 1) / 2
+					tree := b.Build(n, root)
+					want := payload(sz, int64(sz+n))
+					w := runtime.NewWorld(n)
+					var mu sync.Mutex
+					results := map[int][]byte{}
+					w.Run(func(c *runtime.Comm) {
+						opt := DefaultOptions()
+						opt.SegSize = 16 << 10 // force multiple segments + both protocols
+						var msg comm.Msg
+						if c.Rank() == root {
+							msg = comm.Bytes(append([]byte(nil), want...))
+						} else {
+							msg = comm.Sized(sz)
+						}
+						out := Bcast(c, tree, msg, opt)
+						mu.Lock()
+						results[c.Rank()] = out.Data
+						mu.Unlock()
+					})
+					for r := 0; r < n; r++ {
+						got := results[r]
+						if sz == 0 {
+							if len(got) != 0 {
+								t.Errorf("rank %d: got %d bytes for empty bcast", r, len(got))
+							}
+							continue
+						}
+						if !bytes.Equal(got, want) {
+							t.Errorf("rank %d: payload mismatch (%d vs %d bytes)", r, len(got), len(want))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReduceLiveMatrix checks int64 sum reduction correctness.
+func TestReduceLiveMatrix(t *testing.T) {
+	ranks := []int{1, 2, 5, 8, 16}
+	elems := []int{1, 100, 5000}
+	for _, b := range trees.Builders() {
+		for _, n := range ranks {
+			for _, ne := range elems {
+				b, n, ne := b, n, ne
+				t.Run(fmt.Sprintf("%s/p%d/%de", b.Name, n, ne), func(t *testing.T) {
+					t.Parallel()
+					tree := b.Build(n, 0)
+					w := runtime.NewWorld(n)
+					var mu sync.Mutex
+					var rootResult []int64
+					w.Run(func(c *runtime.Comm) {
+						vals := make([]int64, ne)
+						for i := range vals {
+							vals[i] = int64(c.Rank()*1000 + i)
+						}
+						opt := DefaultOptions()
+						opt.SegSize = 4 << 10
+						opt.Op = comm.OpSum
+						opt.Datatype = comm.Int64
+						out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+						if c.Rank() == 0 {
+							mu.Lock()
+							rootResult = comm.DecodeInt64s(out.Data)
+							mu.Unlock()
+						}
+					})
+					for i := 0; i < ne; i++ {
+						var want int64
+						for r := 0; r < n; r++ {
+							want += int64(r*1000 + i)
+						}
+						if rootResult[i] != want {
+							t.Fatalf("elem %d: got %d, want %d", i, rootResult[i], want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestReduceOpsLive(t *testing.T) {
+	for _, op := range []comm.Op{comm.OpMax, comm.OpMin, comm.OpBXor} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			const n = 7
+			tree := trees.Binomial(n, 0)
+			w := runtime.NewWorld(n)
+			var got []int64
+			var mu sync.Mutex
+			w.Run(func(c *runtime.Comm) {
+				vals := []int64{int64(c.Rank()) - 3, int64(c.Rank() * c.Rank()), 7}
+				opt := DefaultOptions()
+				opt.Op = op
+				opt.Datatype = comm.Int64
+				out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+				if c.Rank() == 0 {
+					mu.Lock()
+					got = comm.DecodeInt64s(out.Data)
+					mu.Unlock()
+				}
+			})
+			want := []int64{-3, 0, 7}
+			for r := 1; r < n; r++ {
+				vals := []int64{int64(r) - 3, int64(r * r), 7}
+				for i := range want {
+					a := comm.EncodeInt64s([]int64{want[i]})
+					op.Apply(a, comm.EncodeInt64s([]int64{vals[i]}), comm.Int64)
+					want[i] = comm.DecodeInt64s(a)[0]
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s elem %d: got %d, want %d", op, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// runSim executes body on every simulated rank and returns the makespan.
+func runSim(t *testing.T, p *netmodel.Platform, spec noise.Spec, body func(c *simmpi.Comm)) time.Duration {
+	t.Helper()
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, spec)
+	w.Spawn(body)
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("deadlock: %v", err)
+	}
+	return end
+}
+
+// TestBcastSimCorrectness pushes real bytes through the simulator.
+func TestBcastSimCorrectness(t *testing.T) {
+	p := netmodel.Cori(1) // 32 ranks
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	want := payload(100_000, 42)
+	var mu sync.Mutex
+	results := map[int][]byte{}
+	runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		opt := DefaultOptions()
+		opt.SegSize = 16 << 10
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Bytes(append([]byte(nil), want...))
+		} else {
+			msg = comm.Sized(len(want))
+		}
+		out := Bcast(c, tree, msg, opt)
+		mu.Lock()
+		results[c.Rank()] = out.Data
+		mu.Unlock()
+	})
+	for r := 0; r < p.Topo.Size(); r++ {
+		if !bytes.Equal(results[r], want) {
+			t.Fatalf("rank %d: corrupted payload", r)
+		}
+	}
+}
+
+// TestReduceSimCorrectness folds real int64s through the simulator.
+func TestReduceSimCorrectness(t *testing.T) {
+	p := netmodel.Cori(1)
+	n := p.Topo.Size()
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	var got []int64
+	runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		vals := make([]int64, 2000)
+		for i := range vals {
+			vals[i] = int64(c.Rank() + i)
+		}
+		opt := DefaultOptions()
+		opt.SegSize = 4 << 10
+		opt.Datatype = comm.Int64
+		out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+		if c.Rank() == 0 {
+			got = comm.DecodeInt64s(out.Data)
+		}
+	})
+	for i := range got {
+		want := int64(n*i) + int64(n*(n-1)/2)
+		if got[i] != want {
+			t.Fatalf("elem %d: got %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestBcastSimElidedScale runs the paper-scale configuration: 4 MB over
+// 1024 ranks on the Cori profile with payloads elided.
+func TestBcastSimElidedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank simulation")
+	}
+	p := netmodel.Cori(32)
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	end := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Sized(4 * netmodel.MB)
+		} else {
+			msg = comm.Sized(4 * netmodel.MB)
+		}
+		Bcast(c, tree, msg, DefaultOptions())
+	})
+	if end <= 0 || end > 500*time.Millisecond {
+		t.Fatalf("implausible 4MB/1024-rank broadcast time %v", end)
+	}
+	t.Logf("ADAPT topo bcast 4MB x 1024 ranks: %v", end)
+}
+
+// TestWindowInvariant: M >= N is enforced.
+func TestWindowInvariant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for M < N")
+		}
+	}()
+	opt := Options{SegSize: 1024, SendWindow: 4, RecvWindow: 2}
+	opt.validate()
+}
+
+// TestBcastDeterministicSim: identical runs give identical makespans.
+func TestBcastDeterministicSim(t *testing.T) {
+	run := func() time.Duration {
+		p := netmodel.Cori(2)
+		tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+		return runSim(t, p, noise.Percent(5), func(c *simmpi.Comm) {
+			Bcast(c, tree, comm.Sized(1*netmodel.MB), DefaultOptions())
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+// Two collectives in flight at once on the live runtime: a non-blocking
+// broadcast is started, a full reduce runs to completion while the
+// broadcast is pending, then the broadcast is waited. Both must be
+// correct — the §7 "asynchronous progress" property.
+func TestOverlappedBcastAndReduceLive(t *testing.T) {
+	const n = 10
+	tree := trees.Binomial(n, 0)
+	want := payload(60_000, 13)
+	w := runtime.NewWorld(n)
+	var mu sync.Mutex
+	bres := map[int][]byte{}
+	var rres []int64
+	w.Run(func(c *runtime.Comm) {
+		optB := DefaultOptions()
+		optB.SegSize = 8 << 10
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Bytes(append([]byte(nil), want...))
+		} else {
+			msg = comm.Sized(len(want))
+		}
+		op := StartBcast(c, tree, msg, optB)
+
+		optR := DefaultOptions()
+		optR.Seq = 1
+		optR.Datatype = comm.Int64
+		vals := []int64{int64(c.Rank()), 7}
+		red := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), optR)
+
+		out := op.Wait()
+		mu.Lock()
+		bres[c.Rank()] = out.Data
+		if c.Rank() == 0 {
+			rres = comm.DecodeInt64s(red.Data)
+		}
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(bres[r], want) {
+			t.Fatalf("rank %d: overlapped bcast corrupted", r)
+		}
+	}
+	if rres[0] != int64(n*(n-1)/2) || rres[1] != 7*n {
+		t.Fatalf("overlapped reduce wrong: %v", rres)
+	}
+}
+
+// Done must eventually turn true without an explicit Wait when the rank
+// progresses for other reasons.
+func TestOpDoneViaForeignProgress(t *testing.T) {
+	const n = 4
+	tree := trees.Chain(n, 0)
+	w := runtime.NewWorld(n)
+	w.Run(func(c *runtime.Comm) {
+		opt := DefaultOptions()
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Bytes(payload(20_000, 1))
+		} else {
+			msg = comm.Sized(20_000)
+		}
+		op := StartBcast(c, tree, msg, opt)
+		// Drive completion through point-to-point traffic on the side.
+		// Every rank runs the same fixed ring schedule so nobody deadlocks
+		// waiting for a peer that left early; the collective's callbacks
+		// fire from inside these Waits.
+		peer := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		sawDone := false
+		for i := 0; i < 40; i++ {
+			tg := comm.MakeTag(comm.KindP2P, 100, i)
+			r := c.Irecv(prev, tg)
+			c.Send(peer, tg, comm.Bytes([]byte{1}))
+			c.Wait(r)
+			if op.Done() {
+				sawDone = true
+			}
+		}
+		out := op.Wait()
+		if out.Size != 20_000 {
+			t.Errorf("rank %d: bad size %d", c.Rank(), out.Size)
+		}
+		_ = sawDone // timing-dependent; completion itself is the assertion
+	})
+}
+
+// Non-blocking GPU variants behave like their blocking counterparts.
+func TestStartGPUVariantsSim(t *testing.T) {
+	p := netmodel.PSG(2)
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	blocking := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		BcastStaged(c, p.Topo, tree, comm.Sized(4*netmodel.MB), DefaultOptions())
+		opt := DefaultOptions()
+		opt.Seq = 1
+		ReduceOffload(c, tree, comm.Sized(4*netmodel.MB), opt)
+	})
+	nonblocking := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		op1 := StartBcastStaged(c, p.Topo, tree, comm.Sized(4*netmodel.MB), DefaultOptions())
+		op1.Wait()
+		opt := DefaultOptions()
+		opt.Seq = 1
+		op2 := StartReduceOffload(c, tree, comm.Sized(4*netmodel.MB), opt)
+		op2.Wait()
+	})
+	if blocking != nonblocking {
+		t.Fatalf("Start+Wait (%v) must equal blocking call (%v)", nonblocking, blocking)
+	}
+}
+
+// Overlapping a staged broadcast and an offloaded reduce on the simulator
+// must beat running them back to back (the overlap actually buys time).
+func TestOverlapBuysTimeSim(t *testing.T) {
+	p := netmodel.PSG(2)
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	serial := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		BcastStaged(c, p.Topo, tree, comm.Sized(8*netmodel.MB), DefaultOptions())
+		opt := DefaultOptions()
+		opt.Seq = 1
+		ReduceOffload(c, tree, comm.Sized(8*netmodel.MB), opt)
+	})
+	overlapped := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		op1 := StartBcastStaged(c, p.Topo, tree, comm.Sized(8*netmodel.MB), DefaultOptions())
+		opt := DefaultOptions()
+		opt.Seq = 1
+		op2 := StartReduceOffload(c, tree, comm.Sized(8*netmodel.MB), opt)
+		op1.Wait()
+		op2.Wait()
+	})
+	if overlapped >= serial {
+		t.Fatalf("overlap (%v) should beat serial (%v)", overlapped, serial)
+	}
+	t.Logf("serial %v vs overlapped %v", serial, overlapped)
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+// Property: for ANY tree shape, rank count, root, payload, segment size
+// and window pair, the event-driven broadcast delivers the exact payload
+// to every rank on the live runtime.
+func TestBcastPropertyLive(t *testing.T) {
+	builders := trees.Builders()
+	f := func(sizeSeed, rootSeed, builderSeed uint8, segSeed uint16, winSeed uint8, payloadSeed int64) bool {
+		n := int(sizeSeed)%14 + 1
+		root := int(rootSeed) % n
+		b := builders[int(builderSeed)%len(builders)]
+		segSize := int(segSeed)%8192 + 1
+		N := int(winSeed)%3 + 1
+		M := N + int(winSeed/16)%3
+		want := payload(int(segSeed)%20000, payloadSeed)
+
+		tree := b.Build(n, root)
+		w := runtime.NewWorld(n)
+		var mu sync.Mutex
+		ok := true
+		w.Run(func(c *runtime.Comm) {
+			opt := Options{SegSize: segSize, SendWindow: N, RecvWindow: M}
+			var msg comm.Msg
+			if c.Rank() == root {
+				msg = comm.Bytes(append([]byte(nil), want...))
+			} else {
+				msg = comm.Sized(len(want))
+			}
+			out := Bcast(c, tree, msg, opt)
+			mu.Lock()
+			if len(want) > 0 && !bytes.Equal(out.Data, want) {
+				ok = false
+			}
+			mu.Unlock()
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduce computes the exact int64 sum for any tree and
+// segmentation on the live runtime.
+func TestReducePropertyLive(t *testing.T) {
+	builders := trees.Builders()
+	f := func(sizeSeed, builderSeed uint8, segSeed uint16, elemSeed uint8) bool {
+		n := int(sizeSeed)%12 + 1
+		b := builders[int(builderSeed)%len(builders)]
+		segSize := (int(segSeed)%512 + 1) * 8 // multiple of element size
+		ne := int(elemSeed)%300 + 1
+
+		tree := b.Build(n, 0)
+		w := runtime.NewWorld(n)
+		var mu sync.Mutex
+		var got []int64
+		w.Run(func(c *runtime.Comm) {
+			vals := make([]int64, ne)
+			for i := range vals {
+				vals[i] = int64((c.Rank() + 1) * (i + 3))
+			}
+			opt := Options{SegSize: segSize, SendWindow: 2, RecvWindow: 4,
+				Op: comm.OpSum, Datatype: comm.Int64}
+			out := Reduce(c, tree, comm.Bytes(comm.EncodeInt64s(vals)), opt)
+			if c.Rank() == 0 {
+				mu.Lock()
+				got = comm.DecodeInt64s(out.Data)
+				mu.Unlock()
+			}
+		})
+		for i := 0; i < ne; i++ {
+			want := int64(0)
+			for r := 0; r < n; r++ {
+				want += int64((r + 1) * (i + 3))
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: a rank that stalls mid-collective (simulated compute
+// burst) must not change the delivered bytes, only the timing.
+func TestBcastDelayedRankStillCorrect(t *testing.T) {
+	p := netmodel.Cori(1)
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	want := payload(80_000, 5)
+	results := map[int][]byte{}
+	quietEnd := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		bcastWithStall(c, tree, want, results, -1)
+	})
+	resultsStall := map[int][]byte{}
+	stallEnd := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		bcastWithStall(c, tree, want, resultsStall, 7)
+	})
+	for r := 0; r < p.Topo.Size(); r++ {
+		if !bytes.Equal(results[r], want) || !bytes.Equal(resultsStall[r], want) {
+			t.Fatalf("rank %d corrupted", r)
+		}
+	}
+	if stallEnd <= quietEnd {
+		t.Fatalf("stall did not cost time: %v vs %v", stallEnd, quietEnd)
+	}
+}
+
+func bcastWithStall(c *simmpi.Comm, tree *trees.Tree, want []byte, results map[int][]byte, stallRank int) {
+	if c.Rank() == stallRank {
+		c.ComputeFor(3 * time.Millisecond)
+	}
+	opt := DefaultOptions()
+	opt.SegSize = 16 << 10
+	var msg comm.Msg
+	if c.Rank() == 0 {
+		msg = comm.Bytes(append([]byte(nil), want...))
+	} else {
+		msg = comm.Sized(len(want))
+	}
+	out := Bcast(c, tree, msg, opt)
+	results[c.Rank()] = out.Data
+}
+
+// Failure injection: an unexpected-message flood (receiver posts its
+// receives long after dozens of eager messages landed) must still match
+// every message to the right tag.
+func TestUnexpectedFloodStillMatches(t *testing.T) {
+	p := netmodel.Cori(1)
+	const msgs = 64
+	ok := true
+	runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				c.Send(1, comm.MakeTag(comm.KindP2P, 0, i), comm.Bytes([]byte{byte(i)}))
+			}
+		case 1:
+			c.ComputeFor(2 * time.Millisecond) // everything lands unexpected
+			for i := msgs - 1; i >= 0; i-- {   // match in reverse order
+				st := c.Recv(0, comm.MakeTag(comm.KindP2P, 0, i))
+				if st.Msg.Data[0] != byte(i) {
+					ok = false
+				}
+			}
+		}
+	})
+	if !ok {
+		t.Fatal("unexpected-queue matching returned wrong payloads")
+	}
+}
+
+// Property: noise injection never changes results, only timing — the
+// simulator invariant behind every noise experiment.
+func TestNoiseChangesTimingNotBytes(t *testing.T) {
+	p := netmodel.Cori(1)
+	tree := trees.Topology(p.Topo, 0, trees.ChainConfig())
+	want := payload(120_000, 6)
+	run := func(spec noise.Spec) (map[int][]byte, time.Duration) {
+		results := map[int][]byte{}
+		end := runSim(t, p, spec, func(c *simmpi.Comm) {
+			opt := DefaultOptions()
+			opt.SegSize = 16 << 10
+			var msg comm.Msg
+			if c.Rank() == 0 {
+				msg = comm.Bytes(append([]byte(nil), want...))
+			} else {
+				msg = comm.Sized(len(want))
+			}
+			out := Bcast(c, tree, msg, opt)
+			results[c.Rank()] = out.Data
+		})
+		return results, end
+	}
+	quiet, tq := run(noise.None)
+	noisy, tn := run(noise.Uniform(2000, 500*time.Microsecond))
+	if tn <= tq {
+		t.Fatalf("noise did not slow the run: %v vs %v", tn, tq)
+	}
+	for r := 0; r < p.Topo.Size(); r++ {
+		if !bytes.Equal(quiet[r], noisy[r]) || !bytes.Equal(quiet[r], want) {
+			t.Fatalf("rank %d: noise changed payload bytes", r)
+		}
+	}
+}

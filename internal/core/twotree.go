@@ -1,0 +1,47 @@
+package core
+
+import (
+	"adapt/internal/comm"
+	"adapt/internal/trees"
+)
+
+// BcastTwoTree is the two-tree full-bandwidth broadcast (paper §2.2.4's
+// "advanced trees [31]") composed from two concurrent non-blocking ADAPT
+// broadcasts: the message is split in half, each half streams down its
+// own tree, and because a rank interior in tree A is (mostly) a leaf in
+// tree B, each rank forwards only about half the payload per child slot —
+// approaching full link bandwidth where a single binary tree sustains
+// half.
+//
+// The two state machines share the rank's progress engine; their tags are
+// separated by consecutive sequence numbers, so opt.Seq and opt.Seq+1 are
+// both consumed.
+func BcastTwoTree(c comm.Comm, a, b *trees.Tree, msg comm.Msg, opt Options) comm.Msg {
+	opt = opt.validate()
+	half := msg.Size / 2
+	lo := comm.Msg{Size: half, Space: msg.Space}
+	hi := comm.Msg{Size: msg.Size - half, Space: msg.Space}
+	if msg.Data != nil && c.Rank() == a.Root {
+		lo.Data = msg.Data[:half]
+		hi.Data = msg.Data[half:]
+	}
+	optB := opt
+	optB.Seq = opt.Seq + 1
+
+	opA := StartBcast(c, a, lo, opt)
+	opB := StartBcast(c, b, hi, optB)
+	outA := opA.Wait()
+	outB := opB.Wait()
+
+	if c.Rank() == a.Root {
+		return msg
+	}
+	out := comm.Msg{Size: msg.Size, Space: msg.Space}
+	if outA.Data != nil || outB.Data != nil {
+		buf := make([]byte, msg.Size)
+		copy(buf, outA.Data)
+		copy(buf[half:], outB.Data)
+		out.Data = buf
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+func TestBcastTwoTreeLive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 9, 16} {
+		for _, sz := range []int{0, 1, 4095, 100_000} {
+			n, sz := n, sz
+			t.Run(fmt.Sprintf("p%d/%dB", n, sz), func(t *testing.T) {
+				t.Parallel()
+				root := n / 3
+				a, b := trees.TwoTree(n, root)
+				want := payload(sz, int64(n*sz+1))
+				w := runtime.NewWorld(n)
+				var mu sync.Mutex
+				results := map[int][]byte{}
+				w.Run(func(c *runtime.Comm) {
+					opt := DefaultOptions()
+					opt.SegSize = 8 << 10
+					var msg comm.Msg
+					if c.Rank() == root {
+						msg = comm.Bytes(append([]byte(nil), want...))
+					} else {
+						msg = comm.Sized(sz)
+					}
+					out := BcastTwoTree(c, a, b, msg, opt)
+					mu.Lock()
+					results[c.Rank()] = out.Data
+					mu.Unlock()
+				})
+				for r := 0; r < n; r++ {
+					if sz == 0 {
+						continue
+					}
+					if !bytes.Equal(results[r], want) {
+						t.Errorf("rank %d: two-tree payload mismatch", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The two-tree broadcast must beat a single binary tree for large
+// messages on the simulator: interiors forward half the bytes.
+func TestTwoTreeBeatsSingleBinary(t *testing.T) {
+	p := netmodel.Cori(1) // one node: homogeneous lanes, pure tree effect
+	const size = 8 * netmodel.MB
+	single := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		Bcast(c, trees.Binary(c.Size(), 0), comm.Sized(size), DefaultOptions())
+	})
+	a, b := trees.TwoTree(p.Topo.Size(), 0)
+	double := runSim(t, p, noise.None, func(c *simmpi.Comm) {
+		BcastTwoTree(c, a, b, comm.Sized(size), DefaultOptions())
+	})
+	if double >= single {
+		t.Fatalf("two-tree (%v) should beat single binary (%v)", double, single)
+	}
+	t.Logf("binary %v vs two-tree %v (%.2fx)", single, double, float64(single)/float64(double))
+}
+
+func TestTwoTreeOddHalves(t *testing.T) {
+	// Odd sizes split 1 byte unevenly; both halves must reassemble.
+	const n = 6
+	a, b := trees.TwoTree(n, 0)
+	want := payload(12345, 9)
+	w := runtime.NewWorld(n)
+	var mu sync.Mutex
+	results := map[int][]byte{}
+	w.Run(func(c *runtime.Comm) {
+		var msg comm.Msg
+		if c.Rank() == 0 {
+			msg = comm.Bytes(append([]byte(nil), want...))
+		} else {
+			msg = comm.Sized(len(want))
+		}
+		opt := DefaultOptions()
+		opt.SegSize = 1 << 10
+		out := BcastTwoTree(c, a, b, msg, opt)
+		mu.Lock()
+		results[c.Rank()] = out.Data
+		mu.Unlock()
+	})
+	for r := 1; r < n; r++ {
+		if !bytes.Equal(results[r], want) {
+			t.Fatalf("rank %d: odd-size reassembly failed", r)
+		}
+	}
+}

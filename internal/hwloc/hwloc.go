@@ -1,0 +1,229 @@
+// Package hwloc models hardware topology and process placement, playing
+// the role Portable Hardware Locality (hwloc) + PMIx play for the real
+// ADAPT (paper §3.2.1): every rank knows which node, socket and core every
+// other rank occupies, and on GPU platforms which GPU it is bound to.
+//
+// The model is a three-level machine tree (node → socket → core) with an
+// optional GPU per rank group, matching the clusters in the paper's
+// evaluation (§5): Cori (2 sockets × 16 cores), Stampede2 (2 × 24) and the
+// NVIDIA PSG cluster (2 sockets × 2 GPUs per node).
+package hwloc
+
+import "fmt"
+
+// Level classifies the topological distance between two ranks. Smaller is
+// closer. It names the data-movement lane a message between them uses.
+type Level uint8
+
+const (
+	// LevelSelf is a rank talking to itself (loopback copy).
+	LevelSelf Level = iota
+	// LevelCore: same socket — shared-memory lane.
+	LevelCore
+	// LevelSocket: same node, different socket — QPI/UPI lane.
+	LevelSocket
+	// LevelNode: different nodes — NIC + switch fabric lane.
+	LevelNode
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelSelf:
+		return "self"
+	case LevelCore:
+		return "intra-socket"
+	case LevelSocket:
+		return "inter-socket"
+	case LevelNode:
+		return "inter-node"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Place is one rank's physical location.
+type Place struct {
+	Node   int
+	Socket int // socket index within the node
+	Core   int // core index within the socket
+	GPU    int // GPU index within the node; -1 on CPU-only platforms
+}
+
+// Placement selects how consecutive ranks map onto the machine — the
+// moral equivalent of mpirun's --map-by. Placement interacts with the
+// topology-aware tree builder: a spread placement turns rank-neighbour
+// edges into slow-lane edges, which is exactly what topology awareness
+// exists to compensate for.
+type Placement int
+
+const (
+	// PlaceByCore fills a socket, then the next socket, then the next
+	// node (mpirun --map-by core, the dense default).
+	PlaceByCore Placement = iota
+	// PlaceBySocket round-robins sockets within each node before moving
+	// to the next node (mpirun --map-by socket).
+	PlaceBySocket
+	// PlaceByNode round-robins nodes machine-wide (mpirun --map-by node).
+	PlaceByNode
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceByCore:
+		return "by-core"
+	case PlaceBySocket:
+		return "by-socket"
+	case PlaceByNode:
+		return "by-node"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Topology describes a whole machine and a placement of ranks onto it.
+type Topology struct {
+	Nodes          int
+	SocketsPerNode int
+	CoresPerSocket int
+	GPUsPerSocket  int // 0 on CPU platforms
+	Mapping        Placement
+	places         []Place
+}
+
+// New builds a dense by-core topology for nodes×sockets×cores ranks.
+func New(nodes, socketsPerNode, coresPerSocket int) *Topology {
+	return newTopo(nodes, socketsPerNode, coresPerSocket, 0, PlaceByCore)
+}
+
+// NewPlaced builds a CPU topology with an explicit placement strategy.
+func NewPlaced(nodes, socketsPerNode, coresPerSocket int, pl Placement) *Topology {
+	return newTopo(nodes, socketsPerNode, coresPerSocket, 0, pl)
+}
+
+// NewGPU builds a GPU platform where each rank is bound to one GPU, so
+// coresPerSocket is gpusPerSocket (one rank per GPU, as in the paper §4:
+// "most GPU-aware MPI implementations assume each MPI process is bound to
+// one GPU").
+func NewGPU(nodes, socketsPerNode, gpusPerSocket int) *Topology {
+	return newTopo(nodes, socketsPerNode, gpusPerSocket, gpusPerSocket, PlaceByCore)
+}
+
+func newTopo(nodes, sockets, cores, gpus int, pl Placement) *Topology {
+	if nodes <= 0 || sockets <= 0 || cores <= 0 {
+		panic(fmt.Sprintf("hwloc: invalid topology %d×%d×%d", nodes, sockets, cores))
+	}
+	t := &Topology{
+		Nodes:          nodes,
+		SocketsPerNode: sockets,
+		CoresPerSocket: cores,
+		GPUsPerSocket:  gpus,
+		Mapping:        pl,
+	}
+	t.places = make([]Place, t.Size())
+	perNode := sockets * cores
+	for r := range t.places {
+		var node, socket, core int
+		switch pl {
+		case PlaceBySocket:
+			node = r / perNode
+			i := r % perNode
+			socket = i % sockets
+			core = i / sockets
+		case PlaceByNode:
+			node = r % nodes
+			i := r / nodes
+			socket = i / cores
+			core = i % cores
+		default: // PlaceByCore
+			node = r / perNode
+			socket = (r % perNode) / cores
+			core = r % cores
+		}
+		gpu := -1
+		if gpus > 0 {
+			gpu = socket*gpus + core
+		}
+		t.places[r] = Place{Node: node, Socket: socket, Core: core, GPU: gpu}
+	}
+	return t
+}
+
+// Size returns the total number of ranks the machine hosts.
+func (t *Topology) Size() int { return t.Nodes * t.SocketsPerNode * t.CoresPerSocket }
+
+// PlaceOf returns rank r's physical location.
+func (t *Topology) PlaceOf(r int) Place {
+	if r < 0 || r >= len(t.places) {
+		panic(fmt.Sprintf("hwloc: rank %d out of range [0,%d)", r, len(t.places)))
+	}
+	return t.places[r]
+}
+
+// LevelBetween classifies the lane between two ranks.
+func (t *Topology) LevelBetween(a, b int) Level {
+	if a == b {
+		return LevelSelf
+	}
+	pa, pb := t.PlaceOf(a), t.PlaceOf(b)
+	switch {
+	case pa.Node != pb.Node:
+		return LevelNode
+	case pa.Socket != pb.Socket:
+		return LevelSocket
+	default:
+		return LevelCore
+	}
+}
+
+// NodeOf returns the node index of rank r.
+func (t *Topology) NodeOf(r int) int { return t.PlaceOf(r).Node }
+
+// SocketOf returns the global socket index (node*SocketsPerNode + socket)
+// of rank r, unique across the machine.
+func (t *Topology) SocketOf(r int) int {
+	p := t.PlaceOf(r)
+	return p.Node*t.SocketsPerNode + p.Socket
+}
+
+// RanksOnNode returns all ranks placed on the given node, ascending.
+func (t *Topology) RanksOnNode(node int) []int {
+	var out []int
+	for r := 0; r < t.Size(); r++ {
+		if t.places[r].Node == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RanksOnSocket returns all ranks on (node, socket), ascending.
+func (t *Topology) RanksOnSocket(node, socket int) []int {
+	var out []int
+	for r := 0; r < t.Size(); r++ {
+		if t.places[r].Node == node && t.places[r].Socket == socket {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HasGPUs reports whether ranks are bound to GPUs.
+func (t *Topology) HasGPUs() bool { return t.GPUsPerSocket > 0 }
+
+func (t *Topology) String() string {
+	if t.HasGPUs() {
+		return fmt.Sprintf("%d nodes × %d sockets × %d GPUs (%d ranks)",
+			t.Nodes, t.SocketsPerNode, t.GPUsPerSocket, t.Size())
+	}
+	return fmt.Sprintf("%d nodes × %d sockets × %d cores (%d ranks)",
+		t.Nodes, t.SocketsPerNode, t.CoresPerSocket, t.Size())
+}
+
+// Subset returns a topology restricted to the first n ranks, for strong-
+// scaling sweeps that vary the process count on a fixed machine shape. n
+// must fill whole nodes (the paper scales by node count).
+func (t *Topology) Subset(n int) *Topology {
+	perNode := t.SocketsPerNode * t.CoresPerSocket
+	if n <= 0 || n%perNode != 0 || n > t.Size() {
+		panic(fmt.Sprintf("hwloc: subset %d must be a positive multiple of ranks-per-node %d ≤ %d", n, perNode, t.Size()))
+	}
+	return newTopo(n/perNode, t.SocketsPerNode, t.CoresPerSocket, t.GPUsPerSocket, t.Mapping)
+}

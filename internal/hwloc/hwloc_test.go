@@ -1,0 +1,248 @@
+package hwloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacementDense(t *testing.T) {
+	topo := New(2, 2, 4) // 16 ranks
+	if topo.Size() != 16 {
+		t.Fatalf("size = %d, want 16", topo.Size())
+	}
+	// Rank 0: node 0, socket 0, core 0. Rank 5: node 0, socket 1, core 1.
+	// Rank 8: node 1, socket 0, core 0.
+	cases := []struct {
+		rank               int
+		node, socket, core int
+	}{
+		{0, 0, 0, 0}, {3, 0, 0, 3}, {4, 0, 1, 0}, {5, 0, 1, 1},
+		{7, 0, 1, 3}, {8, 1, 0, 0}, {15, 1, 1, 3},
+	}
+	for _, c := range cases {
+		p := topo.PlaceOf(c.rank)
+		if p.Node != c.node || p.Socket != c.socket || p.Core != c.core {
+			t.Errorf("rank %d placed at %+v, want node=%d socket=%d core=%d",
+				c.rank, p, c.node, c.socket, c.core)
+		}
+		if p.GPU != -1 {
+			t.Errorf("CPU topology rank %d has GPU %d", c.rank, p.GPU)
+		}
+	}
+}
+
+func TestLevelBetween(t *testing.T) {
+	topo := New(2, 2, 4)
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, LevelSelf},
+		{0, 1, LevelCore},
+		{0, 3, LevelCore},
+		{0, 4, LevelSocket},
+		{5, 2, LevelSocket},
+		{0, 8, LevelNode},
+		{7, 15, LevelNode},
+	}
+	for _, c := range cases {
+		if got := topo.LevelBetween(c.a, c.b); got != c.want {
+			t.Errorf("LevelBetween(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevelSymmetricQuick(t *testing.T) {
+	topo := New(4, 2, 8)
+	f := func(a, b uint8) bool {
+		ra, rb := int(a)%topo.Size(), int(b)%topo.Size()
+		return topo.LevelBetween(ra, rb) == topo.LevelBetween(rb, ra)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksOnNodePartition(t *testing.T) {
+	topo := New(3, 2, 4)
+	seen := map[int]bool{}
+	for n := 0; n < topo.Nodes; n++ {
+		ranks := topo.RanksOnNode(n)
+		if len(ranks) != 8 {
+			t.Fatalf("node %d has %d ranks, want 8", n, len(ranks))
+		}
+		for _, r := range ranks {
+			if seen[r] {
+				t.Fatalf("rank %d on two nodes", r)
+			}
+			seen[r] = true
+			if topo.NodeOf(r) != n {
+				t.Fatalf("rank %d reported on node %d but NodeOf says %d", r, n, topo.NodeOf(r))
+			}
+		}
+	}
+	if len(seen) != topo.Size() {
+		t.Fatalf("nodes cover %d ranks, want %d", len(seen), topo.Size())
+	}
+}
+
+func TestRanksOnSocket(t *testing.T) {
+	topo := New(2, 2, 4)
+	ranks := topo.RanksOnSocket(1, 1)
+	want := []int{12, 13, 14, 15}
+	if len(ranks) != len(want) {
+		t.Fatalf("got %v, want %v", ranks, want)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("got %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestGPUTopology(t *testing.T) {
+	topo := NewGPU(8, 2, 2) // PSG: 8 nodes, 4 GPUs each, 32 ranks
+	if topo.Size() != 32 {
+		t.Fatalf("size = %d, want 32", topo.Size())
+	}
+	if !topo.HasGPUs() {
+		t.Fatal("GPU topology must report HasGPUs")
+	}
+	// Rank 3 on node 0 socket 1 gpu-slot 1 → node-local GPU id 3.
+	if p := topo.PlaceOf(3); p.GPU != 3 || p.Socket != 1 {
+		t.Fatalf("rank 3 place %+v, want socket 1 GPU 3", p)
+	}
+	// Every rank on a node must have a distinct GPU.
+	for n := 0; n < topo.Nodes; n++ {
+		gpus := map[int]bool{}
+		for _, r := range topo.RanksOnNode(n) {
+			g := topo.PlaceOf(r).GPU
+			if gpus[g] {
+				t.Fatalf("node %d: GPU %d bound twice", n, g)
+			}
+			gpus[g] = true
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	topo := New(32, 2, 16) // Cori 1024
+	sub := topo.Subset(256)
+	if sub.Nodes != 8 || sub.Size() != 256 {
+		t.Fatalf("subset: %v", sub)
+	}
+	if sub.SocketsPerNode != 2 || sub.CoresPerSocket != 16 {
+		t.Fatal("subset must preserve node shape")
+	}
+}
+
+func TestSubsetPanicsOnPartialNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for partial-node subset")
+		}
+	}()
+	New(2, 2, 4).Subset(5)
+}
+
+func TestSocketOfUnique(t *testing.T) {
+	topo := New(2, 2, 4)
+	if topo.SocketOf(0) == topo.SocketOf(4) {
+		t.Fatal("sockets on same node must differ")
+	}
+	if topo.SocketOf(0) == topo.SocketOf(8) {
+		t.Fatal("sockets on different nodes must differ")
+	}
+	if topo.SocketOf(0) != topo.SocketOf(3) {
+		t.Fatal("ranks on same socket must share SocketOf")
+	}
+}
+
+func TestPlacementBySocket(t *testing.T) {
+	topo := NewPlaced(2, 2, 4, PlaceBySocket)
+	// Within node 0: ranks alternate sockets 0,1,0,1,…
+	for r := 0; r < 8; r++ {
+		p := topo.PlaceOf(r)
+		if p.Node != 0 {
+			t.Fatalf("rank %d on node %d, want 0", r, p.Node)
+		}
+		if p.Socket != r%2 {
+			t.Fatalf("rank %d on socket %d, want %d", r, p.Socket, r%2)
+		}
+	}
+	// Consecutive ranks are now inter-socket neighbours.
+	if topo.LevelBetween(0, 1) != LevelSocket {
+		t.Fatalf("by-socket: ranks 0,1 level %v", topo.LevelBetween(0, 1))
+	}
+}
+
+func TestPlacementByNode(t *testing.T) {
+	topo := NewPlaced(3, 2, 4, PlaceByNode)
+	for r := 0; r < topo.Size(); r++ {
+		if topo.NodeOf(r) != r%3 {
+			t.Fatalf("rank %d on node %d, want %d", r, topo.NodeOf(r), r%3)
+		}
+	}
+	// Consecutive ranks now talk over the network.
+	if topo.LevelBetween(0, 1) != LevelNode {
+		t.Fatalf("by-node: ranks 0,1 level %v", topo.LevelBetween(0, 1))
+	}
+}
+
+func TestPlacementsArePermutations(t *testing.T) {
+	// Every placement must assign each (node, socket, core) slot exactly
+	// once.
+	for _, pl := range []Placement{PlaceByCore, PlaceBySocket, PlaceByNode} {
+		topo := NewPlaced(3, 2, 5, pl)
+		seen := map[Place]bool{}
+		for r := 0; r < topo.Size(); r++ {
+			p := topo.PlaceOf(r)
+			if seen[p] {
+				t.Fatalf("%v: slot %+v assigned twice", pl, p)
+			}
+			seen[p] = true
+			if p.Node >= 3 || p.Socket >= 2 || p.Core >= 5 {
+				t.Fatalf("%v: slot %+v out of range", pl, p)
+			}
+		}
+	}
+}
+
+func TestSubsetPreservesPlacement(t *testing.T) {
+	topo := NewPlaced(4, 2, 4, PlaceBySocket)
+	sub := topo.Subset(16)
+	if sub.Mapping != PlaceBySocket {
+		t.Fatal("subset dropped the placement strategy")
+	}
+	if sub.LevelBetween(0, 1) != LevelSocket {
+		t.Fatal("subset placement semantics changed")
+	}
+}
+
+func TestStringsAndBounds(t *testing.T) {
+	for l := LevelSelf; l <= LevelNode; l++ {
+		if l.String() == "" {
+			t.Errorf("level %d has empty name", l)
+		}
+	}
+	for _, pl := range []Placement{PlaceByCore, PlaceBySocket, PlaceByNode} {
+		if pl.String() == "" {
+			t.Errorf("placement %d has empty name", pl)
+		}
+	}
+	cpu := New(2, 2, 4)
+	if cpu.String() == "" {
+		t.Error("topology string empty")
+	}
+	gpu := NewGPU(1, 2, 2)
+	if gpu.String() == "" {
+		t.Error("GPU topology string empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PlaceOf out of range must panic")
+		}
+	}()
+	cpu.PlaceOf(99)
+}

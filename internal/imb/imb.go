@@ -1,0 +1,110 @@
+// Package imb is an Intel-MPI-Benchmarks-style measurement driver for the
+// simulated substrate: warm-up repetitions, a barrier-fenced timed region,
+// and the average per-operation time across repetitions — the protocol
+// behind every number in the paper's §5.
+package imb
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+)
+
+// Op selects the measured collective.
+type Op int
+
+const (
+	Bcast Op = iota
+	Reduce
+)
+
+func (o Op) String() string {
+	if o == Bcast {
+		return "Broadcast"
+	}
+	return "Reduce"
+}
+
+// Config is one measurement cell.
+type Config struct {
+	Platform *netmodel.Platform
+	Noise    noise.Spec
+	Library  libmodel.Library
+	Op       Op
+	Size     int // message bytes
+	Root     int
+	Warmup   int
+	Reps     int
+}
+
+// DefaultReps picks repetition counts that keep the event count sane for
+// big simulations while still averaging out noise phase effects.
+func DefaultReps(size int) (warmup, reps int) {
+	switch {
+	case size >= 8<<20:
+		return 1, 3
+	case size >= 1<<20:
+		return 1, 4
+	default:
+		return 2, 6
+	}
+}
+
+// Measure runs the cell on a fresh simulated world and returns the
+// average per-operation time.
+func Measure(cfg Config) time.Duration {
+	if cfg.Reps <= 0 {
+		cfg.Warmup, cfg.Reps = DefaultReps(cfg.Size)
+	}
+	k := sim.New()
+	w := simmpi.NewWorld(k, cfg.Platform, cfg.Noise)
+	var t0, t1 time.Duration
+	w.Spawn(func(c *simmpi.Comm) {
+		seq := 0
+		one := func() {
+			msg := comm.Sized(cfg.Size)
+			switch cfg.Op {
+			case Bcast:
+				cfg.Library.Bcast(c, cfg.Root, msg, seq)
+			case Reduce:
+				cfg.Library.Reduce(c, cfg.Root, msg, seq)
+			}
+			seq++
+		}
+		for i := 0; i < cfg.Warmup; i++ {
+			one()
+		}
+		coll.Barrier(c, 1000)
+		if c.Rank() == 0 {
+			t0 = c.Now()
+		}
+		for i := 0; i < cfg.Reps; i++ {
+			one()
+		}
+		coll.Barrier(c, 1001)
+		if c.Rank() == 0 {
+			t1 = c.Now()
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		panic(fmt.Sprintf("imb: %s/%s/%dB on %s: %v",
+			cfg.Library.Name, cfg.Op, cfg.Size, cfg.Platform.Name, err))
+	}
+	return (t1 - t0) / time.Duration(cfg.Reps)
+}
+
+// MeasureSet measures one (op, size) across a set of libraries.
+func MeasureSet(p *netmodel.Platform, spec noise.Spec, libs []libmodel.Library, op Op, size int) []time.Duration {
+	out := make([]time.Duration, len(libs))
+	for i, lib := range libs {
+		out[i] = Measure(Config{Platform: p, Noise: spec, Library: lib, Op: op, Size: size})
+	}
+	return out
+}

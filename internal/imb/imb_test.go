@@ -1,0 +1,90 @@
+package imb
+
+import (
+	"testing"
+	"time"
+
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+)
+
+func TestMeasureBasic(t *testing.T) {
+	p := netmodel.Cori(2) // 64 ranks
+	lib := libmodel.OMPIAdapt(p)
+	got := Measure(Config{Platform: p, Noise: noise.None, Library: lib, Op: Bcast, Size: 1 * netmodel.MB})
+	if got <= 0 || got > 100*time.Millisecond {
+		t.Fatalf("implausible average %v", got)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	p := netmodel.Cori(2)
+	cfg := Config{Platform: p, Noise: noise.Percent(5), Library: libmodel.OMPIAdapt(p), Op: Reduce, Size: 512 * netmodel.KB}
+	if a, b := Measure(cfg), Measure(cfg); a != b {
+		t.Fatalf("non-deterministic measurement: %v vs %v", a, b)
+	}
+}
+
+func TestMeasureSetOrdering(t *testing.T) {
+	p := netmodel.Cori(2)
+	libs := []libmodel.Library{libmodel.OMPIAdapt(p), libmodel.MVAPICH(p)}
+	ts := MeasureSet(p, noise.None, libs, Bcast, 2*netmodel.MB)
+	if len(ts) != 2 {
+		t.Fatalf("got %d results", len(ts))
+	}
+	// ADAPT's topology-aware pipeline must beat the blocking binomial for
+	// large messages — the paper's headline.
+	if ts[0] >= ts[1] {
+		t.Fatalf("ADAPT (%v) should beat blocking MVAPICH proxy (%v) at 2MB", ts[0], ts[1])
+	}
+}
+
+func TestDefaultReps(t *testing.T) {
+	for _, c := range []struct {
+		size         int
+		wantW, wantR int
+	}{{64 * netmodel.KB, 2, 6}, {4 * netmodel.MB, 1, 4}, {32 * netmodel.MB, 1, 3}} {
+		w, r := DefaultReps(c.size)
+		if w != c.wantW || r != c.wantR {
+			t.Errorf("DefaultReps(%d) = (%d,%d), want (%d,%d)", c.size, w, r, c.wantW, c.wantR)
+		}
+	}
+}
+
+func TestReduceMeasureRuns(t *testing.T) {
+	p := netmodel.Stampede2(1) // 48 ranks
+	for _, lib := range libmodel.CPULibraries(p) {
+		got := Measure(Config{Platform: p, Noise: noise.None, Library: lib, Op: Reduce, Size: 256 * netmodel.KB})
+		if got <= 0 || got > time.Second {
+			t.Errorf("%s: implausible %v", lib.Name, got)
+		}
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	p := netmodel.Cori(1)
+	cfg := Config{Platform: p, Noise: noise.None, Library: libmodel.OMPIAdapt(p),
+		Op: Bcast, Size: 256 * netmodel.KB, Warmup: 1, Reps: 4}
+	st := MeasureStats(cfg)
+	if len(st.PerRep) != 4 {
+		t.Fatalf("got %d reps, want 4", len(st.PerRep))
+	}
+	if st.Min <= 0 || st.Min > st.Avg || st.Avg > st.Max {
+		t.Fatalf("stats out of order: %s", st)
+	}
+	if s := st.String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+	// With noise the spread must widen (max/min ratio grows).
+	spec := noise.Uniform(2000, 500*time.Microsecond)
+	cfgN := cfg
+	cfgN.Noise = spec
+	stN := MeasureStats(cfgN)
+	if stN.Max <= st.Max {
+		t.Fatalf("noise did not widen the per-rep max: %v vs %v", stN.Max, st.Max)
+	}
+	if Bcast.String() != "Broadcast" || Reduce.String() != "Reduce" {
+		t.Fatal("op names wrong")
+	}
+}

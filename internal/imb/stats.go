@@ -1,0 +1,89 @@
+package imb
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+)
+
+// Stats is the IMB-style per-cell summary: each repetition is fenced by
+// barriers and timed separately, then min/avg/max are reported (the
+// t_min/t_avg/t_max columns of the real Intel MPI Benchmarks). Unlike
+// Measure — which times an unfenced repetition train, amortizing noise
+// the way the paper's figures do — MeasureStats exposes the per-operation
+// spread, which is what noise widens.
+type Stats struct {
+	Min, Avg, Max time.Duration
+	PerRep        []time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("min %v / avg %v / max %v over %d reps",
+		s.Min.Round(time.Microsecond), s.Avg.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond), len(s.PerRep))
+}
+
+// MeasureStats runs the cell with a barrier between repetitions and
+// returns the per-repetition timing distribution.
+func MeasureStats(cfg Config) Stats {
+	if cfg.Reps <= 0 {
+		cfg.Warmup, cfg.Reps = DefaultReps(cfg.Size)
+	}
+	k := sim.New()
+	w := simmpi.NewWorld(k, cfg.Platform, cfg.Noise)
+	marks := make([]time.Duration, 0, cfg.Reps+1)
+	w.Spawn(func(c *simmpi.Comm) {
+		seq := 0
+		one := func() {
+			msg := comm.Sized(cfg.Size)
+			switch cfg.Op {
+			case Bcast:
+				cfg.Library.Bcast(c, cfg.Root, msg, seq)
+			case Reduce:
+				cfg.Library.Reduce(c, cfg.Root, msg, seq)
+			}
+			seq++
+		}
+		for i := 0; i < cfg.Warmup; i++ {
+			one()
+		}
+		coll.Barrier(c, 2000)
+		if c.Rank() == 0 {
+			marks = append(marks, c.Now())
+		}
+		for i := 0; i < cfg.Reps; i++ {
+			one()
+			coll.Barrier(c, 2001+i)
+			if c.Rank() == 0 {
+				marks = append(marks, c.Now())
+			}
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		panic(fmt.Sprintf("imb: %s/%s/%dB stats on %s: %v",
+			cfg.Library.Name, cfg.Op, cfg.Size, cfg.Platform.Name, err))
+	}
+	st := Stats{Min: 1<<63 - 1}
+	var total time.Duration
+	for i := 1; i < len(marks); i++ {
+		d := marks[i] - marks[i-1]
+		st.PerRep = append(st.PerRep, d)
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	if len(st.PerRep) > 0 {
+		st.Avg = total / time.Duration(len(st.PerRep))
+	} else {
+		st.Min = 0
+	}
+	return st
+}

@@ -1,0 +1,379 @@
+// Package libmodel models the MPI libraries the paper compares against as
+// algorithmic proxies. Cray MPI, Intel MPI and MVAPICH2 are closed or
+// unavailable here; what the paper attributes their behaviour to is their
+// algorithm class and synchronization discipline (§2.1, §3.1, §5), so each
+// proxy is exactly that:
+//
+//   - OMPI-adapt: topology-aware chain tree + the event-driven engine
+//     (§2.2, §3.2); on GPU platforms additionally CPU staging (§4.1) and
+//     GPU-offloaded reduction (§4.2).
+//   - OMPI-default ("tuned"): rank-order trees with the Waitall
+//     (Algorithm 2) discipline and the tuned module's size-based decision
+//     (binomial for small, binary for medium, pipelined chain for large —
+//     the algorithm switch visible in the paper's Figure 9a).
+//   - OMPI-default-topo: the same topology-aware tree ADAPT uses, driven
+//     by the Waitall discipline — the paper's control isolating the
+//     event-driven engine from the tree (§5.1.2, ~20% gap).
+//   - Intel MPI: the SHM-based multi-level scheme (§3.1): level-by-level
+//     sub-collectives with no cross-level overlap. On Stampede2 (its own
+//     Omni-Path fabric) the inter-node phase pipelines aggressively,
+//     matching the paper's observation that Intel MPI is strong there;
+//     on Cori it runs whole-message phases.
+//   - Cray MPI (Cori only): multi-level with pipelined phases — better
+//     than plain multi-level, still no cross-level overlap.
+//   - MVAPICH2: the blocking (Algorithm 1) building block over a binomial
+//     tree — the discipline whose synchronization amplifies noise
+//     (the paper's 868% slowdown under 10% noise).
+//
+// Every proxy runs on the identical simulated fabric, so differences
+// between them come only from dependency structure and tree shape — the
+// paper's own explanatory variables.
+package libmodel
+
+import (
+	"fmt"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/netmodel"
+	"adapt/internal/trees"
+)
+
+// Library is one MPI library proxy bound to a platform.
+type Library struct {
+	Name string
+	// Bcast broadcasts msg from root; seq disambiguates repetitions.
+	Bcast func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg
+	// Reduce reduces contributions to root under OpSum/Float64.
+	Reduce func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg
+}
+
+func baseOpt(seq, segSize int) coll.Options {
+	opt := coll.DefaultOptions()
+	opt.Seq = seq
+	opt.SegSize = segSize
+	return opt
+}
+
+// AdaptDefaultConfig is the tree configuration the OMPI-adapt proxy runs
+// by default: a binomial tree across node leaders (log-depth, so few
+// ranks sit on any dependency path — the noise-robust choice) with
+// pipelined chains inside each node (maximum bandwidth on the homogeneous
+// levels). The all-chain configuration the paper uses for its
+// strong-scaling runs is trees.ChainConfig / OMPIAdaptChain.
+func AdaptDefaultConfig() trees.TopoConfig {
+	return trees.TopoConfig{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		IntraSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+	}
+}
+
+// AdaptReduceConfig is the reduce-side default: a binary tree across node
+// leaders. Reduction arithmetic (γ·m) runs once per child per segment at
+// every rank, so bounded fan-in beats the binomial root's pile-up while
+// log depth keeps the noise exposure low.
+func AdaptReduceConfig() trees.TopoConfig {
+	return trees.TopoConfig{
+		InterNode:   trees.Builder{Name: "binary", Build: trees.Binary},
+		InterSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		IntraSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+	}
+}
+
+// OMPIAdapt is the paper's system: event-driven engine on per-operation
+// topology-aware trees; staging + offload on GPU platforms. GPU platforms
+// use the all-chain tree: with one rank per GPU and few ranks per node,
+// log-depth inter-node trees would push multiple full copies through the
+// root's NIC, while the chain moves each byte across each NIC once — the
+// same reason NCCL broadcasts over chains (paper §6.3).
+func OMPIAdapt(p *netmodel.Platform) Library {
+	if p.Topo.HasGPUs() {
+		return OMPIAdaptWith(p, "OMPI-adapt", trees.ChainConfig(), trees.ChainConfig())
+	}
+	return OMPIAdaptWith(p, "OMPI-adapt", AdaptDefaultConfig(), AdaptReduceConfig())
+}
+
+// OMPIAdaptChain is OMPI-adapt with the all-chain topology-aware tree the
+// paper's strong-scaling experiment uses (§5.2.1).
+func OMPIAdaptChain(p *netmodel.Platform) Library {
+	return OMPIAdaptWith(p, "OMPI-adapt", trees.ChainConfig(), trees.ChainConfig())
+}
+
+// OMPIAdaptWith builds the ADAPT proxy over explicit per-op tree configs.
+func OMPIAdaptWith(p *netmodel.Platform, name string, bcastCfg, reduceCfg trees.TopoConfig) Library {
+	gpu := p.Topo.HasGPUs()
+	return Library{
+		Name: name,
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			opt := baseOpt(seq, core.DefaultSegSize)
+			t := trees.Topology(p.Topo, root, bcastCfg)
+			if gpu {
+				if dc, ok := c.(comm.DeviceComm); ok {
+					return core.BcastStaged(dc, p.Topo, t, msg, opt)
+				}
+			}
+			return core.Bcast(c, t, msg, opt)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			opt := baseOpt(seq, core.DefaultSegSize)
+			t := trees.Topology(p.Topo, root, reduceCfg)
+			if gpu {
+				if dc, ok := c.(comm.DeviceComm); ok {
+					return core.ReduceOffload(dc, t, contrib, opt)
+				}
+			}
+			return core.Reduce(c, t, contrib, opt)
+		},
+	}
+}
+
+// OMPIDefaultTopo drives ADAPT's topology-aware tree with the Waitall
+// discipline — same data paths, old synchronization.
+func OMPIDefaultTopo(p *netmodel.Platform) Library {
+	return Library{
+		Name: "OMPI-default-topo",
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			t := trees.Topology(p.Topo, root, AdaptDefaultConfig())
+			return coll.Bcast(c, t, msg, baseOpt(seq, core.DefaultSegSize), coll.NonBlocking)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			t := trees.Topology(p.Topo, root, AdaptReduceConfig())
+			return coll.Reduce(c, t, contrib, baseOpt(seq, core.DefaultSegSize), coll.NonBlocking)
+		},
+	}
+}
+
+// tunedDecision returns (tree builder, segment size) following Open MPI's
+// tuned module: binomial below 2 KB, binary with 32 KB segments up to
+// 256 KB, pipelined chain with 128 KB segments above — all over rank-order
+// trees, topology-blind.
+func tunedDecision(size int) (func(int, int) *trees.Tree, int) {
+	switch {
+	case size <= 2<<10:
+		return trees.Binomial, size + 1 // single segment
+	case size <= 256<<10:
+		return trees.Binary, 32 << 10
+	default:
+		return trees.Chain, 128 << 10
+	}
+}
+
+// OMPIDefault is the Open MPI tuned module proxy. On GPU platforms its
+// decision table was never tuned for device buffers (§5.2.2), which the
+// paper identifies as picking a non-optimal algorithm: we model that by
+// keeping the CPU decision table (binomial for "small" GPU messages where
+// a chain would win) and device-direct transfers without staging.
+func OMPIDefault(p *netmodel.Platform) Library {
+	return Library{
+		Name: "OMPI-default",
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			build, seg := tunedDecision(msg.Size)
+			return coll.Bcast(c, build(c.Size(), root), msg, baseOpt(seq, seg), coll.NonBlocking)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			build, seg := tunedDecision(contrib.Size)
+			return coll.Reduce(c, build(c.Size(), root), contrib, baseOpt(seq, seg), coll.NonBlocking)
+		},
+	}
+}
+
+// MVAPICH is the blocking building-block proxy: binomial tree, blocking
+// sends and receives per segment (Algorithm 1).
+func MVAPICH(p *netmodel.Platform) Library {
+	return Library{
+		Name: "MVAPICH",
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			return coll.Bcast(c, trees.Binomial(c.Size(), root), msg, baseOpt(seq, 64<<10), coll.Blocking)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			return coll.Reduce(c, trees.Binomial(c.Size(), root), contrib, baseOpt(seq, 64<<10), coll.Blocking)
+		},
+	}
+}
+
+// multiLevel builds a §3.1 multi-level proxy with the given phase trees.
+func multiLevel(name string, p *netmodel.Platform, spec coll.MultiLevelSpec, segSize int) Library {
+	return Library{
+		Name: name,
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			return coll.BcastMultiLevel(c, p.Topo, root, msg, baseOpt(seq, segSize), spec)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			return coll.ReduceMultiLevel(c, p.Topo, root, contrib, baseOpt(seq, segSize), spec)
+		},
+	}
+}
+
+// IntelMPI is the SHM-based multi-level proxy. On Stampede2 — Intel's own
+// fabric — the inter-node phase uses a pipelined chain (well-tuned for
+// Omni-Path); elsewhere it runs binomial whole-phase trees.
+func IntelMPI(p *netmodel.Platform) Library {
+	spec := coll.MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "binomial", Build: trees.Binomial},
+		IntraSocket: trees.Builder{Name: "knomial4", Build: trees.Knomial(4)},
+		Alg:         coll.NonBlocking,
+	}
+	seg := 64 << 10
+	if p.Name == "stampede2" {
+		spec.InterNode = trees.Builder{Name: "chain", Build: trees.Chain}
+		seg = 128 << 10
+	}
+	return multiLevel("Intel MPI", p, spec, seg)
+}
+
+// CrayMPI is the Cori-native proxy: multi-level with a pipelined chain
+// inter-node phase.
+func CrayMPI(p *netmodel.Platform) Library {
+	spec := coll.MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "chain", Build: trees.Chain},
+		InterSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		IntraSocket: trees.Builder{Name: "binomial", Build: trees.Binomial},
+		Alg:         coll.NonBlocking,
+	}
+	return multiLevel("Cray MPI", p, spec, 128<<10)
+}
+
+// CPULibraries returns the paper's comparison set for a CPU platform
+// (Figure 7/9: Cray on Cori, MVAPICH on Stampede2).
+func CPULibraries(p *netmodel.Platform) []Library {
+	libs := []Library{IntelMPI(p)}
+	if p.Name == "cori" {
+		libs = append(libs, CrayMPI(p))
+	} else {
+		libs = append(libs, MVAPICH(p))
+	}
+	return append(libs, OMPIDefault(p), OMPIAdapt(p))
+}
+
+// MVAPICHGPU proxies MVAPICH2's CUDA-aware path: unlike its host-side
+// blocking building block, the GPU path pipelines device transfers
+// (MVAPICH2-GPU, paper §6.3) — a nonblocking rank-order chain with 256 KB
+// segments, device-direct (no staging, no offload).
+func MVAPICHGPU(p *netmodel.Platform) Library {
+	return Library{
+		Name: "MVAPICH",
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			return coll.Bcast(c, trees.Chain(c.Size(), root), msg, baseOpt(seq, 256<<10), coll.NonBlocking)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			return coll.Reduce(c, trees.Chain(c.Size(), root), contrib, baseOpt(seq, 256<<10), coll.NonBlocking)
+		},
+	}
+}
+
+// GPULibraries returns the Figure-11 comparison set.
+func GPULibraries(p *netmodel.Platform) []Library {
+	return []Library{MVAPICHGPU(p), OMPIDefault(p), OMPIAdapt(p)}
+}
+
+// ByName resolves a library proxy for CLI use.
+func ByName(name string, p *netmodel.Platform) (Library, error) {
+	switch name {
+	case "ompi-adapt", "adapt":
+		return OMPIAdapt(p), nil
+	case "ompi-default", "tuned":
+		return OMPIDefault(p), nil
+	case "ompi-default-topo":
+		return OMPIDefaultTopo(p), nil
+	case "intel":
+		return IntelMPI(p), nil
+	case "cray":
+		return CrayMPI(p), nil
+	case "mvapich":
+		return MVAPICH(p), nil
+	default:
+		return Library{}, fmt.Errorf("libmodel: unknown library %q", name)
+	}
+}
+
+// intelVariant assembles one of Intel MPI's selectable topology-aware
+// algorithms (the I_MPI_ADJUST_* table) as a proxy.
+func intelVariant(name string, p *netmodel.Platform, whole trees.Builder, shm *coll.MultiLevelSpec, segSize int) Library {
+	if shm != nil {
+		return multiLevel(name, p, *shm, segSize)
+	}
+	return Library{
+		Name: name,
+		Bcast: func(c comm.Comm, root int, msg comm.Msg, seq int) comm.Msg {
+			return coll.Bcast(c, whole.Build(c.Size(), root), msg, baseOpt(seq, segSize), coll.NonBlocking)
+		},
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			return coll.Reduce(c, whole.Build(c.Size(), root), contrib, baseOpt(seq, segSize), coll.NonBlocking)
+		},
+	}
+}
+
+func shmSpec(intra trees.Builder) *coll.MultiLevelSpec {
+	return &coll.MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "binomial", Build: trees.Binomial},
+		IntraSocket: intra,
+		Alg:         coll.NonBlocking,
+	}
+}
+
+// IntelTopoBcastVariants reproduces Figure 8's Intel broadcast line-up.
+func IntelTopoBcastVariants(p *netmodel.Platform) []Library {
+	seg := 64 << 10
+	return []Library{
+		intelVariant("Intel-topo-binomial", p, trees.Builder{Name: "binomial", Build: trees.Binomial}, nil, seg),
+		intelVariant("Intel-topo-recursive doubling", p, trees.Builder{Name: "binomial", Build: trees.Binomial}, nil, 1<<30), // unsegmented
+		intelVariant("Intel-topo-ring", p, trees.Builder{Name: "chain", Build: trees.Chain}, nil, 128<<10),
+		intelVariant("Intel-topo-SHM-based flat", p, trees.Builder{}, shmSpec(trees.Builder{Name: "flat", Build: trees.Flat}), seg),
+		intelVariant("Intel-topo-SHM-based Knomial", p, trees.Builder{}, shmSpec(trees.Builder{Name: "knomial4", Build: trees.Knomial(4)}), seg),
+		intelVariant("Intel-topo-SHM-based Knary", p, trees.Builder{}, shmSpec(trees.Builder{Name: "kary4", Build: trees.Kary(4)}), seg),
+	}
+}
+
+// shumilin models Intel MPI's Shumilin reduce: a segmented multi-level
+// pipeline. On Stampede2 — Intel's own Omni-Path fabric — it additionally
+// gets a vectorized fold (VecWidth 2), which is how the paper explains it
+// beating ADAPT's unvectorized reduction there (§5.1.2) while losing on
+// Cori.
+func shumilin(p *netmodel.Platform) Library {
+	ch := trees.Builder{Name: "chain", Build: trees.Chain}
+	spec := coll.MultiLevelSpec{InterNode: ch, InterSocket: ch, IntraSocket: ch, Alg: coll.NonBlocking}
+	vec := 1
+	if p.Name == "stampede2" {
+		vec = 2
+	}
+	return Library{
+		Name: "Intel-topo-Shumilin's",
+		Reduce: func(c comm.Comm, root int, contrib comm.Msg, seq int) comm.Msg {
+			opt := baseOpt(seq, 128<<10)
+			opt.VecWidth = vec
+			return coll.ReduceMultiLevel(c, p.Topo, root, contrib, opt, spec)
+		},
+	}
+}
+
+// IntelTopoReduceVariants reproduces Figure 8's Intel reduce line-up.
+// Shumilin's algorithm is a segmented pipeline, the strongest Intel
+// entry for large reductions in the paper.
+func IntelTopoReduceVariants(p *netmodel.Platform) []Library {
+	seg := 64 << 10
+	return []Library{
+		shumilin(p),
+		intelVariant("Intel-topo-binomial", p, trees.Builder{Name: "binomial", Build: trees.Binomial}, nil, seg),
+		intelVariant("Intel-topo-Rabenseifner's", p, trees.Builder{Name: "binary", Build: trees.Binary}, nil, seg),
+		intelVariant("Intel-topo-SHM-based flat", p, trees.Builder{}, shmSpec(trees.Builder{Name: "flat", Build: trees.Flat}), seg),
+		intelVariant("Intel-topo-SHM-based Knomial", p, trees.Builder{}, shmSpec(trees.Builder{Name: "knomial4", Build: trees.Knomial(4)}), seg),
+		intelVariant("Intel-topo-SHM-based Knary", p, trees.Builder{}, shmSpec(trees.Builder{Name: "kary4", Build: trees.Kary(4)}), seg),
+		intelVariant("Intel-topo-SHM-based binomial", p, trees.Builder{}, shmSpec(trees.Builder{Name: "binomial", Build: trees.Binomial}), seg),
+	}
+}
+
+// TopoComparisonSet is Figure 8's full roster: the Intel variants plus
+// OMPI-default-topo and OMPI-adapt.
+func TopoComparisonSet(p *netmodel.Platform, reduce bool) []Library {
+	var libs []Library
+	if reduce {
+		libs = IntelTopoReduceVariants(p)
+	} else {
+		libs = IntelTopoBcastVariants(p)
+	}
+	return append(libs, OMPIDefaultTopo(p), OMPIAdapt(p))
+}

@@ -1,0 +1,181 @@
+package libmodel
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+)
+
+func runSim(t *testing.T, p *netmodel.Platform, body func(c *simmpi.Comm)) time.Duration {
+	t.Helper()
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, noise.None)
+	w.Spawn(body)
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("deadlock: %v", err)
+	}
+	return end
+}
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// Every CPU library proxy must deliver correct broadcast payloads.
+func TestAllLibrariesBcastCorrect(t *testing.T) {
+	p := netmodel.Cori(2) // 64 ranks
+	libs := append(CPULibraries(p), OMPIDefaultTopo(p))
+	libs = append(libs, TopoComparisonSet(p, false)...)
+	seen := map[string]bool{}
+	for _, lib := range libs {
+		if seen[lib.Name] {
+			continue
+		}
+		seen[lib.Name] = true
+		lib := lib
+		t.Run(lib.Name, func(t *testing.T) {
+			want := payload(300_000, 3)
+			results := map[int][]byte{}
+			runSim(t, p, func(c *simmpi.Comm) {
+				var msg comm.Msg
+				if c.Rank() == 0 {
+					msg = comm.Bytes(append([]byte(nil), want...))
+				} else {
+					msg = comm.Sized(len(want))
+				}
+				out := lib.Bcast(c, 0, msg, 0)
+				results[c.Rank()] = out.Data
+			})
+			for r := 0; r < p.Topo.Size(); r++ {
+				if !bytes.Equal(results[r], want) {
+					t.Fatalf("rank %d: corrupted broadcast", r)
+				}
+			}
+		})
+	}
+}
+
+// Every CPU library proxy must compute correct reductions.
+func TestAllLibrariesReduceCorrect(t *testing.T) {
+	p := netmodel.Cori(1) // 32 ranks
+	n := p.Topo.Size()
+	libs := append(CPULibraries(p), OMPIDefaultTopo(p))
+	libs = append(libs, TopoComparisonSet(p, true)...)
+	seen := map[string]bool{}
+	for _, lib := range libs {
+		if seen[lib.Name] || lib.Reduce == nil {
+			continue
+		}
+		seen[lib.Name] = true
+		lib := lib
+		t.Run(lib.Name, func(t *testing.T) {
+			var got []float64
+			runSim(t, p, func(c *simmpi.Comm) {
+				vals := make([]float64, 1000)
+				for i := range vals {
+					vals[i] = float64(c.Rank() + i)
+				}
+				out := lib.Reduce(c, 0, comm.Bytes(comm.EncodeFloat64s(vals)), 0)
+				if c.Rank() == 0 {
+					got = comm.DecodeFloat64s(out.Data)
+				}
+			})
+			for i := range got {
+				want := float64(n*i) + float64(n*(n-1)/2)
+				if got[i] != want {
+					t.Fatalf("elem %d: got %v, want %v", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGPULibrariesComplete(t *testing.T) {
+	p := netmodel.PSG(2)
+	for _, lib := range GPULibraries(p) {
+		lib := lib
+		t.Run(lib.Name, func(t *testing.T) {
+			end := runSim(t, p, func(c *simmpi.Comm) {
+				lib.Bcast(c, 0, comm.Sized(4*netmodel.MB), 0)
+				lib.Reduce(c, 0, comm.Sized(4*netmodel.MB), 1)
+			})
+			if end <= 0 || end > time.Second {
+				t.Fatalf("implausible makespan %v", end)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	p := netmodel.Cori(1)
+	for _, name := range []string{"ompi-adapt", "ompi-default", "ompi-default-topo", "intel", "cray", "mvapich"} {
+		lib, err := ByName(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if lib.Bcast == nil || lib.Reduce == nil {
+			t.Fatalf("%s: incomplete library", name)
+		}
+	}
+	if _, err := ByName("nccl", p); err == nil {
+		t.Fatal("expected error for unknown library")
+	}
+}
+
+func TestCPULibrariesPlatformSelection(t *testing.T) {
+	cori := CPULibraries(netmodel.Cori(1))
+	st2 := CPULibraries(netmodel.Stampede2(1))
+	hasName := func(libs []Library, name string) bool {
+		for _, l := range libs {
+			if l.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasName(cori, "Cray MPI") || hasName(cori, "MVAPICH") {
+		t.Error("Cori set must have Cray, not MVAPICH")
+	}
+	if hasName(st2, "Cray MPI") || !hasName(st2, "MVAPICH") {
+		t.Error("Stampede2 set must have MVAPICH, not Cray")
+	}
+	for _, libs := range [][]Library{cori, st2} {
+		if libs[len(libs)-1].Name != "OMPI-adapt" {
+			t.Error("OMPI-adapt must close the comparison set")
+		}
+	}
+}
+
+// The tuned decision must switch algorithms with size (the kink in the
+// paper's Figure 9a).
+func TestTunedDecisionSwitches(t *testing.T) {
+	small, segS := tunedDecision(1 << 10)
+	mid, segM := tunedDecision(128 << 10)
+	large, segL := tunedDecision(4 << 20)
+	if segS <= 0 || segM != 32<<10 || segL != 128<<10 {
+		t.Fatalf("segment sizes: %d %d %d", segS, segM, segL)
+	}
+	ts, tm, tl := small(64, 0), mid(64, 0), large(64, 0)
+	if ts.Depth() != 6 { // binomial over 64
+		t.Errorf("small tree depth %d, want 6", ts.Depth())
+	}
+	if tm.MaxDegree() != 2 { // binary
+		t.Errorf("mid tree degree %d, want 2", tm.MaxDegree())
+	}
+	if tl.MaxDegree() != 1 { // chain
+		t.Errorf("large tree degree %d, want 1", tl.MaxDegree())
+	}
+}

@@ -1,0 +1,160 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"adapt/internal/hwloc"
+)
+
+// PlatformConfig is the JSON schema for user-defined platform profiles,
+// so experiments can model machines beyond the three built-ins. Latencies
+// are Go duration strings ("400ns", "1.5us"); bandwidths are GB/s (binary
+// GB, matching the built-in profiles).
+type PlatformConfig struct {
+	Name           string `json:"name"`
+	Nodes          int    `json:"nodes"`
+	SocketsPerNode int    `json:"socketsPerNode"`
+	CoresPerSocket int    `json:"coresPerSocket"`
+	GPUsPerSocket  int    `json:"gpusPerSocket,omitempty"`
+
+	ShmAlpha        string `json:"shmAlpha"`
+	QpiAlpha        string `json:"qpiAlpha"`
+	NetAlpha        string `json:"netAlpha"`
+	PCIeAlpha       string `json:"pcieAlpha,omitempty"`
+	RndvAlpha       string `json:"rndvAlpha"`
+	UnexpectedAlpha string `json:"unexpectedAlpha"`
+
+	ShmBwGB       float64 `json:"shmBwGB"`
+	QpiBwGB       float64 `json:"qpiBwGB"`
+	NetBwGB       float64 `json:"netBwGB"`
+	PCIeBwGB      float64 `json:"pcieBwGB,omitempty"`
+	ReduceCPUBwGB float64 `json:"reduceCpuBwGB"`
+	ReduceGPUBwGB float64 `json:"reduceGpuBwGB,omitempty"`
+	CopyBwGB      float64 `json:"copyBwGB"`
+
+	EagerLimitKB int `json:"eagerLimitKB"`
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("netmodel: field %s: %w", field, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("netmodel: field %s: negative duration %v", field, d)
+	}
+	return d, nil
+}
+
+// Platform materializes the config into a usable platform.
+func (c *PlatformConfig) Platform() (*Platform, error) {
+	if c.Nodes <= 0 || c.SocketsPerNode <= 0 || c.CoresPerSocket <= 0 {
+		return nil, fmt.Errorf("netmodel: invalid machine shape %d×%d×%d",
+			c.Nodes, c.SocketsPerNode, c.CoresPerSocket)
+	}
+	for _, bw := range []struct {
+		name string
+		v    float64
+	}{{"shmBwGB", c.ShmBwGB}, {"qpiBwGB", c.QpiBwGB}, {"netBwGB", c.NetBwGB},
+		{"reduceCpuBwGB", c.ReduceCPUBwGB}, {"copyBwGB", c.CopyBwGB}} {
+		if bw.v <= 0 {
+			return nil, fmt.Errorf("netmodel: field %s must be positive", bw.name)
+		}
+	}
+	if c.EagerLimitKB <= 0 {
+		return nil, fmt.Errorf("netmodel: eagerLimitKB must be positive")
+	}
+	var topo *hwloc.Topology
+	if c.GPUsPerSocket > 0 {
+		if c.GPUsPerSocket != c.CoresPerSocket {
+			return nil, fmt.Errorf("netmodel: GPU platforms bind one rank per GPU (gpusPerSocket must equal coresPerSocket)")
+		}
+		if c.PCIeBwGB <= 0 || c.ReduceGPUBwGB <= 0 {
+			return nil, fmt.Errorf("netmodel: GPU platforms need pcieBwGB and reduceGpuBwGB")
+		}
+		topo = hwloc.NewGPU(c.Nodes, c.SocketsPerNode, c.GPUsPerSocket)
+	} else {
+		topo = hwloc.New(c.Nodes, c.SocketsPerNode, c.CoresPerSocket)
+	}
+	p := &Platform{Name: c.Name, Topo: topo}
+	var err error
+	if p.ShmAlpha, err = parseDur("shmAlpha", c.ShmAlpha); err != nil {
+		return nil, err
+	}
+	if p.QpiAlpha, err = parseDur("qpiAlpha", c.QpiAlpha); err != nil {
+		return nil, err
+	}
+	if p.NetAlpha, err = parseDur("netAlpha", c.NetAlpha); err != nil {
+		return nil, err
+	}
+	if p.PCIeAlpha, err = parseDur("pcieAlpha", c.PCIeAlpha); err != nil {
+		return nil, err
+	}
+	if p.RndvAlpha, err = parseDur("rndvAlpha", c.RndvAlpha); err != nil {
+		return nil, err
+	}
+	if p.UnexpectedAlpha, err = parseDur("unexpectedAlpha", c.UnexpectedAlpha); err != nil {
+		return nil, err
+	}
+	p.ShmBw = Rate(c.ShmBwGB * GB)
+	p.QpiBw = Rate(c.QpiBwGB * GB)
+	p.NetBw = Rate(c.NetBwGB * GB)
+	p.PCIeBw = Rate(c.PCIeBwGB * GB)
+	p.ReduceCPUBw = Rate(c.ReduceCPUBwGB * GB)
+	p.ReduceGPUBw = Rate(c.ReduceGPUBwGB * GB)
+	p.CopyBw = Rate(c.CopyBwGB * GB)
+	p.EagerLimit = c.EagerLimitKB * KB
+	return p, nil
+}
+
+// LoadPlatform reads a JSON platform profile.
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var cfg PlatformConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("netmodel: decoding platform config: %w", err)
+	}
+	return cfg.Platform()
+}
+
+// Config exports a platform back to the JSON schema (round-trippable).
+func (p *Platform) Config() PlatformConfig {
+	return PlatformConfig{
+		Name:           p.Name,
+		Nodes:          p.Topo.Nodes,
+		SocketsPerNode: p.Topo.SocketsPerNode,
+		CoresPerSocket: p.Topo.CoresPerSocket,
+		GPUsPerSocket:  p.Topo.GPUsPerSocket,
+
+		ShmAlpha:        p.ShmAlpha.String(),
+		QpiAlpha:        p.QpiAlpha.String(),
+		NetAlpha:        p.NetAlpha.String(),
+		PCIeAlpha:       p.PCIeAlpha.String(),
+		RndvAlpha:       p.RndvAlpha.String(),
+		UnexpectedAlpha: p.UnexpectedAlpha.String(),
+
+		ShmBwGB:       float64(p.ShmBw) / GB,
+		QpiBwGB:       float64(p.QpiBw) / GB,
+		NetBwGB:       float64(p.NetBw) / GB,
+		PCIeBwGB:      float64(p.PCIeBw) / GB,
+		ReduceCPUBwGB: float64(p.ReduceCPUBw) / GB,
+		ReduceGPUBwGB: float64(p.ReduceGPUBw) / GB,
+		CopyBwGB:      float64(p.CopyBw) / GB,
+
+		EagerLimitKB: p.EagerLimit / KB,
+	}
+}
+
+// SaveConfig writes the platform's JSON profile.
+func (p *Platform) SaveConfig(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Config())
+}

@@ -1,0 +1,107 @@
+package netmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/sim"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	for _, p := range []*Platform{Cori(4), Stampede2(2), PSG(2)} {
+		var buf bytes.Buffer
+		if err := p.SaveConfig(&buf); err != nil {
+			t.Fatalf("%s: save: %v", p.Name, err)
+		}
+		back, err := LoadPlatform(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", p.Name, err)
+		}
+		if back.Name != p.Name || back.Topo.Size() != p.Topo.Size() {
+			t.Fatalf("%s: round-trip mangled identity: %v", p.Name, back)
+		}
+		if back.NetBw != p.NetBw || back.ShmAlpha != p.ShmAlpha || back.EagerLimit != p.EagerLimit {
+			t.Fatalf("%s: round-trip mangled parameters", p.Name)
+		}
+		if back.Topo.HasGPUs() != p.Topo.HasGPUs() {
+			t.Fatalf("%s: GPU-ness lost", p.Name)
+		}
+	}
+}
+
+func TestLoadPlatformCustom(t *testing.T) {
+	js := `{
+	  "name": "minicluster",
+	  "nodes": 2, "socketsPerNode": 1, "coresPerSocket": 4,
+	  "shmAlpha": "300ns", "qpiAlpha": "500ns", "netAlpha": "2us",
+	  "rndvAlpha": "1us", "unexpectedAlpha": "800ns",
+	  "shmBwGB": 4, "qpiBwGB": 6, "netBwGB": 10,
+	  "reduceCpuBwGB": 2, "copyBwGB": 6,
+	  "eagerLimitKB": 16
+	}`
+	p, err := LoadPlatform(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topo.Size() != 8 || p.NetAlpha != 2*time.Microsecond || p.EagerLimit != 16*KB {
+		t.Fatalf("loaded platform wrong: %+v", p)
+	}
+	// The loaded platform must actually drive transfers.
+	k := sim.New()
+	n := NewNet(k, p)
+	var done bool
+	k.Schedule(0, func() {
+		n.StartTransfer(0, 4, 1*MB, comm.MemHost, nil, func() { done = true })
+	})
+	k.MustRun()
+	if !done {
+		t.Fatal("transfer on loaded platform never completed")
+	}
+}
+
+func TestLoadPlatformRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"name":"x","nodes":1,"socketsPerNode":1,"coresPerSocket":1,"bogus":1}`,
+		"zero shape":    `{"name":"x","nodes":0,"socketsPerNode":1,"coresPerSocket":1,"shmAlpha":"1ns","qpiAlpha":"1ns","netAlpha":"1ns","rndvAlpha":"1ns","unexpectedAlpha":"1ns","shmBwGB":1,"qpiBwGB":1,"netBwGB":1,"reduceCpuBwGB":1,"copyBwGB":1,"eagerLimitKB":8}`,
+		"bad duration":  `{"name":"x","nodes":1,"socketsPerNode":1,"coresPerSocket":1,"shmAlpha":"fast","qpiAlpha":"1ns","netAlpha":"1ns","rndvAlpha":"1ns","unexpectedAlpha":"1ns","shmBwGB":1,"qpiBwGB":1,"netBwGB":1,"reduceCpuBwGB":1,"copyBwGB":1,"eagerLimitKB":8}`,
+		"zero bw":       `{"name":"x","nodes":1,"socketsPerNode":1,"coresPerSocket":1,"shmAlpha":"1ns","qpiAlpha":"1ns","netAlpha":"1ns","rndvAlpha":"1ns","unexpectedAlpha":"1ns","shmBwGB":0,"qpiBwGB":1,"netBwGB":1,"reduceCpuBwGB":1,"copyBwGB":1,"eagerLimitKB":8}`,
+		"gpu mismatch":  `{"name":"x","nodes":1,"socketsPerNode":1,"coresPerSocket":4,"gpusPerSocket":2,"shmAlpha":"1ns","qpiAlpha":"1ns","netAlpha":"1ns","rndvAlpha":"1ns","unexpectedAlpha":"1ns","shmBwGB":1,"qpiBwGB":1,"netBwGB":1,"reduceCpuBwGB":1,"copyBwGB":1,"pcieBwGB":1,"reduceGpuBwGB":1,"eagerLimitKB":8}`,
+	}
+	for name, js := range cases {
+		if _, err := LoadPlatform(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	k := sim.New()
+	p := Cori(2)
+	n := NewNet(k, p)
+	k.Schedule(0, func() {
+		// Saturate node 0's NIC with two transfers; shm lane once.
+		n.StartTransfer(0, 32, 4*MB, comm.MemHost, nil, nil)
+		n.StartTransfer(1, 33, 4*MB, comm.MemHost, nil, nil)
+		n.StartTransfer(0, 2, 1*MB, comm.MemHost, nil, nil)
+	})
+	end := k.MustRun()
+	us := n.Utilization(end)
+	if len(us) == 0 {
+		t.Fatal("no facilities reported")
+	}
+	// nic-tx/0 and nic-rx/1 both carried 8MB; either may sort first.
+	if us[0].Name != "nic-tx/0" && us[0].Name != "nic-rx/1" {
+		t.Fatalf("busiest facility = %s, want a node-0→1 NIC queue", us[0].Name)
+	}
+	if us[0].Fraction <= 0 || us[0].Fraction > 1.0001 {
+		t.Fatalf("fraction %v out of range", us[0].Fraction)
+	}
+	var buf bytes.Buffer
+	n.FprintUtilization(&buf, end, 5)
+	if !strings.Contains(buf.String(), "nic-tx/0") {
+		t.Fatalf("report missing busiest facility:\n%s", buf.String())
+	}
+}

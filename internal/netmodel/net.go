@@ -1,0 +1,249 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/hwloc"
+	"adapt/internal/sim"
+)
+
+// Net instantiates a platform's contended facilities on a simulation
+// kernel and moves messages across them.
+//
+// Facility inventory:
+//   - nicTx/nicRx: one injection and one delivery queue per node (the
+//     InfiniBand/Aries/Omni-Path adapter, paper §4: "both approaches
+//     occupy NICs").
+//   - qpi: one inter-socket link per node.
+//   - cpu: one shared-memory copy engine per rank (the sending core does
+//     the memcpy; distinct core pairs copy concurrently, while one core
+//     streaming to several peers serializes on its own engine).
+//   - gpuOut/gpuIn: each GPU's PCIe x16 link, per direction. Every byte
+//     leaving a rank's GPU crosses gpuOut[rank]; every byte entering
+//     crosses gpuIn[rank]. This is the lane the paper's node leader
+//     saturates in Figure 6a and relieves with the explicit CPU staging
+//     buffer in Figure 6c.
+//   - gpuCalc: each GPU's compute engine for offloaded reductions (§4.2).
+//
+// A transfer runs in two phases so the receiver's buffer location can
+// differ from the sender's guess (the staging optimization receives
+// GPU-bound traffic into host memory):
+//
+//	StartTransfer: source-side + fabric hops → arrival at the destination
+//	               rank's host boundary.
+//	Deliver:       destination-side PCIe hop if the receive buffer is in
+//	               device memory.
+type Net struct {
+	K *sim.Kernel
+	P *Platform
+
+	nicTx, nicRx []*sim.Resource
+	qpi          []*sim.Resource
+	cpu          []*sim.Resource
+	gpuOut       []*sim.Resource
+	gpuIn        []*sim.Resource
+	gpuCalc      []*sim.Resource
+	nvlOut       []*sim.Resource
+	nvlIn        []*sim.Resource
+}
+
+// NewNet builds the facility set for platform p on kernel k.
+func NewNet(k *sim.Kernel, p *Platform) *Net {
+	t := p.Topo
+	n := &Net{K: k, P: p}
+	for node := 0; node < t.Nodes; node++ {
+		n.nicTx = append(n.nicTx, k.NewResource(fmt.Sprintf("nic-tx/%d", node)))
+		n.nicRx = append(n.nicRx, k.NewResource(fmt.Sprintf("nic-rx/%d", node)))
+		n.qpi = append(n.qpi, k.NewResource(fmt.Sprintf("qpi/%d", node)))
+	}
+	for r := 0; r < t.Size(); r++ {
+		n.cpu = append(n.cpu, k.NewResource(fmt.Sprintf("cpu/%d", r)))
+	}
+	if t.HasGPUs() {
+		for r := 0; r < t.Size(); r++ {
+			n.gpuOut = append(n.gpuOut, k.NewResource(fmt.Sprintf("gpu-out/%d", r)))
+			n.gpuIn = append(n.gpuIn, k.NewResource(fmt.Sprintf("gpu-in/%d", r)))
+			n.gpuCalc = append(n.gpuCalc, k.NewResource(fmt.Sprintf("gpu-calc/%d", r)))
+			if p.NVLinkBw > 0 {
+				n.nvlOut = append(n.nvlOut, k.NewResource(fmt.Sprintf("nvl-out/%d", r)))
+				n.nvlIn = append(n.nvlIn, k.NewResource(fmt.Sprintf("nvl-in/%d", r)))
+			}
+		}
+	}
+	return n
+}
+
+// ResolveSpace maps MemDefault to the platform's payload home.
+func (n *Net) ResolveSpace(s comm.MemSpace) comm.MemSpace {
+	if s != comm.MemDefault {
+		return s
+	}
+	if n.P.Topo.HasGPUs() {
+		return comm.MemDevice
+	}
+	return comm.MemHost
+}
+
+type hop struct {
+	r  *sim.Resource
+	bw Rate
+}
+
+// nvlinkPeer reports whether src→dst traffic may ride NVLink (same
+// socket, NVLink present).
+func (n *Net) nvlinkPeer(src, dst int) bool {
+	return n.P.NVLinkBw > 0 && src != dst &&
+		n.P.Topo.LevelBetween(src, dst) == hwloc.LevelCore
+}
+
+// sendRoute returns the latency and hop list from src's buffer to dst's
+// host boundary.
+func (n *Net) sendRoute(src, dst int, srcSpace comm.MemSpace) (time.Duration, []hop) {
+	t := n.P.Topo
+	level := t.LevelBetween(src, dst)
+	var alpha time.Duration
+	var hops []hop
+	if n.ResolveSpace(srcSpace) == comm.MemDevice {
+		if n.nvlinkPeer(src, dst) {
+			// Peer traffic leaves over the GPU's NVLink port.
+			return n.P.NVLinkAlpha, []hop{{n.nvlOut[src], n.P.NVLinkBw}}
+		}
+		alpha += n.P.PCIeAlpha
+		hops = append(hops, hop{n.gpuOut[src], n.P.PCIeBw})
+	}
+	switch level {
+	case hwloc.LevelSelf: // local copy, no fabric
+		alpha += n.P.ShmAlpha
+	case hwloc.LevelCore: // intra-socket
+		alpha += n.P.ShmAlpha
+		if len(hops) == 0 { // host→…: the sender core's copy engine
+			hops = append(hops, hop{n.cpu[src], n.P.ShmBw})
+		}
+	case hwloc.LevelSocket: // inter-socket
+		alpha += n.P.QpiAlpha
+		hops = append(hops, hop{n.qpi[t.NodeOf(src)], n.P.QpiBw})
+	default: // inter-node
+		alpha += n.P.NetAlpha
+		hops = append(hops,
+			hop{n.nicTx[t.NodeOf(src)], n.P.NetBw},
+			hop{n.nicRx[t.NodeOf(dst)], n.P.NetBw})
+	}
+	return alpha, hops
+}
+
+// runHops executes hops as chained events starting after `alpha` from now,
+// invoking afterFirst at the end of the first hop (or after alpha when
+// there are none) and afterLast at the end of the last.
+func (n *Net) runHops(alpha time.Duration, hops []hop, size int, afterFirst, afterLast func()) {
+	n.K.Schedule(alpha, func() { n.step(hops, size, afterFirst, afterLast) })
+}
+
+func (n *Net) step(hops []hop, size int, afterFirst, afterLast func()) {
+	if len(hops) == 0 {
+		if afterFirst != nil {
+			afterFirst()
+		}
+		if afterLast != nil {
+			afterLast()
+		}
+		return
+	}
+	end := hops[0].r.Use(hops[0].bw.Over(size))
+	rest := hops[1:]
+	n.K.At(end, func() {
+		if afterFirst != nil {
+			afterFirst()
+		}
+		n.step(rest, size, nil, afterLast)
+	})
+}
+
+// StartTransfer moves size bytes from src toward dst starting now.
+// onSent fires when the source-side buffer is reusable (end of the first
+// hop); onArrive fires when the payload reaches dst's host boundary.
+func (n *Net) StartTransfer(src, dst, size int, srcSpace comm.MemSpace, onSent, onArrive func()) {
+	alpha, hops := n.sendRoute(src, dst, srcSpace)
+	n.runHops(alpha, hops, size, onSent, onArrive)
+}
+
+// Deliver lands an arrived payload in dst's receive buffer, crossing the
+// destination GPU's PCIe link when the buffer lives in device memory.
+// done fires when the payload is in place.
+func (n *Net) Deliver(dst, size int, dstSpace comm.MemSpace, done func()) {
+	n.DeliverFrom(-1, dst, size, dstSpace, done)
+}
+
+// DeliverFrom is Deliver with the source rank known, so NVLink peer
+// traffic can ride the NVLink ingress port instead of PCIe. src may be
+// -1 when unknown (forces the PCIe path).
+func (n *Net) DeliverFrom(src, dst, size int, dstSpace comm.MemSpace, done func()) {
+	if n.ResolveSpace(dstSpace) == comm.MemDevice {
+		if src >= 0 && n.nvlinkPeer(src, dst) {
+			n.runHops(0, []hop{{n.nvlIn[dst], n.P.NVLinkBw}}, size, nil, done)
+			return
+		}
+		n.runHops(n.P.PCIeAlpha, []hop{{n.gpuIn[dst], n.P.PCIeBw}}, size, nil, done)
+		return
+	}
+	n.K.Schedule(0, done)
+}
+
+// ControlLatency returns the one-way latency of a zero-byte control
+// message between two ranks (rendezvous RTS/CTS).
+func (n *Net) ControlLatency(src, dst int) time.Duration {
+	switch n.P.Topo.LevelBetween(src, dst) {
+	case hwloc.LevelSelf, hwloc.LevelCore:
+		return n.P.ShmAlpha
+	case hwloc.LevelSocket:
+		return n.P.QpiAlpha
+	default:
+		return n.P.NetAlpha
+	}
+}
+
+// GPUReduce runs an offloaded reduction of n bytes on rank's GPU compute
+// engine; done fires at kernel completion (paper §4.2).
+func (n *Net) GPUReduce(rank, size int, done func()) {
+	if n.gpuCalc == nil {
+		panic("netmodel: GPUReduce on a CPU platform")
+	}
+	end := n.gpuCalc[rank].Use(n.P.ReduceGPUBw.Over(size))
+	n.K.At(end, done)
+}
+
+// AsyncCopy runs an asynchronous host↔device copy of n bytes over rank's
+// PCIe link; done fires at completion (the §4.1 staging flush).
+func (n *Net) AsyncCopy(rank, size int, from, to comm.MemSpace, done func()) {
+	if n.gpuIn == nil {
+		panic("netmodel: AsyncCopy on a CPU platform")
+	}
+	var r *sim.Resource
+	switch {
+	case from == comm.MemHost && to == comm.MemDevice:
+		r = n.gpuIn[rank]
+	case from == comm.MemDevice && to == comm.MemHost:
+		r = n.gpuOut[rank]
+	default:
+		panic(fmt.Sprintf("netmodel: AsyncCopy %v→%v", from, to))
+	}
+	n.K.Schedule(n.P.PCIeAlpha, func() {
+		end := r.Use(n.P.PCIeBw.Over(size))
+		n.K.At(end, done)
+	})
+}
+
+// CPUCost returns the blocking local-work duration for kind over n bytes.
+func (n *Net) CPUCost(size int, kind comm.ComputeKind) time.Duration {
+	switch kind {
+	case comm.ComputeReduce:
+		return n.P.ReduceCPUBw.Over(size)
+	case comm.ComputeCopy:
+		return n.P.CopyBw.Over(size)
+	case comm.ComputeApp:
+		return n.P.ReduceCPUBw.Over(size)
+	default:
+		panic("netmodel: unknown compute kind")
+	}
+}

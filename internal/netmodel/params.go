@@ -1,0 +1,198 @@
+// Package netmodel turns the simulator's abstract events into hardware
+// costs. It implements the Hockney model the paper uses for its own
+// analysis (§5.2.1): sending m bytes costs T = α + βm on the lane between
+// the two ranks, reduction arithmetic costs γm, and contended facilities
+// (NIC queues, PCIe directions, QPI links, socket memory buses) are FIFO
+// resources, so concurrent transfers over one lane serialize while
+// transfers over different lanes overlap — the physical fact ADAPT's
+// topology-aware tree exploits.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/hwloc"
+)
+
+// Rate is a bandwidth in bytes per second.
+type Rate float64
+
+// Over returns the serialization time of n bytes at rate r.
+func (r Rate) Over(n int) time.Duration {
+	if r <= 0 {
+		panic("netmodel: non-positive rate")
+	}
+	return time.Duration(float64(n) / float64(r) * float64(time.Second))
+}
+
+const (
+	// KB/MB/GB in the binary sense used throughout the paper.
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// Params holds a platform's Hockney parameters per hardware lane.
+type Params struct {
+	// Intra-socket shared-memory lane.
+	ShmAlpha time.Duration
+	ShmBw    Rate
+	// Inter-socket (QPI/UPI) lane.
+	QpiAlpha time.Duration
+	QpiBw    Rate
+	// Inter-node (NIC + fabric) lane.
+	NetAlpha time.Duration
+	NetBw    Rate
+
+	// PCIe lane (GPU platforms only).
+	PCIeAlpha time.Duration
+	PCIeBw    Rate
+
+	// NVLink peer lane between GPUs on one socket (0 = absent; PCIe peer
+	// transfers are used instead). The paper's intro names NVLink as the
+	// emerging GPU-GPU lane; the PSGNVLink profile models a cluster that
+	// has it.
+	NVLinkAlpha time.Duration
+	NVLinkBw    Rate
+
+	// γ rates: local work throughput.
+	ReduceCPUBw Rate // CPU reduction arithmetic
+	ReduceGPUBw Rate // GPU reduction kernel
+	CopyBw      Rate // host memcpy (unexpected-message drain etc.)
+
+	// EagerLimit: messages at or below this size use the eager protocol;
+	// larger ones use rendezvous (sender waits for the matching receive).
+	EagerLimit int
+	// RndvAlpha: extra control-message latency of a rendezvous handshake.
+	RndvAlpha time.Duration
+	// UnexpectedAlpha: fixed overhead of an unexpected-message buffering
+	// + later copy-out (plus size/CopyBw charged at match time).
+	UnexpectedAlpha time.Duration
+}
+
+// Platform couples a machine topology with its cost parameters.
+type Platform struct {
+	Name string
+	Topo *hwloc.Topology
+	Params
+}
+
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s [%s]", p.Name, p.Topo)
+}
+
+// WithTopo returns a copy of the platform on a different machine shape
+// (e.g. a strong-scaling subset).
+func (p *Platform) WithTopo(t *hwloc.Topology) *Platform {
+	cp := *p
+	cp.Topo = t
+	return &cp
+}
+
+// Cori models NERSC Cori's Haswell partition as used in the paper:
+// 2 × 16-core Xeon E5-2698v3-class sockets per node, Cray Aries fabric.
+// nodes=32 gives the paper's 1024-rank runs.
+func Cori(nodes int) *Platform {
+	return &Platform{
+		Name: "cori",
+		Topo: hwloc.New(nodes, 2, 16),
+		Params: Params{
+			ShmAlpha: 400 * time.Nanosecond,
+			ShmBw:    5 * GB,
+			QpiAlpha: 700 * time.Nanosecond,
+			QpiBw:    7 * GB,
+			NetAlpha: 1500 * time.Nanosecond,
+			NetBw:    8 * GB,
+
+			ReduceCPUBw: 2.5 * GB, // paper: "no vectorization optimizations"
+			CopyBw:      8 * GB,
+
+			EagerLimit:      8 * KB,
+			RndvAlpha:       1200 * time.Nanosecond,
+			UnexpectedAlpha: 1 * time.Microsecond,
+		},
+	}
+}
+
+// Stampede2 models TACC Stampede2's Skylake partition: 2 × 24-core Xeon
+// 8160 sockets per node, Intel Omni-Path fabric. nodes=32 gives the
+// paper's 1536-rank runs.
+func Stampede2(nodes int) *Platform {
+	return &Platform{
+		Name: "stampede2",
+		Topo: hwloc.New(nodes, 2, 24),
+		Params: Params{
+			ShmAlpha: 350 * time.Nanosecond,
+			ShmBw:    6 * GB,
+			QpiAlpha: 600 * time.Nanosecond,
+			QpiBw:    8 * GB,
+			NetAlpha: 1100 * time.Nanosecond,
+			NetBw:    11 * GB,
+
+			ReduceCPUBw: 3 * GB,
+			CopyBw:      9 * GB,
+
+			EagerLimit:      8 * KB,
+			RndvAlpha:       1000 * time.Nanosecond,
+			UnexpectedAlpha: 1 * time.Microsecond,
+		},
+	}
+}
+
+// PSG models the NVIDIA PSG K40 cluster: per node 2 deca-core Ivy Bridge
+// sockets, 2 K40 GPUs per socket (4 per node, one rank per GPU), FDR
+// InfiniBand (40 Gb/s ≈ 5 GB/s). nodes=8 gives the paper's 32-GPU runs.
+func PSG(nodes int) *Platform {
+	return &Platform{
+		Name: "psg",
+		Topo: hwloc.NewGPU(nodes, 2, 2),
+		Params: Params{
+			ShmAlpha: 400 * time.Nanosecond,
+			ShmBw:    5 * GB,
+			QpiAlpha: 700 * time.Nanosecond,
+			QpiBw:    6 * GB,
+			NetAlpha: 1900 * time.Nanosecond,
+			NetBw:    5 * GB, // FDR IB
+
+			PCIeAlpha: 8 * time.Microsecond, // cudaMemcpy launch latency
+			PCIeBw:    10 * GB,              // PCIe gen3 x16 effective
+
+			ReduceCPUBw: 2.5 * GB,
+			ReduceGPUBw: 90 * GB, // K40: ~288 GB/s HBM, 3 accesses/element
+			CopyBw:      8 * GB,
+
+			EagerLimit:      8 * KB,
+			RndvAlpha:       1500 * time.Nanosecond,
+			UnexpectedAlpha: 1 * time.Microsecond,
+		},
+	}
+}
+
+// PSGNVLink is the PSG machine upgraded with NVLink between same-socket
+// GPUs: peer traffic bypasses the PCIe switch entirely, which shrinks the
+// benefit of the §4.1 staging buffer for intra-socket hops while leaving
+// the inter-node PCIe story untouched.
+func PSGNVLink(nodes int) *Platform {
+	p := PSG(nodes)
+	p.Name = "psg-nvlink"
+	p.NVLinkAlpha = 2 * time.Microsecond
+	p.NVLinkBw = 40 * GB
+	return p
+}
+
+// ByName returns a named platform profile for CLI use.
+func ByName(name string, nodes int) (*Platform, error) {
+	switch name {
+	case "cori":
+		return Cori(nodes), nil
+	case "stampede2":
+		return Stampede2(nodes), nil
+	case "psg":
+		return PSG(nodes), nil
+	case "psg-nvlink":
+		return PSGNVLink(nodes), nil
+	default:
+		return nil, fmt.Errorf("netmodel: unknown platform %q", name)
+	}
+}

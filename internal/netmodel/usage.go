@@ -1,0 +1,63 @@
+package netmodel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"adapt/internal/sim"
+)
+
+// Usage summarizes one facility's occupancy over a simulation.
+type Usage struct {
+	Name     string
+	Busy     time.Duration
+	Uses     uint64
+	Fraction float64 // Busy / elapsed
+}
+
+// Utilization reports every facility's occupancy relative to the elapsed
+// virtual time, busiest first. It is the tool for diagnosing which lane
+// bottlenecks a collective — e.g. the node leader's gpu-out link before
+// the §4.1 staging optimization.
+func (n *Net) Utilization(elapsed time.Duration) []Usage {
+	var all []*sim.Resource
+	all = append(all, n.nicTx...)
+	all = append(all, n.nicRx...)
+	all = append(all, n.qpi...)
+	all = append(all, n.cpu...)
+	all = append(all, n.gpuOut...)
+	all = append(all, n.gpuIn...)
+	all = append(all, n.gpuCalc...)
+	all = append(all, n.nvlOut...)
+	all = append(all, n.nvlIn...)
+	out := make([]Usage, 0, len(all))
+	for _, r := range all {
+		u := Usage{Name: r.Name, Busy: r.Busy(), Uses: r.Uses()}
+		if elapsed > 0 {
+			u.Fraction = float64(r.Busy()) / float64(elapsed)
+		}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Busy != out[j].Busy {
+			return out[i].Busy > out[j].Busy
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FprintUtilization writes the top-k facilities as an aligned table.
+func (n *Net) FprintUtilization(w io.Writer, elapsed time.Duration, k int) {
+	us := n.Utilization(elapsed)
+	if k > 0 && len(us) > k {
+		us = us[:k]
+	}
+	fmt.Fprintf(w, "facility utilization over %v:\n", elapsed)
+	for _, u := range us {
+		fmt.Fprintf(w, "  %-14s %8.1f%%  busy %-12v uses %d\n",
+			u.Name, 100*u.Fraction, u.Busy.Round(time.Microsecond), u.Uses)
+	}
+}

@@ -1,0 +1,135 @@
+package noise
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNoneSource(t *testing.T) {
+	var src *Source // nil = quiet
+	if got := src.AvailableAt(5*time.Millisecond, 0); got != 5*time.Millisecond {
+		t.Fatalf("quiet AvailableAt = %v, want now", got)
+	}
+	if got := src.AvailableAt(5*time.Millisecond, 9*time.Millisecond); got != 9*time.Millisecond {
+		t.Fatalf("quiet AvailableAt with horizon = %v, want horizon", got)
+	}
+	if None.NewSource(3) != nil {
+		t.Fatal("None must yield nil sources")
+	}
+}
+
+func TestPercentSpecs(t *testing.T) {
+	if f := Percent(5).AvgFraction(); f < 0.049 || f > 0.051 {
+		t.Fatalf("Percent(5) fraction = %v", f)
+	}
+	if f := Percent(10).AvgFraction(); f < 0.099 || f > 0.101 {
+		t.Fatalf("Percent(10) fraction = %v", f)
+	}
+	if Percent(10).MaxDelay != 20*time.Millisecond {
+		t.Fatalf("Percent(10) max = %v, want 20ms", Percent(10).MaxDelay)
+	}
+	if Percent(0).Enabled() {
+		t.Fatal("Percent(0) must be quiet")
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	spec := Percent(5)
+	a, b := spec.NewSource(7), spec.NewSource(7)
+	for now := time.Duration(0); now < time.Second; now += 13 * time.Millisecond {
+		if ga, gb := a.AvailableAt(now, 0), b.AvailableAt(now, 0); ga != gb {
+			t.Fatalf("streams diverge at %v: %v vs %v", now, ga, gb)
+		}
+	}
+}
+
+func TestSourcesIndependentAcrossRanks(t *testing.T) {
+	spec := Percent(5)
+	a, b := spec.NewSource(0), spec.NewSource(1)
+	same := true
+	for now := time.Duration(0); now < time.Second; now += 13 * time.Millisecond {
+		if a.AvailableAt(now, 0) != b.AvailableAt(now, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("ranks 0 and 1 have identical noise streams")
+	}
+}
+
+func TestAvailableAtMonotonic(t *testing.T) {
+	src := Percent(10).NewSource(3)
+	var prev time.Duration
+	for now := time.Duration(0); now < 2*time.Second; now += time.Millisecond {
+		got := src.AvailableAt(now, prev)
+		if got < now {
+			t.Fatalf("AvailableAt(%v) = %v < now", now, got)
+		}
+		if got < prev {
+			t.Fatalf("availability went backwards: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLongRunFractionNearTarget(t *testing.T) {
+	// Under permanent back-pressure every freeze accumulates, so over T
+	// seconds the horizon must exceed T by the average noise fraction
+	// (law of large numbers, ±20%).
+	for _, pct := range []int{5, 10} {
+		src := Percent(pct).NewSource(42)
+		T := 100 * time.Second
+		extra := src.AvailableAt(T, T) - T
+		want := time.Duration(float64(pct) / 100 * float64(T))
+		if extra < want*8/10 || extra > want*12/10 {
+			t.Errorf("pct=%d: accumulated noise %v, want about %v", pct, extra, want)
+		}
+	}
+}
+
+func TestAccumulationUnderBackPressure(t *testing.T) {
+	// If the rank is permanently busy, every freeze accumulates: after T
+	// seconds the horizon must exceed T by roughly the average fraction.
+	src := Percent(10).NewSource(5)
+	T := 50 * time.Second
+	horizon := src.AvailableAt(T, T) // rank busy until now, all noise stacks
+	extra := horizon - T
+	want := time.Duration(float64(T) * 0.10)
+	if extra < want/2 || extra > want*2 {
+		t.Fatalf("accumulated noise %v, want about %v", extra, want)
+	}
+}
+
+func TestSpecStringsAndFraction(t *testing.T) {
+	if None.String() != "no-noise" {
+		t.Errorf("None = %q", None.String())
+	}
+	if s := Percent(5).String(); s == "" || s == "no-noise" {
+		t.Errorf("Percent(5) = %q", s)
+	}
+	if None.AvgFraction() != 0 {
+		t.Error("quiet system has nonzero fraction")
+	}
+	// Fraction selects a strict subset deterministically.
+	spec := Percent(10)
+	spec.Fraction = 0.3
+	noisy := 0
+	for r := 0; r < 1000; r++ {
+		if spec.NewSource(r) != nil {
+			noisy++
+		}
+	}
+	if noisy < 200 || noisy > 400 {
+		t.Fatalf("fraction 0.3 selected %d/1000 ranks", noisy)
+	}
+	// Same spec, same subset.
+	again := 0
+	for r := 0; r < 1000; r++ {
+		if spec.NewSource(r) != nil {
+			again++
+		}
+	}
+	if again != noisy {
+		t.Fatal("subset selection not deterministic")
+	}
+}

@@ -1,0 +1,439 @@
+// Package runtime is the live, in-process message-passing substrate: one
+// goroutine per rank, real payload movement, and the same matching-engine
+// semantics as a real MPI point-to-point layer (posted-receive queue,
+// unexpected-message queue, eager and rendezvous protocols, completion
+// callbacks fired from the owner's progress loop).
+//
+// It implements comm.Comm, so every collective in internal/coll and
+// internal/core — including ADAPT's event-driven state machines — runs on
+// it unchanged, with real concurrency instead of simulated time. The
+// simulator (internal/simmpi) reproduces the paper's scale; this runtime
+// proves the algorithms against a genuinely parallel executor and backs
+// the runnable examples.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+// DefaultEagerLimit is the eager/rendezvous protocol switch-over.
+const DefaultEagerLimit = 8 * 1024
+
+// World is a live communicator: n ranks sharing an address space.
+type World struct {
+	ranks      []*Comm
+	start      time.Time
+	eagerLimit int
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithEagerLimit overrides the eager protocol threshold.
+func WithEagerLimit(n int) Option {
+	return func(w *World) { w.eagerLimit = n }
+}
+
+// NewWorld creates a communicator with n ranks.
+func NewWorld(n int, opts ...Option) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("runtime: world size %d", n))
+	}
+	w := &World{start: time.Now(), eagerLimit: DefaultEagerLimit}
+	for _, o := range opts {
+		o(w)
+	}
+	for r := 0; r < n; r++ {
+		w.ranks = append(w.ranks, &Comm{w: w, rank: r, wake: make(chan struct{}, 1)})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank r's endpoint.
+func (w *World) Rank(r int) *Comm { return w.ranks[r] }
+
+// Run executes body once per rank, each on its own goroutine, and blocks
+// until all return. It panics (propagating the first rank panic) rather
+// than deadlocking if a rank dies.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, len(w.ranks))
+	for _, c := range w.ranks {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", c.rank, p)
+				}
+			}()
+			body(c)
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// envelope is a message (or rendezvous announcement) at the receiver.
+type envelope struct {
+	src int
+	tag comm.Tag
+	msg comm.Msg
+	// rendezvous: the sender's request, completed when the payload is
+	// pulled; nil for eager envelopes (whose payload was already copied).
+	rts *request
+}
+
+// request implements comm.Request. All mutable state is guarded by the
+// owner rank's mutex.
+type request struct {
+	c      *Comm
+	isSend bool
+	done   bool
+	status comm.Status
+	cb     func(comm.Status)
+
+	src int
+	tag comm.Tag
+}
+
+func (r *request) Test() (comm.Status, bool) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	return r.status, r.done
+}
+
+func (r *request) IsSend() bool { return r.isSend }
+
+// Comm is one rank's endpoint. Its blocking methods must be called from
+// the rank's own goroutine; internal delivery may run on peer goroutines.
+type Comm struct {
+	w    *World
+	rank int
+
+	mu             sync.Mutex
+	posted         []*request
+	unexpected     []*envelope
+	cbQueue        []*request
+	completedCount uint64
+	pendingOps     int
+
+	wake chan struct{}
+}
+
+var _ comm.Comm = (*Comm)(nil)
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.w.ranks) }
+
+// Now returns wall time since the world was created.
+func (c *Comm) Now() time.Duration { return time.Since(c.w.start) }
+
+// Compute is a no-op in the live runtime: real work (reductions, copies)
+// is performed for real by the caller; there is nothing to charge.
+func (c *Comm) Compute(n int, kind comm.ComputeKind) {}
+
+// signal wakes the owner if it is blocked in a wait loop.
+func (c *Comm) signal() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// complete finishes req. Callable from any goroutine; takes the owner's
+// lock.
+func (req *request) complete(st comm.Status) {
+	c := req.c
+	c.mu.Lock()
+	if req.done {
+		c.mu.Unlock()
+		panic("runtime: request completed twice")
+	}
+	req.done = true
+	req.status = st
+	c.completedCount++
+	c.pendingOps--
+	if req.cb != nil {
+		c.cbQueue = append(c.cbQueue, req)
+	}
+	c.mu.Unlock()
+	c.signal()
+}
+
+// popCallbacks atomically takes the ready-callback batch.
+func (c *Comm) popCallbacks() []*request {
+	c.mu.Lock()
+	batch := c.cbQueue
+	c.cbQueue = nil
+	c.mu.Unlock()
+	return batch
+}
+
+// fireCallbacks runs a batch on the owner goroutine. Returns count fired.
+func (c *Comm) fireCallbacks(batch []*request) int {
+	for _, req := range batch {
+		cb := req.cb
+		req.cb = nil
+		cb(req.status)
+	}
+	return len(batch)
+}
+
+// Isend starts a non-blocking send.
+func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("runtime: send to rank %d of %d", dst, c.Size()))
+	}
+	req := &request{c: c, isSend: true}
+	c.mu.Lock()
+	c.pendingOps++
+	c.mu.Unlock()
+	d := c.w.ranks[dst]
+	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
+	if msg.Size <= c.w.eagerLimit {
+		// Eager: copy the payload out (the sender may reuse its buffer as
+		// soon as we return) and deliver; the send completes immediately.
+		delivered := msg
+		if msg.Data != nil {
+			delivered.Data = append([]byte(nil), msg.Data...)
+		}
+		d.deliver(&envelope{src: c.rank, tag: tag, msg: delivered})
+		req.complete(st)
+		return req
+	}
+	// Rendezvous: announce; the payload is pulled zero-copy when matched,
+	// completing this request only then.
+	d.deliver(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	return req
+}
+
+// Irecv posts a non-blocking receive.
+func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
+	req := &request{c: c, src: src, tag: tag}
+	c.mu.Lock()
+	c.pendingOps++
+	for i, env := range c.unexpected {
+		if req.matches(env) {
+			c.unexpected = append(c.unexpected[:i:i], c.unexpected[i+1:]...)
+			c.mu.Unlock()
+			c.consume(req, env)
+			return req
+		}
+	}
+	c.posted = append(c.posted, req)
+	c.mu.Unlock()
+	return req
+}
+
+func (req *request) matches(env *envelope) bool {
+	return (req.src == comm.AnySource || req.src == env.src) && req.tag.Matches(env.tag)
+}
+
+// deliver matches an incoming envelope against posted receives or parks
+// it in the unexpected queue. Runs on the sender's goroutine.
+func (c *Comm) deliver(env *envelope) {
+	c.mu.Lock()
+	for i, req := range c.posted {
+		if req.matches(env) {
+			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
+			c.mu.Unlock()
+			c.consume(req, env)
+			return
+		}
+	}
+	c.unexpected = append(c.unexpected, env)
+	c.mu.Unlock()
+	c.signal() // wake a blocked Probe
+}
+
+// consume completes a matched (receive, envelope) pair. For rendezvous
+// envelopes it pulls the payload and releases the sender.
+func (c *Comm) consume(req *request, env *envelope) {
+	msg := env.msg
+	if env.rts != nil {
+		// Pull the payload out of the sender's buffer; after the sender's
+		// request completes the sender may scribble on it.
+		if msg.Data != nil {
+			msg.Data = append([]byte(nil), msg.Data...)
+		}
+		env.rts.complete(comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg})
+	}
+	req.complete(comm.Status{Source: env.src, Tag: env.tag, Msg: msg})
+}
+
+// Send performs a blocking send: for rendezvous-size messages it returns
+// only once the receiver has matched (the paper's §2.1.1 handshake).
+func (c *Comm) Send(dst int, tag comm.Tag, msg comm.Msg) {
+	c.Wait(c.Isend(dst, tag, msg))
+}
+
+// Ssend performs a synchronous-mode send (MPI_Ssend): it returns only
+// once the receiver has matched, regardless of message size — the
+// rendezvous handshake is forced even for eager-sized payloads.
+func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("runtime: ssend to rank %d of %d", dst, c.Size()))
+	}
+	req := &request{c: c, isSend: true}
+	c.mu.Lock()
+	c.pendingOps++
+	c.mu.Unlock()
+	c.w.ranks[dst].deliver(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	c.Wait(req)
+}
+
+// Iprobe reports whether a message matching (src, tag) has arrived
+// without consuming it (MPI_Iprobe). src may be AnySource, tag AnyTag.
+func (c *Comm) Iprobe(src int, tag comm.Tag) (comm.Status, bool) {
+	probe := &request{c: c, src: src, tag: tag}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, env := range c.unexpected {
+		if probe.matches(env) {
+			return comm.Status{Source: env.src, Tag: env.tag,
+				Msg: comm.Msg{Size: env.msg.Size, Space: env.msg.Space}}, true
+		}
+	}
+	return comm.Status{}, false
+}
+
+// Probe blocks until a matching message is available (MPI_Probe), leaving
+// it in the unexpected queue for a later Recv.
+func (c *Comm) Probe(src int, tag comm.Tag) comm.Status {
+	for {
+		if st, ok := c.Iprobe(src, tag); ok {
+			return st
+		}
+		<-c.wake
+	}
+}
+
+// Recv performs a blocking receive.
+func (c *Comm) Recv(src int, tag comm.Tag) comm.Status {
+	return c.Wait(c.Irecv(src, tag))
+}
+
+// Wait blocks until r completes, firing ready callbacks meanwhile.
+func (c *Comm) Wait(r comm.Request) comm.Status {
+	req := r.(*request)
+	for {
+		c.fireCallbacks(c.popCallbacks())
+		if st, ok := req.Test(); ok {
+			return st
+		}
+		<-c.wake
+	}
+}
+
+// WaitAll blocks until every request completes; nil entries are skipped.
+func (c *Comm) WaitAll(rs []comm.Request) {
+	for {
+		c.fireCallbacks(c.popCallbacks())
+		alldone := true
+		for _, r := range rs {
+			if r == nil {
+				continue
+			}
+			if _, ok := r.Test(); !ok {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			return
+		}
+		<-c.wake
+	}
+}
+
+// WaitAny blocks until some live request completes and returns its index;
+// nil entries are skipped.
+func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
+	live := false
+	for _, r := range rs {
+		if r != nil {
+			live = true
+			break
+		}
+	}
+	if !live {
+		panic("runtime: WaitAny with no live request")
+	}
+	for {
+		c.fireCallbacks(c.popCallbacks())
+		for i, r := range rs {
+			if r == nil {
+				continue
+			}
+			if st, ok := r.Test(); ok {
+				return i, st
+			}
+		}
+		<-c.wake
+	}
+}
+
+// OnComplete attaches fn to r; it fires on this rank's goroutine from
+// inside Progress or a Wait variant.
+func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) {
+	req := r.(*request)
+	if req.c != c {
+		panic("runtime: OnComplete on foreign request")
+	}
+	c.mu.Lock()
+	if req.cb != nil {
+		c.mu.Unlock()
+		panic("runtime: request already has a callback")
+	}
+	req.cb = fn
+	if req.done {
+		c.cbQueue = append(c.cbQueue, req)
+		c.mu.Unlock()
+		c.signal()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// TryProgress fires ready callbacks without blocking.
+func (c *Comm) TryProgress() bool {
+	return c.fireCallbacks(c.popCallbacks()) > 0
+}
+
+// Progress blocks until at least one completion is processed, fires the
+// ready callbacks, and returns.
+func (c *Comm) Progress() {
+	c.mu.Lock()
+	start := c.completedCount
+	c.mu.Unlock()
+	for {
+		fired := c.fireCallbacks(c.popCallbacks())
+		c.mu.Lock()
+		advanced := c.completedCount > start
+		pending := c.pendingOps
+		c.mu.Unlock()
+		if fired > 0 || advanced {
+			return
+		}
+		if pending == 0 {
+			panic(fmt.Sprintf("runtime: rank %d progressing with no operation in flight", c.rank))
+		}
+		<-c.wake
+	}
+}

@@ -1,0 +1,472 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+func tag(seg int) comm.Tag { return comm.MakeTag(comm.KindP2P, 0, seg) }
+
+func TestEagerSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	payload := []byte("eager payload")
+	var got []byte
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Bytes(payload))
+		case 1:
+			got = c.Recv(0, tag(0)).Msg.Data
+		}
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEagerCopiesPayload(t *testing.T) {
+	// The sender may scribble on its buffer right after an eager Send.
+	w := NewWorld(2)
+	var got []byte
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			buf := []byte{1, 2, 3, 4}
+			c.Send(1, tag(0), comm.Bytes(buf))
+			for i := range buf {
+				buf[i] = 0xFF
+			}
+			c.Send(1, tag(1), comm.Bytes([]byte{9})) // unblock test ordering
+		case 1:
+			got = c.Recv(0, tag(0)).Msg.Data
+			c.Recv(0, tag(1))
+		}
+	})
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("eager payload corrupted: %v", got)
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	w := NewWorld(2)
+	payload := make([]byte, 256*1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Bytes(payload))
+		case 1:
+			got = c.Recv(0, tag(0)).Msg.Data
+		}
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rendezvous payload mismatch")
+	}
+}
+
+func TestManyToOneWildcard(t *testing.T) {
+	const n = 16
+	w := NewWorld(n)
+	var sum int64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				st := c.Recv(comm.AnySource, comm.AnyTag)
+				atomic.AddInt64(&sum, int64(st.Msg.Data[0]))
+			}
+		} else {
+			c.Send(0, tag(c.Rank()), comm.Bytes([]byte{byte(c.Rank())}))
+		}
+	})
+	want := int64(n * (n - 1) / 2)
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestTagSelectivityAcrossArrivalOrder(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < 8; i++ {
+				c.Send(1, tag(i), comm.Bytes([]byte{byte(i)}))
+			}
+		case 1:
+			for i := 7; i >= 0; i-- { // receive in reverse order
+				st := c.Recv(0, tag(i))
+				if st.Msg.Data[0] != byte(i) {
+					t.Errorf("tag %d delivered payload %d", i, st.Msg.Data[0])
+				}
+			}
+		}
+	})
+}
+
+func TestIsendWaitAllPipeline(t *testing.T) {
+	const n = 8
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var rs []comm.Request
+			for p := 1; p < n; p++ {
+				for s := 0; s < 4; s++ {
+					rs = append(rs, c.Isend(p, tag(s), comm.Bytes(make([]byte, 32*1024))))
+				}
+			}
+			c.WaitAll(rs)
+		} else {
+			var rs []comm.Request
+			for s := 0; s < 4; s++ {
+				rs = append(rs, c.Irecv(0, tag(s)))
+			}
+			c.WaitAll(rs)
+		}
+	})
+}
+
+func TestWaitAny(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			rs := make([]comm.Request, n-1)
+			for p := 1; p < n; p++ {
+				rs[p-1] = c.Irecv(p, tag(0))
+			}
+			seen := 0
+			for seen < n-1 {
+				i, st := c.WaitAny(rs)
+				if st.Source != i+1 {
+					t.Errorf("slot %d completed from %d", i, st.Source)
+				}
+				rs[i] = nil
+				seen++
+			}
+		} else {
+			c.Send(0, tag(0), comm.Bytes([]byte{1}))
+		}
+	})
+}
+
+func TestOnCompleteEventDrivenWindow(t *testing.T) {
+	// The ADAPT building block: keep 3 sends in flight to one peer,
+	// repost from the completion callback, drive with Progress.
+	const total = 20
+	w := NewWorld(2)
+	var received int32
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			next := 0
+			inflight := 0
+			var post func()
+			post = func() {
+				r := c.Isend(1, tag(next), comm.Bytes(make([]byte, 64*1024)))
+				next++
+				inflight++
+				c.OnComplete(r, func(comm.Status) {
+					inflight--
+					if next < total {
+						post()
+					}
+				})
+			}
+			for i := 0; i < 3 && next < total; i++ {
+				post()
+			}
+			for inflight > 0 {
+				c.Progress()
+			}
+		case 1:
+			for i := 0; i < total; i++ {
+				c.Recv(0, tag(i))
+				atomic.AddInt32(&received, 1)
+			}
+		}
+	})
+	if received != total {
+		t.Fatalf("received %d, want %d", received, total)
+	}
+}
+
+func TestOnCompleteAfterCompletion(t *testing.T) {
+	w := NewWorld(2)
+	fired := false
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			r := c.Isend(1, tag(0), comm.Bytes([]byte{1})) // eager: completes inline
+			if _, ok := r.Test(); !ok {
+				t.Error("eager Isend should complete immediately")
+			}
+			c.OnComplete(r, func(comm.Status) { fired = true })
+			c.Progress()
+		case 1:
+			c.Recv(0, tag(0))
+		}
+	})
+	if !fired {
+		t.Fatal("callback on already-completed request never fired")
+	}
+}
+
+func TestRingPressure(t *testing.T) {
+	// Every rank sends to its right neighbour concurrently, several laps;
+	// exercises matching under contention (run with -race).
+	const n, laps = 16, 10
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		for l := 0; l < laps; l++ {
+			r := c.Irecv(left, tag(l))
+			c.Send(right, tag(l), comm.Bytes([]byte{byte(l)}))
+			st := c.Wait(r)
+			if st.Msg.Data[0] != byte(l) {
+				t.Errorf("lap %d: got %d", l, st.Msg.Data[0])
+			}
+		}
+	})
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("expected panic to propagate from rank goroutine")
+		} else if s, ok := p.(string); !ok || s == "" {
+			t.Fatalf("unexpected panic payload %v", p)
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+	})
+}
+
+func TestSelfSendRecv(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		r := c.Irecv(0, tag(0))
+		c.Send(0, tag(0), comm.Bytes([]byte{5}))
+		if st := c.Wait(r); st.Msg.Data[0] != 5 {
+			t.Errorf("self-send got %v", st.Msg.Data)
+		}
+	})
+}
+
+func TestConcurrentCollectiveSequences(t *testing.T) {
+	// Two back-to-back "collectives" with different sequence numbers must
+	// not cross-match even when messages race.
+	const n = 8
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		for seq := 0; seq < 6; seq++ {
+			tg := comm.MakeTag(comm.KindBcast, seq, 0)
+			if c.Rank() == 0 {
+				for p := 1; p < n; p++ {
+					c.Send(p, tg, comm.Bytes([]byte{byte(seq)}))
+				}
+			} else {
+				st := c.Recv(0, tg)
+				if st.Msg.Data[0] != byte(seq) {
+					t.Errorf("seq %d: payload %d", seq, st.Msg.Data[0])
+				}
+			}
+		}
+	})
+}
+
+func TestNowMonotonic(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		a := c.Now()
+		b := c.Now()
+		if b < a {
+			t.Errorf("clock went backwards: %v then %v", a, b)
+		}
+	})
+}
+
+func BenchmarkPingPongEager(b *testing.B) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		msg := comm.Bytes(make([]byte, 1024))
+		for i := 0; i < b.N; i++ {
+			tg := comm.MakeTag(comm.KindP2P, i%comm.SeqWrap, 0)
+			if c.Rank() == 0 {
+				c.Send(1, tg, msg)
+				c.Recv(1, tg)
+			} else {
+				c.Recv(0, tg)
+				c.Send(0, tg, msg)
+			}
+		}
+	})
+}
+
+func ExampleWorld() {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, comm.MakeTag(comm.KindP2P, 0, 0), comm.Bytes([]byte("hi")))
+		} else {
+			st := c.Recv(0, comm.AnyTag)
+			fmt.Println(string(st.Msg.Data))
+		}
+	})
+	// Output: hi
+}
+
+func TestTryProgress(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if c.TryProgress() {
+				t.Error("TryProgress with nothing pending should report false")
+			}
+			r := c.Isend(1, tag(0), comm.Bytes([]byte{1})) // eager, completes inline
+			fired := false
+			c.OnComplete(r, func(comm.Status) { fired = true })
+			for !fired {
+				c.TryProgress()
+			}
+		case 1:
+			c.Recv(0, tag(0))
+		}
+	})
+}
+
+func TestSsendSynchronizes(t *testing.T) {
+	// A tiny (eager-sized) payload sent with Ssend must still block until
+	// the receiver posts.
+	w := NewWorld(2)
+	var recvPosted, sendDone int64
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Ssend(1, tag(0), comm.Bytes([]byte{1}))
+			atomic.StoreInt64(&sendDone, int64(c.Now()))
+		case 1:
+			time.Sleep(30 * time.Millisecond)
+			atomic.StoreInt64(&recvPosted, int64(c.Now()))
+			c.Recv(0, tag(0))
+		}
+	})
+	if sendDone < recvPosted {
+		t.Fatalf("Ssend completed at %v before receiver posted at %v",
+			time.Duration(sendDone), time.Duration(recvPosted))
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(3), comm.Bytes([]byte{7, 7}))
+		case 1:
+			st := c.Probe(0, comm.AnyTag)
+			if st.Tag != tag(3) || st.Msg.Size != 2 {
+				t.Errorf("probe status = %+v", st)
+			}
+			if st.Msg.Data != nil {
+				t.Error("probe must not expose payload bytes")
+			}
+			got := c.Recv(0, st.Tag)
+			if got.Msg.Data[0] != 7 {
+				t.Errorf("recv after probe got %v", got.Msg.Data)
+			}
+		}
+	})
+}
+
+func TestIprobeNonBlocking(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if _, ok := c.Iprobe(1, comm.AnyTag); ok {
+				t.Error("Iprobe found a message before any was sent")
+			}
+			c.Send(1, tag(0), comm.Bytes([]byte{1})) // release peer
+		case 1:
+			c.Recv(0, tag(0))
+		}
+	})
+}
+
+// Property: a random storm of point-to-point messages — arbitrary sizes
+// spanning both protocols, tags, and posting orders — delivers every
+// payload to the right receiver with the right bytes.
+func TestMessageStormQuick(t *testing.T) {
+	f := func(sizesSeed []uint16, orderSeed uint8) bool {
+		if len(sizesSeed) == 0 {
+			return true
+		}
+		if len(sizesSeed) > 40 {
+			sizesSeed = sizesSeed[:40]
+		}
+		const n = 4
+		w := NewWorld(n)
+		type parcel struct {
+			src, dst int
+			tg       comm.Tag
+			data     []byte
+		}
+		var parcels []parcel
+		for i, sz := range sizesSeed {
+			size := int(sz) % 40000 // spans eager and rendezvous
+			data := make([]byte, size)
+			for j := range data {
+				data[j] = byte(i * (j + 1))
+			}
+			parcels = append(parcels, parcel{
+				src: i % n, dst: (i + 1 + int(orderSeed)) % n,
+				tg:   comm.MakeTag(comm.KindP2P, 1, i),
+				data: data,
+			})
+		}
+		ok := int32(1)
+		w.Run(func(c *Comm) {
+			// Post all my receives first (some will be unexpected anyway
+			// because senders race ahead).
+			var rs []comm.Request
+			var expect []parcel
+			for _, p := range parcels {
+				if p.dst == c.Rank() {
+					rs = append(rs, c.Irecv(p.src, p.tg))
+					expect = append(expect, p)
+				}
+			}
+			for _, p := range parcels {
+				if p.src == c.Rank() {
+					c.Send(p.dst, p.tg, comm.Bytes(p.data))
+				}
+			}
+			for i, r := range rs {
+				st := c.Wait(r)
+				if !bytes.Equal(st.Msg.Data, expect[i].data) {
+					atomic.StoreInt32(&ok, 0)
+				}
+			}
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package sim is a deterministic discrete-event simulation kernel with
+// coroutine-style processes. It underpins the simulated MPI substrate
+// (internal/simmpi) used to reproduce the paper's 1000+-rank experiments
+// on a single machine.
+//
+// Determinism: the kernel runs exactly one goroutine at a time — either
+// the event dispatcher or a single resumed process — with strict handoff,
+// and orders simultaneous events by insertion sequence. Two runs of the
+// same workload produce identical virtual-time trajectories.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kernel is a discrete-event simulator instance.
+type Kernel struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+
+	yield chan struct{} // process → kernel control handoff
+	procs []*Proc
+	live  int
+
+	// Stats
+	dispatched uint64
+}
+
+// New creates an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Dispatched returns the number of events executed so far.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Schedule runs fn after delay ≥ 0 of virtual time.
+func (k *Kernel) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t ≥ Now().
+func (k *Kernel) At(t time.Duration, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event in the past: %v < %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, event{at: t, seq: k.seq, fn: fn})
+}
+
+// Run dispatches events until the queue drains. If processes are still
+// alive when the queue is empty, the simulation is deadlocked and Run
+// returns an error naming the stuck processes. On success it returns the
+// final virtual time.
+func (k *Kernel) Run() (time.Duration, error) {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(event)
+		k.now = e.at
+		k.dispatched++
+		e.fn()
+	}
+	if k.live > 0 {
+		var stuck []string
+		for _, p := range k.procs {
+			if !p.done {
+				stuck = append(stuck, p.Name)
+			}
+		}
+		sort.Strings(stuck)
+		return k.now, fmt.Errorf("sim: deadlock at %v: %d processes stuck: %v", k.now, k.live, stuck)
+	}
+	return k.now, nil
+}
+
+// MustRun is Run that panics on deadlock, for tests and benchmarks.
+func (k *Kernel) MustRun() time.Duration {
+	t, err := k.Run()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+type procState uint8
+
+const (
+	stateRunning  procState = iota
+	stateSleeping           // blocked in Sleep; only the sleep timer wakes it
+	stateParked             // blocked in Park; only Unpark wakes it
+)
+
+// Proc is a simulated process: a goroutine that runs cooperatively under
+// the kernel, blocking in virtual time via Sleep and Park. All Proc
+// methods except Unpark must be called from the process's own goroutine.
+type Proc struct {
+	k    *Kernel
+	Name string
+
+	wake    chan struct{}
+	state   procState
+	pending bool // an Unpark arrived while not parked; next Park returns at once
+	done    bool
+}
+
+// Go spawns a simulated process. Its body starts at the current virtual
+// time (after already-queued events at this instant).
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, Name: name, wake: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	k.Schedule(0, func() {
+		go func() {
+			<-p.wake
+			fn(p)
+			p.done = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		k.resume(p)
+	})
+	return p
+}
+
+// resume hands control to p and blocks the caller (kernel event context)
+// until p blocks again, finishes, or otherwise yields.
+func (k *Kernel) resume(p *Proc) {
+	p.state = stateRunning
+	p.wake <- struct{}{}
+	<-k.yield
+}
+
+// block returns control to the kernel until the process is resumed.
+func (p *Proc) block(s procState) {
+	p.state = s
+	p.k.yield <- struct{}{}
+	<-p.wake
+}
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Sleep blocks the process for d of virtual time. An Unpark delivered
+// while sleeping does not shorten the sleep; it is remembered and makes
+// the next Park return immediately.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.Schedule(d, func() { p.k.resume(p) })
+	p.block(stateSleeping)
+}
+
+// SleepUntil blocks the process until absolute virtual time t (no-op if t
+// is in the past).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t > p.k.now {
+		p.Sleep(t - p.k.now)
+	}
+}
+
+// Park blocks until Unpark is called. Wakes are binary-semaphore style:
+// an Unpark delivered while the process is running or sleeping makes the
+// next Park return immediately, and multiple buffered wakes collapse into
+// one — callers must re-check their own condition after Park returns.
+func (p *Proc) Park() {
+	if p.pending {
+		p.pending = false
+		return
+	}
+	p.block(stateParked)
+}
+
+// Unpark wakes p if it is blocked in Park, or buffers the wake otherwise.
+// It may be called from any simulation context (an event callback or
+// another process); the wake is delivered through the event queue,
+// preserving determinism. Unparking a finished process is a no-op.
+func (p *Proc) Unpark() {
+	k := p.k
+	k.Schedule(0, func() {
+		if p.done {
+			return
+		}
+		if p.state == stateParked {
+			k.resume(p)
+		} else {
+			p.pending = true
+		}
+	})
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }

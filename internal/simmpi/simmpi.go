@@ -1,0 +1,480 @@
+// Package simmpi implements comm.Comm on top of the discrete-event
+// simulator, so the collective algorithms in internal/coll and
+// internal/core run unmodified at 1000+-rank scale.
+//
+// The protocol engine mirrors a real MPI point-to-point layer:
+//
+//   - Eager protocol for messages up to Params.EagerLimit: the payload is
+//     pushed immediately; if it arrives before the matching receive is
+//     posted it sits in the unexpected queue and the receiver pays an
+//     extra buffering copy at match time — the cost ADAPT's M > N
+//     in-flight receive window is designed to avoid (paper §2.2.1).
+//   - Rendezvous protocol for larger messages: the sender posts an RTS
+//     control message and the data transfer starts only once the receiver
+//     has matched it, coupling the two ranks — the hidden synchronization
+//     that propagates noise through blocking collectives (paper §2.1.1).
+//
+// Noise (internal/noise) freezes a rank's progress engine: whenever the
+// rank resumes from a wait, its continuation is pushed to the noise
+// availability horizon.
+package simmpi
+
+import (
+	"fmt"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+// World is a simulated communicator spanning all ranks of a platform.
+type World struct {
+	K    *sim.Kernel
+	Net  *netmodel.Net
+	Spec noise.Spec
+	// Trace, when non-nil, receives every point-to-point and compute
+	// event (see internal/trace).
+	Trace *trace.Buffer
+	ranks []*Comm
+}
+
+// NewWorld builds the per-rank endpoints for platform p with the given
+// noise law on kernel k.
+func NewWorld(k *sim.Kernel, p *netmodel.Platform, spec noise.Spec) *World {
+	w := &World{K: k, Net: netmodel.NewNet(k, p), Spec: spec}
+	n := p.Topo.Size()
+	w.ranks = make([]*Comm, n)
+	for r := 0; r < n; r++ {
+		w.ranks[r] = &Comm{w: w, rank: r, noiseSrc: spec.NewSource(r)}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Spawn starts one simulated process per rank running body. Call
+// Kernel.Run afterwards to execute the simulation.
+func (w *World) Spawn(body func(c *Comm)) {
+	for _, c := range w.ranks {
+		c := c
+		c.proc = w.K.Go(fmt.Sprintf("rank-%d", c.rank), func(p *sim.Proc) {
+			body(c)
+			if c.pendingOps != 0 {
+				panic(fmt.Sprintf("simmpi: rank %d finished with %d operations in flight", c.rank, c.pendingOps))
+			}
+		})
+	}
+}
+
+// Rank returns rank r's endpoint (for callers that need targeted setup).
+func (w *World) Rank(r int) *Comm { return w.ranks[r] }
+
+// envelope is a message (or its rendezvous RTS) at the receiver side.
+type envelope struct {
+	src int
+	tag comm.Tag
+	msg comm.Msg
+	rts *request // non-nil: rendezvous announcement; data not yet sent
+	seq uint64   // arrival order, for deterministic diagnostics
+}
+
+// request implements comm.Request.
+type request struct {
+	c      *Comm
+	isSend bool
+	done   bool
+	status comm.Status
+	cb     func(comm.Status)
+
+	// receive-side matching state
+	src   int
+	tag   comm.Tag
+	space comm.MemSpace
+}
+
+func (r *request) Test() (comm.Status, bool) { return r.status, r.done }
+func (r *request) IsSend() bool              { return r.isSend }
+
+// Comm is one simulated rank's endpoint. It implements comm.Comm and, on
+// GPU platforms, comm.DeviceComm.
+type Comm struct {
+	w    *World
+	rank int
+	proc *sim.Proc
+
+	posted     []*request  // receive queue, post order
+	unexpected []*envelope // arrived-unmatched queue, arrival order
+	arrivalSeq uint64
+
+	cbQueue        []*request // completed requests with callbacks to fire
+	completedCount uint64
+	pendingOps     int
+
+	busyUntil time.Duration
+	noiseSrc  *noise.Source
+}
+
+var _ comm.Comm = (*Comm)(nil)
+var _ comm.DeviceComm = (*Comm)(nil)
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.w.ranks) }
+
+// Now returns the rank's virtual clock.
+func (c *Comm) Now() time.Duration { return c.w.K.Now() }
+
+// noiseResume delays the rank to its noise availability horizon. Called
+// whenever the rank is about to continue executing after a wake-up.
+func (c *Comm) noiseResume() {
+	avail := c.noiseSrc.AvailableAt(c.proc.Now(), c.busyUntil)
+	c.busyUntil = avail
+	c.proc.SleepUntil(avail)
+}
+
+// complete marks req done and queues its callback on the owning rank.
+func (req *request) complete(st comm.Status) {
+	if req.done {
+		panic("simmpi: request completed twice")
+	}
+	req.done = true
+	req.status = st
+	c := req.c
+	if tb := c.w.Trace; tb != nil {
+		kind := trace.RecvDone
+		peer := st.Source
+		if req.isSend {
+			kind = trace.SendDone
+		}
+		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: kind,
+			Peer: peer, Tag: st.Tag, Size: st.Msg.Size})
+	}
+	c.completedCount++
+	c.pendingOps--
+	if req.cb != nil {
+		c.cbQueue = append(c.cbQueue, req)
+	}
+	c.proc.Unpark()
+}
+
+// drainCallbacks fires all queued callbacks on the caller's goroutine.
+func (c *Comm) drainCallbacks() int {
+	n := 0
+	for len(c.cbQueue) > 0 {
+		req := c.cbQueue[0]
+		c.cbQueue = c.cbQueue[1:]
+		cb := req.cb
+		req.cb = nil
+		cb(req.status)
+		n++
+	}
+	return n
+}
+
+// resolveSpace maps MemDefault to the platform's payload home.
+func (c *Comm) resolveSpace(s comm.MemSpace) comm.MemSpace { return c.w.Net.ResolveSpace(s) }
+
+// Isend starts a non-blocking send of msg to dst.
+func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("simmpi: send to rank %d of %d", dst, c.Size()))
+	}
+	req := &request{c: c, isSend: true}
+	c.pendingOps++
+	d := c.w.ranks[dst]
+	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
+	if tb := c.w.Trace; tb != nil {
+		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
+			Peer: dst, Tag: tag, Size: msg.Size})
+	}
+	if msg.Size <= c.w.Net.P.EagerLimit {
+		// Eager: ship the payload now; sender completes at first-hop end.
+		c.w.Net.StartTransfer(c.rank, dst, msg.Size, msg.Space,
+			func() { req.complete(st) },
+			func() { d.arrive(&envelope{src: c.rank, tag: tag, msg: msg}) })
+		return req
+	}
+	// Rendezvous: announce via RTS; data moves once the receiver matches.
+	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
+	c.w.K.Schedule(rtsDelay, func() {
+		d.arrive(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	})
+	return req
+}
+
+// Irecv posts a non-blocking receive matching (src, tag) into the rank's
+// default memory space.
+func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
+	return c.IrecvIn(src, tag, comm.MemDefault)
+}
+
+// IrecvIn posts a non-blocking receive whose buffer lives in the given
+// memory space (the §4.1 staging optimization receives GPU-bound traffic
+// into an explicit host buffer).
+func (c *Comm) IrecvIn(src int, tag comm.Tag, space comm.MemSpace) comm.Request {
+	req := &request{c: c, src: src, tag: tag, space: space}
+	c.pendingOps++
+	if tb := c.w.Trace; tb != nil {
+		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.RecvPost,
+			Peer: src, Tag: tag})
+	}
+	// Unexpected queue first (MPI matching order).
+	for i, env := range c.unexpected {
+		if req.matches(env) {
+			c.unexpected = append(c.unexpected[:i:i], c.unexpected[i+1:]...)
+			c.deliverMatched(req, env, true)
+			return req
+		}
+	}
+	c.posted = append(c.posted, req)
+	return req
+}
+
+func (req *request) matches(env *envelope) bool {
+	return (req.src == comm.AnySource || req.src == env.src) && req.tag.Matches(env.tag)
+}
+
+// arrive processes a payload or RTS reaching this rank's host boundary.
+// Runs in kernel event context.
+func (c *Comm) arrive(env *envelope) {
+	c.arrivalSeq++
+	env.seq = c.arrivalSeq
+	for i, req := range c.posted {
+		if req.matches(env) {
+			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
+			c.deliverMatched(req, env, false)
+			return
+		}
+	}
+	c.unexpected = append(c.unexpected, env)
+	c.proc.Unpark() // wake a blocked Probe
+}
+
+// deliverMatched completes the (req, env) match. wasUnexpected indicates
+// the payload sat in the unexpected queue and must be copied out.
+func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
+	net := c.w.Net
+	st := comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg}
+	if env.rts != nil {
+		// Rendezvous: grant (CTS) travels back, then the data flies.
+		sender := env.rts
+		src := env.src
+		ctsDelay := net.ControlLatency(c.rank, src) + net.P.RndvAlpha
+		c.w.K.Schedule(ctsDelay, func() {
+			net.StartTransfer(src, c.rank, env.msg.Size, env.msg.Space,
+				func() { sender.complete(comm.Status{Source: src, Tag: env.tag, Msg: env.msg}) },
+				func() {
+					net.DeliverFrom(src, c.rank, env.msg.Size, req.space, func() { req.complete(st) })
+				})
+		})
+		return
+	}
+	// Eager payload already at the host boundary.
+	finish := func() {
+		net.DeliverFrom(env.src, c.rank, env.msg.Size, req.space, func() { req.complete(st) })
+	}
+	if wasUnexpected {
+		// Buffered copy-out penalty (paper §2.2.1: "memory allocation and
+		// data copying ... significant latency").
+		penalty := net.P.UnexpectedAlpha + net.P.CopyBw.Over(env.msg.Size)
+		c.w.K.Schedule(penalty, finish)
+		return
+	}
+	finish()
+}
+
+// Send performs a blocking send (Isend + Wait): for rendezvous sizes it
+// returns only after the receiver matched, the handshake that couples
+// blocking ranks together.
+func (c *Comm) Send(dst int, tag comm.Tag, msg comm.Msg) {
+	c.Wait(c.Isend(dst, tag, msg))
+}
+
+// Ssend performs a synchronous-mode send (MPI_Ssend): the rendezvous
+// handshake is forced regardless of size, so it returns only once the
+// receiver has matched.
+func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("simmpi: ssend to rank %d of %d", dst, c.Size()))
+	}
+	req := &request{c: c, isSend: true}
+	c.pendingOps++
+	d := c.w.ranks[dst]
+	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
+	c.w.K.Schedule(rtsDelay, func() {
+		d.arrive(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	})
+	c.Wait(req)
+}
+
+// Iprobe reports whether a matching message (or rendezvous announcement)
+// has arrived without consuming it.
+func (c *Comm) Iprobe(src int, tag comm.Tag) (comm.Status, bool) {
+	probe := &request{c: c, src: src, tag: tag}
+	for _, env := range c.unexpected {
+		if probe.matches(env) {
+			return comm.Status{Source: env.src, Tag: env.tag,
+				Msg: comm.Msg{Size: env.msg.Size, Space: env.msg.Space}}, true
+		}
+	}
+	return comm.Status{}, false
+}
+
+// Probe blocks until a matching message is available, leaving it queued.
+func (c *Comm) Probe(src int, tag comm.Tag) comm.Status {
+	for {
+		if st, ok := c.Iprobe(src, tag); ok {
+			return st
+		}
+		c.proc.Park()
+		c.noiseResume()
+	}
+}
+
+// Recv performs a blocking receive.
+func (c *Comm) Recv(src int, tag comm.Tag) comm.Status {
+	return c.Wait(c.Irecv(src, tag))
+}
+
+// Wait blocks until r completes, firing ready callbacks meanwhile.
+func (c *Comm) Wait(r comm.Request) comm.Status {
+	req := r.(*request)
+	for {
+		c.drainCallbacks()
+		if req.done {
+			return req.status
+		}
+		c.proc.Park()
+		c.noiseResume()
+	}
+}
+
+// WaitAll blocks until every request completes. nil entries (inactive
+// handles, as with MPI_REQUEST_NULL) are skipped.
+func (c *Comm) WaitAll(rs []comm.Request) {
+	for {
+		c.drainCallbacks()
+		alldone := true
+		for _, r := range rs {
+			if r == nil {
+				continue
+			}
+			if _, ok := r.Test(); !ok {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			return
+		}
+		c.proc.Park()
+		c.noiseResume()
+	}
+}
+
+// WaitAny blocks until some request completes and returns its index.
+// nil entries are inactive and skipped; at least one entry must be live.
+func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
+	live := false
+	for _, r := range rs {
+		if r != nil {
+			live = true
+			break
+		}
+	}
+	if !live {
+		panic("simmpi: WaitAny with no live request")
+	}
+	for {
+		c.drainCallbacks()
+		for i, r := range rs {
+			if r == nil {
+				continue
+			}
+			if st, ok := r.Test(); ok {
+				return i, st
+			}
+		}
+		c.proc.Park()
+		c.noiseResume()
+	}
+}
+
+// OnComplete attaches fn to r; it fires from Progress/Wait on this rank.
+func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) {
+	req := r.(*request)
+	if req.c != c {
+		panic("simmpi: OnComplete on foreign request")
+	}
+	if req.cb != nil {
+		panic("simmpi: request already has a callback")
+	}
+	if req.done {
+		req.cb = fn
+		c.cbQueue = append(c.cbQueue, req)
+		return
+	}
+	req.cb = fn
+}
+
+// Progress blocks until at least one completion is processed, fires ready
+// callbacks, and returns.
+func (c *Comm) Progress() {
+	start := c.completedCount
+	for {
+		if c.drainCallbacks() > 0 || c.completedCount > start {
+			return
+		}
+		if c.pendingOps == 0 {
+			panic(fmt.Sprintf("simmpi: rank %d progressing with no operation in flight", c.rank))
+		}
+		c.proc.Park()
+		c.noiseResume()
+	}
+}
+
+// TryProgress fires ready callbacks without blocking.
+func (c *Comm) TryProgress() bool {
+	return c.drainCallbacks() > 0
+}
+
+// Compute charges n bytes of blocking local work to this rank.
+func (c *Comm) Compute(n int, kind comm.ComputeKind) {
+	c.ComputeFor(c.w.Net.CPUCost(n, kind))
+}
+
+// ComputeFor charges an explicit blocking local-work duration.
+func (c *Comm) ComputeFor(d time.Duration) {
+	if tb := c.w.Trace; tb != nil {
+		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.Compute,
+			Peer: -1, Dur: d})
+	}
+	c.noiseResume()
+	c.proc.Sleep(d)
+	c.busyUntil = c.proc.Now()
+}
+
+// DeviceReduce offloads an n-byte reduction to this rank's GPU (§4.2).
+func (c *Comm) DeviceReduce(n int) comm.Request {
+	req := &request{c: c, isSend: true}
+	c.pendingOps++
+	c.w.Net.GPUReduce(c.rank, n, func() { req.complete(comm.Status{Source: c.rank}) })
+	return req
+}
+
+// AsyncCopy starts an asynchronous host↔device copy (§4.1 staging flush).
+func (c *Comm) AsyncCopy(n int, from, to comm.MemSpace) comm.Request {
+	req := &request{c: c, isSend: true}
+	c.pendingOps++
+	c.w.Net.AsyncCopy(c.rank, n, from, to, func() { req.complete(comm.Status{Source: c.rank}) })
+	return req
+}
+
+// DefaultSpace reports where this rank's payloads live.
+func (c *Comm) DefaultSpace() comm.MemSpace { return c.resolveSpace(comm.MemDefault) }

@@ -1,0 +1,454 @@
+package simmpi
+
+import (
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/trace"
+)
+
+// run spins up a world on Cori(nodes) and runs body on every rank.
+func run(t *testing.T, p *netmodel.Platform, spec noise.Spec, body func(c *Comm)) time.Duration {
+	t.Helper()
+	k := sim.New()
+	w := NewWorld(k, p, spec)
+	w.Spawn(body)
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("simulation deadlocked: %v", err)
+	}
+	return end
+}
+
+func tag(seg int) comm.Tag { return comm.MakeTag(comm.KindP2P, 0, seg) }
+
+func TestEagerSendRecv(t *testing.T) {
+	payload := []byte("hello, rank one")
+	var got []byte
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Bytes(payload))
+		case 1:
+			st := c.Recv(0, tag(0))
+			got = st.Msg.Data
+			if st.Source != 0 || st.Tag != tag(0) {
+				t.Errorf("status = %+v", st)
+			}
+		}
+	})
+	if string(got) != string(payload) {
+		t.Fatalf("got %q, want %q", got, payload)
+	}
+}
+
+func TestRendezvousSendRecv(t *testing.T) {
+	// 1 MB > eager limit → rendezvous path.
+	var got comm.Status
+	end := run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Sized(1*netmodel.MB))
+		case 1:
+			got = c.Recv(0, tag(0))
+		}
+	})
+	if got.Msg.Size != 1*netmodel.MB {
+		t.Fatalf("received %d bytes", got.Msg.Size)
+	}
+	p := netmodel.Cori(1)
+	min := p.ShmBw.Over(1 * netmodel.MB) // at least the serialization time
+	if end < min {
+		t.Fatalf("end %v < pure serialization %v", end, min)
+	}
+}
+
+// A blocking rendezvous send must not complete before the receiver posts.
+func TestRendezvousCouplesSenderToReceiver(t *testing.T) {
+	var sendDone, recvPosted time.Duration
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Sized(1*netmodel.MB))
+			sendDone = c.Now()
+		case 1:
+			c.ComputeFor(5 * time.Millisecond) // receiver is late
+			recvPosted = c.Now()
+			c.Recv(0, tag(0))
+		}
+	})
+	if sendDone < recvPosted {
+		t.Fatalf("blocking send completed at %v before receiver posted at %v", sendDone, recvPosted)
+	}
+}
+
+// An eager send completes regardless of the receiver being late.
+func TestEagerDecouplesSender(t *testing.T) {
+	var sendDone time.Duration
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Sized(4*netmodel.KB))
+			sendDone = c.Now()
+		case 1:
+			c.ComputeFor(5 * time.Millisecond)
+			c.Recv(0, tag(0))
+		}
+	})
+	if sendDone >= 5*time.Millisecond {
+		t.Fatalf("eager send stalled until receiver: %v", sendDone)
+	}
+}
+
+// An unexpected eager message costs extra at match time.
+func TestUnexpectedMessagePenalty(t *testing.T) {
+	// Compare wait time from Irecv post to completion with and without
+	// the message landing in the unexpected queue first.
+	var expected, unexpected time.Duration
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Sized(8*netmodel.KB))
+		case 1:
+			c.ComputeFor(2 * time.Millisecond) // message lands while busy
+			post := c.Now()
+			c.Wait(c.Irecv(0, tag(0)))
+			unexpected = c.Now() - post
+		}
+	})
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.ComputeFor(2 * time.Millisecond)
+			c.Send(1, tag(0), comm.Sized(8*netmodel.KB))
+		case 1:
+			post := c.Now()
+			c.Wait(c.Irecv(0, tag(0)))
+			expected = c.Now() - post - 2*time.Millisecond // sender started late
+		}
+	})
+	if unexpected <= expected {
+		t.Fatalf("unexpected path (%v) must cost more than pre-posted path (%v)", unexpected, expected)
+	}
+}
+
+func TestWildcardRecv(t *testing.T) {
+	var from int
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 3:
+			c.Send(0, tag(7), comm.Bytes([]byte{42}))
+		case 0:
+			st := c.Recv(comm.AnySource, comm.AnyTag)
+			from = st.Source
+			if st.Tag != tag(7) {
+				t.Errorf("tag = %v", st.Tag)
+			}
+		}
+	})
+	if from != 3 {
+		t.Fatalf("source = %d, want 3", from)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// Messages match by tag, not arrival order.
+	var order []int
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(1), comm.Bytes([]byte{1}))
+			c.Send(1, tag(2), comm.Bytes([]byte{2}))
+		case 1:
+			st2 := c.Recv(0, tag(2))
+			st1 := c.Recv(0, tag(1))
+			order = append(order, int(st2.Msg.Data[0]), int(st1.Msg.Data[0]))
+		}
+	})
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWaitAnyAndWaitAll(t *testing.T) {
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			rs := []comm.Request{
+				c.Irecv(1, tag(0)),
+				c.Irecv(2, tag(0)),
+				c.Irecv(3, tag(0)),
+			}
+			got := map[int]bool{}
+			for n := 0; n < len(rs); n++ {
+				i, st := c.WaitAny(rs)
+				if got[i] {
+					t.Errorf("WaitAny returned index %d twice", i)
+				}
+				if st.Source != i+1 {
+					t.Errorf("request %d completed from source %d", i, st.Source)
+				}
+				got[i] = true
+				rs[i] = nil // deactivate, MPI_REQUEST_NULL style
+			}
+		case 1, 2, 3:
+			c.ComputeFor(time.Duration(c.Rank()) * time.Millisecond)
+			c.Send(0, tag(0), comm.Bytes([]byte{byte(c.Rank())}))
+		default:
+			// idle ranks
+		}
+	})
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			var rs []comm.Request
+			for p := 1; p <= 3; p++ {
+				rs = append(rs, c.Isend(p, tag(0), comm.Sized(64*netmodel.KB)))
+			}
+			c.WaitAll(rs)
+		case 1, 2, 3:
+			c.Recv(0, tag(0))
+		}
+	})
+}
+
+func TestOnCompleteCallbackChain(t *testing.T) {
+	// Root streams 5 segments to rank 1 keeping 2 in flight, re-posting
+	// from the completion callback — the ADAPT building block (Alg. 3).
+	const segs = 5
+	var recvd int
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			next := 2
+			inflight := 2
+			var post func(st comm.Status)
+			post = func(st comm.Status) {
+				inflight--
+				if next < segs {
+					r := c.Isend(1, tag(next), comm.Sized(64*netmodel.KB))
+					next++
+					inflight++
+					c.OnComplete(r, post)
+				}
+			}
+			for i := 0; i < 2; i++ {
+				r := c.Isend(1, tag(i), comm.Sized(64*netmodel.KB))
+				c.OnComplete(r, post)
+			}
+			for inflight > 0 {
+				c.Progress()
+			}
+		case 1:
+			for i := 0; i < segs; i++ {
+				c.Recv(0, tag(i))
+				recvd++
+			}
+		}
+	})
+	if recvd != segs {
+		t.Fatalf("received %d segments, want %d", recvd, segs)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		r := c.Irecv(0, tag(0))
+		c.Send(0, tag(0), comm.Bytes([]byte{9}))
+		st := c.Wait(r)
+		if st.Msg.Data[0] != 9 {
+			t.Errorf("self-send payload %v", st.Msg.Data)
+		}
+	})
+}
+
+func TestNoiseSlowsExecution(t *testing.T) {
+	body := func(c *Comm) {
+		if c.Rank() >= 2 {
+			return
+		}
+		peer := 1 - c.Rank()
+		for i := 0; i < 50; i++ {
+			if c.Rank() == 0 {
+				c.Send(peer, tag(i), comm.Sized(64*netmodel.KB))
+				c.Recv(peer, tag(i))
+			} else {
+				c.Recv(peer, tag(i))
+				c.Send(peer, tag(i), comm.Sized(64*netmodel.KB))
+			}
+		}
+	}
+	quiet := run(t, netmodel.Cori(1), noise.None, body)
+	// The ping-pong lasts ~1.6ms, so use a high-frequency law (avg 25%)
+	// to guarantee several freezes land inside the run.
+	noisy := run(t, netmodel.Cori(1), noise.Uniform(5000, 100*time.Microsecond), body)
+	if noisy <= quiet {
+		t.Fatalf("noise did not slow the ping-pong: %v vs %v", noisy, quiet)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	body := func(c *Comm) {
+		if c.Rank() == 0 {
+			for p := 1; p < c.Size(); p++ {
+				c.Send(p, tag(0), comm.Sized(256*netmodel.KB))
+			}
+		} else {
+			c.Recv(0, tag(0))
+		}
+	}
+	t1 := run(t, netmodel.Cori(1), noise.Percent(5), body)
+	t2 := run(t, netmodel.Cori(1), noise.Percent(5), body)
+	if t1 != t2 {
+		t.Fatalf("non-deterministic: %v vs %v", t1, t2)
+	}
+}
+
+func TestDeviceCommOnGPU(t *testing.T) {
+	run(t, netmodel.PSG(1), noise.None, func(c *Comm) {
+		if c.DefaultSpace() != comm.MemDevice {
+			t.Errorf("rank %d default space %v", c.Rank(), c.DefaultSpace())
+		}
+		if c.Rank() != 0 {
+			return
+		}
+		r1 := c.DeviceReduce(1 * netmodel.MB)
+		r2 := c.AsyncCopy(1*netmodel.MB, comm.MemHost, comm.MemDevice)
+		c.WaitAll([]comm.Request{r1, r2})
+	})
+}
+
+// GPU staging: receiving into host space must complete strictly earlier
+// than receiving into device space (skips the PCIe delivery hop).
+func TestHostSpaceRecvSkipsPCIe(t *testing.T) {
+	recvEnd := func(space comm.MemSpace) time.Duration {
+		var end time.Duration
+		run(t, netmodel.PSG(2), noise.None, func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				c.Send(4, tag(0), comm.Sized(8*netmodel.MB)) // cross-node
+			case 4:
+				c.Wait(c.IrecvIn(0, tag(0), space))
+				end = c.Now()
+			}
+		})
+		return end
+	}
+	host := recvEnd(comm.MemHost)
+	dev := recvEnd(comm.MemDevice)
+	if host >= dev {
+		t.Fatalf("host-space recv (%v) must beat device-space recv (%v)", host, dev)
+	}
+}
+
+func TestManyRanksBroadcastChainScale(t *testing.T) {
+	// 128 ranks hand a 256KB message down a chain; smoke-tests scale and
+	// that virtual time stays plausible.
+	p := netmodel.Cori(4) // 128 ranks
+	end := run(t, p, noise.None, func(c *Comm) {
+		r, n := c.Rank(), c.Size()
+		if r > 0 {
+			c.Recv(r-1, tag(0))
+		}
+		if r < n-1 {
+			c.Send(r+1, tag(0), comm.Sized(256*netmodel.KB))
+		}
+	})
+	if end <= 0 || end > time.Second {
+		t.Fatalf("implausible chain time %v", end)
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	k := sim.New()
+	w := NewWorld(k, netmodel.Cori(1), noise.None)
+	w.Trace = &trace.Buffer{}
+	w.Spawn(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag(0), comm.Sized(64*netmodel.KB))
+			c.ComputeFor(time.Millisecond)
+		case 1:
+			c.Recv(0, tag(0))
+		}
+	})
+	k.MustRun()
+	s := w.Trace.Summarize()
+	if s.ByKind[trace.SendPost] != 1 || s.ByKind[trace.SendDone] != 1 ||
+		s.ByKind[trace.RecvPost] != 1 || s.ByKind[trace.RecvDone] != 1 ||
+		s.ByKind[trace.Compute] != 1 {
+		t.Fatalf("unexpected event mix: %+v", s.ByKind)
+	}
+	if s.BytesSent[0] != 64*netmodel.KB {
+		t.Fatalf("bytes sent = %d", s.BytesSent[0])
+	}
+}
+
+func TestTryProgressSim(t *testing.T) {
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			if c.TryProgress() {
+				t.Error("TryProgress with nothing pending should report false")
+			}
+			r := c.Isend(1, tag(0), comm.Sized(1*netmodel.KB))
+			fired := false
+			c.OnComplete(r, func(comm.Status) { fired = true })
+			// Completion needs virtual time to pass; alternate compute
+			// slices with pokes, the application-driven-progress pattern.
+			for i := 0; i < 100 && !fired; i++ {
+				c.ComputeFor(10 * time.Microsecond)
+				c.TryProgress()
+			}
+			if !fired {
+				c.Progress() // fall back; must fire now or panic usefully
+			}
+			if !fired {
+				t.Error("callback never fired")
+			}
+		case 1:
+			c.Recv(0, tag(0))
+		}
+	})
+}
+
+func TestSsendSynchronizesSim(t *testing.T) {
+	var sendDone, recvPosted time.Duration
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Ssend(1, tag(0), comm.Sized(64)) // eager-sized, still synchronous
+			sendDone = c.Now()
+		case 1:
+			c.ComputeFor(3 * time.Millisecond)
+			recvPosted = c.Now()
+			c.Recv(0, tag(0))
+		}
+	})
+	if sendDone < recvPosted {
+		t.Fatalf("Ssend done at %v before recv posted at %v", sendDone, recvPosted)
+	}
+}
+
+func TestProbeSim(t *testing.T) {
+	run(t, netmodel.Cori(1), noise.None, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.ComputeFor(time.Millisecond)
+			c.Send(1, tag(5), comm.Sized(4*netmodel.KB))
+		case 1:
+			st := c.Probe(comm.AnySource, comm.AnyTag)
+			if st.Source != 0 || st.Tag != tag(5) || st.Msg.Size != 4*netmodel.KB {
+				t.Errorf("probe = %+v", st)
+			}
+			c.Recv(0, tag(5))
+		}
+	})
+}

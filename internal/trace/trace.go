@@ -1,0 +1,190 @@
+// Package trace captures per-rank communication events from the
+// simulated runtime and renders summaries and text timelines — the
+// debugging lens for questions like "which lane stalls the pipeline" or
+// "how much do the levels of the topology-aware tree actually overlap"
+// (paper §3.2.2).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+const (
+	// SendPost: a non-blocking send was posted.
+	SendPost Kind = iota
+	// SendDone: a send completed (buffer reusable).
+	SendDone
+	// RecvPost: a non-blocking receive was posted.
+	RecvPost
+	// RecvDone: a receive completed (payload delivered).
+	RecvDone
+	// Compute: blocking local work was charged (At..At+Dur).
+	Compute
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SendPost:
+		return "send-post"
+	case SendDone:
+		return "send-done"
+	case RecvPost:
+		return "recv-post"
+	case RecvDone:
+		return "recv-done"
+	case Compute:
+		return "compute"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one traced event.
+type Record struct {
+	At   time.Duration
+	Dur  time.Duration // Compute only
+	Rank int
+	Kind Kind
+	Peer int // counterpart rank; -1 for Compute
+	Tag  comm.Tag
+	Size int
+}
+
+// Buffer accumulates events. It is single-writer by construction (the
+// simulator is single-threaded); Cap bounds memory for long runs (0 = no
+// bound; when full, further events are dropped and counted).
+type Buffer struct {
+	Cap     int
+	Records []Record
+	Dropped int
+}
+
+// Add appends one event.
+func (b *Buffer) Add(r Record) {
+	if b.Cap > 0 && len(b.Records) >= b.Cap {
+		b.Dropped++
+		return
+	}
+	b.Records = append(b.Records, r)
+}
+
+// Rank filters the buffer down to one rank's events (in time order —
+// the simulator emits them ordered).
+func (b *Buffer) Rank(rank int) []Record {
+	var out []Record
+	for _, r := range b.Records {
+		if r.Rank == rank {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary aggregates the buffer.
+type Summary struct {
+	Events      int
+	ByKind      map[Kind]int
+	BytesSent   map[int]int // per rank, at SendPost
+	ComputeTime map[int]time.Duration
+	Span        time.Duration // last event time
+}
+
+// Summarize computes aggregate statistics.
+func (b *Buffer) Summarize() Summary {
+	s := Summary{
+		ByKind:      map[Kind]int{},
+		BytesSent:   map[int]int{},
+		ComputeTime: map[int]time.Duration{},
+	}
+	for _, r := range b.Records {
+		s.Events++
+		s.ByKind[r.Kind]++
+		if r.Kind == SendPost {
+			s.BytesSent[r.Rank] += r.Size
+		}
+		if r.Kind == Compute {
+			s.ComputeTime[r.Rank] += r.Dur
+		}
+		if end := r.At + r.Dur; end > s.Span {
+			s.Span = end
+		}
+	}
+	return s
+}
+
+// Fprint writes the summary as text.
+func (s Summary) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events over %v\n", s.Events, s.Span.Round(time.Microsecond))
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-10s %d\n", k, s.ByKind[k])
+	}
+}
+
+// Timeline renders a per-rank activity strip: the time axis is split
+// into `cols` buckets; each cell shows the dominant activity in that
+// bucket — 'S' send completions, 'R' receive completions, 'C' compute,
+// '·' idle. A quick visual answer to "do the lanes overlap?".
+func (b *Buffer) Timeline(w io.Writer, ranks []int, cols int) {
+	if cols <= 0 || len(b.Records) == 0 {
+		return
+	}
+	span := b.Summarize().Span
+	if span == 0 {
+		return
+	}
+	bucket := func(at time.Duration) int {
+		i := int(int64(at) * int64(cols) / int64(span))
+		if i >= cols {
+			i = cols - 1
+		}
+		return i
+	}
+	for _, rank := range ranks {
+		cells := make([]byte, cols)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		score := make([]int, cols) // precedence: compute < recv < send
+		for _, r := range b.Records {
+			if r.Rank != rank {
+				continue
+			}
+			var ch byte
+			var pr int
+			switch r.Kind {
+			case Compute:
+				ch, pr = 'C', 1
+			case RecvDone:
+				ch, pr = 'R', 2
+			case SendDone:
+				ch, pr = 'S', 3
+			default:
+				continue
+			}
+			lo := bucket(r.At)
+			hi := lo
+			if r.Dur > 0 {
+				hi = bucket(r.At + r.Dur)
+			}
+			for i := lo; i <= hi && i < cols; i++ {
+				if pr > score[i] {
+					score[i] = pr
+					cells[i] = ch
+				}
+			}
+		}
+		fmt.Fprintf(w, "rank %4d |%s|\n", rank, cells)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(at int, rank int, k Kind, size int) Record {
+	return Record{At: time.Duration(at) * time.Microsecond, Rank: rank, Kind: k, Size: size}
+}
+
+func TestBufferCapAndDrops(t *testing.T) {
+	b := &Buffer{Cap: 2}
+	b.Add(rec(1, 0, SendPost, 10))
+	b.Add(rec(2, 0, SendDone, 10))
+	b.Add(rec(3, 0, RecvPost, 0))
+	if len(b.Records) != 2 || b.Dropped != 1 {
+		t.Fatalf("cap not enforced: %d records, %d dropped", len(b.Records), b.Dropped)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := &Buffer{}
+	b.Add(rec(1, 0, SendPost, 100))
+	b.Add(rec(2, 0, SendDone, 100))
+	b.Add(rec(3, 1, RecvDone, 100))
+	b.Add(Record{At: 4 * time.Microsecond, Rank: 1, Kind: Compute, Dur: 6 * time.Microsecond, Peer: -1})
+	s := b.Summarize()
+	if s.Events != 4 || s.ByKind[SendPost] != 1 || s.BytesSent[0] != 100 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.ComputeTime[1] != 6*time.Microsecond {
+		t.Fatalf("compute time %v", s.ComputeTime[1])
+	}
+	if s.Span != 10*time.Microsecond {
+		t.Fatalf("span %v, want 10µs (compute end)", s.Span)
+	}
+	var buf bytes.Buffer
+	s.Fprint(&buf)
+	if !strings.Contains(buf.String(), "send-post") {
+		t.Fatalf("summary print missing kinds:\n%s", buf.String())
+	}
+}
+
+func TestRankFilter(t *testing.T) {
+	b := &Buffer{}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < r+1; i++ {
+			b.Add(rec(i, r, SendDone, 1))
+		}
+	}
+	if got := len(b.Rank(2)); got != 3 {
+		t.Fatalf("rank 2 has %d records, want 3", got)
+	}
+	if got := len(b.Rank(9)); got != 0 {
+		t.Fatalf("rank 9 has %d records, want 0", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	b := &Buffer{}
+	b.Add(rec(0, 0, SendDone, 1))
+	b.Add(rec(99, 0, RecvDone, 1))
+	b.Add(Record{At: 50 * time.Microsecond, Rank: 1, Kind: Compute, Dur: 49 * time.Microsecond, Peer: -1})
+	var buf bytes.Buffer
+	b.Timeline(&buf, []int{0, 1}, 10)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "rank    0 |S") {
+		t.Fatalf("rank 0 strip should start with a send: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "R|") {
+		t.Fatalf("rank 0 strip should end with a recv: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "C") {
+		t.Fatalf("rank 1 strip should show compute: %q", lines[1])
+	}
+	// Empty/degenerate calls must not panic.
+	(&Buffer{}).Timeline(&buf, []int{0}, 10)
+	b.Timeline(&buf, nil, 0)
+}

@@ -1,0 +1,187 @@
+package trees
+
+import "fmt"
+
+// A Builder constructs a tree over `size` ranks rooted at `root`.
+type Builder struct {
+	Name  string
+	Build func(size, root int) *Tree
+}
+
+func checkArgs(size, root int) {
+	if size <= 0 {
+		panic(fmt.Sprintf("trees: non-positive size %d", size))
+	}
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("trees: root %d out of range [0,%d)", root, size))
+	}
+}
+
+// buildVirtual assembles a tree from virtual-rank parent/children
+// generators. Virtual rank 0 is the root; actual = (virtual+root) mod size.
+func buildVirtual(size, root int, vparent func(v int) int, vchildren func(v int) []int) *Tree {
+	checkArgs(size, root)
+	parent := make([]int, size)
+	children := make([][]int, size)
+	for v := 0; v < size; v++ {
+		r := shift(size, root, v)
+		if v == 0 {
+			parent[r] = -1
+		} else {
+			parent[r] = shift(size, root, vparent(v))
+		}
+		vcs := vchildren(v)
+		if len(vcs) > 0 {
+			cs := make([]int, len(vcs))
+			for i, vc := range vcs {
+				cs[i] = shift(size, root, vc)
+			}
+			children[r] = cs
+		}
+	}
+	return &Tree{Root: root, Parent: parent, Children: children}
+}
+
+// Chain builds a pipeline chain root → next → ... Used by ADAPT for every
+// topology level in the paper's strong-scaling runs (§5.2.1): the chain's
+// pipelined cost (P + ns − 2)(α + βm) is independent of P once ns ≫ P.
+func Chain(size, root int) *Tree {
+	return buildVirtual(size, root,
+		func(v int) int { return v - 1 },
+		func(v int) []int {
+			if v+1 < size {
+				return []int{v + 1}
+			}
+			return nil
+		})
+}
+
+// Binary builds a complete binary tree (k-ary with k = 2).
+func Binary(size, root int) *Tree { return Kary(2)(size, root) }
+
+// Kary returns a builder for complete k-ary trees: vrank v's children are
+// k·v+1 … k·v+k.
+func Kary(k int) func(size, root int) *Tree {
+	if k < 1 {
+		panic(fmt.Sprintf("trees: k-ary radix %d < 1", k))
+	}
+	return func(size, root int) *Tree {
+		return buildVirtual(size, root,
+			func(v int) int { return (v - 1) / k },
+			func(v int) []int {
+				var cs []int
+				for i := 1; i <= k; i++ {
+					if c := k*v + i; c < size {
+						cs = append(cs, c)
+					}
+				}
+				return cs
+			})
+	}
+}
+
+// Binomial builds a binomial tree (k-nomial with k = 2).
+func Binomial(size, root int) *Tree { return Knomial(2)(size, root) }
+
+// lowestDigitPow returns k^j where j is the position of v's lowest nonzero
+// base-k digit. v must be positive.
+func lowestDigitPow(v, k int) int {
+	pow := 1
+	for (v/pow)%k == 0 {
+		pow *= k
+	}
+	return pow
+}
+
+// Knomial returns a builder for k-nomial trees (radix k ≥ 2). The parent
+// of vrank v is v with its lowest nonzero base-k digit cleared; children
+// v + d·k^j (j below that digit, d ∈ [1,k)) are emitted largest-stride
+// first so the biggest subtrees start earliest — the classic ordering that
+// minimizes completion time.
+func Knomial(k int) func(size, root int) *Tree {
+	if k < 2 {
+		panic(fmt.Sprintf("trees: k-nomial radix %d < 2", k))
+	}
+	return func(size, root int) *Tree {
+		return buildVirtual(size, root,
+			func(v int) int {
+				pow := lowestDigitPow(v, k)
+				return v - (v/pow)%k*pow
+			},
+			func(v int) []int {
+				// Children strides are k^j strictly below v's lowest
+				// nonzero digit; for the root every stride ≤ size applies.
+				limit := size
+				if v != 0 {
+					limit = lowestDigitPow(v, k)
+				}
+				maxPow := 1
+				for maxPow*k <= size {
+					maxPow *= k
+				}
+				var cs []int
+				for pow := maxPow; pow >= 1; pow /= k {
+					if v != 0 && pow >= limit {
+						continue
+					}
+					for d := 1; d < k; d++ {
+						if c := v + d*pow; c < size {
+							cs = append(cs, c)
+						}
+					}
+				}
+				return cs
+			})
+	}
+}
+
+// Flat builds a star: every non-root rank is a direct child of the root.
+func Flat(size, root int) *Tree {
+	return buildVirtual(size, root,
+		func(v int) int { return 0 },
+		func(v int) []int {
+			if v != 0 {
+				return nil
+			}
+			cs := make([]int, 0, size-1)
+			for c := 1; c < size; c++ {
+				cs = append(cs, c)
+			}
+			return cs
+		})
+}
+
+// ByName returns the named builder, for CLI flag parsing.
+func ByName(name string) (Builder, error) {
+	switch name {
+	case "chain":
+		return Builder{"chain", Chain}, nil
+	case "binary":
+		return Builder{"binary", Binary}, nil
+	case "binomial":
+		return Builder{"binomial", Binomial}, nil
+	case "4-nomial", "knomial4":
+		return Builder{"4-nomial", Knomial(4)}, nil
+	case "8-nomial", "knomial8":
+		return Builder{"8-nomial", Knomial(8)}, nil
+	case "4-ary", "kary4":
+		return Builder{"4-ary", Kary(4)}, nil
+	case "flat":
+		return Builder{"flat", Flat}, nil
+	default:
+		return Builder{}, fmt.Errorf("trees: unknown builder %q", name)
+	}
+}
+
+// Builders returns every named builder, for exhaustive tests.
+func Builders() []Builder {
+	return []Builder{
+		{"chain", Chain},
+		{"binary", Binary},
+		{"binomial", Binomial},
+		{"4-nomial", Knomial(4)},
+		{"8-nomial", Knomial(8)},
+		{"4-ary", Kary(4)},
+		{"flat", Flat},
+	}
+}

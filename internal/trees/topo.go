@@ -1,0 +1,126 @@
+package trees
+
+import (
+	"fmt"
+
+	"adapt/internal/hwloc"
+)
+
+// TopoConfig selects the tree algorithm used at each hardware level of the
+// topology-aware tree (paper §3.2.1: "processes within different groups
+// can communicate using a different pattern").
+type TopoConfig struct {
+	InterNode   Builder // over node leaders (NIC lane)
+	InterSocket Builder // over socket leaders within a node (QPI lane)
+	IntraSocket Builder // over ranks within a socket (shared-memory lane)
+}
+
+// ChainConfig is the all-chain configuration OMPI-adapt uses in the
+// paper's strong-scaling experiments (§5.2.1).
+func ChainConfig() TopoConfig {
+	c := Builder{"chain", Chain}
+	return TopoConfig{InterNode: c, InterSocket: c, IntraSocket: c}
+}
+
+// Topology builds the single-communicator topology-aware tree of §3.2.1:
+// ranks are grouped bottom-up (socket, node); each group gets its own
+// sub-tree rooted at a leader; the leader "glues" the group into the
+// upper level's sub-tree, exactly like P4 glues its socket chain into the
+// node-level chain in the paper's Figure 5.
+//
+// Leaders: the node leader of the root's node is the root itself, so the
+// root is the overall tree root; the socket leader of a node leader's
+// socket is that node leader; all other leaders are the smallest rank in
+// their group. Every rank's children are ordered slowest lane first
+// (inter-node, then inter-socket, then intra-socket) so that transfers on
+// slow lanes are posted as early as possible and overlap with fast lanes.
+func Topology(topo *hwloc.Topology, root int, cfg TopoConfig) *Tree {
+	n := topo.Size()
+	checkArgs(n, root)
+	parent := make([]int, n)
+	for r := range parent {
+		parent[r] = -1
+	}
+	children := make([][]int, n)
+	glue := func(members []int, b Builder) {
+		if len(members) == 0 {
+			panic("trees: empty group")
+		}
+		if len(members) == 1 {
+			return
+		}
+		sub := b.Build(len(members), 0)
+		for p := 0; p < len(members); p++ {
+			for _, c := range sub.Children[p] {
+				child := members[c]
+				if parent[child] != -1 {
+					panic(fmt.Sprintf("trees: rank %d acquired two parents", child))
+				}
+				parent[child] = members[p]
+				children[members[p]] = append(children[members[p]], child)
+			}
+		}
+	}
+
+	rootPlace := topo.PlaceOf(root)
+
+	// Level 1: inter-node tree over node leaders, root's node first.
+	nodeLeader := make([]int, topo.Nodes)
+	for node := 0; node < topo.Nodes; node++ {
+		if node == rootPlace.Node {
+			nodeLeader[node] = root
+		} else {
+			nodeLeader[node] = topo.RanksOnNode(node)[0]
+		}
+	}
+	leaders := []int{nodeLeader[rootPlace.Node]}
+	for node := 0; node < topo.Nodes; node++ {
+		if node != rootPlace.Node {
+			leaders = append(leaders, nodeLeader[node])
+		}
+	}
+	glue(leaders, cfg.InterNode)
+
+	// Level 2: per node, inter-socket tree over socket leaders, rooted at
+	// the node leader (whose socket comes first).
+	socketLeader := make([][]int, topo.Nodes)
+	for node := 0; node < topo.Nodes; node++ {
+		lead := nodeLeader[node]
+		leadSocket := topo.PlaceOf(lead).Socket
+		socketLeader[node] = make([]int, topo.SocketsPerNode)
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			if s == leadSocket {
+				socketLeader[node][s] = lead
+			} else {
+				socketLeader[node][s] = topo.RanksOnSocket(node, s)[0]
+			}
+		}
+		members := []int{lead}
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			if s != leadSocket {
+				members = append(members, socketLeader[node][s])
+			}
+		}
+		glue(members, cfg.InterSocket)
+	}
+
+	// Level 3: per socket, intra-socket tree rooted at the socket leader.
+	for node := 0; node < topo.Nodes; node++ {
+		for s := 0; s < topo.SocketsPerNode; s++ {
+			lead := socketLeader[node][s]
+			members := []int{lead}
+			for _, r := range topo.RanksOnSocket(node, s) {
+				if r != lead {
+					members = append(members, r)
+				}
+			}
+			glue(members, cfg.IntraSocket)
+		}
+	}
+
+	t := &Tree{Root: root, Parent: parent, Children: children}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("trees: topology-aware tree invalid: %v", err))
+	}
+	return t
+}

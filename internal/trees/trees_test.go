@@ -1,0 +1,246 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adapt/internal/hwloc"
+)
+
+// Every builder must produce a valid spanning tree for every (size, root).
+func TestBuildersValidateQuick(t *testing.T) {
+	for _, b := range Builders() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			f := func(sizeSeed, rootSeed uint16) bool {
+				size := int(sizeSeed)%200 + 1
+				root := int(rootSeed) % size
+				tree := b.Build(size, root)
+				if tree.Root != root || tree.Size() != size {
+					return false
+				}
+				return tree.Validate() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	tree := Chain(5, 2)
+	// Virtual chain 0-1-2-3-4 shifted by root 2: 2→3→4→0→1.
+	wantParent := []int{4, 0, -1, 2, 3}
+	for r, p := range wantParent {
+		if tree.Parent[r] != p {
+			t.Errorf("Parent[%d] = %d, want %d", r, tree.Parent[r], p)
+		}
+	}
+	if tree.Depth() != 4 || tree.MaxDegree() != 1 {
+		t.Errorf("chain depth=%d maxdeg=%d, want 4,1", tree.Depth(), tree.MaxDegree())
+	}
+}
+
+func TestBinaryShape(t *testing.T) {
+	tree := Binary(7, 0)
+	want := [][]int{{1, 2}, {3, 4}, {5, 6}, nil, nil, nil, nil}
+	for r := range want {
+		if len(tree.Children[r]) != len(want[r]) {
+			t.Fatalf("children[%d] = %v, want %v", r, tree.Children[r], want[r])
+		}
+		for i := range want[r] {
+			if tree.Children[r][i] != want[r][i] {
+				t.Fatalf("children[%d] = %v, want %v", r, tree.Children[r], want[r])
+			}
+		}
+	}
+	if tree.Depth() != 2 {
+		t.Errorf("binary(7) depth = %d, want 2", tree.Depth())
+	}
+}
+
+func TestBinomialShape(t *testing.T) {
+	tree := Binomial(8, 0)
+	// Root's children largest stride first: 4, 2, 1.
+	got := tree.Children[0]
+	want := []int{4, 2, 1}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("binomial root children = %v, want %v", got, want)
+	}
+	if tree.Parent[6] != 4 || tree.Parent[5] != 4 || tree.Parent[7] != 6 {
+		t.Fatalf("binomial parents wrong: %v", tree.Parent)
+	}
+	if tree.Depth() != 3 {
+		t.Errorf("binomial(8) depth = %d, want 3", tree.Depth())
+	}
+}
+
+func TestBinomialDepthIsLogP(t *testing.T) {
+	for _, c := range []struct{ size, depth int }{{1, 0}, {2, 1}, {4, 2}, {16, 4}, {1024, 10}, {1000, 9}} {
+		tree := Binomial(c.size, 0)
+		if d := tree.Depth(); d != c.depth {
+			t.Errorf("binomial(%d) depth = %d, want %d", c.size, d, c.depth)
+		}
+	}
+}
+
+func TestKnomialDegreeBound(t *testing.T) {
+	// k-nomial root degree is (k-1)·ceil(log_k size).
+	tree := Knomial(4)(64, 0)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d != 3 {
+		t.Errorf("4-nomial(64) depth = %d, want 3", d)
+	}
+	if deg := len(tree.Children[0]); deg != 9 {
+		t.Errorf("4-nomial(64) root degree = %d, want 9", deg)
+	}
+}
+
+func TestFlatShape(t *testing.T) {
+	tree := Flat(6, 3)
+	if tree.Depth() != 1 || tree.MaxDegree() != 5 {
+		t.Fatalf("flat: depth=%d maxdeg=%d", tree.Depth(), tree.MaxDegree())
+	}
+	for r := 0; r < 6; r++ {
+		if r == 3 {
+			continue
+		}
+		if tree.Parent[r] != 3 {
+			t.Fatalf("flat parent[%d] = %d, want 3", r, tree.Parent[r])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tree := Binary(8, 0)
+	tree.Parent[5] = 0 // inconsistent with Children
+	if tree.Validate() == nil {
+		t.Fatal("Validate must reject inconsistent parent")
+	}
+	tree = Binary(8, 0)
+	tree.Children[3] = append(tree.Children[3], 1) // 1 gets two parents
+	if tree.Validate() == nil {
+		t.Fatal("Validate must reject duplicated child")
+	}
+	if (&Tree{Root: 0, Parent: []int{0}, Children: [][]int{nil}}).Validate() == nil {
+		t.Fatal("Validate must reject root with non -1 parent")
+	}
+}
+
+func TestTopologyTreeValid(t *testing.T) {
+	topo := hwloc.New(4, 2, 4) // 32 ranks
+	for _, root := range []int{0, 1, 7, 31} {
+		tree := Topology(topo, root, ChainConfig())
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if tree.Root != root {
+			t.Fatalf("root = %d, want %d", tree.Root, root)
+		}
+	}
+}
+
+func TestTopologyTreeChainStructure(t *testing.T) {
+	// Figure 5's machine: 3 nodes, 2 sockets, 4 cores; all-chain config.
+	topo := hwloc.New(3, 2, 4)
+	tree := Topology(topo, 0, ChainConfig())
+	// Node leaders are 0, 8, 16 and form a chain 0→8→16.
+	if tree.Parent[8] != 0 || tree.Parent[16] != 8 {
+		t.Fatalf("node-leader chain broken: parent[8]=%d parent[16]=%d", tree.Parent[8], tree.Parent[16])
+	}
+	// Socket leaders on node 0: rank 0 (socket 0) and rank 4 (socket 1);
+	// inter-socket chain 0→4; intra-socket chain 4→5→6→7.
+	if tree.Parent[4] != 0 {
+		t.Fatalf("socket leader 4 has parent %d, want 0", tree.Parent[4])
+	}
+	if tree.Parent[5] != 4 || tree.Parent[6] != 5 || tree.Parent[7] != 6 {
+		t.Fatalf("intra-socket chain broken on socket 1: %v", tree.Parent[:8])
+	}
+	// Rank 0's children must be ordered slowest lane first: inter-node (8),
+	// then inter-socket (4), then intra-socket (1).
+	cs := tree.Children[0]
+	if len(cs) != 3 || cs[0] != 8 || cs[1] != 4 || cs[2] != 1 {
+		t.Fatalf("root children = %v, want [8 4 1]", cs)
+	}
+}
+
+func TestTopologyTreeEdgeLevels(t *testing.T) {
+	// Each tree edge must stay within its level: an intra-socket edge must
+	// connect ranks on one socket, etc. Equivalently: a child is on a
+	// different node than its parent only if both are node leaders.
+	topo := hwloc.New(4, 2, 8)
+	cfg := TopoConfig{
+		InterNode:   Builder{"binomial", Binomial},
+		InterSocket: Builder{"chain", Chain},
+		IntraSocket: Builder{"binary", Binary},
+	}
+	tree := Topology(topo, 5, cfg)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.Size(); r++ {
+		p := tree.Parent[r]
+		if p == -1 {
+			continue
+		}
+		switch topo.LevelBetween(r, p) {
+		case hwloc.LevelNode:
+			// Both endpoints must be the smallest rank (or root) on their node.
+			for _, e := range []int{r, p} {
+				first := topo.RanksOnNode(topo.NodeOf(e))[0]
+				if e != first && e != 5 {
+					t.Fatalf("inter-node edge %d→%d touches non-leader %d", p, r, e)
+				}
+			}
+		case hwloc.LevelSocket:
+			if topo.NodeOf(r) != topo.NodeOf(p) {
+				t.Fatalf("inter-socket edge %d→%d crosses nodes", p, r)
+			}
+		}
+	}
+}
+
+func TestTopologyRootIsItsLeaders(t *testing.T) {
+	// The root must head its node and socket groups even when it is not
+	// the smallest rank there (paper: the broadcast root starts the data).
+	topo := hwloc.New(2, 2, 4)
+	tree := Topology(topo, 6, ChainConfig()) // rank 6: node 0, socket 1, core 2
+	if tree.Parent[6] != -1 {
+		t.Fatalf("root has parent %d", tree.Parent[6])
+	}
+	// Rank 0's socket (node 0 socket 0) leader must hang below rank 6.
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"chain", "binary", "binomial", "4-nomial", "4-ary", "flat"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tree := b.Build(17, 3); tree.Validate() != nil {
+			t.Fatalf("%s: invalid tree", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown builder")
+	}
+}
+
+func TestSingleRankTrees(t *testing.T) {
+	for _, b := range Builders() {
+		tree := b.Build(1, 0)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%s size 1: %v", b.Name, err)
+		}
+		if !tree.IsLeaf(0) || tree.Depth() != 0 {
+			t.Fatalf("%s size 1 should be a bare root", b.Name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package trees
+
+import "fmt"
+
+// Two-tree broadcast support (Sanders, Speck, Träff [31], cited in paper
+// §2.2.4 as one of the "advanced trees" ADAPT can plug in): the message
+// is split in half and each half flows down its own tree; the trees are
+// built so that a rank that is interior (forwarding, bandwidth-bound) in
+// one tree is a leaf (receive-only) in the other, so every rank's egress
+// carries roughly one message worth of bytes instead of two — the full-
+// bandwidth property a single binary tree lacks.
+
+// inorderBST returns parent/children links of a balanced BST over the
+// virtual labels [lo, hi], whose *inorder traversal* is lo..hi. Leaves
+// sit at even offsets from lo, interiors at odd offsets (for a perfect
+// range); the BST root is the range's midpoint.
+func inorderBST(lo, hi int, parent map[int]int, children map[int][]int) int {
+	mid := lo + (hi-lo)/2
+	if mid > lo {
+		l := inorderBST(lo, mid-1, parent, children)
+		parent[l] = mid
+		children[mid] = append(children[mid], l)
+	}
+	if mid < hi {
+		r := inorderBST(mid+1, hi, parent, children)
+		parent[r] = mid
+		children[mid] = append(children[mid], r)
+	}
+	return mid
+}
+
+// TwoTree builds the two spanning trees of the two-tree broadcast, both
+// rooted at `root`. The non-root ranks are relabeled 0..P−2; tree A is an
+// inorder-balanced BST over those labels, tree B the same BST over the
+// labels cyclically shifted by one, which swaps (most) leaf and interior
+// roles. The root feeds each BST's top directly.
+func TwoTree(size, root int) (a, b *Tree) {
+	checkArgs(size, root)
+	if size == 1 {
+		t := Chain(1, 0)
+		return t, t
+	}
+	// others[i] = actual rank of virtual label i, i in [0, size-1).
+	others := make([]int, 0, size-1)
+	for r := 0; r < size; r++ {
+		if r != root {
+			others = append(others, r)
+		}
+	}
+	build := func(shift int) *Tree {
+		parent := map[int]int{}
+		children := map[int][]int{}
+		top := inorderBST(0, len(others)-1, parent, children)
+		t := &Tree{
+			Root:     root,
+			Parent:   make([]int, size),
+			Children: make([][]int, size),
+		}
+		// Map a virtual label to an actual rank, applying the cyclic
+		// shift that differentiates the two trees.
+		rankOf := func(v int) int { return others[(v+shift)%len(others)] }
+		t.Parent[root] = -1
+		t.Children[root] = []int{rankOf(top)}
+		for v := range others {
+			r := rankOf(v)
+			if v == top {
+				t.Parent[r] = root
+			} else {
+				t.Parent[r] = rankOf(parent[v])
+			}
+			for _, cv := range children[v] {
+				t.Children[r] = append(t.Children[r], rankOf(cv))
+			}
+		}
+		if err := t.Validate(); err != nil {
+			panic(fmt.Sprintf("trees: two-tree invalid: %v", err))
+		}
+		return t
+	}
+	return build(0), build(1)
+}

@@ -1,0 +1,84 @@
+package trees
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTwoTreeValid(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 16, 33, 100} {
+		for _, root := range []int{0, size / 2, size - 1} {
+			a, b := TwoTree(size, root)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("size %d root %d: tree A: %v", size, root, err)
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatalf("size %d root %d: tree B: %v", size, root, err)
+			}
+			if a.Root != root || b.Root != root {
+				t.Fatalf("size %d: roots %d/%d, want %d", size, a.Root, b.Root, root)
+			}
+		}
+	}
+}
+
+func TestTwoTreeDegreeBound(t *testing.T) {
+	a, b := TwoTree(64, 0)
+	// BST interiors have ≤2 children; the root feeds one child per tree.
+	if a.MaxDegree() > 2 || b.MaxDegree() > 2 {
+		t.Fatalf("degrees %d/%d exceed binary", a.MaxDegree(), b.MaxDegree())
+	}
+	if len(a.Children[0]) != 1 || len(b.Children[0]) != 1 {
+		t.Fatal("root must feed exactly one child per tree")
+	}
+}
+
+func TestTwoTreeLeafInteriorComplement(t *testing.T) {
+	// The point of the construction: a rank forwarding in one tree should
+	// be (mostly) receive-only in the other, so per-rank egress stays
+	// near one message's worth. Check that the vast majority of non-root
+	// ranks are a leaf in at least one tree.
+	for _, size := range []int{17, 32, 65, 128} {
+		a, b := TwoTree(size, 0)
+		doubleInterior := 0
+		for r := 1; r < size; r++ {
+			if !a.IsLeaf(r) && !b.IsLeaf(r) {
+				doubleInterior++
+			}
+		}
+		if frac := float64(doubleInterior) / float64(size-1); frac > 0.15 {
+			t.Fatalf("size %d: %.0f%% of ranks interior in both trees", size, 100*frac)
+		}
+	}
+}
+
+func TestTwoTreeCombinedEgressBalanced(t *testing.T) {
+	// Summed over both trees, no rank should carry more than 3 child
+	// slots (2 in one tree + ≤1 in the other); a plain binary tree gives
+	// interior ranks 2 slots each carrying the FULL message (4 halves
+	// worth), while two-tree interiors carry ≤3 halves.
+	for _, size := range []int{31, 64, 200} {
+		a, b := TwoTree(size, 0)
+		for r := 1; r < size; r++ {
+			if n := len(a.Children[r]) + len(b.Children[r]); n > 3 {
+				t.Fatalf("size %d rank %d: %d combined child slots", size, r, n)
+			}
+		}
+	}
+}
+
+func TestTwoTreeSizeOne(t *testing.T) {
+	a, b := TwoTree(1, 0)
+	if a.Size() != 1 || b.Size() != 1 {
+		t.Fatal("degenerate two-tree wrong")
+	}
+}
+
+func ExampleTwoTree() {
+	a, b := TwoTree(8, 0)
+	fmt.Println("A:", a)
+	fmt.Println("B:", b)
+	// Output:
+	// A: Tree{root=0 size=8 depth=3 maxdeg=2}
+	// B: Tree{root=0 size=8 depth=3 maxdeg=2}
+}
