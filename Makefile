@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify test build race vet bench
+
+# Tier-1 gate: everything must build and every test must pass.
+verify:
+	$(GO) build ./... && $(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runtime and core packages host the real-goroutine substrate and the
+# event-driven collectives — the only places with cross-goroutine traffic.
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+# Microbenchmarks for the simulation kernel and segment-buffer pool;
+# writes BENCH_kernel.json for the perf trajectory.
+bench:
+	./scripts/bench.sh

@@ -5,7 +5,13 @@
 //
 //	adaptbench -exp fig9a                # one exhibit at full paper scale
 //	adaptbench -exp all -scale quick     # everything, reduced scale
+//	adaptbench -exp all -j 8             # cells on 8 workers, same output
+//	adaptbench -exp fig9a -cpuprofile cpu.pprof -perf
 //	adaptbench -list
+//
+// Independent experiment cells (library × noise × size points) each own a
+// private deterministic simulation kernel, so -j N runs them on N workers
+// with output bit-identical to -j 1.
 package main
 
 import (
@@ -17,24 +23,34 @@ import (
 	"strings"
 
 	"adapt/internal/bench"
+	"adapt/internal/perf"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "", "experiment id (fig7a..fig11b, table1, all)")
 	scale := flag.String("scale", "full", "full (paper scale) or quick")
 	out := flag.String("o", "", "write output to file instead of stdout")
 	csvDir := flag.String("csv", "", "additionally write one CSV per table into this directory")
+	jobs := flag.Int("j", bench.DefaultJobs(), "worker count for independent experiment cells (1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
+	perfStats := flag.Bool("perf", false, "print kernel/buffer-pool counters to stderr when done")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file when done")
+	traceFile := flag.String("trace", "", "write a Go execution trace to this file")
 	flag.Parse()
 
 	if *list {
 		ids := append(bench.Experiments(), bench.Extensions()...)
 		fmt.Println(strings.Join(append(ids, "all"), "\n"))
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "adaptbench: -exp required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	var s bench.Scale
 	switch *scale {
@@ -44,22 +60,40 @@ func main() {
 		s = bench.Quick()
 	default:
 		fmt.Fprintf(os.Stderr, "adaptbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuProfile != "" {
+		stop, err := perf.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *traceFile != "" {
+		stop, err := perf.StartTrace(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+		defer stop()
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adaptbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	tables, err := bench.RunTables(*exp, s)
+	tables, err := bench.RunTablesParallel(*exp, s, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaptbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, t := range tables {
 		t.Fprint(w)
@@ -67,19 +101,30 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "adaptbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "adaptbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			if err := t.WriteCSV(f); err != nil {
+				f.Close()
 				fmt.Fprintln(os.Stderr, "adaptbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			f.Close()
 		}
 	}
+	if *memProfile != "" {
+		if err := perf.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+	}
+	if *perfStats {
+		perf.Read().Fprint(os.Stderr)
+	}
+	return 0
 }

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/libmodel"
+	"adapt/internal/netmodel"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trace"
+)
+
+// fig7aSmallestCell runs fig7a's cheapest cell — the first CPU library's
+// noise-injected 4 MB broadcast on the Quick Cori machine, one warmup and
+// two timed reps — with a full event trace attached, and returns the
+// serialized virtual-time trajectory plus the kernel's final clock and
+// event count.
+func fig7aSmallestCell(t *testing.T) ([]byte, time.Duration, uint64) {
+	t.Helper()
+	s := Quick()
+	p := netmodel.Cori(s.CoriNodes)
+	lib := libmodel.CPULibraries(p)[0]
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, s.noiseSpec(5))
+	tb := &trace.Buffer{}
+	w.Trace = tb
+	w.Spawn(func(c *simmpi.Comm) {
+		for seq := 0; seq < 3; seq++ {
+			lib.Bcast(c, 0, comm.Sized(4*netmodel.MB), seq)
+		}
+	})
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range tb.Records {
+		fmt.Fprintf(&buf, "%d %d %d %d %d %d %d\n",
+			r.At, r.Dur, r.Rank, r.Kind, r.Peer, r.Tag, r.Size)
+	}
+	return buf.Bytes(), end, k.Dispatched()
+}
+
+// TestFig7aTrajectoryDeterminism: two runs of the same cell on fresh
+// kernels produce byte-identical virtual-time trajectories — the
+// guarantee the kernel rebuild (monomorphic heap, closure free-lists,
+// pooled buffers) must not disturb.
+func TestFig7aTrajectoryDeterminism(t *testing.T) {
+	tr1, end1, n1 := fig7aSmallestCell(t)
+	tr2, end2, n2 := fig7aSmallestCell(t)
+	if end1 != end2 || n1 != n2 {
+		t.Fatalf("runs diverged: (%v, %d events) vs (%v, %d events)", end1, n1, end2, n2)
+	}
+	if !bytes.Equal(tr1, tr2) {
+		t.Fatalf("virtual-time trajectories differ (%d vs %d bytes)", len(tr1), len(tr2))
+	}
+	if len(tr1) == 0 {
+		t.Fatal("empty trajectory: trace not attached?")
+	}
+}
+
+// renderTables prints tables the way adaptbench does, for byte comparison.
+func renderTables(tables []*Table) []byte {
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		tb.Fprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepMatchesSerial: a -j 4 sweep must be bit-identical to
+// the serial sweep — every cell owns a private deterministic kernel and
+// the replay pass consumes results in serial call order.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	s := Quick()
+	s.CoriNodes = 2
+	s.NoiseReps = 2
+	for _, id := range []string{"fig7a", "table1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial, err := RunTables(id, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := RunTablesParallel(id, s, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := renderTables(parallel), renderTables(serial)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("parallel sweep differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}

@@ -27,6 +27,10 @@ type Scale struct {
 	GPUSizes       []int
 	ASPIters       int
 	ASPDim         int
+
+	// sweep, when non-nil, routes independent experiment cells through
+	// the parallel record/execute/replay scheduler (see parallel.go).
+	sweep *sweeper
 }
 
 // Full reproduces the paper's published configuration: 1024 ranks on
@@ -73,10 +77,11 @@ func (s Scale) measure(p *netmodel.Platform, spec noise.Spec, lib libmodel.Libra
 			warmup, reps = imb.DefaultReps(size)
 		}
 	}
-	return imb.Measure(imb.Config{
+	cfg := imb.Config{
 		Platform: p, Noise: spec, Library: lib, Op: op,
 		Size: size, Warmup: warmup, Reps: reps,
-	})
+	}
+	return s.cell(func() any { return imb.Measure(cfg) }, time.Duration(0)).(time.Duration)
 }
 
 // noiseTable builds one half (bcast or reduce) of Figure 7.
@@ -297,18 +302,22 @@ func (s Scale) Table1() []*Table {
 		libmodel.OMPIAdapt(p), libmodel.OMPIDefault(p)}
 	libs[3].Name = "OMPI-tuned"
 	for _, lib := range libs {
-		k := sim.New()
-		w := simmpi.NewWorld(k, p, noise.None)
-		var res asp.Result
-		w.Spawn(func(c *simmpi.Comm) {
-			r := asp.Run(c, asp.Config{
-				N: s.ASPDim, Iters: s.ASPIters, ElemSize: 8, Bcast: lib.Bcast,
-			}, nil)
-			if c.Rank() == 0 {
-				res = r
-			}
-		})
-		k.MustRun()
+		lib := lib
+		res := s.cell(func() any {
+			k := sim.New()
+			w := simmpi.NewWorld(k, p, noise.None)
+			var res asp.Result
+			w.Spawn(func(c *simmpi.Comm) {
+				r := asp.Run(c, asp.Config{
+					N: s.ASPDim, Iters: s.ASPIters, ElemSize: 8, Bcast: lib.Bcast,
+				}, nil)
+				if c.Rank() == 0 {
+					res = r
+				}
+			})
+			k.MustRun()
+			return res
+		}, asp.Result{Iters: 1}).(asp.Result)
 		full := res.Scaled(s.ASPDim)
 		t.AddRow(lib.Name,
 			fmt.Sprintf("%.2f", full.Comm.Seconds()),

@@ -122,22 +122,26 @@ func (s Scale) ExtAllreduce() []*Table {
 		row := []string{a.name}
 		for _, sz := range sizes {
 			sz := sz
+			run := a.run
 			// One warmup + a barrier-fenced two-op train, as imb.Measure.
-			var t0, t1 time.Duration
-			runOnce(p, noise.None, func(c *simmpi.Comm) {
-				a.run(c, sz, 0)
-				coll.Barrier(c, 999)
-				if c.Rank() == 0 {
-					t0 = c.Now()
-				}
-				a.run(c, sz, 2)
-				a.run(c, sz, 4)
-				coll.Barrier(c, 1000)
-				if c.Rank() == 0 {
-					t1 = c.Now()
-				}
-			})
-			row = append(row, ms((t1-t0)/2))
+			d := s.cell(func() any {
+				var t0, t1 time.Duration
+				runOnce(p, noise.None, func(c *simmpi.Comm) {
+					run(c, sz, 0)
+					coll.Barrier(c, 999)
+					if c.Rank() == 0 {
+						t0 = c.Now()
+					}
+					run(c, sz, 2)
+					run(c, sz, 4)
+					coll.Barrier(c, 1000)
+					if c.Rank() == 0 {
+						t1 = c.Now()
+					}
+				})
+				return (t1 - t0) / 2
+			}, time.Duration(0)).(time.Duration)
+			row = append(row, ms(d))
 		}
 		t.AddRow(row...)
 	}

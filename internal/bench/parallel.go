@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel experiment sweeps.
+//
+// Every cell of every exhibit — one (platform, noise law, library, op,
+// size) point — runs on its own private deterministic simulation kernel,
+// so independent cells can execute on independent OS threads without any
+// shared mutable state and still produce bit-identical numbers.
+//
+// The generators, however, are written as straight-line table-building
+// code. Rather than restructuring each one, the sweep runs a generator
+// twice around a record/execute/replay pivot:
+//
+//  1. record: the generator runs with cell evaluation stubbed out; each
+//     cell's closure (capturing its full configuration) is appended to a
+//     work list and a zero value is returned. Table scaffolding built in
+//     this pass is discarded.
+//  2. execute: the work list runs on a bounded worker pool. Cells are
+//     deterministic functions of their captured configuration, so the
+//     execution order is irrelevant to the values produced.
+//  3. replay: the generator runs again; cell evaluations are answered
+//     from the results, in call order. Generators are deterministic, so
+//     the i-th call in the replay pass is the i-th recorded cell.
+//
+// The serial path (jobs ≤ 1, or Scale.sweep == nil) never touches any of
+// this: cells evaluate inline, exactly as before.
+
+type sweepMode uint8
+
+const (
+	sweepRecord sweepMode = iota + 1
+	sweepReplay
+)
+
+// sweeper carries the record/replay state through a generator run.
+type sweeper struct {
+	mode  sweepMode
+	cells []func() any
+	out   []any
+	next  int
+}
+
+// cell routes one experiment-cell evaluation. zero is the value returned
+// during the throwaway record pass.
+func (s Scale) cell(fn func() any, zero any) any {
+	sw := s.sweep
+	if sw == nil {
+		return fn()
+	}
+	switch sw.mode {
+	case sweepRecord:
+		sw.cells = append(sw.cells, fn)
+		return zero
+	case sweepReplay:
+		v := sw.out[sw.next]
+		sw.next++
+		return v
+	}
+	panic("bench: sweeper in unknown mode")
+}
+
+// execute runs the recorded cells on jobs workers. A panicking cell (a
+// simulated deadlock, say) is re-panicked on the caller after all workers
+// drain, matching the serial behaviour of crashing the sweep.
+func (sw *sweeper) execute(jobs int) {
+	sw.out = make([]any, len(sw.cells))
+	if jobs > len(sw.cells) {
+		jobs = len(sw.cells)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failure any
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							mu.Lock()
+							if failure == nil {
+								failure = p
+							}
+							mu.Unlock()
+						}
+					}()
+					sw.out[i] = sw.cells[i]()
+				}()
+			}
+		}()
+	}
+	for i := range sw.cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// DefaultJobs is the default sweep width: one worker per available CPU.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// RunTablesParallel generates one exhibit's tables (or every paper
+// exhibit for "all") with independent experiment cells spread over jobs
+// workers. Output is bit-identical to RunTables: cells own private
+// deterministic kernels, and the assembled tables consume their results
+// in the serial call order. jobs ≤ 1 is exactly RunTables.
+func RunTablesParallel(id string, s Scale, jobs int) ([]*Table, error) {
+	if jobs <= 1 {
+		return RunTables(id, s)
+	}
+	sw := &sweeper{mode: sweepRecord}
+	s.sweep = sw
+	if _, err := RunTables(id, s); err != nil {
+		return nil, err
+	}
+	sw.execute(jobs)
+	sw.mode = sweepReplay
+	return RunTables(id, s)
+}

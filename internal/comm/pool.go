@@ -1,0 +1,102 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+
+	"adapt/internal/perf"
+)
+
+// Size-classed segment-buffer pool.
+//
+// Every real-payload transfer in both substrates copies bytes — the live
+// runtime's eager snapshot and rendezvous pull, the simulator's
+// receiver-owned payload copies — and the collectives assemble results
+// from per-segment buffers. At the default 128 KB segment size a single
+// 4 MB broadcast over a thousand ranks churns tens of thousands of
+// identically sized slices; allocating each with make([]byte, …) makes
+// the garbage collector a hidden participant in every experiment.
+//
+// GetBuf/PutBuf recycle those slices through power-of-two size classes
+// (256 B … 64 MB, one sync.Pool per class). Requests above the largest
+// class fall back to plain allocation; Puts of foreign or undersized
+// slices are dropped, never retained, so the pool cannot be poisoned by
+// odd capacities.
+//
+// Ownership discipline: a buffer obtained from GetBuf is owned by exactly
+// one party at a time. Callers Put only buffers they own and must not
+// touch them afterwards. Receivers own their delivered payload buffers
+// (both substrates hand over fresh copies), which is what lets the
+// collective engines recycle a segment the moment its bytes have been
+// folded or copied into the assembled result.
+
+const (
+	minBufClassBits = 8  // smallest pooled capacity: 256 B
+	maxBufClassBits = 26 // largest pooled capacity: 64 MB
+	numBufClasses   = maxBufClassBits - minBufClassBits + 1
+)
+
+var bufClasses [numBufClasses]sync.Pool
+
+// bufClass returns the index of the smallest class with capacity ≥ n, or
+// -1 if n exceeds the largest class.
+func bufClass(n int) int {
+	b := bits.Len(uint(n - 1)) // ceil(log2 n) for n ≥ 2
+	if b < minBufClassBits {
+		b = minBufClassBits
+	}
+	if b > maxBufClassBits {
+		return -1
+	}
+	return b - minBufClassBits
+}
+
+// GetBuf returns a byte slice of length n drawn from the pool. The
+// contents of the returned slice are unspecified — callers must overwrite
+// every byte they later read. Use GetBufZero when zero-fill semantics are
+// required. n ≤ 0 returns nil.
+func GetBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	cls := bufClass(n)
+	if cls < 0 {
+		perf.RecordBufGet(false)
+		return make([]byte, n)
+	}
+	if p, _ := bufClasses[cls].Get().(*[]byte); p != nil {
+		perf.RecordBufGet(true)
+		return (*p)[:n]
+	}
+	perf.RecordBufGet(false)
+	return make([]byte, n, 1<<(cls+minBufClassBits))
+}
+
+// GetBufZero is GetBuf with the returned range zeroed.
+func GetBufZero(n int) []byte {
+	b := GetBuf(n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// PutBuf returns b to the pool. Only slices whose capacity is exactly a
+// pool size class are retained; anything else (including slices never
+// obtained from GetBuf) is silently dropped. The caller must not use b
+// after the call.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minBufClassBits {
+		perf.RecordBufPut(false)
+		return
+	}
+	cls := bufClass(c)
+	if cls < 0 || c != 1<<(cls+minBufClassBits) {
+		perf.RecordBufPut(false)
+		return
+	}
+	full := b[:c]
+	bufClasses[cls].Put(&full)
+	perf.RecordBufPut(true)
+}

@@ -1,0 +1,102 @@
+package comm
+
+import (
+	"testing"
+)
+
+func TestBufClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 256},
+		{255, 256},
+		{256, 256},
+		{257, 512},
+		{128 << 10, 128 << 10},
+		{(128 << 10) + 1, 256 << 10},
+		{64 << 20, 64 << 20},
+	}
+	for _, c := range cases {
+		b := GetBuf(c.n)
+		if len(b) != c.n || cap(b) != c.wantCap {
+			t.Errorf("GetBuf(%d): len=%d cap=%d, want len=%d cap=%d",
+				c.n, len(b), cap(b), c.n, c.wantCap)
+		}
+		PutBuf(b)
+	}
+}
+
+func TestGetBufOversizeAndZero(t *testing.T) {
+	if b := GetBuf(0); b != nil {
+		t.Errorf("GetBuf(0) = %v, want nil", b)
+	}
+	big := GetBuf((64 << 20) + 1)
+	if len(big) != (64<<20)+1 {
+		t.Errorf("oversize len = %d", len(big))
+	}
+	PutBuf(big) // dropped, must not panic
+}
+
+func TestGetBufZero(t *testing.T) {
+	// Dirty a pooled buffer, return it, and check the zeroing variant.
+	b := GetBuf(1024)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	PutBuf(b)
+	z := GetBufZero(1024)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetBufZero: byte %d = %#x", i, v)
+		}
+	}
+	PutBuf(z)
+}
+
+func TestPutBufForeignSliceDropped(t *testing.T) {
+	// A slice whose capacity is not a size class must not be retained.
+	odd := make([]byte, 1000) // cap 1000 or 1024 depending on allocator…
+	PutBuf(odd)               // …either way: dropped or exact class, both safe
+	sub := GetBuf(4096)[:100] // subslice keeps class capacity, retained OK
+	PutBuf(sub)
+	got := GetBuf(4096)
+	if cap(got) != 4096 {
+		t.Fatalf("cap = %d", cap(got))
+	}
+	PutBuf(got)
+}
+
+func TestPoolReuse(t *testing.T) {
+	b := GetBuf(8192)
+	b[0] = 42
+	PutBuf(b)
+	// Not guaranteed by sync.Pool, but on a single goroutine with no GC in
+	// between the buffer round-trips; mostly this asserts len/cap hygiene.
+	c := GetBuf(8000)
+	if cap(c) != 8192 || len(c) != 8000 {
+		t.Fatalf("len=%d cap=%d", len(c), cap(c))
+	}
+	PutBuf(c)
+}
+
+// BenchmarkSegmentPool measures a pooled get/put cycle at the default
+// 128 KB pipeline segment size — the allocation pattern of every
+// real-payload collective.
+func BenchmarkSegmentPool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf(128 << 10)
+		buf[0] = byte(i)
+		PutBuf(buf)
+	}
+}
+
+// BenchmarkSegmentMake is the make([]byte, …) baseline the pool replaces.
+func BenchmarkSegmentMake(b *testing.B) {
+	b.ReportAllocs()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, 128<<10)
+		buf[0] = byte(i)
+		sink = buf
+	}
+	_ = sink
+}

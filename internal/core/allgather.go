@@ -67,7 +67,9 @@ func newAllgatherState(c comm.Comm, contrib comm.Msg, opt Options) *allgatherSta
 		panic(fmt.Sprintf("core: allgather parcel space %d×%d exceeds tag budget", n, s.nseg))
 	}
 	if contrib.Data != nil {
-		s.blob = make([]byte, s.blk*n)
+		// Own block is copied now, every foreign block by its parcels, so
+		// the pooled buffer is fully overwritten before the result is read.
+		s.blob = comm.GetBuf(s.blk * n)
 		copy(s.blob[me*s.blk:], contrib.Data)
 	}
 	if n == 1 {
@@ -116,16 +118,22 @@ func (s *allgatherState) onParcel(id int, st comm.Status) {
 	}
 	block, seg := id/s.nseg, id%s.nseg
 	off := block*s.blk + seg*s.opt.SegSize
+	fwd := comm.Msg{Size: st.Msg.Size, Space: st.Msg.Space}
 	if st.Msg.Data != nil {
 		if s.blob == nil {
-			s.blob = make([]byte, s.blk*s.n)
+			// Lazy path (our own contribution was elided): our block's
+			// region is never written, so it must read as zeros.
+			s.blob = comm.GetBufZero(s.blk * s.n)
 		}
 		copy(s.blob[off:], st.Msg.Data)
+		// Forwarding happens from the assembled blob; the receiver-owned
+		// parcel buffer is dead.
+		comm.PutBuf(st.Msg.Data)
+		fwd.Data = s.blob[off : off+st.Msg.Size]
 	}
 	// Forward unless the right neighbour originated this block.
 	if block != s.right {
-		s.enqueue(block, comm.Segment{Index: seg,
-			Msg: comm.Msg{Data: st.Msg.Data, Size: st.Msg.Size, Space: st.Msg.Space}})
+		s.enqueue(block, comm.Segment{Index: seg, Msg: fwd})
 	}
 }
 

@@ -135,13 +135,20 @@ func (s *bcastState) onSegment(seg int, st comm.Status) {
 		s.postRecv()
 	}
 	sg := s.segs[seg]
+	fwd := comm.Msg{Size: st.Msg.Size, Space: sg.Msg.Space}
 	if st.Msg.Data != nil {
 		if s.outData == nil {
-			s.outData = make([]byte, s.total)
+			// Every byte is overwritten by some segment before the result
+			// is read, so a dirty pooled buffer is fine.
+			s.outData = comm.GetBuf(s.total)
 		}
 		copy(s.outData[sg.Offset:], st.Msg.Data)
+		// Children are fed aliases of the assembled result, so the
+		// receiver-owned segment buffer is dead: recycle it.
+		comm.PutBuf(st.Msg.Data)
+		fwd.Data = s.outData[sg.Offset : sg.Offset+st.Msg.Size]
 	}
-	sg.Msg = comm.Msg{Data: st.Msg.Data, Size: st.Msg.Size, Space: sg.Msg.Space}
+	sg.Msg = fwd
 	for _, cs := range s.children {
 		cs.offer(sg.Index, sg.Msg)
 		s.pump(cs)

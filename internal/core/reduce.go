@@ -86,8 +86,13 @@ func (s *reduceState) onContribution(ci, seg int, st comm.Status) {
 	if s.nextPost[ci] < len(s.segs) {
 		s.postRecv(ci)
 	}
-	if st.Msg.Data != nil && s.segs[seg].Msg.Data != nil {
-		s.opt.Op.Apply(s.segs[seg].Msg.Data, st.Msg.Data, s.opt.Datatype)
+	if st.Msg.Data != nil {
+		if s.segs[seg].Msg.Data != nil {
+			s.opt.Op.Apply(s.segs[seg].Msg.Data, st.Msg.Data, s.opt.Datatype)
+		}
+		// The contribution was folded into the local accumulator (or
+		// dropped); the receiver-owned buffer is dead either way.
+		comm.PutBuf(st.Msg.Data)
 	}
 	// Charge the reduction arithmetic (the live runtime performed it for
 	// real above and charges nothing; the simulator charges γ·m).

@@ -1,0 +1,161 @@
+// Package perf is the observability substrate for the hot paths: cheap
+// process-wide counters fed by the simulation kernel (events dispatched,
+// heap peak) and the segment-buffer pool (gets, reuse hits, recycles),
+// plus opt-in pprof/trace hooks for profiling whole experiment runs.
+//
+// Counter updates are a handful of atomic adds per *kernel run* or per
+// *buffer operation*, never per event, so instrumentation cannot distort
+// the measurements it reports. Everything here is aggregate: determinism
+// of simulation results is unaffected by who reads or resets the
+// counters, including under parallel experiment sweeps.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync/atomic"
+)
+
+var (
+	kernelRuns       atomic.Uint64
+	eventsDispatched atomic.Uint64
+	eventsScheduled  atomic.Uint64
+	heapPeak         atomic.Int64 // max event-queue length seen by any kernel
+
+	bufGets    atomic.Uint64 // pool Get calls
+	bufHits    atomic.Uint64 // Gets satisfied from the pool (no allocation)
+	bufPuts    atomic.Uint64 // pool Put calls
+	bufRecycle atomic.Uint64 // Puts retained for reuse (size-class match)
+)
+
+// RecordKernelRun publishes one kernel's counter deltas after a Run.
+func RecordKernelRun(dispatched, scheduled uint64, queuePeak int) {
+	kernelRuns.Add(1)
+	eventsDispatched.Add(dispatched)
+	eventsScheduled.Add(scheduled)
+	for {
+		cur := heapPeak.Load()
+		if int64(queuePeak) <= cur || heapPeak.CompareAndSwap(cur, int64(queuePeak)) {
+			return
+		}
+	}
+}
+
+// RecordBufGet counts one pool Get; hit reports whether it was satisfied
+// without allocating.
+func RecordBufGet(hit bool) {
+	bufGets.Add(1)
+	if hit {
+		bufHits.Add(1)
+	}
+}
+
+// RecordBufPut counts one pool Put; retained reports whether the buffer
+// matched a size class and was kept for reuse.
+func RecordBufPut(retained bool) {
+	bufPuts.Add(1)
+	if retained {
+		bufRecycle.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time view of the counters.
+type Snapshot struct {
+	KernelRuns       uint64
+	EventsDispatched uint64
+	EventsScheduled  uint64
+	HeapPeak         int64
+
+	BufGets     uint64
+	BufHits     uint64
+	BufPuts     uint64
+	BufRecycled uint64
+}
+
+// Read returns the current counter values.
+func Read() Snapshot {
+	return Snapshot{
+		KernelRuns:       kernelRuns.Load(),
+		EventsDispatched: eventsDispatched.Load(),
+		EventsScheduled:  eventsScheduled.Load(),
+		HeapPeak:         heapPeak.Load(),
+		BufGets:          bufGets.Load(),
+		BufHits:          bufHits.Load(),
+		BufPuts:          bufPuts.Load(),
+		BufRecycled:      bufRecycle.Load(),
+	}
+}
+
+// Reset zeroes all counters (tests, per-phase accounting).
+func Reset() {
+	kernelRuns.Store(0)
+	eventsDispatched.Store(0)
+	eventsScheduled.Store(0)
+	heapPeak.Store(0)
+	bufGets.Store(0)
+	bufHits.Store(0)
+	bufPuts.Store(0)
+	bufRecycle.Store(0)
+}
+
+// Fprint renders the snapshot as a small human-readable report.
+func (s Snapshot) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "perf: %d kernel runs, %d events dispatched (%d scheduled), heap peak %d\n",
+		s.KernelRuns, s.EventsDispatched, s.EventsScheduled, s.HeapPeak)
+	hitRate, recRate := 0.0, 0.0
+	if s.BufGets > 0 {
+		hitRate = 100 * float64(s.BufHits) / float64(s.BufGets)
+	}
+	if s.BufPuts > 0 {
+		recRate = 100 * float64(s.BufRecycled) / float64(s.BufPuts)
+	}
+	fmt.Fprintf(w, "perf: buffer pool %d gets (%.0f%% reuse), %d puts (%.0f%% recycled)\n",
+		s.BufGets, hitRate, s.BufPuts, recRate)
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns a stop
+// function. Opt-in: nothing is profiled unless a caller asks.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile dumps the current heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pprof.WriteHeapProfile(f)
+}
+
+// StartTrace begins a Go execution trace written to path and returns a
+// stop function.
+func StartTrace(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		trace.Stop()
+		return f.Close()
+	}, nil
+}

@@ -14,6 +14,8 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -60,11 +62,12 @@ func (w *World) Size() int { return len(w.ranks) }
 func (w *World) Rank(r int) *Comm { return w.ranks[r] }
 
 // Run executes body once per rank, each on its own goroutine, and blocks
-// until all return. It panics (propagating the first rank panic) rather
-// than deadlocking if a rank dies.
+// until all return. If any ranks panic, Run re-panics with every rank's
+// failure (not just the first drained one) so a collective bug that kills
+// several ranks at once is diagnosable from a single message.
 func (w *World) Run(body func(c *Comm)) {
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, len(w.ranks))
+	panics := make(chan string, len(w.ranks))
 	for _, c := range w.ranks {
 		c := c
 		wg.Add(1)
@@ -79,10 +82,18 @@ func (w *World) Run(body func(c *Comm)) {
 		}()
 	}
 	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
+	close(panics)
+	var msgs []string
+	for p := range panics {
+		msgs = append(msgs, p)
+	}
+	switch len(msgs) {
+	case 0:
+	case 1:
+		panic(msgs[0])
 	default:
+		sort.Strings(msgs) // goroutine finish order is nondeterministic
+		panic(fmt.Sprintf("runtime: %d ranks panicked:\n%s", len(msgs), strings.Join(msgs, "\n")))
 	}
 }
 
@@ -209,9 +220,12 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	if msg.Size <= c.w.eagerLimit {
 		// Eager: copy the payload out (the sender may reuse its buffer as
 		// soon as we return) and deliver; the send completes immediately.
+		// The copy is pooled and ownership passes to the receiver.
 		delivered := msg
 		if msg.Data != nil {
-			delivered.Data = append([]byte(nil), msg.Data...)
+			buf := comm.GetBuf(len(msg.Data))
+			copy(buf, msg.Data)
+			delivered.Data = buf
 		}
 		d.deliver(&envelope{src: c.rank, tag: tag, msg: delivered})
 		req.complete(st)
@@ -268,9 +282,12 @@ func (c *Comm) consume(req *request, env *envelope) {
 	msg := env.msg
 	if env.rts != nil {
 		// Pull the payload out of the sender's buffer; after the sender's
-		// request completes the sender may scribble on it.
+		// request completes the sender may scribble on it. The pooled copy
+		// is owned by the receiver.
 		if msg.Data != nil {
-			msg.Data = append([]byte(nil), msg.Data...)
+			buf := comm.GetBuf(len(msg.Data))
+			copy(buf, msg.Data)
+			msg.Data = buf
 		}
 		env.rts.complete(comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg})
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -252,6 +253,35 @@ func TestRankPanicPropagates(t *testing.T) {
 	w.Run(func(c *Comm) {
 		if c.Rank() == 1 {
 			panic("rank 1 exploded")
+		}
+	})
+}
+
+func TestAllRankPanicsReported(t *testing.T) {
+	// When several ranks panic, Run must not swallow all but one: every
+	// failed rank appears in the aggregated panic message.
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic to propagate from rank goroutines")
+		}
+		s, ok := p.(string)
+		if !ok {
+			t.Fatalf("unexpected panic payload %v", p)
+		}
+		for _, want := range []string{"3 ranks panicked", "rank 0:", "rank 2:", "rank 3:"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("aggregated panic missing %q:\n%s", want, s)
+			}
+		}
+		if strings.Contains(s, "rank 1:") {
+			t.Errorf("rank 1 did not panic but appears in:\n%s", s)
+		}
+	}()
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if c.Rank() != 1 {
+			panic(fmt.Sprintf("boom from %d", c.Rank()))
 		}
 	})
 }

@@ -7,27 +7,40 @@
 // the event dispatcher or a single resumed process — with strict handoff,
 // and orders simultaneous events by insertion sequence. Two runs of the
 // same workload produce identical virtual-time trajectories.
+//
+// The event queue is a monomorphic 4-ary min-heap over a concrete event
+// slice: no container/heap, no interface{} boxing, so the schedule →
+// dispatch round-trip performs zero per-event allocations (the paper's
+// figures push tens of millions of events through this loop). The 4-ary
+// layout halves the tree depth of a binary heap and keeps the children of
+// a node on one cache line.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
+
+	"adapt/internal/perf"
 )
 
 // Kernel is a discrete-event simulator instance.
 type Kernel struct {
 	now   time.Duration
-	queue eventHeap
+	queue eventQueue
 	seq   uint64
 
 	yield chan struct{} // process → kernel control handoff
 	procs []*Proc
 	live  int
 
-	// Stats
-	dispatched uint64
+	// Stats (see Stats); reported* track what Run already published to
+	// the process-wide perf counters, so repeated Runs publish deltas.
+	dispatched         uint64
+	scheduled          uint64
+	queuePeak          int
+	reportedDispatched uint64
+	reportedScheduled  uint64
 }
 
 // New creates an empty kernel at virtual time zero.
@@ -41,46 +54,121 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Dispatched returns the number of events executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
+// Stats is a kernel's event-loop counter snapshot.
+type Stats struct {
+	Dispatched uint64 // events executed
+	Scheduled  uint64 // events inserted
+	QueuePeak  int    // maximum simultaneous pending events
+	QueueLen   int    // pending events right now
+}
+
+// Stats returns the kernel's counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		Dispatched: k.dispatched,
+		Scheduled:  k.scheduled,
+		QueuePeak:  k.queuePeak,
+		QueueLen:   k.queue.len(),
+	}
+}
+
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the dispatch order: time, then insertion sequence — the
+// tie-break that makes simultaneous events run in schedule order.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
-// Schedule runs fn after delay ≥ 0 of virtual time.
+// eventQueue is a monomorphic 4-ary min-heap ordered by event.before.
+// Push and pop touch concrete events only — no interface{} crossings.
+type eventQueue struct {
+	a []event
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) push(e event) {
+	q.a = append(q.a, e)
+	i := len(q.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(q.a[p]) {
+			break
+		}
+		q.a[i] = q.a[p]
+		i = p
+	}
+	q.a[i] = e
+}
+
+func (q *eventQueue) pop() event {
+	root := q.a[0]
+	n := len(q.a) - 1
+	last := q.a[n]
+	q.a[n] = event{} // drop the fn reference so the GC can reclaim it
+	q.a = q.a[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return root
+}
+
+// siftDown re-inserts e from the root, walking the hole down toward the
+// smallest child until e fits.
+func (q *eventQueue) siftDown(e event) {
+	a := q.a
+	n := len(a)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if a[c].before(a[m]) {
+				m = c
+			}
+		}
+		if !a[m].before(e) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = e
+}
+
+// Schedule runs fn after delay ≥ 0 of virtual time. This is the single
+// validation and insertion site for events: At funnels through it, so an
+// event placed in the past always fails here with the same diagnostic.
 func (k *Kernel) Schedule(delay time.Duration, fn func()) {
 	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", delay))
+		panic(fmt.Sprintf("sim: event in the past: %v < %v", k.now+delay, k.now))
 	}
-	k.At(k.now+delay, fn)
+	k.seq++
+	k.scheduled++
+	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+	if n := k.queue.len(); n > k.queuePeak {
+		k.queuePeak = n
+	}
 }
 
 // At runs fn at absolute virtual time t ≥ Now().
 func (k *Kernel) At(t time.Duration, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: event in the past: %v < %v", t, k.now))
-	}
-	k.seq++
-	heap.Push(&k.queue, event{at: t, seq: k.seq, fn: fn})
+	k.Schedule(t-k.now, fn)
 }
 
 // Run dispatches events until the queue drains. If processes are still
@@ -88,12 +176,16 @@ func (k *Kernel) At(t time.Duration, fn func()) {
 // returns an error naming the stuck processes. On success it returns the
 // final virtual time.
 func (k *Kernel) Run() (time.Duration, error) {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(event)
+	for k.queue.len() > 0 {
+		e := k.queue.pop()
 		k.now = e.at
 		k.dispatched++
 		e.fn()
 	}
+	perf.RecordKernelRun(k.dispatched-k.reportedDispatched,
+		k.scheduled-k.reportedScheduled, k.queuePeak)
+	k.reportedDispatched = k.dispatched
+	k.reportedScheduled = k.scheduled
 	if k.live > 0 {
 		var stuck []string
 		for _, p := range k.procs {

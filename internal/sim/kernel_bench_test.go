@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelDispatch measures the cost of one schedule+dispatch
+// round-trip through the event queue, the innermost loop of every
+// simulated experiment. Events are scheduled in batches with colliding
+// and distinct timestamps so both heap paths (sift-up on push, sift-down
+// on pop) are exercised.
+func BenchmarkKernelDispatch(b *testing.B) {
+	b.ReportAllocs()
+	fn := func() {}
+	const batch = 1024
+	k := New()
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= batch {
+		m := batch
+		if m > n {
+			m = n
+		}
+		for j := 0; j < m; j++ {
+			k.Schedule(time.Duration(j&127)*time.Microsecond, fn)
+		}
+		k.MustRun()
+	}
+}
+
+// BenchmarkKernelSelfSchedule measures a self-rescheduling event chain —
+// the progress-engine pattern (timers, noise injection, resource
+// completions) where the same continuation re-enters the queue over and
+// over.
+func BenchmarkKernelSelfSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := New()
+	left := b.N
+	var tick func()
+	tick = func() {
+		if left > 0 {
+			left--
+			k.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.Schedule(0, tick)
+	k.MustRun()
+}

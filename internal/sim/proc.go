@@ -24,12 +24,30 @@ type Proc struct {
 	state   procState
 	pending bool // an Unpark arrived while not parked; next Park returns at once
 	done    bool
+
+	// Recurring event closures, allocated once per process instead of once
+	// per Sleep/Unpark: these are the highest-frequency events the MPI
+	// substrate schedules (every wait, every completion wake-up, every
+	// resource hand-back goes through one of them).
+	resumeFn func()
+	unparkFn func()
 }
 
 // Go spawns a simulated process. Its body starts at the current virtual
 // time (after already-queued events at this instant).
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, Name: name, wake: make(chan struct{})}
+	p.resumeFn = func() { k.resume(p) }
+	p.unparkFn = func() {
+		if p.done {
+			return
+		}
+		if p.state == stateParked {
+			k.resume(p)
+		} else {
+			p.pending = true
+		}
+	}
 	k.procs = append(k.procs, p)
 	k.live++
 	k.Schedule(0, func() {
@@ -76,7 +94,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.Schedule(d, func() { p.k.resume(p) })
+	p.k.Schedule(d, p.resumeFn)
 	p.block(stateSleeping)
 }
 
@@ -105,17 +123,7 @@ func (p *Proc) Park() {
 // another process); the wake is delivered through the event queue,
 // preserving determinism. Unparking a finished process is a no-op.
 func (p *Proc) Unpark() {
-	k := p.k
-	k.Schedule(0, func() {
-		if p.done {
-			return
-		}
-		if p.state == stateParked {
-			k.resume(p)
-		} else {
-			p.pending = true
-		}
-	})
+	p.k.Schedule(0, p.unparkFn)
 }
 
 // Done reports whether the process body has returned.

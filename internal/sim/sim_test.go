@@ -39,6 +39,113 @@ func TestNestedScheduling(t *testing.T) {
 	}
 }
 
+// TestZeroDelayTieBreak: events landing at the same instant — whether via
+// Schedule(0, …) or At(Now(), …) — run strictly in insertion order, after
+// the handler that inserted them.
+func TestZeroDelayTieBreak(t *testing.T) {
+	k := New()
+	var order []string
+	k.Schedule(ms(2), func() {
+		order = append(order, "outer")
+		k.Schedule(0, func() { order = append(order, "s0") })
+		k.At(k.Now(), func() { order = append(order, "at-now") })
+		k.Schedule(0, func() { order = append(order, "s1") })
+	})
+	// A pre-existing event at the same instant, inserted earlier, runs first.
+	k.At(ms(2), func() { order = append(order, "pre") })
+	k.MustRun()
+	want := []string{"outer", "pre", "s0", "at-now", "s1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAtSharesScheduleValidation: At and Schedule reject past insertions
+// through the same panic site with the same diagnostic text.
+func TestAtSharesScheduleValidation(t *testing.T) {
+	texts := make([]string, 2)
+	capture := func(i int, insert func(k *Kernel)) {
+		k := New()
+		k.Schedule(ms(5), func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+				texts[i] = p.(string)
+			}()
+			insert(k)
+		})
+		k.MustRun()
+	}
+	capture(0, func(k *Kernel) { k.At(ms(1), func() {}) })
+	capture(1, func(k *Kernel) { k.Schedule(ms(1)-ms(5), func() {}) })
+	if texts[0] != texts[1] || texts[0] == "" {
+		t.Fatalf("inconsistent panic text: %q vs %q", texts[0], texts[1])
+	}
+}
+
+func TestKernelStats(t *testing.T) {
+	k := New()
+	for i := 0; i < 10; i++ {
+		k.Schedule(ms(i), func() {})
+	}
+	if st := k.Stats(); st.Scheduled != 10 || st.QueueLen != 10 || st.QueuePeak != 10 {
+		t.Fatalf("pre-run stats = %+v", st)
+	}
+	k.MustRun()
+	st := k.Stats()
+	if st.Dispatched != 10 || st.QueueLen != 0 || st.QueuePeak != 10 {
+		t.Fatalf("post-run stats = %+v", st)
+	}
+}
+
+// TestHeapStress drives the 4-ary heap through a large adversarial
+// schedule (colliding timestamps, interleaved nested inserts) and checks
+// dispatch order against the (at, seq) contract.
+func TestHeapStress(t *testing.T) {
+	k := New()
+	type stamp struct {
+		at  time.Duration
+		seq int
+	}
+	var got []stamp
+	seq := 0
+	var add func(depth int)
+	add = func(depth int) {
+		base := k.Now()
+		for j := 0; j < 7; j++ {
+			d := time.Duration((j*31)%5) * time.Millisecond
+			s := seq
+			seq++
+			k.Schedule(d, func() {
+				got = append(got, stamp{base + d, s})
+				if depth < 3 {
+					add(depth + 1)
+				}
+			})
+		}
+	}
+	add(0)
+	k.MustRun()
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time went backwards at %d: %v after %v", i, got[i], got[i-1])
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("tie-break violated at %d: seq %d after %d", i, got[i].seq, got[i-1].seq)
+		}
+	}
+	if len(got) < 7*7*7 {
+		t.Fatalf("only %d events dispatched", len(got))
+	}
+}
+
 func TestPastEventPanics(t *testing.T) {
 	k := New()
 	k.Schedule(ms(5), func() {

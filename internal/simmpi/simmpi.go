@@ -116,6 +116,30 @@ type Comm struct {
 
 	busyUntil time.Duration
 	noiseSrc  *noise.Source
+
+	// envFree recycles envelope structs: a collective pushes one envelope
+	// per segment per hop through this rank, and each lives only from
+	// arrival to match. The kernel is single-threaded, so a plain slice
+	// free-list (no locking) is safe.
+	envFree []*envelope
+}
+
+// newEnvelope draws an envelope from the rank's free-list.
+func (c *Comm) newEnvelope(src int, tag comm.Tag, msg comm.Msg, rts *request) *envelope {
+	if n := len(c.envFree); n > 0 {
+		env := c.envFree[n-1]
+		c.envFree = c.envFree[:n-1]
+		*env = envelope{src: src, tag: tag, msg: msg, rts: rts}
+		return env
+	}
+	return &envelope{src: src, tag: tag, msg: msg, rts: rts}
+}
+
+// freeEnvelope returns a matched envelope to the free-list. Callers must
+// have copied out every field they still need.
+func (c *Comm) freeEnvelope(env *envelope) {
+	*env = envelope{}
+	c.envFree = append(c.envFree, env)
 }
 
 var _ comm.Comm = (*Comm)(nil)
@@ -195,15 +219,24 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	if msg.Size <= c.w.Net.P.EagerLimit {
 		// Eager: ship the payload now; sender completes at first-hop end.
+		// Real payloads are snapshotted into a pooled buffer — the sender
+		// may reuse its buffer the moment the send completes, which is
+		// before the match — and the receiver owns the copy from here on.
+		send := msg
+		if msg.Data != nil {
+			buf := comm.GetBuf(len(msg.Data))
+			copy(buf, msg.Data)
+			send.Data = buf
+		}
 		c.w.Net.StartTransfer(c.rank, dst, msg.Size, msg.Space,
 			func() { req.complete(st) },
-			func() { d.arrive(&envelope{src: c.rank, tag: tag, msg: msg}) })
+			func() { d.arrive(d.newEnvelope(c.rank, tag, send, nil)) })
 		return req
 	}
 	// Rendezvous: announce via RTS; data moves once the receiver matches.
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
-		d.arrive(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+		d.arrive(d.newEnvelope(c.rank, tag, msg, req))
 	})
 	return req
 }
@@ -257,32 +290,44 @@ func (c *Comm) arrive(env *envelope) {
 }
 
 // deliverMatched completes the (req, env) match. wasUnexpected indicates
-// the payload sat in the unexpected queue and must be copied out.
+// the payload sat in the unexpected queue and must be copied out. The
+// envelope is recycled here; every field still needed below is copied
+// into locals first.
 func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
 	net := c.w.Net
-	st := comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg}
-	if env.rts != nil {
-		// Rendezvous: grant (CTS) travels back, then the data flies.
-		sender := env.rts
-		src := env.src
+	src, tag, msg, sender := env.src, env.tag, env.msg, env.rts
+	c.freeEnvelope(env)
+	if sender != nil {
+		// Rendezvous: grant (CTS) travels back, then the data flies. The
+		// sender keeps its buffer until its request completes; the transfer
+		// snapshots it into a pooled, receiver-owned copy at start time.
 		ctsDelay := net.ControlLatency(c.rank, src) + net.P.RndvAlpha
 		c.w.K.Schedule(ctsDelay, func() {
-			net.StartTransfer(src, c.rank, env.msg.Size, env.msg.Space,
-				func() { sender.complete(comm.Status{Source: src, Tag: env.tag, Msg: env.msg}) },
+			recv := msg
+			if msg.Data != nil {
+				buf := comm.GetBuf(len(msg.Data))
+				copy(buf, msg.Data)
+				recv.Data = buf
+			}
+			st := comm.Status{Source: src, Tag: tag, Msg: recv}
+			net.StartTransfer(src, c.rank, msg.Size, msg.Space,
+				func() { sender.complete(comm.Status{Source: src, Tag: tag, Msg: msg}) },
 				func() {
-					net.DeliverFrom(src, c.rank, env.msg.Size, req.space, func() { req.complete(st) })
+					net.DeliverFrom(src, c.rank, msg.Size, req.space, func() { req.complete(st) })
 				})
 		})
 		return
 	}
-	// Eager payload already at the host boundary.
+	// Eager payload already at the host boundary (and, when real, already a
+	// pooled copy owned by this rank — see Isend).
+	st := comm.Status{Source: src, Tag: tag, Msg: msg}
 	finish := func() {
-		net.DeliverFrom(env.src, c.rank, env.msg.Size, req.space, func() { req.complete(st) })
+		net.DeliverFrom(src, c.rank, msg.Size, req.space, func() { req.complete(st) })
 	}
 	if wasUnexpected {
 		// Buffered copy-out penalty (paper §2.2.1: "memory allocation and
 		// data copying ... significant latency").
-		penalty := net.P.UnexpectedAlpha + net.P.CopyBw.Over(env.msg.Size)
+		penalty := net.P.UnexpectedAlpha + net.P.CopyBw.Over(msg.Size)
 		c.w.K.Schedule(penalty, finish)
 		return
 	}
@@ -308,7 +353,7 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	d := c.w.ranks[dst]
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
-		d.arrive(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+		d.arrive(d.newEnvelope(c.rank, tag, msg, req))
 	})
 	c.Wait(req)
 }

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Run the kernel-dispatch and segment-pool microbenchmarks and record the
+# numbers in BENCH_kernel.json so future changes can track the perf
+# trajectory. Run from the repo root:
+#
+#   ./scripts/bench.sh            # writes BENCH_kernel.json
+#   ./scripts/bench.sh -count=3   # extra args forwarded to go test
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_kernel.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkKernelDispatch$|BenchmarkKernelSelfSchedule$|BenchmarkSegmentPool$|BenchmarkSegmentMake$' \
+    -benchmem "$@" ./internal/sim ./internal/comm | tee "$raw"
+
+awk '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    printf "%s  {\"name\": \"%s\", \"iters\": %s, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}",
+        (n ? ",\n" : ""), name, $2, $3, $5, $7
+    n++
+}
+END {
+    if (!n) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print ""
+}
+' "$raw" | { printf '[\n'; cat; printf ']\n'; } >"$out"
+
+echo "wrote $out"
