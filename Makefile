@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench
+.PHONY: verify test build race vet bench chaos fuzz
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -24,3 +24,17 @@ vet:
 # writes BENCH_kernel.json for the perf trajectory.
 bench:
 	./scripts/bench.sh
+
+# Full-width conformance grid: every collective × world sizes × payload
+# units × segment counts × fault plans, byte-compared against golden
+# no-fault runs (ADAPT_CONFORM_FULL widens every axis).
+chaos:
+	ADAPT_CONFORM_FULL=1 $(GO) test -race -v -run 'TestConformance|TestFault|TestDropAll|TestProperty|TestClean' ./internal/conform
+
+# Short fuzz passes over the tag-matching predicate and the fault-plan
+# parser; the committed corpora under testdata/fuzz run in every normal
+# `go test`, this target explores beyond them.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTagMatch -fuzztime $(FUZZTIME) ./internal/comm
+	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/faults

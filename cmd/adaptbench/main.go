@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"adapt/internal/bench"
+	"adapt/internal/faults"
 	"adapt/internal/perf"
 )
 
@@ -38,6 +39,7 @@ func run() int {
 	jobs := flag.Int("j", bench.DefaultJobs(), "worker count for independent experiment cells (1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
 	perfStats := flag.Bool("perf", false, "print kernel/buffer-pool counters to stderr when done")
+	faultPlan := flag.String("faults", "", `fault plan for the ext-chaos exhibit, e.g. "seed=42; all: drop=0.1, jitter=30us"`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when done")
 	traceFile := flag.String("trace", "", "write a Go execution trace to this file")
@@ -61,6 +63,14 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "adaptbench: unknown scale %q\n", *scale)
 		return 2
+	}
+	if *faultPlan != "" {
+		plan, err := faults.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 2
+		}
+		s.FaultPlan = &plan
 	}
 
 	if *cpuProfile != "" {

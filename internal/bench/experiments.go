@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adapt/internal/asp"
+	"adapt/internal/faults"
 	"adapt/internal/imb"
 	"adapt/internal/libmodel"
 	"adapt/internal/netmodel"
@@ -27,6 +28,10 @@ type Scale struct {
 	GPUSizes       []int
 	ASPIters       int
 	ASPDim         int
+
+	// FaultPlan, when non-nil, adds a custom row to the ext-chaos exhibit
+	// (adaptbench -faults "seed=42; all: drop=0.1").
+	FaultPlan *faults.Plan
 
 	// sweep, when non-nil, routes independent experiment cells through
 	// the parallel record/execute/replay scheduler (see parallel.go).
@@ -336,7 +341,7 @@ func Experiments() []string {
 
 // Extensions lists the exhibit ids that go beyond the paper.
 func Extensions() []string {
-	return []string{"ext-nvlink", "ext-placement", "ext-allreduce"}
+	return []string{"ext-nvlink", "ext-placement", "ext-allreduce", "ext-chaos"}
 }
 
 // RunTables generates one exhibit's tables (or every paper exhibit for
@@ -351,6 +356,7 @@ func RunTables(id string, s Scale) ([]*Table, error) {
 		"ext-nvlink":    s.ExtNVLink,
 		"ext-placement": s.ExtPlacement,
 		"ext-allreduce": s.ExtAllreduce,
+		"ext-chaos":     s.ExtChaos,
 	}
 	if id == "all" {
 		var out []*Table

@@ -7,6 +7,7 @@ import (
 	"adapt/internal/coll"
 	"adapt/internal/comm"
 	"adapt/internal/core"
+	"adapt/internal/faults"
 	"adapt/internal/hwloc"
 	"adapt/internal/imb"
 	"adapt/internal/libmodel"
@@ -67,6 +68,108 @@ func (s Scale) ExtPlacement() []*Table {
 		adapt := s.measure(p, noise.None, libmodel.OMPIAdapt(p), imb.Bcast, 4*netmodel.MB, 0)
 		def := s.measure(p, noise.None, libmodel.OMPIDefault(p), imb.Bcast, 4*netmodel.MB, 0)
 		t.AddRow(pl.String(), ms(adapt), ms(def), speedup(def, adapt))
+	}
+	return []*Table{t}
+}
+
+// chaosCell is one collective run under a fault plan: its makespan plus
+// the fault schedule it survived.
+type chaosCell struct {
+	Makespan time.Duration
+	Stats    faults.Stats
+	Lost     int // sends that exhausted the attempt budget
+}
+
+// chaosRun executes body on a fresh world with plan installed (nil plan =
+// the fault-free baseline) and DefaultRecovery handling the losses.
+func chaosRun(p *netmodel.Platform, plan *faults.Plan, body func(c *simmpi.Comm)) chaosCell {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, noise.None)
+	if plan != nil && plan.Enabled() {
+		w.InstallFaults(*plan, faults.DefaultRecovery())
+	}
+	w.Spawn(body)
+	return chaosCell{Makespan: k.MustRun(), Stats: w.FaultStats(), Lost: len(w.Failures())}
+}
+
+// ExtChaos prices the recovery machinery: broadcast and ring allreduce
+// under a ladder of fault plans, reporting the makespan inflation the
+// retransmission/backoff protocol pays to keep results byte-identical
+// (internal/conform proves the identity; this table shows the cost).
+// Scale.FaultPlan (adaptbench -faults) appends a custom plan row.
+func (s Scale) ExtChaos() []*Table {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(4, 1, 2))
+	n := p.Topo.Size()
+	size := 1 * netmodel.MB
+	tree := trees.Binomial(n, 0)
+	t := &Table{
+		ID:    "ext-chaos",
+		Title: fmt.Sprintf("Collectives under fault injection, %s payload, %d ranks (cori)", sizeLabel(size), n),
+		Header: []string{"fault plan", "bcast ms", "bcast slow",
+			"allreduce ms", "allreduce slow", "drops", "retries", "lost"},
+		Notes: []string{
+			"extension beyond the paper: ack/retry recovery cost; results stay byte-identical (internal/conform)",
+		},
+	}
+	ladder := []struct {
+		name string
+		text string
+	}{
+		{"clean", ""},
+		{"lossy 5%", "seed=101; all: drop=0.05"},
+		{"lossy 15% + dup", "seed=102; all: drop=0.15, dup=0.05, jitter=20us"},
+		{"edge 0->1 degraded", "seed=103; link 0->1: drop=0.4, delay=50us@0.5"},
+	}
+	ops := []struct {
+		name string
+		run  func(c *simmpi.Comm)
+	}{
+		{"bcast", func(c *simmpi.Comm) {
+			core.Bcast(c, tree, comm.Sized(size), core.DefaultOptions())
+		}},
+		{"allreduce", func(c *simmpi.Comm) {
+			coll.AllreduceRing(c, comm.Sized(size), coll.DefaultOptions())
+		}},
+	}
+	type planRow struct {
+		name string
+		plan *faults.Plan
+	}
+	rows := make([]planRow, 0, len(ladder)+1)
+	for _, l := range ladder {
+		var pl *faults.Plan
+		if l.text != "" {
+			plan := faults.MustParsePlan(l.text)
+			pl = &plan
+		}
+		rows = append(rows, planRow{l.name, pl})
+	}
+	if s.FaultPlan != nil {
+		rows = append(rows, planRow{"custom (-faults)", s.FaultPlan})
+	}
+	base := make([]time.Duration, len(ops))
+	for ri, row := range rows {
+		cells := make([]chaosCell, len(ops))
+		for oi, op := range ops {
+			plan, run := row.plan, op.run
+			cells[oi] = s.cell(func() any { return chaosRun(p, plan, run) }, chaosCell{}).(chaosCell)
+		}
+		if ri == 0 {
+			for oi := range ops {
+				base[oi] = cells[oi].Makespan
+			}
+		}
+		var drops, retries uint64
+		lost := 0
+		for _, c := range cells {
+			drops += c.Stats.Drops
+			retries += c.Stats.Retries
+			lost += c.Lost
+		}
+		t.AddRow(row.name,
+			ms(cells[0].Makespan), pct(base[0], cells[0].Makespan),
+			ms(cells[1].Makespan), pct(base[1], cells[1].Makespan),
+			fmt.Sprint(drops), fmt.Sprint(retries), fmt.Sprint(lost))
 	}
 	return []*Table{t}
 }

@@ -4,11 +4,15 @@ import "time"
 
 // Status describes a completed operation. For receives, Source/RecvTag/Msg
 // are filled in from the matched message; for sends they echo the posted
-// destination and tag.
+// destination and tag. Err is non-nil when the operation completed
+// unsuccessfully — under fault injection, a send whose every transmission
+// attempt went unacknowledged carries a *faults.TimeoutError naming the
+// edge and the lost segment.
 type Status struct {
 	Source int
 	Tag    Tag
 	Msg    Msg
+	Err    error
 }
 
 // Request is a handle to an in-flight non-blocking operation.

@@ -1,0 +1,36 @@
+package comm
+
+import "testing"
+
+// FuzzTagMatch exercises tag packing and wildcard matching over arbitrary
+// (kind, seq, seg) coordinates and arbitrary posted-receive tags: the
+// pack/extract round trip must be lossless, matching must be exactly
+// {AnyTag, equality}, and String must never panic.
+func FuzzTagMatch(f *testing.F) {
+	f.Add(byte(1), uint32(12), uint32(4), int64(-1))
+	f.Add(byte(0), uint32(0), uint32(0), int64(0))
+	f.Add(byte(9), uint32(1<<24-1), uint32(1<<24-1), int64(1<<48))
+	f.Add(byte(255), uint32(7), uint32(123456), int64(-2))
+	f.Fuzz(func(t *testing.T, kind byte, seq, seg uint32, probeRaw int64) {
+		seqN := int(seq) % SeqWrap
+		segN := int(seg) % SeqWrap
+		tag := MakeTag(CollKind(kind), seqN, segN)
+		if tag.Kind() != CollKind(kind) || tag.Seq() != seqN || tag.Seg() != segN {
+			t.Fatalf("round trip (%d,%d,%d) -> (%v,%d,%d)",
+				kind, seqN, segN, tag.Kind(), tag.Seq(), tag.Seg())
+		}
+		if !tag.Matches(tag) {
+			t.Fatal("tag does not match itself")
+		}
+		if !AnyTag.Matches(tag) {
+			t.Fatal("AnyTag does not match")
+		}
+		probe := Tag(probeRaw)
+		want := probe == AnyTag || probe == tag
+		if got := probe.Matches(tag); got != want {
+			t.Fatalf("Tag(%d).Matches(%v) = %v, want %v", probeRaw, tag, got, want)
+		}
+		_ = tag.String()
+		_ = probe.String()
+	})
+}

@@ -91,3 +91,11 @@ func (t Tag) Seg() int { return int(uint64(t) & tagSegMask) }
 // Matches reports whether a posted receive tag (possibly AnyTag) matches a
 // message tag.
 func (t Tag) Matches(msgTag Tag) bool { return t == AnyTag || t == msgTag }
+
+// String renders a tag for diagnostics: kind, sequence and segment.
+func (t Tag) String() string {
+	if t == AnyTag {
+		return "any"
+	}
+	return fmt.Sprintf("%s/%d/seg%d", t.Kind(), t.Seq(), t.Seg())
+}

@@ -1,0 +1,128 @@
+// Package conform is the cross-collective conformance harness: it runs
+// every collective in internal/core and internal/coll on the simulator
+// across a grid of world shapes, payload sizes, segment counts and fault
+// plans, and checks each faulted run byte-for-byte against the golden
+// no-fault run of the same case. A collective conforms when fault
+// injection with recovery is invisible in its results — only the clock
+// and the retry counters may move.
+package conform
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/faults"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+)
+
+// Case is one collective under test. In builds rank r's input; Run
+// invokes the collective and returns its local result. Both are built by
+// Cases/GPUCases with the world shape and payload size baked in.
+type Case struct {
+	Name string
+	In   func(rank int) comm.Msg
+	Run  func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg
+}
+
+// Result is one simulated run of a case.
+type Result struct {
+	// Out is each rank's result payload (nil for size-only results).
+	Out [][]byte
+	// End is the virtual completion time.
+	End time.Duration
+	// Err is the kernel's verdict: nil, or a deadlock error naming the
+	// ranks that could not finish (unrecoverable message loss).
+	Err error
+	// Failures are the transport's structured timeout errors.
+	Failures []*faults.TimeoutError
+	// Stats counts injected faults and recovery actions.
+	Stats faults.Stats
+}
+
+// RunCase executes cs on platform p. A nil plan (or a plan that cannot
+// inject anything) runs the fault-free fast path — the golden run.
+func RunCase(p *netmodel.Platform, cs Case, opt core.Options, plan *faults.Plan, rec faults.Recovery) Result {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, noise.None)
+	if plan != nil && plan.Enabled() {
+		w.InstallFaults(*plan, rec)
+	}
+	out := make([][]byte, w.Size())
+	w.Spawn(func(c *simmpi.Comm) {
+		res := cs.Run(c, cs.In(c.Rank()), opt)
+		if res.Data != nil {
+			out[c.Rank()] = append([]byte(nil), res.Data...)
+		}
+	})
+	end, err := k.Run()
+	return Result{Out: out, End: end, Err: err, Failures: w.Failures(), Stats: w.FaultStats()}
+}
+
+// Diff compares a faulted run against the golden run and returns a
+// description of the first divergence, or "" when byte-identical.
+func Diff(golden, got Result) string {
+	if got.Err != nil {
+		return fmt.Sprintf("run failed: %v", got.Err)
+	}
+	if len(golden.Out) != len(got.Out) {
+		return fmt.Sprintf("world size changed: %d vs %d ranks", len(golden.Out), len(got.Out))
+	}
+	for r := range golden.Out {
+		if !bytes.Equal(golden.Out[r], got.Out[r]) {
+			return fmt.Sprintf("rank %d: result diverges (%d vs %d bytes, first delta at %d)",
+				r, len(golden.Out[r]), len(got.Out[r]), firstDelta(golden.Out[r], got.Out[r]))
+		}
+	}
+	return ""
+}
+
+func firstDelta(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// pattern fills size bytes deterministically from a salt — distinct per
+// (case, rank) so misrouted blocks cannot collide by luck.
+func pattern(size int, salt int64) []byte {
+	b := make([]byte, size)
+	x := uint64(salt)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+// lattice fills size bytes with float64 small integers unique to the
+// rank. Small-integer sums are exact in float64 and addition is
+// commutative, so reduction results are byte-identical no matter what
+// order fault-delayed segments arrive and fold in.
+func lattice(rank, size int) []byte {
+	if size%8 != 0 {
+		panic(fmt.Sprintf("conform: lattice size %d not a multiple of 8", size))
+	}
+	b := make([]byte, size)
+	for i := 0; i < size/8; i++ {
+		v := float64((rank*31 + i) % 17)
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}

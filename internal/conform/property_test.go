@@ -1,0 +1,84 @@
+package conform
+
+import (
+	"math/rand"
+	"testing"
+
+	"adapt/internal/core"
+	"adapt/internal/faults"
+	"adapt/internal/hwloc"
+	"adapt/internal/netmodel"
+)
+
+// Property-based conformance: random seeded fault plans (bounded so
+// DefaultRecovery converges) over the five headline collectives. The
+// property is universal — any plan RandomPlan can produce must leave
+// results byte-identical to the golden run. Plans derive from a fixed
+// master seed, so a failure reproduces exactly.
+func TestPropertyRandomPlans(t *testing.T) {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	n := p.Topo.Size()
+	size := 16 * 8 * n
+	names := map[string]bool{
+		"core/bcast-binomial": true,
+		"core/reduce":         true,
+		"core/allreduce":      true,
+		"core/allgather":      true,
+		"core/alltoall":       true,
+	}
+	planCount := 4
+	if full() {
+		planCount = 12
+	}
+	for _, cs := range Cases(p.Topo, size) {
+		if !names[cs.Name] {
+			continue
+		}
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			t.Parallel()
+			opt := core.DefaultOptions()
+			opt.SegSize = 256
+			golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+			if golden.Err != nil {
+				t.Fatalf("golden: %v", golden.Err)
+			}
+			// One generator per collective, seeded by the case name, so
+			// adding a case never shifts another case's plans.
+			rng := rand.New(rand.NewSource(caseSalt(cs.Name, 0)))
+			for i := 0; i < planCount; i++ {
+				plan := faults.RandomPlan(rng, n)
+				got := RunCase(p, cs, opt, &plan, faults.DefaultRecovery())
+				if d := Diff(golden, got); d != "" {
+					t.Errorf("plan %d {%s}: %s", i, plan, d)
+				}
+				if len(got.Failures) != 0 {
+					t.Errorf("plan %d {%s}: unrecovered loss: %v", i, plan, got.Failures[0])
+				}
+			}
+		})
+	}
+}
+
+// The same plan must produce the same schedule on different world sizes
+// independently — i.e. changing an unrelated axis (payload size) must not
+// perturb which messages a rule hits on a fixed world. This pins the
+// identity-hashing contract RandomPlan-based tests rely on.
+func TestPropertyPlanStableAcrossReruns(t *testing.T) {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	size := 16 * 8 * p.Topo.Size()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		plan := faults.RandomPlan(rng, p.Topo.Size())
+		for _, cs := range Cases(p.Topo, size)[:3] {
+			opt := core.DefaultOptions()
+			opt.SegSize = 256
+			a := RunCase(p, cs, opt, &plan, faults.DefaultRecovery())
+			b := RunCase(p, cs, opt, &plan, faults.DefaultRecovery())
+			if a.Stats != b.Stats || a.End != b.End {
+				t.Fatalf("plan %d case %s: schedule not reproducible: %v/%v vs %v/%v",
+					i, cs.Name, a.Stats, a.End, b.Stats, b.End)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package conform
+
+import (
+	"fmt"
+
+	"adapt/internal/coll"
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/hwloc"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+// caseSalt keeps each case's data patterns disjoint, so a block leaking
+// between concurrently-tagged collectives could never pass the compare.
+func caseSalt(name string, rank int) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(name) {
+		h = (h ^ int64(b)) * 1099511628211
+	}
+	return h ^ int64(rank)<<17
+}
+
+// rootData: rank root supplies the payload, everyone else declares size.
+func rootData(name string, root, size int) func(rank int) comm.Msg {
+	return func(rank int) comm.Msg {
+		if rank == root {
+			return comm.Bytes(pattern(size, caseSalt(name, root)))
+		}
+		return comm.Sized(size)
+	}
+}
+
+// contribData: every rank supplies its own pattern block.
+func contribData(name string, size int) func(rank int) comm.Msg {
+	return func(rank int) comm.Msg {
+		return comm.Bytes(pattern(size, caseSalt(name, rank)))
+	}
+}
+
+// contribLattice: every rank supplies exact-arithmetic float64 integers —
+// reduction inputs whose fold is order-independent at the byte level.
+func contribLattice(size int) func(rank int) comm.Msg {
+	return func(rank int) comm.Msg { return comm.Bytes(lattice(rank, size)) }
+}
+
+// Cases enumerates the CPU collectives for a world of topo's shape with
+// the given payload size. size must be a multiple of 8×n so reductions
+// (8-byte elements) and ring algorithms (n blocks) both divide evenly.
+func Cases(topo *hwloc.Topology, size int) []Case {
+	n := topo.Size()
+	if size%(8*n) != 0 {
+		panic(fmt.Sprintf("conform: size %d not a multiple of 8×%d ranks", size, n))
+	}
+	root := 0
+	if n > 1 {
+		root = 1 // a non-zero root exercises the virtual-rank shifts
+	}
+	binom := trees.Binomial(n, root)
+	chain := trees.Chain(n, root)
+	bin := trees.Binary(n, root)
+	t0 := trees.Binomial(n, 0) // coll.Allreduce requires a rank-0 root
+	ta, tb := trees.TwoTree(n, root)
+	mlSpec := coll.MultiLevelSpec{
+		InterNode:   trees.Builder{Name: "binomial", Build: trees.Binomial},
+		InterSocket: trees.Builder{Name: "binomial", Build: trees.Binomial},
+		IntraSocket: trees.Builder{Name: "chain", Build: trees.Chain},
+		Alg:         coll.NonBlocking,
+	}
+	vcounts := make([]int, n)
+	vtotal := 0
+	for r := range vcounts {
+		vcounts[r] = size/n + 8*(r%3) // uneven, 8-aligned blocks
+		vtotal += vcounts[r]
+	}
+	layout := coll.NewLayout(vcounts)
+
+	cases := []Case{
+		{
+			Name: "core/bcast-binomial",
+			In:   rootData("core/bcast-binomial", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Bcast(c, binom, in, opt)
+			},
+		},
+		{
+			Name: "core/bcast-chain",
+			In:   rootData("core/bcast-chain", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Bcast(c, chain, in, opt)
+			},
+		},
+		{
+			Name: "core/bcast-binary",
+			In:   rootData("core/bcast-binary", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Bcast(c, bin, in, opt)
+			},
+		},
+		{
+			Name: "core/bcast-twotree",
+			In:   rootData("core/bcast-twotree", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.BcastTwoTree(c, ta, tb, in, opt)
+			},
+		},
+		{
+			Name: "core/reduce",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Reduce(c, binom, in, opt)
+			},
+		},
+		{
+			Name: "core/allreduce",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Allreduce(c, binom, in, opt)
+			},
+		},
+		{
+			Name: "core/allgather",
+			In:   contribData("core/allgather", size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Allgather(c, in, opt)
+			},
+		},
+		{
+			Name: "core/alltoall",
+			In:   contribData("core/alltoall", size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Alltoall(c, in, opt)
+			},
+		},
+		{
+			Name: "core/gather",
+			In:   contribData("core/gather", size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Gather(c, binom, in, opt)
+			},
+		},
+		{
+			Name: "core/scatter",
+			In:   rootData("core/scatter", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.Scatter(c, binom, in, opt)
+			},
+		},
+		{
+			Name: "coll/bcast-blocking",
+			In:   rootData("coll/bcast-blocking", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Bcast(c, binom, in, opt, coll.Blocking)
+			},
+		},
+		{
+			Name: "coll/bcast-nonblocking",
+			In:   rootData("coll/bcast-nonblocking", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Bcast(c, binom, in, opt, coll.NonBlocking)
+			},
+		},
+		{
+			Name: "coll/reduce-blocking",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Reduce(c, binom, in, opt, coll.Blocking)
+			},
+		},
+		{
+			Name: "coll/reduce-nonblocking",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Reduce(c, binom, in, opt, coll.NonBlocking)
+			},
+		},
+		{
+			Name: "coll/scatter",
+			In:   rootData("coll/scatter", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Scatter(c, root, in, opt)
+			},
+		},
+		{
+			Name: "coll/gather",
+			In:   contribData("coll/gather", size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Gather(c, root, in, opt)
+			},
+		},
+		{
+			Name: "coll/allgather",
+			In:   contribData("coll/allgather", size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Allgather(c, in, opt)
+			},
+		},
+		{
+			Name: "coll/bcast-scatter-allgather",
+			In:   rootData("coll/bcast-scatter-allgather", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.BcastScatterAllgather(c, root, in, opt)
+			},
+		},
+		{
+			Name: "coll/allreduce-tree",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Allreduce(c, t0, in, opt)
+			},
+		},
+		{
+			Name: "coll/allreduce-ring",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.AllreduceRing(c, in, opt)
+			},
+		},
+		{
+			Name: "coll/reduce-scatter-ring",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.ReduceScatterRing(c, in, opt)
+			},
+		},
+		{
+			Name: "coll/allreduce-rabenseifner",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.AllreduceRabenseifner(c, in, opt)
+			},
+		},
+		{
+			Name: "coll/bcast-multilevel",
+			In:   rootData("coll/bcast-multilevel", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.BcastMultiLevel(c, topo, root, in, opt, mlSpec)
+			},
+		},
+		{
+			Name: "coll/reduce-multilevel",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.ReduceMultiLevel(c, topo, root, in, opt, mlSpec)
+			},
+		},
+		{
+			Name: "coll/barrier",
+			In:   func(int) comm.Msg { return comm.Msg{} },
+			Run: func(c *simmpi.Comm, _ comm.Msg, opt core.Options) comm.Msg {
+				coll.Barrier(c, opt.Seq)
+				return comm.Msg{}
+			},
+		},
+		{
+			Name: "coll/scatterv",
+			In: func(rank int) comm.Msg {
+				if rank == root {
+					return comm.Bytes(pattern(vtotal, caseSalt("coll/scatterv", root)))
+				}
+				return comm.Sized(vtotal)
+			},
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Scatterv(c, binom, layout, in, opt)
+			},
+		},
+		{
+			Name: "coll/gatherv",
+			In: func(rank int) comm.Msg {
+				return comm.Bytes(pattern(vcounts[rank], caseSalt("coll/gatherv", rank)))
+			},
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return coll.Gatherv(c, binom, layout, in, opt)
+			},
+		},
+	}
+	return cases
+}
+
+// GPUCases enumerates the device-path collectives; topo must be a GPU
+// topology (e.g. netmodel.PSG's).
+func GPUCases(topo *hwloc.Topology, size int) []Case {
+	n := topo.Size()
+	if size%(8*n) != 0 {
+		panic(fmt.Sprintf("conform: size %d not a multiple of 8×%d ranks", size, n))
+	}
+	root := 0
+	if n > 1 {
+		root = 1
+	}
+	binom := trees.Binomial(n, root)
+	return []Case{
+		{
+			Name: "gpu/bcast-staged",
+			In:   rootData("gpu/bcast-staged", root, size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.BcastStaged(c, topo, binom, in, opt)
+			},
+		},
+		{
+			Name: "gpu/reduce-offload",
+			In:   contribLattice(size),
+			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.ReduceOffload(c, binom, in, opt)
+			},
+		},
+	}
+}

@@ -1,0 +1,435 @@
+// Package faults is the deterministic fault-injection layer for the
+// message transports. A Plan is a seeded set of per-link / per-rank /
+// global rules — drop, duplicate, delay spike, reorder jitter, and
+// permanent link degradation — and an Injector turns the plan into
+// per-message Verdicts.
+//
+// Determinism: a verdict is a pure function of (seed, rule, src, dst,
+// tag, message id, attempt). It does not depend on wall time, event
+// interleaving, or how many other links are faulted, so the same seed
+// reproduces the same fault schedule whether worlds run serially or on
+// parallel workers (adaptbench -j N), and a retransmitted message draws
+// a fresh, but reproducible, verdict per attempt.
+//
+// Recovery describes the ack/retry machinery the transports use to
+// survive a plan: per-message retransmit timeouts with exponential
+// backoff, bounded by a maximum attempt count. When attempts run out the
+// transport fails the operation with a structured *TimeoutError naming
+// the edge (rank, peer), the wire tag, and therefore the collective
+// kind, sequence and lost segment.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/perf"
+)
+
+// ScopeKind selects which traffic a rule applies to.
+type ScopeKind uint8
+
+const (
+	// ScopeAll matches every message.
+	ScopeAll ScopeKind = iota
+	// ScopeRank matches messages sent or received by rank A.
+	ScopeRank
+	// ScopeLink matches messages on the directed link A→B.
+	ScopeLink
+)
+
+// Scope is a rule's traffic selector.
+type Scope struct {
+	Kind ScopeKind
+	A, B int
+}
+
+// All selects every message.
+func All() Scope { return Scope{Kind: ScopeAll} }
+
+// Rank selects messages touching rank r (as sender or receiver).
+func Rank(r int) Scope { return Scope{Kind: ScopeRank, A: r} }
+
+// Link selects messages on the directed link src→dst.
+func Link(src, dst int) Scope { return Scope{Kind: ScopeLink, A: src, B: dst} }
+
+// Matches reports whether a src→dst message falls under the scope.
+func (s Scope) Matches(src, dst int) bool {
+	switch s.Kind {
+	case ScopeAll:
+		return true
+	case ScopeRank:
+		return src == s.A || dst == s.A
+	case ScopeLink:
+		return src == s.A && dst == s.B
+	}
+	return false
+}
+
+func (s Scope) String() string {
+	switch s.Kind {
+	case ScopeAll:
+		return "all"
+	case ScopeRank:
+		return fmt.Sprintf("rank %d", s.A)
+	case ScopeLink:
+		return fmt.Sprintf("link %d->%d", s.A, s.B)
+	}
+	return fmt.Sprintf("scope(%d)", uint8(s.Kind))
+}
+
+// Rule is one fault law over the traffic its Scope selects. All matching
+// rules apply to a message: drops and duplicates OR together, delays
+// add. The zero effects are a no-op rule.
+type Rule struct {
+	Scope Scope
+
+	// DropProb is the per-attempt probability the message is lost in
+	// flight (1 = black hole; retransmissions draw fresh verdicts).
+	DropProb float64
+	// DupProb is the probability a second copy of the message is
+	// injected (the receiver's dedup layer must suppress it).
+	DupProb float64
+	// DelayProb gates a fixed Delay spike added to the message's flight
+	// time. A Delay with zero DelayProb is treated as always-on.
+	DelayProb float64
+	Delay     time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) to every matching
+	// message — the reordering knob: two back-to-back segments on the
+	// same link draw different jitters and can arrive swapped.
+	Jitter time.Duration
+	// After activates the rule only from this virtual time on; combined
+	// with Delay/Jitter/SlowBw it models permanent link degradation that
+	// sets in mid-run. Zero means always active.
+	After time.Duration
+	// SlowBw, when positive, charges an extra size/SlowBw serialization
+	// per message — a degraded link's lost bandwidth (bytes/second).
+	SlowBw float64
+}
+
+// Plan is a seeded fault schedule: the rule set plus the seed that fixes
+// every probabilistic decision.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	for _, r := range p.Rules {
+		if r.DropProb > 0 || r.DupProb > 0 || r.Delay > 0 || r.Jitter > 0 || r.SlowBw > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects out-of-range probabilities and negative durations.
+func (p Plan) Validate() error {
+	for i, r := range p.Rules {
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{{"drop", r.DropProb}, {"dup", r.DupProb}, {"delay", r.DelayProb}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("faults: rule %d (%s): %s probability %g outside [0,1]", i, r.Scope, pr.name, pr.v)
+			}
+		}
+		if r.Delay < 0 || r.Jitter < 0 || r.After < 0 {
+			return fmt.Errorf("faults: rule %d (%s): negative duration", i, r.Scope)
+		}
+		if r.SlowBw < 0 {
+			return fmt.Errorf("faults: rule %d (%s): negative slow bandwidth", i, r.Scope)
+		}
+	}
+	return nil
+}
+
+// Recovery tunes the transports' ack/retry machinery.
+type Recovery struct {
+	// RTO is the base retransmit timeout: how long the sender waits for
+	// an acknowledgement before re-sending (or, out of attempts, failing).
+	RTO time.Duration
+	// Backoff multiplies the timeout per retry (exponential backoff).
+	Backoff float64
+	// MaxAttempts is the total number of transmission attempts per
+	// message; 1 disables retries (first unacknowledged loss fails).
+	MaxAttempts int
+}
+
+// DefaultRecovery is the standard tuning: 200µs base timeout, doubling
+// per retry, up to 10 attempts — enough to push per-message failure
+// probability into the noise for any loss rate below ~50%.
+func DefaultRecovery() Recovery {
+	return Recovery{RTO: 200 * time.Microsecond, Backoff: 2, MaxAttempts: 10}
+}
+
+// NoRecovery disables retries: a single unacknowledged attempt produces
+// a TimeoutError after one RTO. Used to prove failures are structured
+// and bounded rather than hangs.
+func NoRecovery() Recovery {
+	return Recovery{RTO: 200 * time.Microsecond, Backoff: 2, MaxAttempts: 1}
+}
+
+// Normalized fills zero fields with the defaults.
+func (r Recovery) Normalized() Recovery {
+	d := DefaultRecovery()
+	if r.RTO <= 0 {
+		r.RTO = d.RTO
+	}
+	if r.Backoff < 1 {
+		r.Backoff = d.Backoff
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = d.MaxAttempts
+	}
+	return r
+}
+
+// Timeout returns the retransmit timeout armed after the given attempt
+// (0-based), with the backoff applied and capped at 64× the base so a
+// deep retry chain stays inside bounded sim time.
+func (r Recovery) Timeout(attempt int) time.Duration {
+	t := float64(r.RTO)
+	for i := 0; i < attempt; i++ {
+		t *= r.Backoff
+		if t >= 64*float64(r.RTO) {
+			return 64 * r.RTO
+		}
+	}
+	return time.Duration(t)
+}
+
+// TimeoutError reports an unrecoverable message loss: every attempt went
+// unacknowledged. It names the tree edge (Rank→Peer), the wire tag —
+// and through it the collective kind, operation sequence, and segment —
+// plus how long and how hard the transport tried.
+type TimeoutError struct {
+	Rank, Peer int
+	Tag        comm.Tag
+	Attempts   int
+	Elapsed    time.Duration
+}
+
+// Segment returns the lost pipeline segment index.
+func (e *TimeoutError) Segment() int { return e.Tag.Seg() }
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("faults: rank %d -> %d: %s seq %d segment %d lost: %d attempts unacknowledged over %v",
+		e.Rank, e.Peer, e.Tag.Kind(), e.Tag.Seq(), e.Tag.Seg(), e.Attempts, e.Elapsed)
+}
+
+// Verdict is the injector's decision for one transmission attempt.
+type Verdict struct {
+	// Drop: the attempt vanishes in flight.
+	Drop bool
+	// Dup: a second copy is injected alongside the first.
+	Dup bool
+	// Extra is added latency (spikes, jitter, degradation).
+	Extra time.Duration
+}
+
+// Stats counts what an injector (and the recovery machinery feeding it)
+// did. Deterministic per world for a given seed.
+type Stats struct {
+	Drops      uint64 // attempts lost in flight (incl. lost acks)
+	Dups       uint64 // duplicate copies injected
+	Delays     uint64 // messages that drew extra latency
+	Retries    uint64 // retransmissions performed
+	Timeouts   uint64 // messages failed after exhausting attempts
+	Suppressed uint64 // duplicate arrivals discarded by the receiver
+}
+
+// Total returns the number of injected faults (not counting recovery
+// actions).
+func (s Stats) Total() uint64 { return s.Drops + s.Dups + s.Delays }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("drops %d, dups %d, delays %d, retries %d, timeouts %d, suppressed %d",
+		s.Drops, s.Dups, s.Delays, s.Retries, s.Timeouts, s.Suppressed)
+}
+
+// Injector evaluates a Plan. Safe for concurrent use (the live runtime
+// calls it from many rank goroutines); verdicts are pure functions, only
+// the stats counters are shared state.
+type Injector struct {
+	plan Plan
+
+	drops      atomic.Uint64
+	dups       atomic.Uint64
+	delays     atomic.Uint64
+	retries    atomic.Uint64
+	timeouts   atomic.Uint64
+	suppressed atomic.Uint64
+}
+
+// NewInjector builds an injector for the plan. The plan must Validate.
+func NewInjector(p Plan) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{plan: p}
+}
+
+// Plan returns the installed plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// uniform draws a deterministic value in [0,1) from the decision's
+// identity: seed, rule index, decision salt, and message coordinates.
+func (in *Injector) uniform(rule int, salt byte, src, dst int, tag comm.Tag, id uint64, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [41]byte
+	le := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	le(0, uint64(in.plan.Seed))
+	le(8, uint64(src))
+	le(16, uint64(dst))
+	le(24, uint64(tag))
+	le(32, id)
+	buf[40] = salt
+	h.Write(buf[:])
+	var tail [9]byte
+	le2 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			tail[off+i] = byte(v >> (8 * i))
+		}
+	}
+	le2(0, uint64(attempt))
+	tail[8] = byte(rule)
+	h.Write(tail[:])
+	return float64(h.Sum64()&((1<<53)-1)) / (1 << 53)
+}
+
+// Message returns the verdict for one transmission attempt of a src→dst
+// message. now is the current virtual (or wall) time, used only for
+// After-gated rules; size feeds degraded-bandwidth charges.
+func (in *Injector) Message(src, dst int, tag comm.Tag, id uint64, attempt int, now time.Duration, size int) Verdict {
+	var v Verdict
+	for i, r := range in.plan.Rules {
+		if !r.Scope.Matches(src, dst) || now < r.After {
+			continue
+		}
+		if r.DropProb > 0 && in.uniform(i, 'd', src, dst, tag, id, attempt) < r.DropProb {
+			v.Drop = true
+		}
+		if r.DupProb > 0 && in.uniform(i, '2', src, dst, tag, id, attempt) < r.DupProb {
+			v.Dup = true
+		}
+		if r.Delay > 0 && (r.DelayProb == 0 || in.uniform(i, 's', src, dst, tag, id, attempt) < r.DelayProb) {
+			v.Extra += r.Delay
+		}
+		if r.Jitter > 0 {
+			v.Extra += time.Duration(in.uniform(i, 'j', src, dst, tag, id, attempt) * float64(r.Jitter))
+		}
+		if r.SlowBw > 0 {
+			v.Extra += time.Duration(float64(size) / r.SlowBw * float64(time.Second))
+		}
+	}
+	if v.Drop {
+		in.drops.Add(1)
+		perf.RecordFaultDrop()
+		// A dropped attempt never materializes, so its dup/delay are moot.
+		v.Dup = false
+		v.Extra = 0
+		return v
+	}
+	if v.Dup {
+		in.dups.Add(1)
+		perf.RecordFaultDup()
+	}
+	if v.Extra > 0 {
+		in.delays.Add(1)
+		perf.RecordFaultDelay()
+	}
+	return v
+}
+
+// AckDrop decides whether the acknowledgement travelling src→dst (the
+// reverse of the data link) is lost. Only drop rules apply to acks.
+func (in *Injector) AckDrop(src, dst int, tag comm.Tag, id uint64, attempt int, now time.Duration) bool {
+	for i, r := range in.plan.Rules {
+		if r.DropProb <= 0 || !r.Scope.Matches(src, dst) || now < r.After {
+			continue
+		}
+		if in.uniform(i, 'a', src, dst, tag, id, attempt) < r.DropProb {
+			in.drops.Add(1)
+			perf.RecordFaultDrop()
+			return true
+		}
+	}
+	return false
+}
+
+// NoteRetry records one retransmission.
+func (in *Injector) NoteRetry() {
+	in.retries.Add(1)
+	perf.RecordFaultRetry()
+}
+
+// NoteTimeout records one message failed after exhausting its attempts.
+func (in *Injector) NoteTimeout() {
+	in.timeouts.Add(1)
+	perf.RecordFaultTimeout()
+}
+
+// NoteSuppressed records one duplicate arrival discarded by dedup.
+func (in *Injector) NoteSuppressed() {
+	in.suppressed.Add(1)
+	perf.RecordFaultSuppressed()
+}
+
+// Stats returns the injector's counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Drops:      in.drops.Load(),
+		Dups:       in.dups.Load(),
+		Delays:     in.delays.Load(),
+		Retries:    in.retries.Load(),
+		Timeouts:   in.timeouts.Load(),
+		Suppressed: in.suppressed.Load(),
+	}
+}
+
+// RandomPlan generates a seeded random plan for property-based testing:
+// a handful of rules over a world of n ranks with probabilities bounded
+// so that DefaultRecovery still converges (drop ≤ 0.35 per attempt).
+// The plan's Seed is drawn from rng too, so the whole schedule is a
+// function of the generator's state.
+func RandomPlan(rng *rand.Rand, n int) Plan {
+	p := Plan{Seed: rng.Int63()}
+	rules := 1 + rng.Intn(4)
+	for i := 0; i < rules; i++ {
+		var sc Scope
+		switch rng.Intn(3) {
+		case 0:
+			sc = All()
+		case 1:
+			sc = Rank(rng.Intn(n))
+		default:
+			sc = Link(rng.Intn(n), rng.Intn(n))
+		}
+		r := Rule{Scope: sc}
+		if rng.Intn(2) == 0 {
+			r.DropProb = 0.35 * rng.Float64()
+		}
+		if rng.Intn(2) == 0 {
+			r.DupProb = 0.4 * rng.Float64()
+		}
+		if rng.Intn(2) == 0 {
+			r.Delay = time.Duration(rng.Intn(120)) * time.Microsecond
+			r.DelayProb = rng.Float64()
+		}
+		if rng.Intn(2) == 0 {
+			r.Jitter = time.Duration(1+rng.Intn(60)) * time.Microsecond
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p
+}

@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+func TestScopeMatches(t *testing.T) {
+	cases := []struct {
+		s        Scope
+		src, dst int
+		want     bool
+	}{
+		{All(), 0, 1, true},
+		{All(), 5, 5, true},
+		{Rank(2), 2, 7, true},
+		{Rank(2), 7, 2, true},
+		{Rank(2), 3, 4, false},
+		{Link(0, 1), 0, 1, true},
+		{Link(0, 1), 1, 0, false},
+		{Link(0, 1), 0, 2, false},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Matches(tc.src, tc.dst); got != tc.want {
+			t.Errorf("%s.Matches(%d,%d) = %v, want %v", tc.s, tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+// Verdicts must be a pure function of (plan, identity): two injectors over
+// the same plan agree on every decision, and the decision ignores "now"
+// except for After gating.
+func TestVerdictDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: []Rule{
+		{Scope: All(), DropProb: 0.3, DupProb: 0.2, Jitter: 40 * time.Microsecond},
+		{Scope: Link(1, 2), DropProb: 0.5},
+	}}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for id := uint64(1); id < 200; id++ {
+		src, dst := int(id%4), int((id+1)%4)
+		tag := comm.MakeTag(comm.KindBcast, int(id%7), int(id%5))
+		for attempt := 0; attempt < 3; attempt++ {
+			va := a.Message(src, dst, tag, id, attempt, time.Microsecond, 100)
+			vb := b.Message(src, dst, tag, id, attempt, 999*time.Millisecond, 100)
+			if va != vb {
+				t.Fatalf("id %d attempt %d: verdicts diverge: %+v vs %+v", id, attempt, va, vb)
+			}
+			if a.AckDrop(dst, src, tag, id, attempt, 0) != b.AckDrop(dst, src, tag, id, attempt, time.Second) {
+				t.Fatalf("id %d attempt %d: ack verdicts diverge", id, attempt)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %v vs %v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Fatal("plan with drop=0.3 injected nothing over 600 attempts")
+	}
+}
+
+// Different attempts of the same message must draw fresh verdicts, or
+// retransmission could never recover from a probabilistic drop.
+func TestVerdictVariesByAttempt(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, Rules: []Rule{{Scope: All(), DropProb: 0.5}}})
+	tag := comm.MakeTag(comm.KindReduce, 0, 0)
+	varied := false
+	for id := uint64(1); id < 50 && !varied; id++ {
+		v0 := in.Message(0, 1, tag, id, 0, 0, 10)
+		v1 := in.Message(0, 1, tag, id, 1, 0, 10)
+		varied = v0.Drop != v1.Drop
+	}
+	if !varied {
+		t.Fatal("50 messages, attempts 0 and 1 always agreed on drop at p=0.5")
+	}
+}
+
+func TestAfterGatesRule(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Scope: All(), Delay: 50 * time.Microsecond, After: time.Millisecond},
+	}})
+	tag := comm.MakeTag(comm.KindBcast, 0, 0)
+	if v := in.Message(0, 1, tag, 1, 0, 0, 10); v.Extra != 0 {
+		t.Fatalf("rule applied before After: %+v", v)
+	}
+	if v := in.Message(0, 1, tag, 1, 0, 2*time.Millisecond, 10); v.Extra != 50*time.Microsecond {
+		t.Fatalf("rule not applied after After: %+v", v)
+	}
+}
+
+func TestDropSubsumesOtherEffects(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Scope: All(), DropProb: 1, DupProb: 1, Delay: time.Millisecond},
+	}})
+	v := in.Message(0, 1, comm.MakeTag(comm.KindBcast, 0, 0), 1, 0, 0, 10)
+	if !v.Drop || v.Dup || v.Extra != 0 {
+		t.Fatalf("dropped attempt should carry no dup/delay: %+v", v)
+	}
+	st := in.Stats()
+	if st.Drops != 1 || st.Dups != 0 || st.Delays != 0 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+func TestSlowBwChargesBySize(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{{Scope: All(), SlowBw: 1e6}}}) // 1 MB/s
+	tag := comm.MakeTag(comm.KindBcast, 0, 0)
+	v := in.Message(0, 1, tag, 1, 0, 0, 1000) // 1000 B at 1 MB/s = 1ms
+	if v.Extra != time.Millisecond {
+		t.Fatalf("slow-bandwidth charge = %v, want 1ms", v.Extra)
+	}
+}
+
+func TestRecoveryTimeout(t *testing.T) {
+	r := Recovery{RTO: 100 * time.Microsecond, Backoff: 2, MaxAttempts: 20}
+	want := []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond,
+		800 * time.Microsecond, 1600 * time.Microsecond,
+	}
+	for i, w := range want {
+		if got := r.Timeout(i); got != w {
+			t.Errorf("Timeout(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := r.Timeout(50); got != 64*r.RTO {
+		t.Errorf("deep retry timeout = %v, want cap %v", got, 64*r.RTO)
+	}
+}
+
+func TestRecoveryNormalized(t *testing.T) {
+	n := Recovery{}.Normalized()
+	if n != DefaultRecovery() {
+		t.Fatalf("zero Recovery normalized to %+v, want defaults", n)
+	}
+	keep := Recovery{RTO: time.Millisecond, Backoff: 3, MaxAttempts: 2}
+	if keep.Normalized() != keep {
+		t.Fatal("explicit Recovery fields were overwritten")
+	}
+}
+
+func TestTimeoutErrorNamesEdgeAndSegment(t *testing.T) {
+	err := &TimeoutError{
+		Rank: 3, Peer: 5, Tag: comm.MakeTag(comm.KindAllreduce, 12, 4),
+		Attempts: 10, Elapsed: 3 * time.Millisecond,
+	}
+	if err.Segment() != 4 {
+		t.Fatalf("Segment() = %d", err.Segment())
+	}
+	msg := err.Error()
+	for _, want := range []string{"rank 3 -> 5", "allreduce", "seq 12", "segment 4", "10 attempts"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Scope: All(), DropProb: 1.5}}},
+		{Rules: []Rule{{Scope: All(), DupProb: -0.1}}},
+		{Rules: []Rule{{Scope: All(), Delay: -time.Second}}},
+		{Rules: []Rule{{Scope: All(), SlowBw: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInjector accepted an invalid plan")
+		}
+	}()
+	NewInjector(bad[0])
+}
+
+func TestEnabled(t *testing.T) {
+	if (Plan{Seed: 9}).Enabled() {
+		t.Error("empty plan enabled")
+	}
+	if (Plan{Rules: []Rule{{Scope: All()}}}).Enabled() {
+		t.Error("no-effect rule enabled")
+	}
+	if !(Plan{Rules: []Rule{{Scope: All(), DropProb: 0.1}}}).Enabled() {
+		t.Error("drop rule not enabled")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=42",
+		"seed=42; all: drop=0.1, jitter=30µs",
+		"seed=-7; link 0->1: drop=1, after=1ms; rank 2: delay=100µs@0.25, slow=1e+09",
+		"seed=0; all: dup=0.5; link 3->0: drop=0.25, delay=1ms",
+	}
+	for _, s := range cases {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", s, err)
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+// Canonical form is a fixed point: parse(render(p)).render == render(p)
+// for arbitrary generated plans.
+func TestStringCanonicalFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		p := RandomPlan(rng, 8)
+		s := p.String()
+		q, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("plan %d: rendered form %q does not parse: %v", i, s, err)
+		}
+		if again := q.String(); again != s {
+			t.Fatalf("plan %d: canonical form unstable:\n%q\n%q", i, s, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"seed=x",
+		"nonsense",
+		"moon 3: drop=1",
+		"all: drip=1",
+		"all: drop=2",
+		"all: delay=fast",
+		"link 0: drop=1",
+		"rank two: drop=1",
+		"all: drop",
+	}
+	for _, s := range bad {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestRandomPlanConvergesUnderDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := RandomPlan(rng, 6)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("RandomPlan produced invalid plan: %v", err)
+		}
+		for _, r := range p.Rules {
+			if r.DropProb > 0.35 {
+				t.Fatalf("RandomPlan drop %g exceeds recovery budget", r.DropProb)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package faults
+
+import "testing"
+
+// FuzzParsePlan drives the plan DSL parser with arbitrary input. Accepted
+// plans must validate, render canonically, and reparse to the same
+// canonical form (parser/renderer agreement); everything else must be a
+// clean error, never a panic.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"seed=42; all: drop=0.1, jitter=30us",
+		"link 0->1: drop=1, after=1ms",
+		"rank 2: delay=100us@0.25, slow=1e9",
+		"all: dup=0.5; all: drop=0.05",
+		"seed=-1; link 10->0: jitter=1ms",
+		"all: drop=2",
+		"moon 3: drop=1",
+		"seed=9223372036854775807",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted plan fails validation: %v (input %q)", verr, s)
+		}
+		canon := p.String()
+		q, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v (input %q)", canon, err, s)
+		}
+		if again := q.String(); again != canon {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)", canon, again, s)
+		}
+	})
+}

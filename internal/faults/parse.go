@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Plan text format — semicolon-separated statements:
+//
+//	seed=42; all: drop=0.1, jitter=30us; link 0->1: drop=1, after=1ms; rank 2: delay=100us@0.25, slow=1e9
+//
+// Statements are either `seed=N` or `<scope>: <effect>(, <effect>)*`.
+// Scopes: `all`, `rank R`, `link A->B`. Effects: `drop=P`, `dup=P`,
+// `delay=DUR[@P]` (P defaults to always), `jitter=DUR`, `after=DUR`,
+// `slow=BYTES_PER_SEC`. ParsePlan and Plan.String round-trip.
+
+// ParsePlan parses the textual plan format.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	for _, stmt := range strings.Split(s, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(stmt, "seed="); ok {
+			seed, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: bad seed %q", v)
+			}
+			p.Seed = seed
+			continue
+		}
+		scopeTxt, effTxt, ok := strings.Cut(stmt, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: statement %q needs '<scope>: <effects>'", stmt)
+		}
+		scope, err := parseScope(strings.TrimSpace(scopeTxt))
+		if err != nil {
+			return Plan{}, err
+		}
+		rule := Rule{Scope: scope}
+		for _, eff := range strings.Split(effTxt, ",") {
+			eff = strings.TrimSpace(eff)
+			if eff == "" {
+				continue
+			}
+			if err := parseEffect(&rule, eff); err != nil {
+				return Plan{}, err
+			}
+		}
+		p.Rules = append(p.Rules, rule)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan for trusted literals (bench exhibits, docs).
+func MustParsePlan(s string) Plan {
+	p, err := ParsePlan(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseScope(s string) (Scope, error) {
+	switch {
+	case s == "all":
+		return All(), nil
+	case strings.HasPrefix(s, "rank "):
+		r, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, "rank ")))
+		if err != nil {
+			return Scope{}, fmt.Errorf("faults: bad rank scope %q", s)
+		}
+		return Rank(r), nil
+	case strings.HasPrefix(s, "link "):
+		a, b, ok := strings.Cut(strings.TrimPrefix(s, "link "), "->")
+		if !ok {
+			return Scope{}, fmt.Errorf("faults: link scope %q needs 'link A->B'", s)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(a))
+		dst, err2 := strconv.Atoi(strings.TrimSpace(b))
+		if err1 != nil || err2 != nil {
+			return Scope{}, fmt.Errorf("faults: bad link scope %q", s)
+		}
+		return Link(src, dst), nil
+	}
+	return Scope{}, fmt.Errorf("faults: unknown scope %q (want all, rank R, link A->B)", s)
+}
+
+func parseEffect(r *Rule, eff string) error {
+	key, val, ok := strings.Cut(eff, "=")
+	if !ok {
+		return fmt.Errorf("faults: effect %q needs key=value", eff)
+	}
+	key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+	switch key {
+	case "drop":
+		return parseProb(val, &r.DropProb, "drop")
+	case "dup":
+		return parseProb(val, &r.DupProb, "dup")
+	case "delay":
+		durTxt, probTxt, hasProb := strings.Cut(val, "@")
+		d, err := time.ParseDuration(durTxt)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: bad delay %q", val)
+		}
+		r.Delay = d
+		if hasProb {
+			return parseProb(probTxt, &r.DelayProb, "delay")
+		}
+		r.DelayProb = 0 // always-on spike
+		return nil
+	case "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: bad jitter %q", val)
+		}
+		r.Jitter = d
+		return nil
+	case "after":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faults: bad after %q", val)
+		}
+		r.After = d
+		return nil
+	case "slow":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("faults: bad slow bandwidth %q", val)
+		}
+		r.SlowBw = f
+		return nil
+	}
+	return fmt.Errorf("faults: unknown effect %q (want drop, dup, delay, jitter, after, slow)", key)
+}
+
+func parseProb(val string, dst *float64, what string) error {
+	f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("faults: bad %s probability %q", what, val)
+	}
+	*dst = f
+	return nil
+}
+
+// String renders the plan in the canonical parseable form.
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d", p.Seed)
+	for _, r := range p.Rules {
+		sb.WriteString("; ")
+		sb.WriteString(r.Scope.String())
+		sb.WriteString(":")
+		first := true
+		eff := func(format string, args ...any) {
+			if first {
+				sb.WriteString(" ")
+				first = false
+			} else {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, format, args...)
+		}
+		if r.DropProb > 0 {
+			eff("drop=%s", strconv.FormatFloat(r.DropProb, 'g', -1, 64))
+		}
+		if r.DupProb > 0 {
+			eff("dup=%s", strconv.FormatFloat(r.DupProb, 'g', -1, 64))
+		}
+		if r.Delay > 0 {
+			if r.DelayProb > 0 {
+				eff("delay=%v@%s", r.Delay, strconv.FormatFloat(r.DelayProb, 'g', -1, 64))
+			} else {
+				eff("delay=%v", r.Delay)
+			}
+		}
+		if r.Jitter > 0 {
+			eff("jitter=%v", r.Jitter)
+		}
+		if r.After > 0 {
+			eff("after=%v", r.After)
+		}
+		if r.SlowBw > 0 {
+			eff("slow=%s", strconv.FormatFloat(r.SlowBw, 'g', -1, 64))
+		}
+		if first {
+			sb.WriteString(" drop=0")
+		}
+	}
+	return sb.String()
+}

@@ -29,6 +29,15 @@ var (
 	bufHits    atomic.Uint64 // Gets satisfied from the pool (no allocation)
 	bufPuts    atomic.Uint64 // pool Put calls
 	bufRecycle atomic.Uint64 // Puts retained for reuse (size-class match)
+
+	// Fault-injection / recovery path (internal/faults). All zero in a
+	// clean run — scripts/bench.sh enforces that as a no-regression gate.
+	faultDrops      atomic.Uint64 // messages (or acks) lost in flight
+	faultDups       atomic.Uint64 // duplicate copies injected
+	faultDelays     atomic.Uint64 // messages charged extra latency
+	faultRetries    atomic.Uint64 // retransmissions performed
+	faultTimeouts   atomic.Uint64 // operations failed after all attempts
+	faultSuppressed atomic.Uint64 // duplicate arrivals deduplicated
 )
 
 // RecordKernelRun publishes one kernel's counter deltas after a Run.
@@ -62,6 +71,24 @@ func RecordBufPut(retained bool) {
 	}
 }
 
+// RecordFaultDrop counts one injected message (or ack) loss.
+func RecordFaultDrop() { faultDrops.Add(1) }
+
+// RecordFaultDup counts one injected duplicate copy.
+func RecordFaultDup() { faultDups.Add(1) }
+
+// RecordFaultDelay counts one message charged extra latency.
+func RecordFaultDelay() { faultDelays.Add(1) }
+
+// RecordFaultRetry counts one retransmission.
+func RecordFaultRetry() { faultRetries.Add(1) }
+
+// RecordFaultTimeout counts one operation failed after all attempts.
+func RecordFaultTimeout() { faultTimeouts.Add(1) }
+
+// RecordFaultSuppressed counts one deduplicated duplicate arrival.
+func RecordFaultSuppressed() { faultSuppressed.Add(1) }
+
 // Snapshot is a point-in-time view of the counters.
 type Snapshot struct {
 	KernelRuns       uint64
@@ -73,6 +100,20 @@ type Snapshot struct {
 	BufHits     uint64
 	BufPuts     uint64
 	BufRecycled uint64
+
+	FaultDrops      uint64
+	FaultDups       uint64
+	FaultDelays     uint64
+	FaultRetries    uint64
+	FaultTimeouts   uint64
+	FaultSuppressed uint64
+}
+
+// FaultTotal sums every fault-path counter; non-zero means the fault
+// injection or recovery machinery ran.
+func (s Snapshot) FaultTotal() uint64 {
+	return s.FaultDrops + s.FaultDups + s.FaultDelays +
+		s.FaultRetries + s.FaultTimeouts + s.FaultSuppressed
 }
 
 // Read returns the current counter values.
@@ -86,6 +127,12 @@ func Read() Snapshot {
 		BufHits:          bufHits.Load(),
 		BufPuts:          bufPuts.Load(),
 		BufRecycled:      bufRecycle.Load(),
+		FaultDrops:       faultDrops.Load(),
+		FaultDups:        faultDups.Load(),
+		FaultDelays:      faultDelays.Load(),
+		FaultRetries:     faultRetries.Load(),
+		FaultTimeouts:    faultTimeouts.Load(),
+		FaultSuppressed:  faultSuppressed.Load(),
 	}
 }
 
@@ -99,6 +146,12 @@ func Reset() {
 	bufHits.Store(0)
 	bufPuts.Store(0)
 	bufRecycle.Store(0)
+	faultDrops.Store(0)
+	faultDups.Store(0)
+	faultDelays.Store(0)
+	faultRetries.Store(0)
+	faultTimeouts.Store(0)
+	faultSuppressed.Store(0)
 }
 
 // Fprint renders the snapshot as a small human-readable report.
@@ -114,6 +167,10 @@ func (s Snapshot) Fprint(w io.Writer) {
 	}
 	fmt.Fprintf(w, "perf: buffer pool %d gets (%.0f%% reuse), %d puts (%.0f%% recycled)\n",
 		s.BufGets, hitRate, s.BufPuts, recRate)
+	if s.FaultTotal() > 0 {
+		fmt.Fprintf(w, "perf: faults %d drops, %d dups, %d delays; recovery %d retries, %d timeouts, %d suppressed\n",
+			s.FaultDrops, s.FaultDups, s.FaultDelays, s.FaultRetries, s.FaultTimeouts, s.FaultSuppressed)
+	}
 }
 
 // StartCPUProfile begins a CPU profile written to path and returns a stop

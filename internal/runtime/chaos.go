@@ -1,0 +1,154 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+)
+
+// Fault injection in the live runtime. The delivery path mirrors the
+// simulator's chaos transport (internal/simmpi/chaos.go) with the
+// simplifications a shared-address-space executor affords:
+//
+//   - Retries are resolved at send time: the sender walks the attempt
+//     sequence (each drawing its own deterministic verdict), accumulates
+//     the retransmit backoff of every dropped attempt into a wall-clock
+//     delay, and delivers the first surviving copy after that delay. The
+//     observable schedule — which attempt survives, how late it lands —
+//     is identical to replaying the loss/retry exchange, without modeling
+//     acks on live goroutines.
+//   - Duplicates are real: a second copy (with its own payload buffer)
+//     races the first through deliver, where per-transmission ids
+//     deduplicate.
+//   - A message whose every attempt drops is permanently lost. Rendezvous
+//     sends then fail with a structured *faults.TimeoutError; eager sends
+//     have already completed (buffer-reuse semantics), so the loss
+//     surfaces at the stuck receiver — bound Run with WithRunTimeout to
+//     turn that hang into a per-rank pending-operation dump.
+//
+// The injector's verdicts depend only on message identity, so a fixed
+// plan seed yields the same drops/dups/losses regardless of goroutine
+// interleaving; wall-clock arrival order of near-simultaneous copies is
+// the only nondeterminism, and dedup makes it invisible to receivers.
+
+// WithFaults installs a fault plan and the ack/retry tuning used to
+// recover from it (zero Recovery fields take defaults).
+func WithFaults(p faults.Plan, rec faults.Recovery) Option {
+	return func(w *World) {
+		w.inj = faults.NewInjector(p)
+		w.rec = rec.Normalized()
+	}
+}
+
+// FaultStats returns what the injector did; zero when no plan installed.
+func (w *World) FaultStats() faults.Stats {
+	if w.inj == nil {
+		return faults.Stats{}
+	}
+	return w.inj.Stats()
+}
+
+// Failures lists operations that exhausted their attempt budget.
+func (w *World) Failures() []*faults.TimeoutError {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return append([]*faults.TimeoutError(nil), w.failures...)
+}
+
+// chaosDeliver carries env from c to d under the fault plan. Runs on the
+// sender's goroutine; delayed copies hop to timer goroutines.
+func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
+	w := c.w
+	env.xid = w.xmitSeq.Add(1)
+	var wait time.Duration
+	for attempt := 0; attempt < w.rec.MaxAttempts; attempt++ {
+		v := w.inj.Message(c.rank, d.rank, env.tag, env.xid, attempt, c.Now(), size)
+		if v.Drop {
+			wait += w.rec.Timeout(attempt)
+			if attempt+1 < w.rec.MaxAttempts {
+				w.inj.NoteRetry()
+			}
+			continue
+		}
+		if v.Dup {
+			// The duplicate gets its own payload buffer (eager payloads are
+			// pooled and freed independently) and trails the original.
+			dup := *env
+			if dup.rts == nil && dup.msg.Data != nil {
+				buf := comm.GetBuf(len(dup.msg.Data))
+				copy(buf, dup.msg.Data)
+				dup.msg.Data = buf
+			}
+			deliverAfter(d, &dup, wait+v.Extra+w.rec.RTO/2)
+		}
+		deliverAfter(d, env, wait+v.Extra)
+		return
+	}
+	// Every attempt dropped: the message is lost for good.
+	w.inj.NoteTimeout()
+	err := &faults.TimeoutError{
+		Rank: c.rank, Peer: d.rank, Tag: env.tag,
+		Attempts: w.rec.MaxAttempts, Elapsed: wait,
+	}
+	w.failMu.Lock()
+	w.failures = append(w.failures, err)
+	w.failMu.Unlock()
+	if env.rts != nil {
+		env.rts.complete(comm.Status{Source: c.rank, Tag: env.tag, Err: err})
+		return
+	}
+	if env.msg.Data != nil {
+		comm.PutBuf(env.msg.Data) // the receiver will never own this copy
+	}
+}
+
+// deliverAfter lands env on d now or after a wall-clock delay.
+func deliverAfter(d *Comm, env *envelope, delay time.Duration) {
+	if delay <= 0 {
+		d.deliver(env)
+		return
+	}
+	time.AfterFunc(delay, func() { d.deliver(env) })
+}
+
+// suppress discards a duplicate delivery that lost the dedup race.
+func (c *Comm) suppress(env *envelope) {
+	c.w.inj.NoteSuppressed()
+	if env.rts == nil && env.msg.Data != nil {
+		comm.PutBuf(env.msg.Data)
+	}
+}
+
+// pendingDump renders every rank's in-flight state for the Run watchdog:
+// operation counts, posted receives, and parked unexpected messages —
+// enough to see which edge of which collective lost what.
+func (w *World) pendingDump() string {
+	var sb strings.Builder
+	for _, c := range w.ranks {
+		c.mu.Lock()
+		fmt.Fprintf(&sb, "  rank %d: %d ops in flight", c.rank, c.pendingOps)
+		for _, req := range c.posted {
+			src := "any"
+			if req.src != comm.AnySource {
+				src = fmt.Sprintf("%d", req.src)
+			}
+			fmt.Fprintf(&sb, "; posted recv src=%s tag=%s", src, req.tag)
+		}
+		for _, env := range c.unexpected {
+			kind := "eager"
+			if env.rts != nil {
+				kind = "rts"
+			}
+			fmt.Fprintf(&sb, "; unexpected %s from %d tag=%s", kind, env.src, env.tag)
+		}
+		c.mu.Unlock()
+		sb.WriteByte('\n')
+	}
+	for _, f := range w.Failures() {
+		fmt.Fprintf(&sb, "  lost: %v\n", f)
+	}
+	return sb.String()
+}

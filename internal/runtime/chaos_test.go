@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+)
+
+func ptag(i int) comm.Tag { return comm.MakeTag(comm.KindP2P, 0, i) }
+
+func TestLiveChaosRecoversFromDropsAndDups(t *testing.T) {
+	plan := faults.MustParsePlan("seed=21; all: drop=0.3, dup=0.3")
+	w := NewWorld(4, WithFaults(plan, faults.DefaultRecovery()),
+		WithRunTimeout(30*time.Second))
+	payload := []byte("chaos-proof payload")
+	var mu sync.Mutex
+	received := map[int]int{}
+	w.Run(func(c *Comm) {
+		me := c.Rank()
+		next := (me + 1) % 4
+		prev := (me + 3) % 4
+		for i := 0; i < 25; i++ {
+			r := c.Irecv(prev, ptag(i))
+			c.Send(next, ptag(i), comm.Bytes(payload))
+			st := c.Wait(r)
+			if !bytes.Equal(st.Msg.Data, payload) {
+				t.Errorf("rank %d round %d: corrupted payload", me, i)
+			}
+			mu.Lock()
+			received[me]++
+			mu.Unlock()
+		}
+	})
+	for r := 0; r < 4; r++ {
+		if received[r] != 25 {
+			t.Errorf("rank %d received %d of 25", r, received[r])
+		}
+	}
+	st := w.FaultStats()
+	if st.Drops == 0 || st.Dups == 0 || st.Retries == 0 || st.Suppressed == 0 {
+		t.Fatalf("plan exercised too little: %v", st)
+	}
+	if fs := w.Failures(); len(fs) != 0 {
+		t.Fatalf("unrecovered loss under DefaultRecovery: %v", fs[0])
+	}
+}
+
+func TestLiveRendezvousLossFailsStructured(t *testing.T) {
+	plan := faults.MustParsePlan("seed=5; link 0->1: drop=1")
+	w := NewWorld(2, WithFaults(plan, faults.NoRecovery()),
+		WithRunTimeout(30*time.Second))
+	var st comm.Status
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			// Rendezvous-size: the send completes only on match — or, here,
+			// with the transport's structured loss report.
+			st = c.Wait(c.Isend(1, ptag(3), comm.Sized(DefaultEagerLimit+1)))
+		}
+	})
+	if st.Err == nil {
+		t.Fatal("black-holed rendezvous send completed cleanly")
+	}
+	var te *faults.TimeoutError
+	if !errors.As(st.Err, &te) {
+		t.Fatalf("error is %T, want *faults.TimeoutError", st.Err)
+	}
+	if te.Rank != 0 || te.Peer != 1 || te.Tag != ptag(3) {
+		t.Fatalf("timeout misdescribes the edge: %+v", te)
+	}
+	if len(w.Failures()) != 1 {
+		t.Fatalf("%d failures recorded, want 1", len(w.Failures()))
+	}
+}
+
+// An eager message whose every attempt drops is silently lost (the send
+// already completed); the receiver's hang must surface as the watchdog's
+// pending-request dump rather than a hung test binary.
+func TestRunTimeoutDumpsPendingRequests(t *testing.T) {
+	plan := faults.MustParsePlan("seed=8; link 0->1: drop=1")
+	w := NewWorld(2, WithFaults(plan, faults.NoRecovery()),
+		WithRunTimeout(300*time.Millisecond))
+	var msg string
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				msg = p.(string)
+			}
+		}()
+		w.Run(func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				c.Send(1, ptag(9), comm.Bytes([]byte("lost forever")))
+			case 1:
+				c.Recv(0, ptag(9))
+			}
+		})
+	}()
+	if msg == "" {
+		t.Fatal("Run returned instead of panicking with a dump")
+	}
+	for _, want := range []string{"still incomplete", "rank 1", "posted recv src=0", "p2p/0/seg9", "lost:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("dump missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// Without faults the watchdog must stay silent even on slow bodies.
+func TestRunTimeoutQuietOnSuccess(t *testing.T) {
+	w := NewWorld(2, WithRunTimeout(30*time.Second))
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, ptag(0), comm.Bytes([]byte("ok")))
+		} else {
+			c.Recv(0, ptag(0))
+		}
+	})
+	if w.FaultStats().Total() != 0 {
+		t.Fatal("fault counters moved without a plan")
+	}
+}
+
+// Same seed, same world → same drop/dup/loss schedule, regardless of
+// goroutine interleaving.
+func TestLiveFaultScheduleDeterministic(t *testing.T) {
+	run := func() faults.Stats {
+		plan := faults.MustParsePlan("seed=77; all: drop=0.25; link 2->0: dup=0.5")
+		w := NewWorld(3, WithFaults(plan, faults.DefaultRecovery()),
+			WithRunTimeout(30*time.Second))
+		w.Run(func(c *Comm) {
+			me := c.Rank()
+			for i := 0; i < 15; i++ {
+				r := c.Irecv((me+2)%3, ptag(i))
+				c.Send((me+1)%3, ptag(i), comm.Bytes([]byte("det")))
+				c.Wait(r)
+			}
+		})
+		return w.FaultStats()
+	}
+	a, b := run(), run()
+	// Suppressed counts depend on wall-clock dup/original races; the
+	// injected schedule (drops, dups, timeouts) must be identical.
+	if a.Drops != b.Drops || a.Dups != b.Dups || a.Timeouts != b.Timeouts || a.Retries != b.Retries {
+		t.Fatalf("schedules diverge: %v vs %v", a, b)
+	}
+	if a.Drops == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}

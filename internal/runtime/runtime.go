@@ -17,9 +17,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adapt/internal/comm"
+	"adapt/internal/faults"
 )
 
 // DefaultEagerLimit is the eager/rendezvous protocol switch-over.
@@ -30,6 +32,15 @@ type World struct {
 	ranks      []*Comm
 	start      time.Time
 	eagerLimit int
+	runTimeout time.Duration
+
+	// Fault injection (nil inj = fault-free fast paths; see chaos.go).
+	inj     *faults.Injector
+	rec     faults.Recovery
+	xmitSeq atomic.Uint64
+
+	failMu   sync.Mutex
+	failures []*faults.TimeoutError
 }
 
 // Option configures a World.
@@ -38,6 +49,13 @@ type Option func(*World)
 // WithEagerLimit overrides the eager protocol threshold.
 func WithEagerLimit(n int) Option {
 	return func(w *World) { w.eagerLimit = n }
+}
+
+// WithRunTimeout bounds every Run call: if the ranks have not all returned
+// within d, Run panics with a per-rank dump of pending operations instead
+// of hanging the caller (and, under `go test`, the whole test binary).
+func WithRunTimeout(d time.Duration) Option {
+	return func(w *World) { w.runTimeout = d }
 }
 
 // NewWorld creates a communicator with n ranks.
@@ -81,7 +99,21 @@ func (w *World) Run(body func(c *Comm)) {
 			body(c)
 		}()
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if w.runTimeout > 0 {
+		t := time.NewTimer(w.runTimeout)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			// Deliberately leak the stuck rank goroutines: the dump names the
+			// culprits, and a clean panic beats a hung test binary.
+			panic(fmt.Sprintf("runtime: Run still incomplete after %v\n%s", w.runTimeout, w.pendingDump()))
+		}
+	} else {
+		<-done
+	}
 	close(panics)
 	var msgs []string
 	for p := range panics {
@@ -105,6 +137,10 @@ type envelope struct {
 	// rendezvous: the sender's request, completed when the payload is
 	// pulled; nil for eager envelopes (whose payload was already copied).
 	rts *request
+	// xid is the reliable-transmission id under fault injection; the
+	// receiver suppresses duplicate deliveries of the same id. Zero on the
+	// fault-free path.
+	xid uint64
 }
 
 // request implements comm.Request. All mutable state is guarded by the
@@ -140,6 +176,7 @@ type Comm struct {
 	cbQueue        []*request
 	completedCount uint64
 	pendingOps     int
+	seen           map[uint64]struct{} // delivered xids (fault injection dedup)
 
 	wake chan struct{}
 }
@@ -227,13 +264,23 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			copy(buf, msg.Data)
 			delivered.Data = buf
 		}
-		d.deliver(&envelope{src: c.rank, tag: tag, msg: delivered})
+		env := &envelope{src: c.rank, tag: tag, msg: delivered}
+		if c.w.inj != nil {
+			c.chaosDeliver(d, env, msg.Size)
+		} else {
+			d.deliver(env)
+		}
 		req.complete(st)
 		return req
 	}
 	// Rendezvous: announce; the payload is pulled zero-copy when matched,
 	// completing this request only then.
-	d.deliver(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req}
+	if c.w.inj != nil {
+		c.chaosDeliver(d, env, msg.Size)
+	} else {
+		d.deliver(env)
+	}
 	return req
 }
 
@@ -260,9 +307,21 @@ func (req *request) matches(env *envelope) bool {
 }
 
 // deliver matches an incoming envelope against posted receives or parks
-// it in the unexpected queue. Runs on the sender's goroutine.
+// it in the unexpected queue. Runs on the sender's goroutine (or a timer
+// goroutine for fault-delayed copies).
 func (c *Comm) deliver(env *envelope) {
 	c.mu.Lock()
+	if env.xid != 0 {
+		if _, dup := c.seen[env.xid]; dup {
+			c.mu.Unlock()
+			c.suppress(env)
+			return
+		}
+		if c.seen == nil {
+			c.seen = make(map[uint64]struct{})
+		}
+		c.seen[env.xid] = struct{}{}
+	}
 	for i, req := range c.posted {
 		if req.matches(env) {
 			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
@@ -311,7 +370,13 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	c.mu.Lock()
 	c.pendingOps++
 	c.mu.Unlock()
-	c.w.ranks[dst].deliver(&envelope{src: c.rank, tag: tag, msg: msg, rts: req})
+	d := c.w.ranks[dst]
+	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req}
+	if c.w.inj != nil {
+		c.chaosDeliver(d, env, msg.Size)
+	} else {
+		d.deliver(env)
+	}
 	c.Wait(req)
 }
 

@@ -1,0 +1,231 @@
+package simmpi
+
+import (
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+)
+
+// This file is the chaos transport: the delivery paths used when a fault
+// plan is installed on the world (World.InstallFaults). Every logical
+// point-to-point unit — eager payload, rendezvous RTS, CTS grant, bulk
+// data — becomes a reliably-transmitted message: each attempt draws a
+// Verdict from the injector (drop / duplicate / extra delay), arrivals
+// are acknowledged, duplicates are suppressed by message identity, and
+// an unacknowledged sender retransmits with exponential backoff until
+// the Recovery policy's attempt budget runs out, at which point the
+// operation completes with a structured *faults.TimeoutError.
+//
+// With no plan installed none of this code runs and the fault-free
+// protocol engine in simmpi.go is byte-for-byte unchanged.
+//
+// Modeling note: the simulator is one address space, so "acks" are
+// events, not payloads. The eager and control paths model the full ack
+// cycle — including ack loss on the reverse link, which causes spurious
+// retransmission that the receiver's dedup absorbs. Failure detection is
+// therefore realistic: a sender can time out even though its message was
+// delivered, exactly the ambiguity a real transport faces.
+
+// xmitState tracks one reliable transmission.
+type xmitState struct {
+	attempts  int
+	delivered bool
+	acked     bool
+	failed    bool
+}
+
+// chaosSend reliably moves one logical message from c to dst.
+//
+//	transmit(extra, arrive) models one attempt's transport cost and calls
+//	                        arrive when that copy reaches dst (or never,
+//	                        if the attempt was dropped upstream of it).
+//	deliver                 runs exactly once, on the first arrival.
+//	onAck                   runs once when the sender learns of delivery.
+//	onFail                  runs once if every attempt goes unacknowledged.
+func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
+	transmit func(extra time.Duration, arrive func()),
+	deliver func(), onAck func(), onFail func(err *faults.TimeoutError)) {
+
+	w := c.w
+	w.xmitSeq++
+	id := w.xmitSeq
+	start := w.K.Now()
+	st := &xmitState{}
+
+	var try func()
+	try = func() {
+		attempt := st.attempts
+		st.attempts++
+		v := w.inj.Message(c.rank, dst, tag, id, attempt, w.K.Now(), size)
+		send := func(extra time.Duration) {
+			transmit(extra, func() {
+				if st.delivered {
+					w.inj.NoteSuppressed()
+				} else {
+					st.delivered = true
+					deliver()
+				}
+				// Acknowledge this arrival back toward the sender. A lost
+				// ack leaves the sender retransmitting; dedup absorbs it.
+				if w.inj.AckDrop(dst, c.rank, tag, id, attempt, w.K.Now()) {
+					return
+				}
+				w.K.Schedule(w.Net.ControlLatency(dst, c.rank), func() {
+					if st.acked || st.failed {
+						return
+					}
+					st.acked = true
+					if onAck != nil {
+						onAck()
+					}
+				})
+			})
+		}
+		if !v.Drop {
+			send(v.Extra)
+			if v.Dup {
+				// The duplicate trails the original by its own jitter draw.
+				send(v.Extra + w.Net.ControlLatency(c.rank, dst))
+			}
+		}
+		w.K.Schedule(w.rec.Timeout(attempt), func() {
+			if st.acked || st.failed {
+				return
+			}
+			if st.attempts >= w.rec.MaxAttempts {
+				st.failed = true
+				err := &faults.TimeoutError{
+					Rank: c.rank, Peer: dst, Tag: tag,
+					Attempts: st.attempts, Elapsed: w.K.Now() - start,
+				}
+				w.inj.NoteTimeout()
+				w.failures = append(w.failures, err)
+				if onFail != nil {
+					onFail(err)
+				}
+				return
+			}
+			w.inj.NoteRetry()
+			try()
+		})
+	}
+	try()
+}
+
+// completeIfLive completes req unless it already finished — under chaos a
+// late success can race a timeout failure (or vice versa); first wins.
+func completeIfLive(req *request, st comm.Status) {
+	if !req.done {
+		req.complete(st)
+	}
+}
+
+// chaosEager is the eager protocol under a fault plan. The payload is
+// snapshotted once into a transmission buffer that feeds every
+// (re)transmission; the receiver gets its own pooled copy on first
+// arrival. The send completes on acknowledgement — not at first-hop end
+// as in the fault-free engine — or with a TimeoutError.
+func (c *Comm) chaosEager(d *Comm, req *request, tag comm.Tag, msg comm.Msg, st comm.Status) {
+	send := msg
+	var retained []byte
+	if msg.Data != nil {
+		retained = comm.GetBuf(len(msg.Data))
+		copy(retained, msg.Data)
+		send.Data = retained
+	}
+	release := func() {
+		if retained != nil {
+			comm.PutBuf(retained)
+			retained = nil
+		}
+	}
+	c.chaosSend(d.rank, tag, msg.Size,
+		func(extra time.Duration, arrive func()) {
+			c.w.K.Schedule(extra, func() {
+				c.w.Net.StartTransfer(c.rank, d.rank, msg.Size, msg.Space, nil, arrive)
+			})
+		},
+		func() {
+			del := send
+			if retained != nil {
+				buf := comm.GetBuf(len(retained))
+				copy(buf, retained)
+				del.Data = buf
+			}
+			d.arrive(d.newEnvelope(c.rank, tag, del, nil))
+		},
+		func() {
+			release()
+			completeIfLive(req, st)
+		},
+		func(err *faults.TimeoutError) {
+			release()
+			fst := st
+			fst.Err = err
+			completeIfLive(req, fst)
+		})
+}
+
+// chaosRendezvous announces a rendezvous send under a fault plan: the RTS
+// control message is transmitted reliably; the data flies after the CTS
+// (see chaosGrant). An undeliverable RTS fails the send request.
+func (c *Comm) chaosRendezvous(d *Comm, req *request, tag comm.Tag, msg comm.Msg) {
+	env := d.newEnvelope(c.rank, tag, msg, req)
+	rtsDelay := c.w.Net.ControlLatency(c.rank, d.rank) + c.w.Net.P.RndvAlpha
+	c.chaosSend(d.rank, tag, 0,
+		func(extra time.Duration, arrive func()) {
+			c.w.K.Schedule(rtsDelay+extra, arrive)
+		},
+		func() { d.arrive(env) },
+		nil, // the ack only stops retransmission; completion rides the data
+		func(err *faults.TimeoutError) {
+			completeIfLive(req, comm.Status{Source: c.rank, Tag: tag, Msg: msg, Err: err})
+		})
+}
+
+// chaosGrant is the matched-rendezvous exchange under a fault plan: the
+// CTS grant travels back reliably, then the bulk data crosses the fabric
+// reliably; sender and receiver complete when the data lands. A dead
+// reverse link fails the receive; a dead forward link fails both ends.
+func (c *Comm) chaosGrant(req *request, src int, tag comm.Tag, msg comm.Msg, sender *request) {
+	net := c.w.Net
+	ctsDelay := net.ControlLatency(c.rank, src) + net.P.RndvAlpha
+	sc := c.w.ranks[src]
+	c.chaosSend(src, tag, 0,
+		func(extra time.Duration, arrive func()) {
+			c.w.K.Schedule(ctsDelay+extra, arrive)
+		},
+		func() {
+			// CTS reached the sender: the data now crosses reliably.
+			sc.chaosSend(c.rank, tag, msg.Size,
+				func(extra time.Duration, arrive func()) {
+					c.w.K.Schedule(extra, func() {
+						net.StartTransfer(src, c.rank, msg.Size, msg.Space, nil, arrive)
+					})
+				},
+				func() {
+					// The sender keeps its buffer until its request completes;
+					// snapshot into a pooled, receiver-owned copy first.
+					recv := msg
+					if msg.Data != nil {
+						buf := comm.GetBuf(len(msg.Data))
+						copy(buf, msg.Data)
+						recv.Data = buf
+					}
+					completeIfLive(sender, comm.Status{Source: src, Tag: tag, Msg: msg})
+					net.DeliverFrom(src, c.rank, msg.Size, req.space, func() {
+						completeIfLive(req, comm.Status{Source: src, Tag: tag, Msg: recv})
+					})
+				},
+				nil,
+				func(err *faults.TimeoutError) {
+					completeIfLive(sender, comm.Status{Source: src, Tag: tag, Msg: msg, Err: err})
+					completeIfLive(req, comm.Status{Source: src, Tag: tag, Err: err})
+				})
+		},
+		nil,
+		func(err *faults.TimeoutError) {
+			completeIfLive(req, comm.Status{Source: src, Tag: tag, Err: err})
+		})
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"adapt/internal/comm"
+	"adapt/internal/faults"
 	"adapt/internal/netmodel"
 	"adapt/internal/noise"
 	"adapt/internal/sim"
@@ -39,6 +40,12 @@ type World struct {
 	// event (see internal/trace).
 	Trace *trace.Buffer
 	ranks []*Comm
+
+	// Fault injection (nil inj = fault-free fast paths; see chaos.go).
+	inj      *faults.Injector
+	rec      faults.Recovery
+	xmitSeq  uint64 // world-unique reliable-transmission ids
+	failures []*faults.TimeoutError
 }
 
 // NewWorld builds the per-rank endpoints for platform p with the given
@@ -72,6 +79,26 @@ func (w *World) Spawn(body func(c *Comm)) {
 
 // Rank returns rank r's endpoint (for callers that need targeted setup).
 func (w *World) Rank(r int) *Comm { return w.ranks[r] }
+
+// InstallFaults arms the chaos transport: every point-to-point unit is
+// subjected to the plan's verdicts and carried by the ack/retry machinery
+// tuned by rec (zero fields take defaults). Must be called before Spawn.
+func (w *World) InstallFaults(p faults.Plan, rec faults.Recovery) {
+	w.inj = faults.NewInjector(p)
+	w.rec = rec.Normalized()
+}
+
+// FaultStats returns what the injector did; zero when no plan installed.
+func (w *World) FaultStats() faults.Stats {
+	if w.inj == nil {
+		return faults.Stats{}
+	}
+	return w.inj.Stats()
+}
+
+// Failures lists the operations that exhausted their attempt budget, in
+// virtual-time order. Empty when every message was recovered.
+func (w *World) Failures() []*faults.TimeoutError { return w.failures }
 
 // envelope is a message (or its rendezvous RTS) at the receiver side.
 type envelope struct {
@@ -218,6 +245,10 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			Peer: dst, Tag: tag, Size: msg.Size})
 	}
 	if msg.Size <= c.w.Net.P.EagerLimit {
+		if c.w.inj != nil {
+			c.chaosEager(d, req, tag, msg, st)
+			return req
+		}
 		// Eager: ship the payload now; sender completes at first-hop end.
 		// Real payloads are snapshotted into a pooled buffer — the sender
 		// may reuse its buffer the moment the send completes, which is
@@ -234,6 +265,10 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 		return req
 	}
 	// Rendezvous: announce via RTS; data moves once the receiver matches.
+	if c.w.inj != nil {
+		c.chaosRendezvous(d, req, tag, msg)
+		return req
+	}
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
 		d.arrive(d.newEnvelope(c.rank, tag, msg, req))
@@ -298,6 +333,10 @@ func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
 	src, tag, msg, sender := env.src, env.tag, env.msg, env.rts
 	c.freeEnvelope(env)
 	if sender != nil {
+		if c.w.inj != nil {
+			c.chaosGrant(req, src, tag, msg, sender)
+			return
+		}
 		// Rendezvous: grant (CTS) travels back, then the data flies. The
 		// sender keeps its buffer until its request completes; the transfer
 		// snapshots it into a pooled, receiver-owned copy at start time.
@@ -351,10 +390,14 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	req := &request{c: c, isSend: true}
 	c.pendingOps++
 	d := c.w.ranks[dst]
-	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
-	c.w.K.Schedule(rtsDelay, func() {
-		d.arrive(d.newEnvelope(c.rank, tag, msg, req))
-	})
+	if c.w.inj != nil {
+		c.chaosRendezvous(d, req, tag, msg)
+	} else {
+		rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
+		c.w.K.Schedule(rtsDelay, func() {
+			d.arrive(d.newEnvelope(c.rank, tag, msg, req))
+		})
+	}
 	c.Wait(req)
 }
 

@@ -12,6 +12,15 @@ out=BENCH_kernel.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+# No-regression gate: a clean run (no fault plan installed) must leave
+# every fault/recovery counter at zero — the chaos transport may cost
+# nothing unless explicitly enabled.
+echo "bench.sh: checking fault counters stay zero in clean runs"
+go test -run 'TestCleanRunFaultCountersZero' -count=1 ./internal/conform >/dev/null || {
+    echo "bench.sh: FAIL: clean runs moved fault counters (chaos transport leaked into the fault-free path)" >&2
+    exit 1
+}
+
 go test -run '^$' \
     -bench 'BenchmarkKernelDispatch$|BenchmarkKernelSelfSchedule$|BenchmarkSegmentPool$|BenchmarkSegmentMake$' \
     -benchmem "$@" ./internal/sim ./internal/comm | tee "$raw"
