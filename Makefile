@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos fuzz
+.PHONY: verify test build race vet bench chaos crash fuzz
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -30,6 +30,13 @@ bench:
 # no-fault runs (ADAPT_CONFORM_FULL widens every axis).
 chaos:
 	ADAPT_CONFORM_FULL=1 $(GO) test -race -v -run 'TestConformance|TestFault|TestDropAll|TestProperty|TestClean' ./internal/conform
+
+# Fail-stop conformance under the race detector: survivor-set grids for
+# the fault-tolerant collectives (crash@rank plans, detector, tree
+# repair) on both substrates, plus the clean-run detector-counter gate.
+crash:
+	ADAPT_CONFORM_FULL=1 $(GO) test -race -v -run 'TestCrash|TestCleanRunDetectorCountersZero' ./internal/conform
+	$(GO) test -race -run 'TestBcastFT|TestReduceFT|TestFTDeterministicSchedule' ./internal/core
 
 # Short fuzz passes over the tag-matching predicate and the fault-plan
 # parser; the committed corpora under testdata/fuzz run in every normal

@@ -39,7 +39,7 @@ func run() int {
 	jobs := flag.Int("j", bench.DefaultJobs(), "worker count for independent experiment cells (1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
 	perfStats := flag.Bool("perf", false, "print kernel/buffer-pool counters to stderr when done")
-	faultPlan := flag.String("faults", "", `fault plan for the ext-chaos exhibit, e.g. "seed=42; all: drop=0.1, jitter=30us"`)
+	faultPlan := flag.String("faults", "", `fault plan for the ext-chaos exhibit, e.g. "seed=42; all: drop=0.1, jitter=30us"; crash rules ("crash@3", "crash@R:afterK") feed ext-crash`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when done")
 	traceFile := flag.String("trace", "", "write a Go execution trace to this file")

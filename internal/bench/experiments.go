@@ -30,7 +30,8 @@ type Scale struct {
 	ASPDim         int
 
 	// FaultPlan, when non-nil, adds a custom row to the ext-chaos exhibit
-	// (adaptbench -faults "seed=42; all: drop=0.1").
+	// (adaptbench -faults "seed=42; all: drop=0.1"); a plan with crash
+	// rules (adaptbench -faults "crash@3") lands in ext-crash instead.
 	FaultPlan *faults.Plan
 
 	// sweep, when non-nil, routes independent experiment cells through
@@ -341,7 +342,7 @@ func Experiments() []string {
 
 // Extensions lists the exhibit ids that go beyond the paper.
 func Extensions() []string {
-	return []string{"ext-nvlink", "ext-placement", "ext-allreduce", "ext-chaos"}
+	return []string{"ext-nvlink", "ext-placement", "ext-allreduce", "ext-chaos", "ext-crash"}
 }
 
 // RunTables generates one exhibit's tables (or every paper exhibit for
@@ -357,6 +358,7 @@ func RunTables(id string, s Scale) ([]*Table, error) {
 		"ext-placement": s.ExtPlacement,
 		"ext-allreduce": s.ExtAllreduce,
 		"ext-chaos":     s.ExtChaos,
+		"ext-crash":     s.ExtCrash,
 	}
 	if id == "all" {
 		var out []*Table

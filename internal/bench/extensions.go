@@ -144,7 +144,9 @@ func (s Scale) ExtChaos() []*Table {
 		}
 		rows = append(rows, planRow{l.name, pl})
 	}
-	if s.FaultPlan != nil {
+	// Crash plans kill ranks: the plain (non-FT) collectives here would
+	// deadlock. ext-crash hosts the custom crash row instead.
+	if s.FaultPlan != nil && len(s.FaultPlan.Crashes) == 0 {
 		rows = append(rows, planRow{"custom (-faults)", s.FaultPlan})
 	}
 	base := make([]time.Duration, len(ops))
@@ -170,6 +172,123 @@ func (s Scale) ExtChaos() []*Table {
 			ms(cells[0].Makespan), pct(base[0], cells[0].Makespan),
 			ms(cells[1].Makespan), pct(base[1], cells[1].Makespan),
 			fmt.Sprint(drops), fmt.Sprint(retries), fmt.Sprint(lost))
+	}
+	return []*Table{t}
+}
+
+// crashCell is one fault-tolerant collective run under a crash plan: the
+// makespan plus what the failure detector did to get there.
+type crashCell struct {
+	Makespan  time.Duration
+	Det       simmpi.DetectorStats
+	Survivors int // ranks in the committed survivor mask
+}
+
+// ftRun executes one FT collective on a fresh world with plan's crash
+// schedule installed (nil plan = crash-free baseline).
+func ftRun(p *netmodel.Platform, plan *faults.Plan, body func(c *simmpi.Comm) core.FTResult) crashCell {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, noise.None)
+	if plan != nil && plan.Enabled() {
+		w.InstallFaults(*plan, faults.DefaultRecovery())
+	}
+	var cell crashCell
+	w.Spawn(func(c *simmpi.Comm) {
+		res := body(c)
+		if c.Rank() != 0 {
+			return
+		}
+		for _, live := range res.Survivors {
+			if live {
+				cell.Survivors++
+			}
+		}
+	})
+	cell.Makespan = k.MustRun()
+	cell.Det = w.DetectorStats()
+	// The root may be the crash target; count survivors from the world's
+	// own death mask in that case.
+	if cell.Survivors == 0 {
+		for _, dead := range w.Crashed() {
+			if !dead {
+				cell.Survivors++
+			}
+		}
+	}
+	return cell
+}
+
+// ExtCrash prices fail-stop recovery: the fault-tolerant broadcast and
+// reduce under a ladder of crash@rank plans, reporting the makespan the
+// detector leases and tree repair add on top of the crash-free FT run.
+// A crash-bearing -faults plan (e.g. "crash@3") appends a custom row.
+func (s Scale) ExtCrash() []*Table {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(8, 1, 1))
+	n := p.Topo.Size()
+	size := 1 * netmodel.MB
+	tree := trees.Binomial(n, 0)
+	t := &Table{
+		ID:    "ext-crash",
+		Title: fmt.Sprintf("Fail-stop crashes under FT collectives, %s payload, %d ranks (cori)", sizeLabel(size), n),
+		Header: []string{"crash plan", "bcast ms", "bcast slow",
+			"reduce ms", "reduce slow", "suspects", "confirms", "repairs", "survivors"},
+		Notes: []string{
+			"extension beyond the paper: failure detector + tree self-healing; survivors get byte-identical results (internal/conform)",
+		},
+	}
+	ladder := []struct {
+		name string
+		text string
+	}{
+		{"clean", ""},
+		{"leaf crash (rank 7)", "seed=201; crash@7"},
+		{"interior crash (rank 4)", "seed=202; crash@4:after1"},
+	}
+	type planRow struct {
+		name string
+		plan *faults.Plan
+	}
+	rows := make([]planRow, 0, len(ladder)+1)
+	for _, l := range ladder {
+		var pl *faults.Plan
+		if l.text != "" {
+			plan := faults.MustParsePlan(l.text)
+			pl = &plan
+		}
+		rows = append(rows, planRow{l.name, pl})
+	}
+	if s.FaultPlan != nil && len(s.FaultPlan.Crashes) > 0 {
+		rows = append(rows, planRow{"custom (-faults)", s.FaultPlan})
+	}
+	ops := []func(c *simmpi.Comm) core.FTResult{
+		func(c *simmpi.Comm) core.FTResult {
+			return core.BcastFT(c, tree, comm.Sized(size), core.DefaultOptions())
+		},
+		func(c *simmpi.Comm) core.FTResult {
+			return core.ReduceFT(c, tree, comm.Sized(size), core.DefaultOptions())
+		},
+	}
+	base := make([]time.Duration, len(ops))
+	for ri, row := range rows {
+		cells := make([]crashCell, len(ops))
+		for oi, op := range ops {
+			plan, run := row.plan, op
+			cells[oi] = s.cell(func() any { return ftRun(p, plan, run) }, crashCell{}).(crashCell)
+		}
+		if ri == 0 {
+			for oi := range ops {
+				base[oi] = cells[oi].Makespan
+			}
+		}
+		det := cells[0].Det
+		det.Suspects += cells[1].Det.Suspects
+		det.Confirms += cells[1].Det.Confirms
+		det.Repairs += cells[1].Det.Repairs
+		t.AddRow(row.name,
+			ms(cells[0].Makespan), pct(base[0], cells[0].Makespan),
+			ms(cells[1].Makespan), pct(base[1], cells[1].Makespan),
+			fmt.Sprint(det.Suspects), fmt.Sprint(det.Confirms), fmt.Sprint(det.Repairs),
+			fmt.Sprint(cells[0].Survivors))
 	}
 	return []*Table{t}
 }

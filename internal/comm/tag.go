@@ -36,6 +36,12 @@ const (
 	KindAlltoall
 	KindBarrier
 	KindRTS // internal rendezvous control
+	// Fail-stop control traffic (fault-tolerant collectives, core/ft.go).
+	// Two distinct kinds so an orphan re-parented directly to the root can
+	// never have its re-drive request FIFO-matched against its completion
+	// notification: both use seg = sender rank under the same sequence.
+	KindDone    // "I hold the full payload" notification toward the root
+	KindRedrive // re-drive request (missing-segment bitmap) to a new parent
 )
 
 func (k CollKind) String() string {
@@ -60,6 +66,10 @@ func (k CollKind) String() string {
 		return "barrier"
 	case KindRTS:
 		return "rts"
+	case KindDone:
+		return "done"
+	case KindRedrive:
+		return "redrive"
 	}
 	return fmt.Sprintf("CollKind(%d)", uint8(k))
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"adapt/internal/comm"
+	"adapt/internal/trees"
+)
+
+// Fail-stop fault-tolerant collectives (BcastFT, ReduceFT). This file
+// holds the pieces both share; the per-collective state machines live in
+// bcast_ft.go and reduce_ft.go.
+//
+// The FT collectives run on any comm.Comm; when the endpoint also
+// implements comm.FailStop with crash rules armed, they survive fail-stop
+// crashes of non-root ranks: the failure detector confirms a death, every
+// survivor heals the spanning tree deterministically (trees.Heal), orphans
+// re-attach to their grandparent and re-drive the segments they are
+// missing, and the root commits a survivor mask once every live rank has
+// accounted for the operation. A dead root is unrecoverable by design —
+// the payload source (bcast) or fold destination (reduce) is gone — and
+// every survivor returns a structured *faults.RankFailedError.
+//
+// Teardown uses a quiesce handshake so no rank exits with operations in
+// flight: after its own data sends drain, a rank sends a FIN control
+// message to each live peer it sent payload to; a peer holding posted
+// receives from that rank cancels the leftovers only when the FIN proves
+// nothing more is coming (cancelling earlier could strand a live sender's
+// rendezvous announcement in the unexpected queue forever).
+
+// FTResult is the outcome of a fault-tolerant collective on one rank.
+type FTResult struct {
+	// Msg is the collective's payload result: the delivered broadcast
+	// message, or (at the root) the survivor-set reduction. Valid only
+	// when Err is nil.
+	Msg comm.Msg
+	// Survivors marks the ranks the operation committed over: true =
+	// participated, false = confirmed dead and excluded. On a committed
+	// run every live rank reports an identical mask.
+	Survivors []bool
+	// Err is non-nil when the operation cannot complete on the survivor
+	// set (the root died): a *faults.RankFailedError.
+	Err error
+}
+
+// failStopOf returns the endpoint's fail-stop control plane when crash
+// rules are armed; ok=false selects the plain (non-FT) engine.
+func failStopOf(c comm.Comm) (comm.FailStop, bool) {
+	fs, ok := c.(comm.FailStop)
+	return fs, ok && fs.CrashesEnabled()
+}
+
+// allLive is the survivor mask of a crash-free run.
+func allLive(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// liveMask inverts a death mask.
+func liveMask(dead []bool) []bool {
+	m := make([]bool, len(dead))
+	for i, d := range dead {
+		m[i] = !d
+	}
+	return m
+}
+
+// packBits encodes a segment bitmap for the wire (re-drive requests),
+// little-endian within each byte. Always at least one byte so the message
+// carries real data even when nothing is missing.
+func packBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8+1)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// unpackBits decodes a packBits payload back into n segment flags.
+func unpackBits(data []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		if i/8 < len(data) && data[i/8]&(1<<(i%8)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// finTag is the quiesce handshake tag for FINs sent by rank r in a world
+// of n ranks. The segment space n+r keeps it disjoint from done
+// notifications (KindDone, seg = sender rank < n) under the same seq.
+func (o Options) finTag(n, r int) comm.Tag {
+	return o.TagOf(comm.KindDone, n+r)
+}
+
+// healed returns t healed around the cumulative death mask, or t itself
+// while nobody has died.
+func healed(t *trees.Tree, dead []bool) *trees.Tree {
+	for _, d := range dead {
+		if d {
+			return t.Heal(dead)
+		}
+	}
+	return t
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+	"adapt/internal/trees"
+)
+
+// ReduceFT is the fail-stop fault-tolerant ADAPT reduction. Without
+// crash rules armed it is exactly Reduce (on a private copy of the
+// contribution, plus an all-true survivor mask); with them, the root's
+// result folds exactly the survivor set's contributions and every live
+// rank reports the committed mask. A dead root aborts with
+// *faults.RankFailedError on every survivor.
+//
+// Unlike the broadcast, a reduction cannot repair in place: an interior
+// rank's accumulator already mixes contributions from subtrees that a
+// healed tree reassigns, so partial folds cannot be reused without
+// double-counting. Instead every confirmed death restarts the operation
+// as a new epoch over the healed tree: each rank refolds from a pristine
+// copy of its own contribution, and epoch-tagged segments keep late
+// traffic from a previous epoch out of the new fold (stale receives
+// drain as sponges). Processing one death per restart keeps every rank's
+// epoch count identical — masks, tags, and trees stay in agreement.
+func ReduceFT(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) FTResult {
+	fs, ok := failStopOf(c)
+	if !ok {
+		priv := contrib
+		if contrib.Data != nil {
+			// Reduce folds in place; keep the caller's buffer pristine.
+			priv.Data = append([]byte(nil), contrib.Data...)
+		}
+		return FTResult{Msg: Reduce(c, t, priv, opt), Survivors: allLive(c.Size())}
+	}
+	s := newReduceFT(c, fs, t, contrib, opt.validate())
+	return s.run()
+}
+
+// reduceFT is the per-rank fault-tolerant reduce state machine. All
+// mutation happens on the owner goroutine.
+type reduceFT struct {
+	c    comm.Comm
+	fs   comm.FailStop
+	t    *trees.Tree
+	opt  Options
+	n    int
+	ns   int
+	rank int
+
+	base  []byte // pristine private copy of the local contribution
+	total int
+	space comm.MemSpace
+
+	dead  []bool
+	epoch int
+
+	// Current-epoch state (rebuilt by startEpoch).
+	cur      *trees.Tree
+	working  []byte // fold accumulator; stale epochs leak theirs (sends alias it)
+	segs     []comm.Segment
+	needed   []int
+	children []int
+	nextPost []int
+	parent   int
+	upReady  map[int]comm.Msg
+	upNext   int
+	upFlight int
+	ready    int
+
+	// openRecvs spans epochs: stale receives stay posted as sponges for a
+	// live child's old in-flight sends, keyed by child for FIN cancel.
+	openRecvs map[int]map[comm.Request]bool
+
+	sentTo   map[int]bool // live parents sent to across epochs (FIN targets)
+	finRecvs map[int]comm.Request
+
+	sendsOut   int
+	dataOut    int
+	finSent    bool
+	finishing  bool
+	committed  bool
+	commitMask []bool
+	abortErr   error
+}
+
+func newReduceFT(c comm.Comm, fs comm.FailStop, t *trees.Tree, contrib comm.Msg, opt Options) *reduceFT {
+	s := &reduceFT{
+		c: c, fs: fs, t: t, opt: opt,
+		n: c.Size(), rank: c.Rank(),
+		total: contrib.Size, space: contrib.Space,
+		dead:      make([]bool, c.Size()),
+		openRecvs: make(map[int]map[comm.Request]bool),
+		sentTo:    make(map[int]bool),
+		finRecvs:  make(map[int]comm.Request),
+	}
+	if contrib.Data != nil {
+		s.base = append([]byte(nil), contrib.Data...)
+	}
+	s.ns = len(comm.Segments(comm.Msg{Size: s.total, Space: s.space}, opt.SegSize))
+	s.startEpoch()
+	return s
+}
+
+// epochOpt carries the epoch in the tag sequence so stale segments can
+// never fold into the wrong epoch.
+func (s *reduceFT) epochOpt() Options {
+	o := s.opt
+	o.Seq = s.opt.Seq + s.epoch
+	return o
+}
+
+// startEpoch (re)builds the fold over the current healed tree from the
+// pristine contribution.
+func (s *reduceFT) startEpoch() {
+	s.cur = healed(s.t, s.dead)
+	s.working = nil
+	if s.base != nil {
+		s.working = comm.GetBuf(s.total)
+		copy(s.working, s.base)
+	}
+	s.segs = comm.Segments(comm.Msg{Data: s.working, Size: s.total, Space: s.space}, s.opt.SegSize)
+	s.children = s.cur.Children[s.rank]
+	s.parent = s.cur.Parent[s.rank]
+	s.needed = make([]int, s.ns)
+	for i := range s.needed {
+		s.needed[i] = len(s.children)
+	}
+	s.nextPost = make([]int, len(s.children))
+	// The parent posts its receive window from us the moment this epoch's
+	// tree names it, even if we never send a byte before the next restart:
+	// it will wait for our FIN, so it must be a FIN target regardless.
+	if s.parent != -1 {
+		s.sentTo[s.parent] = true
+	}
+	s.upReady = make(map[int]comm.Msg)
+	s.upNext = 0
+	s.upFlight = 0
+	s.ready = 0
+	for ci := range s.children {
+		for i := 0; i < s.opt.RecvWindow && s.nextPost[ci] < s.ns; i++ {
+			s.postRecv(ci)
+		}
+	}
+	for seg := range s.needed {
+		if s.needed[seg] == 0 {
+			s.segReady(seg)
+		}
+	}
+}
+
+func (s *reduceFT) run() FTResult {
+	for {
+		for _, nt := range s.fs.TakeNotices() {
+			s.onNotice(nt)
+		}
+		if s.finishing && !s.finSent && s.dataOut == 0 {
+			s.sendFins()
+		}
+		if s.finished() {
+			break
+		}
+		s.fs.WaitEvent()
+	}
+	if s.abortErr != nil {
+		return FTResult{Survivors: liveMask(s.dead), Err: s.abortErr}
+	}
+	out := comm.Msg{Size: s.total, Space: s.space}
+	if s.rank == s.t.Root {
+		out.Data = s.working
+	}
+	return FTResult{Msg: out, Survivors: s.commitMask}
+}
+
+// ---- receive side ----
+
+func (s *reduceFT) trackRecv(child int, req comm.Request) {
+	set := s.openRecvs[child]
+	if set == nil {
+		set = make(map[comm.Request]bool)
+		s.openRecvs[child] = set
+	}
+	set[req] = true
+}
+
+func (s *reduceFT) untrackRecv(child int, req comm.Request) {
+	if set, ok := s.openRecvs[child]; ok {
+		delete(set, req)
+		if len(set) == 0 {
+			delete(s.openRecvs, child)
+		}
+	}
+}
+
+func (s *reduceFT) postRecv(ci int) {
+	seg := s.nextPost[ci]
+	s.nextPost[ci]++
+	child := s.children[ci]
+	epoch := s.epoch
+	req := s.c.Irecv(child, s.epochOpt().TagOf(comm.KindReduce, seg))
+	s.trackRecv(child, req)
+	s.c.OnComplete(req, func(st comm.Status) {
+		s.untrackRecv(child, req)
+		s.onContribution(epoch, ci, seg, st)
+	})
+}
+
+func (s *reduceFT) onContribution(epoch, ci, seg int, st comm.Status) {
+	if epoch != s.epoch || s.finishing {
+		// Sponge: a straggler from a restarted epoch (or post-commit). Its
+		// payload is discarded — the new epoch refolds from scratch.
+		if st.Msg.Data != nil {
+			comm.PutBuf(st.Msg.Data)
+		}
+		return
+	}
+	if st.Err != nil {
+		// The sender died mid-transfer; its confirmation restarts the epoch.
+		return
+	}
+	if st.Msg.Data != nil {
+		if s.segs[seg].Msg.Data != nil {
+			s.opt.Op.Apply(s.segs[seg].Msg.Data, st.Msg.Data, s.opt.Datatype)
+		}
+		comm.PutBuf(st.Msg.Data)
+	}
+	s.c.Compute(s.opt.ReduceCost(st.Msg.Size), comm.ComputeReduce)
+	if s.nextPost[ci] < s.ns {
+		s.postRecv(ci)
+	}
+	s.needed[seg]--
+	if s.needed[seg] == 0 {
+		s.segReady(seg)
+	}
+}
+
+// ---- send side ----
+
+// segReady forwards a fully folded segment toward the root, or counts it
+// at the root — where the last one commits the epoch.
+func (s *reduceFT) segReady(seg int) {
+	s.ready++
+	if s.parent == -1 {
+		if s.ready == s.ns {
+			s.commitMask = liveMask(s.dead)
+			s.committed = true
+			// Counts as a send initiation: a root crashed at its commit
+			// point dies here and the survivors abort.
+			s.fs.Commit(s.opt.Seq, s.commitMask)
+			s.teardown()
+		}
+		return
+	}
+	s.upReady[seg] = s.segs[seg].Msg
+	s.pumpUp()
+}
+
+// pumpUp issues folded segments to the current parent in strict index
+// order within the send window, epoch-gated so a completion from a
+// restarted epoch never re-drives a stale pipeline.
+func (s *reduceFT) pumpUp() {
+	if s.finishing {
+		return
+	}
+	epoch := s.epoch
+	for s.upFlight < s.opt.SendWindow {
+		msg, ok := s.upReady[s.upNext]
+		if !ok {
+			return
+		}
+		delete(s.upReady, s.upNext)
+		seg := s.upNext
+		s.upNext++
+		s.upFlight++
+		s.sendsOut++
+		s.dataOut++
+		s.sentTo[s.parent] = true
+		r := s.c.Isend(s.parent, s.epochOpt().TagOf(comm.KindReduce, seg), msg)
+		s.c.OnComplete(r, func(comm.Status) {
+			s.sendsOut--
+			s.dataOut--
+			if epoch == s.epoch {
+				s.upFlight--
+				s.pumpUp()
+			}
+		})
+	}
+}
+
+// ---- failure handling ----
+
+func (s *reduceFT) onNotice(nt comm.Notice) {
+	switch nt.Kind {
+	case comm.NoticeCommit:
+		if nt.Seq != s.opt.Seq || s.finishing {
+			return
+		}
+		s.committed = true
+		s.commitMask = nt.Survivors
+		s.teardown()
+	case comm.NoticeDeath:
+		s.onDeath(nt.Rank)
+	}
+}
+
+func (s *reduceFT) onDeath(r int) {
+	if s.dead[r] {
+		return
+	}
+	s.dead[r] = true
+	// Receives from the dead rank can never match again, and annihilation
+	// guarantees no announcement of its is parked here: cancel them all.
+	for req := range s.openRecvs[r] {
+		s.fs.CancelRecv(req)
+	}
+	delete(s.openRecvs, r)
+	if req, ok := s.finRecvs[r]; ok {
+		s.fs.CancelRecv(req)
+		delete(s.finRecvs, r)
+	}
+	delete(s.sentTo, r)
+	if r == s.t.Root {
+		s.abortErr = &faults.RankFailedError{Rank: r, Kind: comm.KindReduce, Seq: s.opt.Seq}
+		s.teardown()
+		return
+	}
+	if s.finishing {
+		return
+	}
+	// Restart: one death per epoch keeps every rank's epoch count — and
+	// therefore tags, trees, and masks — in agreement.
+	s.epoch++
+	s.startEpoch()
+}
+
+// ---- teardown (quiesce handshake) ----
+
+func (s *reduceFT) teardown() {
+	s.finishing = true
+	// Current-epoch receives from live children all matched by commit time
+	// (the root's fold transitively required them); what remains are stale
+	// sponges for old in-flight sends. Each live child FINs us when its
+	// sends have drained; only then is cancelling its leftovers safe.
+	for child := 0; child < s.n; child++ { // rank order: posting receives is schedule-visible
+		if s.openRecvs[child] == nil {
+			continue
+		}
+		if s.dead[child] {
+			for req := range s.openRecvs[child] {
+				s.fs.CancelRecv(req)
+			}
+			delete(s.openRecvs, child)
+			continue
+		}
+		if _, posted := s.finRecvs[child]; posted {
+			continue
+		}
+		ch := child
+		req := s.c.Irecv(ch, s.opt.finTag(s.n, ch))
+		s.finRecvs[ch] = req
+		s.c.OnComplete(req, func(st comm.Status) {
+			delete(s.finRecvs, ch)
+			if st.Msg.Data != nil {
+				comm.PutBuf(st.Msg.Data)
+			}
+			for r := range s.openRecvs[ch] {
+				s.fs.CancelRecv(r)
+			}
+			delete(s.openRecvs, ch)
+		})
+	}
+}
+
+func (s *reduceFT) sendFins() {
+	s.finSent = true
+	for p := 0; p < s.n; p++ { // rank order keeps the send schedule deterministic
+		if !s.sentTo[p] || s.dead[p] {
+			continue
+		}
+		s.sendsOut++
+		r := s.c.Isend(p, s.opt.finTag(s.n, s.rank), comm.Sized(1))
+		s.c.OnComplete(r, func(comm.Status) { s.sendsOut-- })
+	}
+}
+
+func (s *reduceFT) finished() bool {
+	if !s.finishing || !s.finSent || s.sendsOut != 0 || len(s.openRecvs) != 0 {
+		return false
+	}
+	for r, req := range s.finRecvs {
+		s.fs.CancelRecv(req)
+		delete(s.finRecvs, r)
+	}
+	return true
+}

@@ -111,15 +111,30 @@ type Rule struct {
 	SlowBw float64
 }
 
+// Crash is a fail-stop rank failure: the rank halts forever the moment
+// it initiates its (AfterSends+1)-th point-to-point send (Isend, Ssend
+// or a commit fan-out all count as initiations). Counting send
+// initiations rather than virtual time makes the crash point a pure
+// function of the rank's own program order, so the same plan kills the
+// rank at the same protocol step on both substrates and at any -j.
+type Crash struct {
+	Rank       int
+	AfterSends int
+}
+
 // Plan is a seeded fault schedule: the rule set plus the seed that fixes
-// every probabilistic decision.
+// every probabilistic decision, plus the deterministic crash schedule.
 type Plan struct {
-	Seed  int64
-	Rules []Rule
+	Seed    int64
+	Rules   []Rule
+	Crashes []Crash
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p Plan) Enabled() bool {
+	if len(p.Crashes) > 0 {
+		return true
+	}
 	for _, r := range p.Rules {
 		if r.DropProb > 0 || r.DupProb > 0 || r.Delay > 0 || r.Jitter > 0 || r.SlowBw > 0 {
 			return true
@@ -128,8 +143,31 @@ func (p Plan) Enabled() bool {
 	return false
 }
 
+// CrashAt returns the crash schedule for rank r, if any.
+func (p Plan) CrashAt(r int) (afterSends int, ok bool) {
+	for _, cr := range p.Crashes {
+		if cr.Rank == r {
+			return cr.AfterSends, true
+		}
+	}
+	return 0, false
+}
+
 // Validate rejects out-of-range probabilities and negative durations.
 func (p Plan) Validate() error {
+	seenCrash := map[int]bool{}
+	for i, cr := range p.Crashes {
+		if cr.Rank < 0 {
+			return fmt.Errorf("faults: crash %d: negative rank %d", i, cr.Rank)
+		}
+		if cr.AfterSends < 0 {
+			return fmt.Errorf("faults: crash %d (rank %d): negative send count %d", i, cr.Rank, cr.AfterSends)
+		}
+		if seenCrash[cr.Rank] {
+			return fmt.Errorf("faults: rank %d crashed twice (duplicate crash rule)", cr.Rank)
+		}
+		seenCrash[cr.Rank] = true
+	}
 	for i, r := range p.Rules {
 		for _, pr := range []struct {
 			name string
@@ -159,23 +197,41 @@ type Recovery struct {
 	// MaxAttempts is the total number of transmission attempts per
 	// message; 1 disables retries (first unacknowledged loss fails).
 	MaxAttempts int
+
+	// SuspectAfter is the failure detector's suspicion lease: how long a
+	// rank may be silent past its crash before the detector suspects it.
+	// Suspicion is observable only in the detector counters — it commits
+	// nothing.
+	SuspectAfter time.Duration
+	// ConfirmAfter is the confirmation lease: once it expires the death
+	// is final, the repaired tree takes effect, and every surviving rank
+	// receives a death notice. Must exceed SuspectAfter.
+	ConfirmAfter time.Duration
 }
 
 // DefaultRecovery is the standard tuning: 200µs base timeout, doubling
 // per retry, up to 10 attempts — enough to push per-message failure
-// probability into the noise for any loss rate below ~50%.
+// probability into the noise for any loss rate below ~50%. The detector
+// leases are 8×/16× the base timeout: long enough that retransmission
+// absorbs ordinary loss without a false suspicion, short enough that a
+// crash is confirmed well before any retry budget runs dry.
 func DefaultRecovery() Recovery {
-	return Recovery{RTO: 200 * time.Microsecond, Backoff: 2, MaxAttempts: 10}
+	rto := 200 * time.Microsecond
+	return Recovery{RTO: rto, Backoff: 2, MaxAttempts: 10,
+		SuspectAfter: 8 * rto, ConfirmAfter: 16 * rto}
 }
 
 // NoRecovery disables retries: a single unacknowledged attempt produces
 // a TimeoutError after one RTO. Used to prove failures are structured
 // and bounded rather than hangs.
 func NoRecovery() Recovery {
-	return Recovery{RTO: 200 * time.Microsecond, Backoff: 2, MaxAttempts: 1}
+	r := DefaultRecovery()
+	r.MaxAttempts = 1
+	return r
 }
 
-// Normalized fills zero fields with the defaults.
+// Normalized fills zero fields with the defaults. The detector leases
+// scale with the (possibly overridden) RTO when left zero.
 func (r Recovery) Normalized() Recovery {
 	d := DefaultRecovery()
 	if r.RTO <= 0 {
@@ -186,6 +242,12 @@ func (r Recovery) Normalized() Recovery {
 	}
 	if r.MaxAttempts <= 0 {
 		r.MaxAttempts = d.MaxAttempts
+	}
+	if r.SuspectAfter <= 0 {
+		r.SuspectAfter = 8 * r.RTO
+	}
+	if r.ConfirmAfter <= r.SuspectAfter {
+		r.ConfirmAfter = 2 * r.SuspectAfter
 	}
 	return r
 }
@@ -221,6 +283,20 @@ func (e *TimeoutError) Segment() int { return e.Tag.Seg() }
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("faults: rank %d -> %d: %s seq %d segment %d lost: %d attempts unacknowledged over %v",
 		e.Rank, e.Peer, e.Tag.Kind(), e.Tag.Seq(), e.Tag.Seg(), e.Attempts, e.Elapsed)
+}
+
+// RankFailedError reports that a collective cannot complete on the
+// survivor set because a rank whose role is irreplaceable — the root —
+// was confirmed dead. Survivors return it instead of hanging.
+type RankFailedError struct {
+	Rank int           // the confirmed-dead rank
+	Kind comm.CollKind // the collective that depended on it
+	Seq  int           // its operation sequence number
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("faults: rank %d confirmed dead: %s seq %d cannot complete on the survivor set",
+		e.Rank, e.Kind, e.Seq)
 }
 
 // Verdict is the injector's decision for one transmission attempt.

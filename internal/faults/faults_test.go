@@ -135,9 +135,39 @@ func TestRecoveryNormalized(t *testing.T) {
 	if n != DefaultRecovery() {
 		t.Fatalf("zero Recovery normalized to %+v, want defaults", n)
 	}
-	keep := Recovery{RTO: time.Millisecond, Backoff: 3, MaxAttempts: 2}
+	keep := Recovery{RTO: time.Millisecond, Backoff: 3, MaxAttempts: 2,
+		SuspectAfter: 4 * time.Millisecond, ConfirmAfter: 9 * time.Millisecond}
 	if keep.Normalized() != keep {
 		t.Fatal("explicit Recovery fields were overwritten")
+	}
+	// Detector leases left zero scale with an overridden RTO.
+	scaled := Recovery{RTO: time.Millisecond}.Normalized()
+	if scaled.SuspectAfter != 8*time.Millisecond || scaled.ConfirmAfter != 16*time.Millisecond {
+		t.Fatalf("scaled leases = %v/%v, want 8ms/16ms", scaled.SuspectAfter, scaled.ConfirmAfter)
+	}
+}
+
+// TestRecoveryTimeoutCapBoundary pins the backoff behaviour at the 64×RTO
+// ceiling: the last uncapped attempt, the attempt whose walk lands exactly
+// on the cap, and the attempt one past it must all be distinguishable.
+func TestRecoveryTimeoutCapBoundary(t *testing.T) {
+	r := Recovery{RTO: 100 * time.Microsecond, Backoff: 2, MaxAttempts: 10}
+	if got := r.Timeout(5); got != 32*r.RTO {
+		t.Errorf("last uncapped attempt: Timeout(5) = %v, want %v", got, 32*r.RTO)
+	}
+	// 2^6 = 64: the doubling walk exhausts the budget exactly at the cap.
+	if got := r.Timeout(6); got != 64*r.RTO {
+		t.Errorf("exact-cap attempt: Timeout(6) = %v, want %v", got, 64*r.RTO)
+	}
+	// One attempt past the boundary stays pinned at the cap.
+	if got := r.Timeout(7); got != 64*r.RTO {
+		t.Errorf("past-cap attempt: Timeout(7) = %v, want %v", got, 64*r.RTO)
+	}
+	// A walk that overshoots the cap mid-step (3^4 = 81 > 64) must clamp
+	// to exactly 64×RTO, not carry the overshoot.
+	over := Recovery{RTO: 100 * time.Microsecond, Backoff: 3, MaxAttempts: 10}
+	if got := over.Timeout(4); got != 64*over.RTO {
+		t.Errorf("overshooting walk: Timeout(4) = %v, want clamp to %v", got, 64*over.RTO)
 	}
 }
 
@@ -241,6 +271,61 @@ func TestParseErrors(t *testing.T) {
 		if _, err := ParsePlan(s); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", s)
 		}
+	}
+}
+
+func TestCrashParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=1; crash@3",
+		"seed=7; crash@2:after5",
+		"seed=11; all: drop=0.1; crash@0; crash@4:after12",
+	}
+	for _, s := range cases {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", s, err)
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestCrashParseAndValidateErrors(t *testing.T) {
+	bad := []string{
+		"crash@",
+		"crash@x",
+		"crash@2:later5",
+		"crash@2:afterK",
+		"crash@-1",            // negative rank
+		"crash@2:after-3",     // negative send count
+		"crash@2; crash@2",    // duplicate target rank
+		"crash@5; crash@5:after3",
+	}
+	for _, s := range bad {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestCrashPlanSemantics(t *testing.T) {
+	p := MustParsePlan("seed=1; crash@2:after4; crash@5")
+	if !p.Enabled() {
+		t.Error("crash-only plan not enabled")
+	}
+	if len(p.Rules) != 0 {
+		t.Errorf("crash statements produced %d message rules", len(p.Rules))
+	}
+	if k, ok := p.CrashAt(2); !ok || k != 4 {
+		t.Errorf("CrashAt(2) = %d,%v, want 4,true", k, ok)
+	}
+	if k, ok := p.CrashAt(5); !ok || k != 0 {
+		t.Errorf("CrashAt(5) = %d,%v, want 0,true", k, ok)
+	}
+	if _, ok := p.CrashAt(0); ok {
+		t.Error("CrashAt(0) reported a schedule for an untargeted rank")
 	}
 }
 

@@ -18,6 +18,10 @@ func FuzzParsePlan(f *testing.F) {
 		"all: drop=2",
 		"moon 3: drop=1",
 		"seed=9223372036854775807",
+		"seed=9; crash@3",
+		"crash@2:after5; crash@0",
+		"crash@-1",
+		"crash@2; crash@2",
 	}
 	for _, s := range seeds {
 		f.Add(s)

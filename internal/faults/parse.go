@@ -11,7 +11,9 @@ import (
 //
 //	seed=42; all: drop=0.1, jitter=30us; link 0->1: drop=1, after=1ms; rank 2: delay=100us@0.25, slow=1e9
 //
-// Statements are either `seed=N` or `<scope>: <effect>(, <effect>)*`.
+// Statements are `seed=N`, `<scope>: <effect>(, <effect>)*`, or a
+// fail-stop crash rule `crash@R[:afterK]` (rank R halts forever when it
+// initiates its (K+1)-th send; K defaults to 0 — the very first send).
 // Scopes: `all`, `rank R`, `link A->B`. Effects: `drop=P`, `dup=P`,
 // `delay=DUR[@P]` (P defaults to always), `jitter=DUR`, `after=DUR`,
 // `slow=BYTES_PER_SEC`. ParsePlan and Plan.String round-trip.
@@ -30,6 +32,16 @@ func ParsePlan(s string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faults: bad seed %q", v)
 			}
 			p.Seed = seed
+			continue
+		}
+		// Crash statements must be cut out before the scope split: the
+		// optional `:afterK` suffix contains the scope separator.
+		if v, ok := strings.CutPrefix(stmt, "crash@"); ok {
+			cr, err := parseCrash(v)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Crashes = append(p.Crashes, cr)
 			continue
 		}
 		scopeTxt, effTxt, ok := strings.Cut(stmt, ":")
@@ -65,6 +77,28 @@ func MustParsePlan(s string) Plan {
 		panic(err)
 	}
 	return p
+}
+
+// parseCrash parses the body of a `crash@R[:afterK]` statement.
+func parseCrash(s string) (Crash, error) {
+	rankTxt, afterTxt, hasAfter := strings.Cut(s, ":")
+	r, err := strconv.Atoi(strings.TrimSpace(rankTxt))
+	if err != nil {
+		return Crash{}, fmt.Errorf("faults: bad crash rank %q", rankTxt)
+	}
+	cr := Crash{Rank: r}
+	if hasAfter {
+		kTxt, ok := strings.CutPrefix(strings.TrimSpace(afterTxt), "after")
+		if !ok {
+			return Crash{}, fmt.Errorf("faults: crash modifier %q (want crash@R:afterK)", afterTxt)
+		}
+		k, err := strconv.Atoi(kTxt)
+		if err != nil {
+			return Crash{}, fmt.Errorf("faults: bad crash send count %q", kTxt)
+		}
+		cr.AfterSends = k
+	}
+	return cr, nil
 }
 
 func parseScope(s string) (Scope, error) {
@@ -191,6 +225,13 @@ func (p Plan) String() string {
 		}
 		if first {
 			sb.WriteString(" drop=0")
+		}
+	}
+	for _, cr := range p.Crashes {
+		if cr.AfterSends > 0 {
+			fmt.Fprintf(&sb, "; crash@%d:after%d", cr.Rank, cr.AfterSends)
+		} else {
+			fmt.Fprintf(&sb, "; crash@%d", cr.Rank)
 		}
 	}
 	return sb.String()

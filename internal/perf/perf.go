@@ -38,6 +38,12 @@ var (
 	faultRetries    atomic.Uint64 // retransmissions performed
 	faultTimeouts   atomic.Uint64 // operations failed after all attempts
 	faultSuppressed atomic.Uint64 // duplicate arrivals deduplicated
+
+	// Fail-stop failure detection / tree repair. All zero in a clean run —
+	// scripts/bench.sh enforces zero detector false-positives as a gate.
+	detectorSuspects atomic.Uint64 // suspicion leases expired
+	detectorConfirms atomic.Uint64 // deaths confirmed by the detector
+	treeRepairs      atomic.Uint64 // tree self-healing passes triggered
 )
 
 // RecordKernelRun publishes one kernel's counter deltas after a Run.
@@ -89,6 +95,15 @@ func RecordFaultTimeout() { faultTimeouts.Add(1) }
 // RecordFaultSuppressed counts one deduplicated duplicate arrival.
 func RecordFaultSuppressed() { faultSuppressed.Add(1) }
 
+// RecordDetectorSuspect counts one expired suspicion lease.
+func RecordDetectorSuspect() { detectorSuspects.Add(1) }
+
+// RecordDetectorConfirm counts one detector-confirmed rank death.
+func RecordDetectorConfirm() { detectorConfirms.Add(1) }
+
+// RecordTreeRepair counts one tree self-healing pass.
+func RecordTreeRepair() { treeRepairs.Add(1) }
+
 // Snapshot is a point-in-time view of the counters.
 type Snapshot struct {
 	KernelRuns       uint64
@@ -107,6 +122,10 @@ type Snapshot struct {
 	FaultRetries    uint64
 	FaultTimeouts   uint64
 	FaultSuppressed uint64
+
+	DetectorSuspects uint64
+	DetectorConfirms uint64
+	TreeRepairs      uint64
 }
 
 // FaultTotal sums every fault-path counter; non-zero means the fault
@@ -114,6 +133,12 @@ type Snapshot struct {
 func (s Snapshot) FaultTotal() uint64 {
 	return s.FaultDrops + s.FaultDups + s.FaultDelays +
 		s.FaultRetries + s.FaultTimeouts + s.FaultSuppressed
+}
+
+// DetectorTotal sums the failure-detection counters; non-zero means a
+// rank crash was suspected, confirmed, or repaired around.
+func (s Snapshot) DetectorTotal() uint64 {
+	return s.DetectorSuspects + s.DetectorConfirms + s.TreeRepairs
 }
 
 // Read returns the current counter values.
@@ -133,6 +158,9 @@ func Read() Snapshot {
 		FaultRetries:     faultRetries.Load(),
 		FaultTimeouts:    faultTimeouts.Load(),
 		FaultSuppressed:  faultSuppressed.Load(),
+		DetectorSuspects: detectorSuspects.Load(),
+		DetectorConfirms: detectorConfirms.Load(),
+		TreeRepairs:      treeRepairs.Load(),
 	}
 }
 
@@ -152,6 +180,9 @@ func Reset() {
 	faultRetries.Store(0)
 	faultTimeouts.Store(0)
 	faultSuppressed.Store(0)
+	detectorSuspects.Store(0)
+	detectorConfirms.Store(0)
+	treeRepairs.Store(0)
 }
 
 // Fprint renders the snapshot as a small human-readable report.
@@ -170,6 +201,10 @@ func (s Snapshot) Fprint(w io.Writer) {
 	if s.FaultTotal() > 0 {
 		fmt.Fprintf(w, "perf: faults %d drops, %d dups, %d delays; recovery %d retries, %d timeouts, %d suppressed\n",
 			s.FaultDrops, s.FaultDups, s.FaultDelays, s.FaultRetries, s.FaultTimeouts, s.FaultSuppressed)
+	}
+	if s.DetectorTotal() > 0 {
+		fmt.Fprintf(w, "perf: detector %d suspects, %d confirms; %d tree repairs\n",
+			s.DetectorSuspects, s.DetectorConfirms, s.TreeRepairs)
 	}
 }
 

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +41,9 @@ func WithFaults(p faults.Plan, rec faults.Recovery) Option {
 	return func(w *World) {
 		w.inj = faults.NewInjector(p)
 		w.rec = rec.Normalized()
+		// Crash rules are armed once the rank slice exists (NewWorld runs
+		// options before building ranks).
+		w.crashPlan = p.Crashes
 	}
 }
 
@@ -147,8 +151,16 @@ func (w *World) pendingDump() string {
 		c.mu.Unlock()
 		sb.WriteByte('\n')
 	}
+	// Failures are recorded in completion order, which varies run to run
+	// on live goroutines; sort their rendered forms so the dump is
+	// deterministic for a given set of losses.
+	lost := make([]string, 0)
 	for _, f := range w.Failures() {
-		fmt.Fprintf(&sb, "  lost: %v\n", f)
+		lost = append(lost, f.Error())
+	}
+	sort.Strings(lost)
+	for _, l := range lost {
+		fmt.Fprintf(&sb, "  lost: %v\n", l)
 	}
 	return sb.String()
 }

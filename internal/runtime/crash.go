@@ -1,0 +1,291 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+	"adapt/internal/perf"
+)
+
+// Fail-stop crash model on the live substrate. Mirrors the simulator's
+// (internal/simmpi/crash.go) with wall-clock detector leases:
+//
+//   - The crash point is the same pure function of the rank's program
+//     order — the (AfterSends+1)-th send initiation — so a plan kills
+//     the rank at the same protocol step as in the simulator.
+//   - The dying rank marks itself halted, sweeps its unexpected queue
+//     (live rendezvous senders parked there fail with a TimeoutError
+//     instead of hanging), and exits its goroutine via runtime.Goexit —
+//     its deferred Run bookkeeping still runs, so Run returns normally
+//     when the survivors finish.
+//   - deliver() refuses traffic addressed to a halted rank (rendezvous
+//     announcements fail the sender, eager payloads are swallowed) and
+//     annihilates in-flight copies from a dead sender.
+//   - Detector leases are time.AfterFunc timers; confirmation fans death
+//     notices out to every surviving rank's control-plane queue.
+type crashCtl struct {
+	// All fields are guarded by the owning World's crashMu, except the
+	// schedule (after), which is immutable once armed.
+	after     map[int]int
+	sends     []int
+	dead      []bool
+	confirmed []bool
+	suspects  uint64
+	confirms  uint64
+	repairs   uint64
+}
+
+// armCrashes builds the crash controller once the ranks exist (called at
+// the end of NewWorld; options run before the rank slice is built).
+func (w *World) armCrashes() {
+	if len(w.crashPlan) == 0 {
+		return
+	}
+	n := w.Size()
+	ct := &crashCtl{
+		after:     make(map[int]int, len(w.crashPlan)),
+		sends:     make([]int, n),
+		dead:      make([]bool, n),
+		confirmed: make([]bool, n),
+	}
+	for _, cr := range w.crashPlan {
+		if cr.Rank >= n {
+			panic(fmt.Sprintf("runtime: crash rule for rank %d in a %d-rank world", cr.Rank, n))
+		}
+		ct.after[cr.Rank] = cr.AfterSends
+	}
+	w.crash = ct
+}
+
+// DetectorStats mirrors simmpi.DetectorStats for the live substrate.
+type DetectorStats struct {
+	Suspects uint64
+	Confirms uint64
+	Repairs  uint64
+}
+
+// DetectorStats returns the detector counters; zero when no crash rules
+// are armed.
+func (w *World) DetectorStats() DetectorStats {
+	ct := w.crash
+	if ct == nil {
+		return DetectorStats{}
+	}
+	w.crashMu.Lock()
+	defer w.crashMu.Unlock()
+	return DetectorStats{Suspects: ct.suspects, Confirms: ct.confirms, Repairs: ct.repairs}
+}
+
+// Crashed returns the per-rank death mask.
+func (w *World) Crashed() []bool {
+	out := make([]bool, w.Size())
+	if ct := w.crash; ct != nil {
+		w.crashMu.Lock()
+		copy(out, ct.dead)
+		w.crashMu.Unlock()
+	}
+	return out
+}
+
+// rankDead reports whether r has halted.
+func (w *World) rankDead(r int) bool {
+	ct := w.crash
+	if ct == nil {
+		return false
+	}
+	w.crashMu.Lock()
+	defer w.crashMu.Unlock()
+	return ct.dead[r]
+}
+
+// noteSend counts one send initiation by c; at the rank's crash point it
+// halts the rank and exits the calling goroutine (Goexit runs the Run
+// deferrals, so the world keeps going without it).
+func (w *World) noteSend(c *Comm) {
+	ct := w.crash
+	if ct == nil {
+		return
+	}
+	w.crashMu.Lock()
+	k, scheduled := ct.after[c.rank]
+	if !scheduled || ct.dead[c.rank] {
+		w.crashMu.Unlock()
+		return
+	}
+	n := ct.sends[c.rank]
+	ct.sends[c.rank]++
+	if n < k {
+		w.crashMu.Unlock()
+		return
+	}
+	ct.dead[c.rank] = true
+	w.crashMu.Unlock()
+	c.halt()
+	w.armDetector(c.rank)
+	goruntime.Goexit()
+}
+
+// halt tears down the dying rank's matching engine and releases live
+// senders parked in its unexpected queue.
+func (c *Comm) halt() {
+	c.mu.Lock()
+	c.halted = true
+	une := c.unexpected
+	c.unexpected = nil
+	c.posted = nil
+	c.cbQueue = nil
+	c.mu.Unlock()
+	for _, env := range une {
+		c.refuse(env)
+	}
+}
+
+// refuse handles traffic addressed to a halted rank: a rendezvous
+// announcement fails its (live) sender with the same structured error an
+// exhausted retry chain produces; an eager payload is swallowed.
+func (c *Comm) refuse(env *envelope) {
+	if env.rts != nil {
+		err := &faults.TimeoutError{Rank: env.src, Peer: c.rank, Tag: env.tag, Attempts: 1}
+		if c.w.inj != nil {
+			c.w.inj.NoteTimeout()
+		}
+		c.w.failMu.Lock()
+		c.w.failures = append(c.w.failures, err)
+		c.w.failMu.Unlock()
+		env.rts.complete(comm.Status{Source: env.src, Tag: env.tag, Err: err})
+		return
+	}
+	if env.msg.Data != nil {
+		comm.PutBuf(env.msg.Data)
+	}
+}
+
+// annihilate swallows an in-flight copy from a crashed sender.
+func (c *Comm) annihilate(env *envelope) {
+	if env.rts == nil && env.msg.Data != nil {
+		comm.PutBuf(env.msg.Data)
+	}
+	// A rendezvous announcement from a dead sender simply vanishes: its
+	// request will never be waited on again.
+}
+
+// armDetector starts the suspicion and confirmation leases for r.
+func (w *World) armDetector(r int) {
+	ct := w.crash
+	time.AfterFunc(w.rec.SuspectAfter, func() {
+		w.crashMu.Lock()
+		ct.suspects++
+		w.crashMu.Unlock()
+		perf.RecordDetectorSuspect()
+	})
+	time.AfterFunc(w.rec.ConfirmAfter, func() {
+		w.crashMu.Lock()
+		ct.confirmed[r] = true
+		ct.confirms++
+		ct.repairs++
+		w.crashMu.Unlock()
+		perf.RecordDetectorConfirm()
+		perf.RecordTreeRepair()
+		for _, d := range w.ranks {
+			if d.rank != r && !w.rankDead(d.rank) {
+				d.pushNotice(comm.Notice{Kind: comm.NoticeDeath, Rank: r})
+			}
+		}
+	})
+}
+
+// ---- comm.FailStop implementation ----
+
+var _ comm.FailStop = (*Comm)(nil)
+
+// pushNotice appends a control-plane notice and wakes the rank.
+func (c *Comm) pushNotice(n comm.Notice) {
+	c.mu.Lock()
+	c.notices = append(c.notices, n)
+	c.noticeSeq++
+	c.mu.Unlock()
+	c.signal()
+}
+
+// CrashesEnabled reports whether crash rules are armed in this world.
+func (c *Comm) CrashesEnabled() bool { return c.w.crash != nil }
+
+// ConfirmedDead returns a fresh detector-confirmed death mask.
+func (c *Comm) ConfirmedDead() []bool {
+	out := make([]bool, c.Size())
+	if ct := c.w.crash; ct != nil {
+		c.w.crashMu.Lock()
+		copy(out, ct.confirmed)
+		c.w.crashMu.Unlock()
+	}
+	return out
+}
+
+// TakeNotices drains this rank's pending control-plane notices.
+func (c *Comm) TakeNotices() []comm.Notice {
+	c.mu.Lock()
+	out := c.notices
+	c.notices = nil
+	c.mu.Unlock()
+	return out
+}
+
+// WaitEvent blocks until a completion callback fires or a new notice
+// arrives. Legal with no operation in flight.
+func (c *Comm) WaitEvent() {
+	c.mu.Lock()
+	start := c.noticeSeq
+	c.mu.Unlock()
+	for {
+		if c.fireCallbacks(c.popCallbacks()) > 0 {
+			return
+		}
+		c.mu.Lock()
+		advanced := c.noticeSeq > start
+		c.mu.Unlock()
+		if advanced {
+			return
+		}
+		<-c.wake
+	}
+}
+
+// CancelRecv retracts a posted, unmatched receive. Returns false when
+// the receive already matched (its callback still fires).
+func (c *Comm) CancelRecv(r comm.Request) bool {
+	req := r.(*request)
+	if req.c != c || req.isSend {
+		panic("runtime: CancelRecv on foreign or send request")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.done {
+		return false
+	}
+	for i, q := range c.posted {
+		if q == req {
+			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
+			req.done = true
+			req.cb = nil
+			c.pendingOps--
+			return true
+		}
+	}
+	return false
+}
+
+// Commit fans a NoticeCommit out to every live rank. Counts as a send
+// initiation, so a crash scheduled at the root's commit point fires here.
+func (c *Comm) Commit(seq int, survivors []bool) {
+	w := c.w
+	w.noteSend(c)
+	mask := append([]bool(nil), survivors...)
+	for _, d := range w.ranks {
+		if d != c && !w.rankDead(d.rank) {
+			d.pushNotice(comm.Notice{Kind: comm.NoticeCommit, Seq: seq, Survivors: mask})
+		}
+	}
+}

@@ -41,6 +41,12 @@ type World struct {
 
 	failMu   sync.Mutex
 	failures []*faults.TimeoutError
+
+	// Fail-stop crash model (nil crash = no rules armed; see crash.go).
+	crashPlan     []faults.Crash
+	crashMu       sync.Mutex
+	crash         *crashCtl
+	watchdogFired atomic.Bool
 }
 
 // Option configures a World.
@@ -70,6 +76,7 @@ func NewWorld(n int, opts ...Option) *World {
 	for r := 0; r < n; r++ {
 		w.ranks = append(w.ranks, &Comm{w: w, rank: r, wake: make(chan struct{}, 1)})
 	}
+	w.armCrashes()
 	return w
 }
 
@@ -108,8 +115,13 @@ func (w *World) Run(body func(c *Comm)) {
 		case <-done:
 		case <-t.C:
 			// Deliberately leak the stuck rank goroutines: the dump names the
-			// culprits, and a clean panic beats a hung test binary.
-			panic(fmt.Sprintf("runtime: Run still incomplete after %v\n%s", w.runTimeout, w.pendingDump()))
+			// culprits, and a clean panic beats a hung test binary. The dump
+			// is emitted at most once per World — concurrent Run calls that
+			// time out together must not interleave two dumps.
+			if w.watchdogFired.CompareAndSwap(false, true) {
+				panic(fmt.Sprintf("runtime: Run still incomplete after %v\n%s", w.runTimeout, w.pendingDump()))
+			}
+			panic(fmt.Sprintf("runtime: Run still incomplete after %v (pending-op dump already emitted by an earlier watchdog)", w.runTimeout))
 		}
 	} else {
 		<-done
@@ -177,6 +189,9 @@ type Comm struct {
 	completedCount uint64
 	pendingOps     int
 	seen           map[uint64]struct{} // delivered xids (fault injection dedup)
+	halted         bool                // this rank crashed (fail-stop)
+	notices        []comm.Notice       // control-plane queue (death/commit)
+	noticeSeq      uint64
 
 	wake chan struct{}
 }
@@ -248,6 +263,7 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("runtime: send to rank %d of %d", dst, c.Size()))
 	}
+	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
 	c.mu.Lock()
 	c.pendingOps++
@@ -310,7 +326,20 @@ func (req *request) matches(env *envelope) bool {
 // it in the unexpected queue. Runs on the sender's goroutine (or a timer
 // goroutine for fault-delayed copies).
 func (c *Comm) deliver(env *envelope) {
+	if c.w.crash != nil && c.w.rankDead(env.src) {
+		// Annihilation: a copy in flight from a crashed rank vanishes at
+		// arrival (timer-delayed chaos copies can outlive their sender).
+		c.annihilate(env)
+		return
+	}
 	c.mu.Lock()
+	if c.halted {
+		// Traffic addressed to a crashed rank: refuse it so a live
+		// rendezvous sender fails instead of waiting forever for a grant.
+		c.mu.Unlock()
+		c.refuse(env)
+		return
+	}
 	if env.xid != 0 {
 		if _, dup := c.seen[env.xid]; dup {
 			c.mu.Unlock()
@@ -366,6 +395,7 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("runtime: ssend to rank %d of %d", dst, c.Size()))
 	}
+	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
 	c.mu.Lock()
 	c.pendingOps++

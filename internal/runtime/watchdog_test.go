@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+)
+
+func runExpectingPanic(t *testing.T, w *World, body func(c *Comm)) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				msg = p.(string)
+			}
+		}()
+		w.Run(body)
+	}()
+	if msg == "" {
+		t.Fatal("Run returned instead of panicking")
+	}
+	return msg
+}
+
+// The watchdog emits the per-rank pending-op dump at most once per World:
+// a second timed-out Run must panic with a pointer to the earlier dump,
+// not interleave a new one.
+func TestWatchdogFiresOncePerWorld(t *testing.T) {
+	w := NewWorld(2, WithRunTimeout(200*time.Millisecond))
+	hang := func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, ptag(42)) // never sent; rank 0 hangs until the watchdog fires
+		}
+	}
+	first := runExpectingPanic(t, w, hang)
+	if !strings.Contains(first, "still incomplete") || !strings.Contains(first, "ops in flight") {
+		t.Fatalf("first watchdog panic is not the dump:\n%s", first)
+	}
+	second := runExpectingPanic(t, w, hang)
+	if !strings.Contains(second, "already emitted") {
+		t.Fatalf("second watchdog panic re-emitted the dump:\n%s", second)
+	}
+	if strings.Contains(second, "ops in flight") {
+		t.Fatalf("second watchdog panic contains a per-rank dump:\n%s", second)
+	}
+}
+
+// The dump's lost-message lines must come out sorted, so the same set of
+// losses renders identically no matter which retry chain timed out first.
+func TestWatchdogDumpSortsLostMessages(t *testing.T) {
+	plan := faults.MustParsePlan("seed=8; link 0->1: drop=1")
+	w := NewWorld(2, WithFaults(plan, faults.NoRecovery()),
+		WithRunTimeout(300*time.Millisecond))
+	msg := runExpectingPanic(t, w, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for _, seg := range []int{9, 3, 5} {
+				c.Send(1, ptag(seg), comm.Bytes([]byte("lost")))
+			}
+		case 1:
+			c.Recv(0, ptag(9))
+		}
+	})
+	var lost []string
+	for _, line := range strings.Split(msg, "\n") {
+		if strings.Contains(line, "lost:") {
+			lost = append(lost, line)
+		}
+	}
+	if len(lost) != 3 {
+		t.Fatalf("dump has %d lost lines, want 3:\n%s", len(lost), msg)
+	}
+	if !sort.StringsAreSorted(lost) {
+		t.Fatalf("lost lines not sorted:\n%s", strings.Join(lost, "\n"))
+	}
+}

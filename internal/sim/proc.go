@@ -1,9 +1,17 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrKilled is the sentinel a process body panics with to terminate
+// itself mid-execution (fail-stop crash injection). The Go wrapper
+// recovers it and retires the process as if its body had returned: the
+// kernel keeps running the other processes and does not count the killed
+// one as deadlocked. Any other panic value propagates unchanged.
+var ErrKilled = errors.New("sim: process killed")
 
 type procState uint8
 
@@ -53,7 +61,16 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	k.Schedule(0, func() {
 		go func() {
 			<-p.wake
-			fn(p)
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != ErrKilled {
+						panic(r)
+					}
+				}()
+				fn(p)
+			}()
+			// Reached on normal return AND on an ErrKilled unwind: either
+			// way the process retires cleanly and yields to the kernel.
 			p.done = true
 			k.live--
 			k.yield <- struct{}{}

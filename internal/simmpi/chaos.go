@@ -55,11 +55,23 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 
 	var try func()
 	try = func() {
+		if w.deadRank(c.rank) {
+			// The sender crashed: its retry chain is abandoned silently
+			// (fail-stop teardown, nobody is waiting on this request).
+			return
+		}
 		attempt := st.attempts
 		st.attempts++
 		v := w.inj.Message(c.rank, dst, tag, id, attempt, w.K.Now(), size)
 		send := func(extra time.Duration) {
 			transmit(extra, func() {
+				if w.deadRank(c.rank) || w.deadRank(dst) {
+					// Annihilation: a copy in flight from or to a crashed
+					// rank vanishes at arrival — no delivery, no ack. The
+					// sender (if alive) keeps retrying into its timeout
+					// budget, exactly as with a black-holed link.
+					return
+				}
 				if st.delivered {
 					w.inj.NoteSuppressed()
 				} else {
@@ -91,6 +103,25 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 		}
 		w.K.Schedule(w.rec.Timeout(attempt), func() {
 			if st.acked || st.failed {
+				return
+			}
+			if w.deadRank(c.rank) {
+				return // dead sender: abandoned, not failed
+			}
+			if w.confirmedDead(dst) {
+				// Fast-fail: the detector confirmed the peer dead, so
+				// further retries cannot succeed — fail the operation now
+				// with the attempts spent so far.
+				st.failed = true
+				err := &faults.TimeoutError{
+					Rank: c.rank, Peer: dst, Tag: tag,
+					Attempts: st.attempts, Elapsed: w.K.Now() - start,
+				}
+				w.inj.NoteTimeout()
+				w.failures = append(w.failures, err)
+				if onFail != nil {
+					onFail(err)
+				}
 				return
 			}
 			if st.attempts >= w.rec.MaxAttempts {

@@ -46,6 +46,9 @@ type World struct {
 	rec      faults.Recovery
 	xmitSeq  uint64 // world-unique reliable-transmission ids
 	failures []*faults.TimeoutError
+	// Fail-stop crash schedule and detector (nil = no crash rules armed;
+	// see crash.go).
+	crash *crashCtl
 }
 
 // NewWorld builds the per-rank endpoints for platform p with the given
@@ -86,6 +89,7 @@ func (w *World) Rank(r int) *Comm { return w.ranks[r] }
 func (w *World) InstallFaults(p faults.Plan, rec faults.Recovery) {
 	w.inj = faults.NewInjector(p)
 	w.rec = rec.Normalized()
+	w.armCrashes(p)
 }
 
 // FaultStats returns what the injector did; zero when no plan installed.
@@ -143,6 +147,10 @@ type Comm struct {
 
 	busyUntil time.Duration
 	noiseSrc  *noise.Source
+
+	// Control-plane notice queue (fail-stop model; see crash.go).
+	notices   []comm.Notice
+	noticeSeq uint64
 
 	// envFree recycles envelope structs: a collective pushes one envelope
 	// per segment per hop through this rank, and each lives only from
@@ -236,6 +244,7 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("simmpi: send to rank %d of %d", dst, c.Size()))
 	}
+	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
 	c.pendingOps++
 	d := c.w.ranks[dst]
@@ -387,6 +396,7 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("simmpi: ssend to rank %d of %d", dst, c.Size()))
 	}
+	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
 	c.pendingOps++
 	d := c.w.ranks[dst]

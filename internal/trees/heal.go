@@ -1,0 +1,58 @@
+package trees
+
+import "fmt"
+
+// Heal returns the tree with every rank marked dead spliced out: the
+// children of a dead rank re-parent to its nearest live ancestor (the
+// grandparent, or further up if a whole chain died), taking the dead
+// rank's position in the ancestor's child order. Child orderings are
+// preserved — a dead child's (live) subtree roots replace it in place —
+// so the topology-aware level ordering of the original builder survives
+// the repair, and every rank computing Heal from the same death set gets
+// the identical repaired tree with no coordination.
+//
+// Dead ranks keep their slots (Parent = -1, no children) so rank indices
+// stay stable; the result is a spanning tree over the live ranks only
+// and deliberately fails Validate, which demands full-world spanning.
+//
+// Heal panics if the root itself is dead — no repair can replace the
+// root's role; collectives surface that as a RankFailedError instead.
+func (t *Tree) Heal(dead []bool) *Tree {
+	n := t.Size()
+	if len(dead) != n {
+		panic(fmt.Sprintf("trees: death mask has %d entries for a %d-rank tree", len(dead), n))
+	}
+	if dead[t.Root] {
+		panic(fmt.Sprintf("trees: cannot heal around a dead root (rank %d)", t.Root))
+	}
+	nt := &Tree{Root: t.Root, Parent: make([]int, n), Children: make([][]int, n)}
+	for r := range nt.Parent {
+		nt.Parent[r] = -1
+	}
+	// liveKids flattens r's child list, replacing each dead child by its
+	// own live kids, recursively and in order.
+	var liveKids func(r int, out []int) []int
+	liveKids = func(r int, out []int) []int {
+		for _, ch := range t.Children[r] {
+			if dead[ch] {
+				out = liveKids(ch, out)
+			} else {
+				out = append(out, ch)
+			}
+		}
+		return out
+	}
+	var build func(r int)
+	build = func(r int) {
+		kids := liveKids(r, nil)
+		if len(kids) > 0 {
+			nt.Children[r] = kids
+		}
+		for _, ch := range kids {
+			nt.Parent[ch] = r
+			build(ch)
+		}
+	}
+	build(t.Root)
+	return nt
+}

@@ -1,0 +1,155 @@
+package trees
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// healedInvariants checks that h spans exactly the live ranks of t as a
+// rooted tree with mutually consistent Parent/Children, and that no dead
+// rank appears anywhere.
+func healedInvariants(t *testing.T, orig, h *Tree, dead []bool) {
+	t.Helper()
+	n := orig.Size()
+	if h.Root != orig.Root {
+		t.Fatalf("healed root %d, want %d", h.Root, orig.Root)
+	}
+	for r := 0; r < n; r++ {
+		if dead[r] {
+			if h.Parent[r] != -1 || len(h.Children[r]) != 0 {
+				t.Fatalf("dead rank %d still wired: parent=%d children=%v", r, h.Parent[r], h.Children[r])
+			}
+			continue
+		}
+		for _, ch := range h.Children[r] {
+			if dead[ch] {
+				t.Fatalf("live rank %d has dead child %d", r, ch)
+			}
+			if h.Parent[ch] != r {
+				t.Fatalf("child %d of %d has parent %d", ch, r, h.Parent[ch])
+			}
+		}
+	}
+	// Every live rank reachable from the root exactly once.
+	visited := make([]bool, n)
+	stack := []int{h.Root}
+	count := 0
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[r] {
+			t.Fatalf("rank %d visited twice (cycle)", r)
+		}
+		visited[r] = true
+		count++
+		stack = append(stack, h.Children[r]...)
+	}
+	live := 0
+	for r := 0; r < n; r++ {
+		if !dead[r] {
+			live++
+			if !visited[r] {
+				t.Fatalf("live rank %d unreachable from root", r)
+			}
+		}
+	}
+	if count != live {
+		t.Fatalf("reached %d ranks, want %d live", count, live)
+	}
+}
+
+func TestHealSplicesGrandchildrenInPlace(t *testing.T) {
+	// Binomial(8, 0): children of 0 are [4 2 1], children of 4 are [6 5],
+	// children of 2 are [3], of 6 are [7].
+	tr := Binomial(8, 0)
+	dead := make([]bool, 8)
+	dead[4] = true
+	h := tr.Heal(dead)
+	healedInvariants(t, tr, h, dead)
+	// 4's children [6 5] must replace 4 in the root's child order.
+	want := []int{6, 5, 2, 1}
+	if !reflect.DeepEqual(h.Children[0], want) {
+		t.Fatalf("root children after healing 4: %v, want %v", h.Children[0], want)
+	}
+}
+
+func TestHealChainOfDeaths(t *testing.T) {
+	// Chain 0→1→2→3→4; killing 1 and 2 re-parents 3 to the root directly.
+	tr := Chain(5, 0)
+	dead := make([]bool, 5)
+	dead[1], dead[2] = true, true
+	h := tr.Heal(dead)
+	healedInvariants(t, tr, h, dead)
+	if h.Parent[3] != 0 {
+		t.Fatalf("rank 3 re-parented to %d, want 0 (nearest live ancestor)", h.Parent[3])
+	}
+	if h.Parent[4] != 3 {
+		t.Fatalf("rank 4 re-parented to %d, want 3 (unchanged)", h.Parent[4])
+	}
+}
+
+func TestHealLeafAndNoop(t *testing.T) {
+	tr := Binary(7, 1)
+	none := make([]bool, 7)
+	h := tr.Heal(none)
+	if !reflect.DeepEqual(h.Parent, tr.Parent) {
+		t.Fatalf("empty death mask changed parents: %v vs %v", h.Parent, tr.Parent)
+	}
+	// Killing a leaf only removes it.
+	dead := make([]bool, 7)
+	leaf := -1
+	for r := 0; r < 7; r++ {
+		if r != tr.Root && tr.IsLeaf(r) {
+			leaf = r
+			break
+		}
+	}
+	dead[leaf] = true
+	h = tr.Heal(dead)
+	healedInvariants(t, tr, h, dead)
+	for r := 0; r < 7; r++ {
+		if r != leaf && !dead[r] && h.Parent[r] != tr.Parent[r] {
+			t.Fatalf("killing leaf %d moved rank %d", leaf, r)
+		}
+	}
+}
+
+func TestHealPanics(t *testing.T) {
+	tr := Binomial(4, 2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("dead root", func() { tr.Heal([]bool{false, false, true, false}) })
+	mustPanic("short mask", func() { tr.Heal([]bool{false, false}) })
+}
+
+func TestHealRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	builders := []func(size, root int) *Tree{Chain, Binary, Binomial, Kary(4), Knomial(3), Flat}
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(30)
+		root := rng.Intn(n)
+		tr := builders[rng.Intn(len(builders))](n, root)
+		dead := make([]bool, n)
+		for k := rng.Intn(n); k > 0; k-- {
+			r := rng.Intn(n)
+			if r != root {
+				dead[r] = true
+			}
+		}
+		h := tr.Heal(dead)
+		healedInvariants(t, tr, h, dead)
+		// Determinism: healing again yields the identical tree.
+		h2 := tr.Heal(dead)
+		if !reflect.DeepEqual(h.Parent, h2.Parent) || !reflect.DeepEqual(h.Children, h2.Children) {
+			t.Fatalf("Heal not deterministic on iter %d", iter)
+		}
+	}
+}

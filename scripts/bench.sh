@@ -21,6 +21,15 @@ go test -run 'TestCleanRunFaultCountersZero' -count=1 ./internal/conform >/dev/n
     exit 1
 }
 
+# Same gate for the fail-stop machinery: without crash rules armed, the
+# failure detector must record zero suspicions, confirmations, and tree
+# repairs — no false positives in clean runs.
+echo "bench.sh: checking detector counters stay zero in clean runs"
+go test -run 'TestCleanRunDetectorCountersZero' -count=1 ./internal/conform >/dev/null || {
+    echo "bench.sh: FAIL: clean runs moved detector counters (failure detector false-positived without crash rules)" >&2
+    exit 1
+}
+
 go test -run '^$' \
     -bench 'BenchmarkKernelDispatch$|BenchmarkKernelSelfSchedule$|BenchmarkSegmentPool$|BenchmarkSegmentMake$' \
     -benchmem "$@" ./internal/sim ./internal/comm | tee "$raw"
