@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fuzz
+.PHONY: verify test build race vet bench chaos crash fuzz trace
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -37,6 +37,15 @@ chaos:
 crash:
 	ADAPT_CONFORM_FULL=1 $(GO) test -race -v -run 'TestCrash|TestCleanRunDetectorCountersZero' ./internal/conform
 	$(GO) test -race -run 'TestBcastFT|TestReduceFT|TestFTDeterministicSchedule' ./internal/core
+
+# Causal-trace pipeline gate: analyzer + exporter tests (including the
+# critical-path == sim-makespan check), trace.Buffer under concurrent
+# writers with -race, and the zero-overhead guarantee — the nil-tracer
+# kernel dispatch path must stay allocation-free.
+trace:
+	$(GO) test -race ./internal/trace/...
+	$(GO) test -run 'TestObserverNilZeroAlloc|TestTraceSweepByteIdentical' ./internal/sim ./internal/bench
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelDispatch$$|BenchmarkKernelDispatchObserved$$' -benchmem ./internal/sim
 
 # Short fuzz passes over the tag-matching predicate and the fault-plan
 # parser; the committed corpora under testdata/fuzz run in every normal

@@ -21,11 +21,30 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"adapt/internal/bench"
 	"adapt/internal/faults"
 	"adapt/internal/perf"
+	"adapt/internal/trace"
+	"adapt/internal/trace/analyze"
 )
+
+// validIDs returns the experiment ids -list prints, one per line.
+func validIDs() string {
+	ids := append(bench.Experiments(), bench.Extensions()...)
+	return strings.Join(append(ids, "all"), "\n")
+}
+
+// knownExp reports whether id names an experiment.
+func knownExp(id string) bool {
+	for _, v := range strings.Split(validIDs(), "\n") {
+		if id == v {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	os.Exit(run())
@@ -43,15 +62,23 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when done")
 	traceFile := flag.String("trace", "", "write a Go execution trace to this file")
+	perfJSON := flag.String("perf-json", "", "write kernel/buffer-pool counters as JSON to this file when done")
+	ctrace := flag.String("ctrace", "", "capture causal event traces and write Chrome trace-event JSON (Perfetto) to this file")
+	ctraceCap := flag.Int("ctrace-cap", 500_000, "per-cell causal-trace record cap (0 = unbounded)")
+	ctraceReport := flag.Bool("ctrace-report", false, "print a critical-path/overlap report for the captured traces")
 	flag.Parse()
 
 	if *list {
-		ids := append(bench.Experiments(), bench.Extensions()...)
-		fmt.Println(strings.Join(append(ids, "all"), "\n"))
+		fmt.Println(validIDs())
 		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "adaptbench: -exp required (try -list)")
+		return 2
+	}
+	if !knownExp(*exp) {
+		fmt.Fprintf(os.Stderr, "adaptbench: unknown experiment %q; valid ids:\n", *exp)
+		fmt.Fprintln(os.Stderr, validIDs())
 		return 2
 	}
 	var s bench.Scale
@@ -100,6 +127,9 @@ func run() int {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
+	if *ctrace != "" || *ctraceReport {
+		s.CTrace = &bench.TraceSink{Cap: *ctraceCap}
+	}
 	tables, err := bench.RunTablesParallel(*exp, s, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaptbench:", err)
@@ -107,6 +137,28 @@ func run() int {
 	}
 	for _, t := range tables {
 		t.Fprint(w)
+	}
+	if s.CTrace != nil {
+		runs := s.CTrace.Runs()
+		if *ctrace != "" {
+			f, err := os.Create(*ctrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptbench:", err)
+				return 1
+			}
+			err = trace.WriteChrome(f, runs)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptbench:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "adaptbench: wrote %d causal trace runs to %s\n", len(runs), *ctrace)
+		}
+		if *ctraceReport {
+			ctraceSummary(w, runs)
+		}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -133,8 +185,46 @@ func run() int {
 			return 1
 		}
 	}
+	if *perfJSON != "" {
+		b, err := perf.Read().JSON()
+		if err == nil {
+			err = os.WriteFile(*perfJSON, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+	}
 	if *perfStats {
 		perf.Read().Fprint(os.Stderr)
 	}
 	return 0
+}
+
+// ctraceSummary prints one line per captured run (critical-path
+// attribution shares) and the full analyzer report for the longest run.
+func ctraceSummary(w io.Writer, runs []trace.Run) {
+	fmt.Fprintf(w, "\ncausal traces: %d runs\n", len(runs))
+	longest, longestSpan := -1, time.Duration(0)
+	for i, run := range runs {
+		g := analyze.New(run)
+		p := g.CriticalPath()
+		fmt.Fprintf(w, "  [%d] %-40s %6d events  makespan %-12v link %s compute %s stall %s\n",
+			i, run.Name, len(run.Records), p.Makespan.Round(time.Microsecond),
+			sharePct(p.Link, p.Makespan), sharePct(p.Compute, p.Makespan), sharePct(p.Stall, p.Makespan))
+		if p.Makespan > longestSpan {
+			longest, longestSpan = i, p.Makespan
+		}
+	}
+	if longest >= 0 {
+		fmt.Fprintf(w, "\nlongest run [%d] %s:\n", longest, runs[longest].Name)
+		analyze.New(runs[longest]).Report(w)
+	}
+}
+
+func sharePct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
 }

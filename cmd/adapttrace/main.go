@@ -1,0 +1,102 @@
+// Command adapttrace analyzes causal trace files written by
+// adaptbench -ctrace (Chrome trace-event JSON, loadable in Perfetto).
+//
+// Usage:
+//
+//	adapttrace t.json                    # full report for every run
+//	adapttrace -list-runs t.json         # captured run names
+//	adapttrace -run 3 -critical t.json   # critical path of run 3
+//	adapttrace -overlap -lanes t.json    # selected sections only
+//
+// The critical path is the chain of causally linked events (callback →
+// posted op, matched receive → send) that ends at the run's last event;
+// its final timestamp is the run's makespan. Each hop's wait is
+// attributed to link wait, compute, or pipeline stall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"adapt/internal/trace"
+	"adapt/internal/trace/analyze"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listRuns := flag.Bool("list-runs", false, "list the captured runs and exit")
+	runSel := flag.String("run", "", "select one run by index or name (default: all)")
+	critical := flag.Bool("critical", false, "print the critical path with per-hop attribution")
+	overlap := flag.Bool("overlap", false, "print per-level send overlap for tree collectives")
+	lanes := flag.Bool("lanes", false, "print per-segment transfer lanes")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "adapttrace: exactly one trace file required (from adaptbench -ctrace)")
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adapttrace:", err)
+		return 1
+	}
+	runs, err := trace.ReadChrome(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adapttrace:", err)
+		return 1
+	}
+	if *listRuns {
+		for i, r := range runs {
+			fmt.Printf("[%d] %s (%d events)\n", i, r.Name, len(r.Records))
+		}
+		return 0
+	}
+
+	selected := runs
+	if *runSel != "" {
+		selected = nil
+		if idx, err := strconv.Atoi(*runSel); err == nil && idx >= 0 && idx < len(runs) {
+			selected = runs[idx : idx+1]
+		} else {
+			for _, r := range runs {
+				if r.Name == *runSel {
+					selected = append(selected, r)
+				}
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "adapttrace: no run %q (try -list-runs)\n", *runSel)
+			return 2
+		}
+	}
+
+	sections := *critical || *overlap || *lanes
+	for i, r := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		g := analyze.New(r)
+		if !sections {
+			g.Report(os.Stdout)
+			continue
+		}
+		fmt.Printf("run %q: %d events\n", r.Name, len(r.Records))
+		p := g.CriticalPath()
+		if *critical {
+			analyze.FprintPath(os.Stdout, p)
+		}
+		if *overlap {
+			analyze.FprintOverlap(os.Stdout, g.OverlapByLevel())
+		}
+		if *lanes {
+			analyze.FprintLanes(os.Stdout, g.SegmentLanes(), p.Makespan, 64, 32)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"sync"
+
+	"adapt/internal/trace"
+)
+
+// TraceSink collects one causal trace run per experiment cell. Runs are
+// appended when cell results are *consumed* — inline on the serial path,
+// during the deterministic replay pass under -j N — so the collected
+// order (and hence the exported Chrome trace) is byte-identical no
+// matter how many workers executed the cells.
+type TraceSink struct {
+	// Cap bounds each cell's trace buffer (0 = unbounded). Overflowing
+	// cells drop further events and carry a drop count into the run.
+	Cap int
+
+	mu   sync.Mutex
+	runs []trace.Run
+}
+
+// add appends one cell's snapshot in consumption order.
+func (ts *TraceSink) add(r trace.Run) {
+	ts.mu.Lock()
+	ts.runs = append(ts.runs, r)
+	ts.mu.Unlock()
+}
+
+// Runs returns the collected traces in consumption (serial call) order.
+func (ts *TraceSink) Runs() []trace.Run {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]trace.Run(nil), ts.runs...)
+}
+
+// traced wraps a cell result that carries a trace snapshot. Scale.cell
+// unwraps it at consumption time, routing the run into the sink and the
+// value to the table builder.
+type traced struct {
+	val any
+	run trace.Run
+}
+
+// traceBuffer returns the buffer to attach to one cell's world (nil when
+// tracing is off).
+func (s Scale) traceBuffer() *trace.Buffer {
+	if s.CTrace == nil {
+		return nil
+	}
+	return &trace.Buffer{Cap: s.CTrace.Cap}
+}
+
+// wrapTraced packages a cell value with its buffer's snapshot; a nil
+// buffer passes the value through untouched.
+func wrapTraced(v any, tb *trace.Buffer, name string) any {
+	if tb == nil {
+		return v
+	}
+	return traced{val: v, run: tb.Snapshot(name)}
+}

@@ -97,3 +97,61 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		})
 	}
 }
+
+// TestTraceSweepByteIdentical: the canonical Chrome trace captured by a
+// -j 4 sweep must be byte-identical to the serial sweep's — runs are
+// appended at result-consumption time, which follows serial call order
+// regardless of worker count.
+func TestTraceSweepByteIdentical(t *testing.T) {
+	s := Quick()
+	s.CoriNodes = 2
+	s.NoiseReps = 2
+	render := func(jobs int) []byte {
+		s.CTrace = &TraceSink{}
+		if _, err := RunTablesParallel("fig7a", s, jobs); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, s.CTrace.Runs()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if len(serial) == 0 || bytes.Count(serial, []byte("adaptRuns")) == 0 {
+		t.Fatal("serial sweep produced no canonical trace")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("canonical trace differs between -j 1 (%d bytes) and -j 4 (%d bytes)",
+			len(serial), len(parallel))
+	}
+	rerun := render(1)
+	if !bytes.Equal(serial, rerun) {
+		t.Fatal("canonical trace differs between identical reruns")
+	}
+}
+
+// TestTraceSinkCapCountsDrops: a tiny per-cell cap must truncate, not
+// crash, and carry the drop count into the snapshot.
+func TestTraceSinkCapCountsDrops(t *testing.T) {
+	s := Quick()
+	s.CoriNodes = 2
+	s.NoiseReps = 2
+	s.CTrace = &TraceSink{Cap: 100}
+	if _, err := RunTables("table1", s); err != nil {
+		t.Fatal(err)
+	}
+	runs := s.CTrace.Runs()
+	if len(runs) == 0 {
+		t.Fatal("no runs collected")
+	}
+	for _, r := range runs {
+		if len(r.Records) > 100 {
+			t.Fatalf("run %q holds %d records above cap", r.Name, len(r.Records))
+		}
+		if r.Dropped == 0 {
+			t.Fatalf("run %q expected drops at cap 100", r.Name)
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Scale struct {
 	// rules (adaptbench -faults "crash@3") lands in ext-crash instead.
 	FaultPlan *faults.Plan
 
+	// CTrace, when non-nil, captures one causal event trace per
+	// experiment cell (adaptbench -ctrace; see internal/trace/analyze).
+	CTrace *TraceSink
+
 	// sweep, when non-nil, routes independent experiment cells through
 	// the parallel record/execute/replay scheduler (see parallel.go).
 	sweep *sweeper
@@ -87,7 +91,13 @@ func (s Scale) measure(p *netmodel.Platform, spec noise.Spec, lib libmodel.Libra
 		Platform: p, Noise: spec, Library: lib, Op: op,
 		Size: size, Warmup: warmup, Reps: reps,
 	}
-	return s.cell(func() any { return imb.Measure(cfg) }, time.Duration(0)).(time.Duration)
+	name := fmt.Sprintf("%s/%s/%s/%s/noise%.0f%%",
+		p.Name, lib.Name, opSlug(op), sizeLabel(size), 100*spec.AvgFraction())
+	return s.cell(func() any {
+		tb := s.traceBuffer()
+		cfg.Trace = tb
+		return wrapTraced(imb.Measure(cfg), tb, name)
+	}, time.Duration(0)).(time.Duration)
 }
 
 // noiseTable builds one half (bcast or reduce) of Figure 7.
@@ -312,6 +322,8 @@ func (s Scale) Table1() []*Table {
 		res := s.cell(func() any {
 			k := sim.New()
 			w := simmpi.NewWorld(k, p, noise.None)
+			tb := s.traceBuffer()
+			w.Trace = tb
 			var res asp.Result
 			w.Spawn(func(c *simmpi.Comm) {
 				r := asp.Run(c, asp.Config{
@@ -322,7 +334,7 @@ func (s Scale) Table1() []*Table {
 				}
 			})
 			k.MustRun()
-			return res
+			return wrapTraced(res, tb, fmt.Sprintf("table1/%s/asp", lib.Name))
 		}, asp.Result{Iters: 1}).(asp.Result)
 		full := res.Scaled(s.ASPDim)
 		t.AddRow(lib.Name,

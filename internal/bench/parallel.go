@@ -50,7 +50,7 @@ type sweeper struct {
 func (s Scale) cell(fn func() any, zero any) any {
 	sw := s.sweep
 	if sw == nil {
-		return fn()
+		return s.unwrap(fn())
 	}
 	switch sw.mode {
 	case sweepRecord:
@@ -59,9 +59,22 @@ func (s Scale) cell(fn func() any, zero any) any {
 	case sweepReplay:
 		v := sw.out[sw.next]
 		sw.next++
-		return v
+		return s.unwrap(v)
 	}
 	panic("bench: sweeper in unknown mode")
+}
+
+// unwrap peels a traced cell result: the run goes to the sink (in
+// consumption order — serial call order even under -j N), the value to
+// the caller. Plain values pass through.
+func (s Scale) unwrap(v any) any {
+	if tr, ok := v.(traced); ok {
+		if s.CTrace != nil {
+			s.CTrace.add(tr.run)
+		}
+		return tr.val
+	}
+	return v
 }
 
 // execute runs the recorded cells on jobs workers. A panicking cell (a

@@ -42,14 +42,15 @@ func Allgather(c comm.Comm, contrib comm.Msg, opt Options) comm.Msg {
 // StartAllgather begins a non-blocking event-driven ring allgather.
 func StartAllgather(c comm.Comm, contrib comm.Msg, opt Options) *Op {
 	opt = opt.validate()
+	end := traceStart(c, comm.KindAllgather, opt, -1, contrib.Size)
 	s := newAllgatherState(c, contrib, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result: func() comm.Msg {
 			return comm.Msg{Data: s.blob, Size: s.blk * s.n, Space: contrib.Space}
 		},
-	}
+	})
 }
 
 func newAllgatherState(c comm.Comm, contrib comm.Msg, opt Options) *allgatherState {

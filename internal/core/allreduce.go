@@ -58,8 +58,9 @@ func StartAllreduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *
 	if t.Size() != c.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), c.Size()))
 	}
+	end := traceStart(c, comm.KindAllreduce, opt, t.Root, contrib.Size)
 	s := newAllreduceState(c, t, contrib, opt)
-	return &Op{
+	return end(&Op{
 		c: c,
 		pending: func() bool {
 			return s.upRecvPending > 0 || s.upSendPending > 0 ||
@@ -68,7 +69,7 @@ func StartAllreduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *
 		result: func() comm.Msg {
 			return comm.Msg{Data: s.outData, Size: s.total, Space: s.space}
 		},
-	}
+	})
 }
 
 func newAllreduceState(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *allreduceState {

@@ -41,14 +41,15 @@ func StartAlltoall(c comm.Comm, input comm.Msg, opt Options) *Op {
 	if input.Size%n != 0 {
 		panic(fmt.Sprintf("core: alltoall buffer %dB not divisible by %d ranks", input.Size, n))
 	}
+	end := traceStart(c, comm.KindAlltoall, opt, -1, input.Size)
 	s := newAlltoallState(c, input, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result: func() comm.Msg {
 			return comm.Msg{Data: s.out, Size: s.blk * s.n, Space: input.Space}
 		},
-	}
+	})
 }
 
 func newAlltoallState(c comm.Comm, input comm.Msg, opt Options) *alltoallState {

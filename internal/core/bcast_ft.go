@@ -3,6 +3,7 @@ package core
 import (
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/trace"
 	"adapt/internal/trees"
 )
 
@@ -28,8 +29,16 @@ func BcastFT(c comm.Comm, t *trees.Tree, msg comm.Msg, opt Options) FTResult {
 	if !ok {
 		return FTResult{Msg: Bcast(c, t, msg, opt), Survivors: allLive(c.Size())}
 	}
-	s := newBcastFT(c, fs, t, msg, opt.validate())
-	return s.run(msg)
+	opt = opt.validate()
+	startID := trace.Emit(c, trace.Record{Kind: trace.CollStart, Peer: t.Root,
+		Tag: opt.TagOf(comm.KindBcast, 0), Size: msg.Size})
+	prev := trace.SetCause(c, startID)
+	s := newBcastFT(c, fs, t, msg, opt)
+	trace.SetCause(c, prev)
+	res := s.run(msg)
+	trace.Emit(c, trace.Record{Kind: trace.CollEnd, Peer: t.Root,
+		Tag: opt.TagOf(comm.KindBcast, 0), Size: msg.Size, Link: startID})
+	return res
 }
 
 // ftStream is one child's send pipeline in the FT broadcast: like
@@ -401,6 +410,14 @@ func (s *bcastFT) reparent(np int) {
 	s.scan = 0
 	// Announce: always send the request, even with nothing missing — the
 	// new parent learns of its child from this message alone.
+	missing := 0
+	for _, m := range s.expected {
+		if m {
+			missing++
+		}
+	}
+	trace.Emit(s.c, trace.Record{Kind: trace.Redrive, Peer: np,
+		Tag: s.opt.TagOf(comm.KindRedrive, s.rank), Size: missing})
 	bits := packBits(s.expected)
 	s.sendsOut++
 	r := s.c.Isend(np, s.opt.TagOf(comm.KindRedrive, s.rank), comm.Bytes(bits))

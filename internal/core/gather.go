@@ -54,12 +54,13 @@ func StartGather(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *Op 
 	if t.Size() != c.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), c.Size()))
 	}
+	end := traceStart(c, comm.KindGather, opt, t.Root, contrib.Size)
 	s := newGatherState(c, t, contrib, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result:  func() comm.Msg { return s.finish(contrib) },
-	}
+	})
 }
 
 func newGatherState(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *gatherState {

@@ -46,14 +46,15 @@ func StartBcast(c comm.Comm, t *trees.Tree, msg comm.Msg, opt Options) *Op {
 	if t.Size() != c.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), c.Size()))
 	}
+	end := traceStart(c, comm.KindBcast, opt, t.Root, msg.Size)
 	s := newBcastState(c, t, msg, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result: func() comm.Msg {
 			return comm.Msg{Data: s.outData, Size: s.total, Space: s.space}
 		},
-	}
+	})
 }
 
 // StartReduce begins a non-blocking ADAPT reduction. contrib.Data, when
@@ -63,8 +64,9 @@ func StartReduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *Op 
 	if t.Size() != c.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), c.Size()))
 	}
+	end := traceStart(c, comm.KindReduce, opt, t.Root, contrib.Size)
 	s := newReduceState(c, t, contrib, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result: func() comm.Msg {
@@ -73,7 +75,7 @@ func StartReduce(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) *Op 
 			}
 			return comm.Msg{Size: contrib.Size, Space: contrib.Space}
 		},
-	}
+	})
 }
 
 // StartBcastStaged begins a non-blocking staged GPU broadcast (§4.1).
@@ -82,8 +84,9 @@ func StartBcastStaged(dc comm.DeviceComm, topo *hwloc.Topology, t *trees.Tree, m
 	if t.Size() != dc.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), dc.Size()))
 	}
+	end := traceStart(dc, comm.KindBcast, opt, t.Root, msg.Size)
 	s := newStagedBcastState(dc, topo, t, msg, opt)
-	return &Op{
+	return end(&Op{
 		c: dc,
 		pending: func() bool {
 			return s.recvPending > 0 || s.sendPending > 0 || s.flushPending > 0
@@ -91,7 +94,7 @@ func StartBcastStaged(dc comm.DeviceComm, topo *hwloc.Topology, t *trees.Tree, m
 		result: func() comm.Msg {
 			return comm.Msg{Data: msg.Data, Size: msg.Size, Space: comm.MemDevice}
 		},
-	}
+	})
 }
 
 // StartReduceOffload begins a non-blocking GPU-offloaded reduction (§4.2).
@@ -100,8 +103,9 @@ func StartReduceOffload(dc comm.DeviceComm, t *trees.Tree, contrib comm.Msg, opt
 	if t.Size() != dc.Size() {
 		panic(fmt.Sprintf("core: tree size %d != communicator size %d", t.Size(), dc.Size()))
 	}
+	end := traceStart(dc, comm.KindReduce, opt, t.Root, contrib.Size)
 	s := newReduceOffloadState(dc, t, contrib, opt)
-	return &Op{
+	return end(&Op{
 		c: dc,
 		pending: func() bool {
 			return s.recvPending > 0 || s.sendPending > 0 || s.kernelPending > 0
@@ -109,5 +113,5 @@ func StartReduceOffload(dc comm.DeviceComm, t *trees.Tree, contrib comm.Msg, opt
 		result: func() comm.Msg {
 			return comm.Msg{Data: contrib.Data, Size: contrib.Size, Space: comm.MemDevice}
 		},
-	}
+	})
 }

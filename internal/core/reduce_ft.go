@@ -3,6 +3,7 @@ package core
 import (
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/trace"
 	"adapt/internal/trees"
 )
 
@@ -32,8 +33,16 @@ func ReduceFT(c comm.Comm, t *trees.Tree, contrib comm.Msg, opt Options) FTResul
 		}
 		return FTResult{Msg: Reduce(c, t, priv, opt), Survivors: allLive(c.Size())}
 	}
-	s := newReduceFT(c, fs, t, contrib, opt.validate())
-	return s.run()
+	opt = opt.validate()
+	startID := trace.Emit(c, trace.Record{Kind: trace.CollStart, Peer: t.Root,
+		Tag: opt.TagOf(comm.KindReduce, 0), Size: contrib.Size})
+	prev := trace.SetCause(c, startID)
+	s := newReduceFT(c, fs, t, contrib, opt)
+	trace.SetCause(c, prev)
+	res := s.run()
+	trace.Emit(c, trace.Record{Kind: trace.CollEnd, Peer: t.Root,
+		Tag: opt.TagOf(comm.KindReduce, 0), Size: contrib.Size, Link: startID})
+	return res
 }
 
 // reduceFT is the per-rank fault-tolerant reduce state machine. All
@@ -112,6 +121,8 @@ func (s *reduceFT) epochOpt() Options {
 // startEpoch (re)builds the fold over the current healed tree from the
 // pristine contribution.
 func (s *reduceFT) startEpoch() {
+	trace.Emit(s.c, trace.Record{Kind: trace.Epoch, Peer: -1,
+		Tag: s.epochOpt().TagOf(comm.KindReduce, 0), Size: s.epoch})
 	s.cur = healed(s.t, s.dead)
 	s.working = nil
 	if s.base != nil {

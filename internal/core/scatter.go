@@ -81,12 +81,13 @@ func StartScatter(c comm.Comm, t *trees.Tree, msg comm.Msg, opt Options) *Op {
 	if msg.Size%n != 0 {
 		panic(fmt.Sprintf("core: scatter buffer %dB not divisible by %d ranks", msg.Size, n))
 	}
+	end := traceStart(c, comm.KindScatter, opt, t.Root, msg.Size)
 	s := newScatterState(c, t, msg, opt)
-	return &Op{
+	return end(&Op{
 		c:       c,
 		pending: func() bool { return s.recvPending > 0 || s.sendPending > 0 },
 		result:  func() comm.Msg { return s.mine },
-	}
+	})
 }
 
 func newScatterState(c comm.Comm, t *trees.Tree, msg comm.Msg, opt Options) *scatterState {

@@ -15,6 +15,7 @@ import (
 	"adapt/internal/noise"
 	"adapt/internal/sim"
 	"adapt/internal/simmpi"
+	"adapt/internal/trace"
 )
 
 // Op selects the measured collective.
@@ -42,6 +43,9 @@ type Config struct {
 	Root     int
 	Warmup   int
 	Reps     int
+	// Trace, when non-nil, captures the cell's causal event trace
+	// (attached to the simulated world before Spawn).
+	Trace *trace.Buffer
 }
 
 // DefaultReps picks repetition counts that keep the event count sane for
@@ -65,6 +69,7 @@ func Measure(cfg Config) time.Duration {
 	}
 	k := sim.New()
 	w := simmpi.NewWorld(k, cfg.Platform, cfg.Noise)
+	w.Trace = cfg.Trace
 	var t0, t1 time.Duration
 	w.Spawn(func(c *simmpi.Comm) {
 		seq := 0

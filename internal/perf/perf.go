@@ -11,6 +11,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -183,6 +184,16 @@ func Reset() {
 	detectorSuspects.Store(0)
 	detectorConfirms.Store(0)
 	treeRepairs.Store(0)
+}
+
+// JSON renders the snapshot as indented JSON (adaptbench -perf-json),
+// one stable machine-readable document per run for scripts and CI.
+func (s Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Fprint renders the snapshot as a small human-readable report.

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -149,5 +150,23 @@ func TestConcurrentIncrements(t *testing.T) {
 	}
 	if s.FaultDrops != total || s.FaultDups != total || s.FaultRetries != total || s.FaultSuppressed != total {
 		t.Errorf("fault counters lost updates: %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	s := Snapshot{KernelRuns: 3, EventsDispatched: 42, HeapPeak: 7, BufGets: 5, BufHits: 4}
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b)
+	}
+	if back != s {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, s)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Fatal("JSON output not newline-terminated")
 	}
 }

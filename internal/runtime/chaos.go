@@ -8,6 +8,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/trace"
 )
 
 // Fault injection in the live runtime. The delivery path mirrors the
@@ -71,9 +72,11 @@ func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
 	for attempt := 0; attempt < w.rec.MaxAttempts; attempt++ {
 		v := w.inj.Message(c.rank, d.rank, env.tag, env.xid, attempt, c.Now(), size)
 		if v.Drop {
+			c.traceFault(trace.FaultDrop, d.rank, env.tag, size, env.xid)
 			wait += w.rec.Timeout(attempt)
 			if attempt+1 < w.rec.MaxAttempts {
 				w.inj.NoteRetry()
+				c.traceFault(trace.FaultRetry, d.rank, env.tag, size, env.xid)
 			}
 			continue
 		}
@@ -93,6 +96,7 @@ func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
 	}
 	// Every attempt dropped: the message is lost for good.
 	w.inj.NoteTimeout()
+	c.traceFault(trace.FaultTimeout, d.rank, env.tag, size, env.xid)
 	err := &faults.TimeoutError{
 		Rank: c.rank, Peer: d.rank, Tag: env.tag,
 		Attempts: w.rec.MaxAttempts, Elapsed: wait,
@@ -106,6 +110,14 @@ func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
 	}
 	if env.msg.Data != nil {
 		comm.PutBuf(env.msg.Data) // the receiver will never own this copy
+	}
+}
+
+// traceFault records one fault-path event; no-op when tracing is off.
+func (c *Comm) traceFault(kind trace.Kind, peer int, tag comm.Tag, size int, xid uint64) {
+	if tb := c.w.Trace; tb != nil {
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: kind,
+			Peer: peer, Tag: tag, Size: size, Xid: xid})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"adapt/internal/comm"
 	"adapt/internal/faults"
 	"adapt/internal/perf"
+	"adapt/internal/trace"
 )
 
 // Fail-stop crash model on the live substrate. Mirrors the simulator's
@@ -123,6 +124,9 @@ func (w *World) noteSend(c *Comm) {
 	}
 	ct.dead[c.rank] = true
 	w.crashMu.Unlock()
+	if tb := w.Trace; tb != nil {
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Crash, Peer: -1})
+	}
 	c.halt()
 	w.armDetector(c.rank)
 	goruntime.Goexit()
@@ -180,6 +184,9 @@ func (w *World) armDetector(r int) {
 		ct.suspects++
 		w.crashMu.Unlock()
 		perf.RecordDetectorSuspect()
+		if tb := w.Trace; tb != nil {
+			tb.Add(trace.Record{At: time.Since(w.start), Rank: -1, Kind: trace.Suspect, Peer: r})
+		}
 	})
 	time.AfterFunc(w.rec.ConfirmAfter, func() {
 		w.crashMu.Lock()
@@ -189,6 +196,10 @@ func (w *World) armDetector(r int) {
 		w.crashMu.Unlock()
 		perf.RecordDetectorConfirm()
 		perf.RecordTreeRepair()
+		if tb := w.Trace; tb != nil {
+			tb.Add(trace.Record{At: time.Since(w.start), Rank: -1, Kind: trace.Confirm, Peer: r})
+			tb.Add(trace.Record{At: time.Since(w.start), Rank: -1, Kind: trace.Repair, Peer: r})
+		}
 		for _, d := range w.ranks {
 			if d.rank != r && !w.rankDead(d.rank) {
 				d.pushNotice(comm.Notice{Kind: comm.NoticeDeath, Rank: r})

@@ -22,6 +22,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/trace"
 )
 
 // DefaultEagerLimit is the eager/rendezvous protocol switch-over.
@@ -33,6 +34,11 @@ type World struct {
 	start      time.Time
 	eagerLimit int
 	runTimeout time.Duration
+
+	// Trace, when non-nil, receives every point-to-point event with causal
+	// edges. Timestamps are wall-clock offsets from the world's creation,
+	// so unlike the simulator's virtual-time traces they vary run to run.
+	Trace *trace.Buffer
 
 	// Fault injection (nil inj = fault-free fast paths; see chaos.go).
 	inj     *faults.Injector
@@ -62,6 +68,11 @@ func WithEagerLimit(n int) Option {
 // of hanging the caller (and, under `go test`, the whole test binary).
 func WithRunTimeout(d time.Duration) Option {
 	return func(w *World) { w.runTimeout = d }
+}
+
+// WithTrace attaches a causal trace buffer to the world.
+func WithTrace(tb *trace.Buffer) Option {
+	return func(w *World) { w.Trace = tb }
 }
 
 // NewWorld creates a communicator with n ranks.
@@ -153,6 +164,9 @@ type envelope struct {
 	// receiver suppresses duplicate deliveries of the same id. Zero on the
 	// fault-free path.
 	xid uint64
+	// postID carries the sender's SendPost trace record id for the
+	// matched-receive Link edge. Zero when tracing is off.
+	postID uint64
 }
 
 // request implements comm.Request. All mutable state is guarded by the
@@ -166,6 +180,12 @@ type request struct {
 
 	src int
 	tag comm.Tag
+
+	// causal trace ids (0 when tracing is off); postID is written at post
+	// time on the owner, matchID/doneID under the owner's mutex.
+	postID  uint64
+	matchID uint64
+	doneID  uint64
 }
 
 func (r *request) Test() (comm.Status, bool) {
@@ -193,6 +213,10 @@ type Comm struct {
 	notices        []comm.Notice       // control-plane queue (death/commit)
 	noticeSeq      uint64
 
+	// curCause is the rank's causal context (see simmpi): only ever
+	// touched from the owner goroutine (fireCallbacks, posts, TraceEmit).
+	curCause uint64
+
 	wake chan struct{}
 }
 
@@ -210,6 +234,30 @@ func (c *Comm) Now() time.Duration { return time.Since(c.w.start) }
 // Compute is a no-op in the live runtime: real work (reductions, copies)
 // is performed for real by the caller; there is nothing to charge.
 func (c *Comm) Compute(n int, kind comm.ComputeKind) {}
+
+// TraceEmit implements trace.Emitter: it stamps the record with this
+// rank's identity and wall clock, defaults its Parent to the current
+// causal context, and appends it. Returns 0 when tracing is off.
+func (c *Comm) TraceEmit(r trace.Record) uint64 {
+	tb := c.w.Trace
+	if tb == nil {
+		return 0
+	}
+	r.At = c.Now()
+	r.Rank = c.rank
+	if r.Parent == 0 {
+		r.Parent = c.curCause
+	}
+	return tb.Add(r)
+}
+
+// TraceSetCause installs id as the rank's causal context and returns the
+// previous one. Owner-goroutine only, like every blocking Comm method.
+func (c *Comm) TraceSetCause(id uint64) uint64 {
+	prev := c.curCause
+	c.curCause = id
+	return prev
+}
 
 // signal wakes the owner if it is blocked in a wait loop.
 func (c *Comm) signal() {
@@ -230,6 +278,15 @@ func (req *request) complete(st comm.Status) {
 	}
 	req.done = true
 	req.status = st
+	if tb := c.w.Trace; tb != nil {
+		kind := trace.RecvDone
+		if req.isSend {
+			kind = trace.SendDone
+		}
+		req.doneID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: kind,
+			Peer: st.Source, Tag: st.Tag, Size: st.Msg.Size,
+			Parent: req.postID, Link: req.matchID})
+	}
 	c.completedCount++
 	c.pendingOps--
 	if req.cb != nil {
@@ -249,10 +306,17 @@ func (c *Comm) popCallbacks() []*request {
 }
 
 // fireCallbacks runs a batch on the owner goroutine. Returns count fired.
+// The completion a callback reacts to becomes the rank's causal context
+// while it runs and persists afterwards (see simmpi's curCause), so both
+// callback-posted ops and straight-line code after a Wait link back to
+// the completion that released them.
 func (c *Comm) fireCallbacks(batch []*request) int {
 	for _, req := range batch {
 		cb := req.cb
 		req.cb = nil
+		if req.doneID != 0 {
+			c.curCause = req.doneID
+		}
 		cb(req.status)
 	}
 	return len(batch)
@@ -265,6 +329,10 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
+	if tb := c.w.Trace; tb != nil {
+		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.SendPost,
+			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
+	}
 	c.mu.Lock()
 	c.pendingOps++
 	c.mu.Unlock()
@@ -280,7 +348,7 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			copy(buf, msg.Data)
 			delivered.Data = buf
 		}
-		env := &envelope{src: c.rank, tag: tag, msg: delivered}
+		env := &envelope{src: c.rank, tag: tag, msg: delivered, postID: req.postID}
 		if c.w.inj != nil {
 			c.chaosDeliver(d, env, msg.Size)
 		} else {
@@ -291,7 +359,7 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	// Rendezvous: announce; the payload is pulled zero-copy when matched,
 	// completing this request only then.
-	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req}
+	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req, postID: req.postID}
 	if c.w.inj != nil {
 		c.chaosDeliver(d, env, msg.Size)
 	} else {
@@ -303,6 +371,10 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 // Irecv posts a non-blocking receive.
 func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
 	req := &request{c: c, src: src, tag: tag}
+	if tb := c.w.Trace; tb != nil {
+		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.RecvPost,
+			Peer: src, Tag: tag, Parent: c.curCause})
+	}
 	c.mu.Lock()
 	c.pendingOps++
 	for i, env := range c.unexpected {
@@ -368,6 +440,7 @@ func (c *Comm) deliver(env *envelope) {
 // envelopes it pulls the payload and releases the sender.
 func (c *Comm) consume(req *request, env *envelope) {
 	msg := env.msg
+	req.matchID = env.postID // causal Link: this receive consumed that send
 	if env.rts != nil {
 		// Pull the payload out of the sender's buffer; after the sender's
 		// request completes the sender may scribble on it. The pooled copy
@@ -397,11 +470,15 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := &request{c: c, isSend: true}
+	if tb := c.w.Trace; tb != nil {
+		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.SendPost,
+			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
+	}
 	c.mu.Lock()
 	c.pendingOps++
 	c.mu.Unlock()
 	d := c.w.ranks[dst]
-	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req}
+	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req, postID: req.postID}
 	if c.w.inj != nil {
 		c.chaosDeliver(d, env, msg.Size)
 	} else {
@@ -447,6 +524,12 @@ func (c *Comm) Wait(r comm.Request) comm.Status {
 	for {
 		c.fireCallbacks(c.popCallbacks())
 		if st, ok := req.Test(); ok {
+			// doneID was published under c.mu before done; Test's lock
+			// round-trip makes it visible here. The completion that
+			// released this Wait is the rank's causal context from now on.
+			if req.doneID != 0 {
+				c.curCause = req.doneID
+			}
 			return st
 		}
 		<-c.wake
@@ -468,6 +551,17 @@ func (c *Comm) WaitAll(rs []comm.Request) {
 			}
 		}
 		if alldone {
+			// The rank proceeds only once every request has landed: the
+			// latest completion (largest record id) is its causal context.
+			var last uint64
+			for _, r := range rs {
+				if req, ok := r.(*request); ok && req != nil && req.doneID > last {
+					last = req.doneID
+				}
+			}
+			if last != 0 {
+				c.curCause = last
+			}
 			return
 		}
 		<-c.wake
@@ -494,6 +588,9 @@ func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
 				continue
 			}
 			if st, ok := r.Test(); ok {
+				if req, ok := r.(*request); ok && req.doneID != 0 {
+					c.curCause = req.doneID
+				}
 				return i, st
 			}
 		}

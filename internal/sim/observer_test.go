@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDispatchObserver(t *testing.T) {
+	k := New()
+	var seqs []uint64
+	var ats []time.Duration
+	k.SetDispatchObserver(func(seq uint64, at time.Duration) {
+		seqs = append(seqs, seq)
+		ats = append(ats, at)
+	})
+	fired := 0
+	k.Schedule(2*time.Microsecond, func() { fired++ })
+	k.Schedule(time.Microsecond, func() { fired++ })
+	k.Schedule(time.Microsecond, func() { fired++ })
+	k.MustRun()
+	if fired != 3 || len(seqs) != 3 {
+		t.Fatalf("fired=%d observed=%d", fired, len(seqs))
+	}
+	// Dispatch order: time then insertion sequence.
+	if seqs[0] != 2 || seqs[1] != 3 || seqs[2] != 1 {
+		t.Fatalf("observed seqs %v", seqs)
+	}
+	if ats[2] != 2*time.Microsecond {
+		t.Fatalf("observed ats %v", ats)
+	}
+	// Removable.
+	k.SetDispatchObserver(nil)
+	k.Schedule(0, func() {})
+	k.MustRun()
+	if len(seqs) != 3 {
+		t.Fatalf("observer fired after removal")
+	}
+}
+
+// The nil-observer dispatch loop must stay allocation-free — the tracing
+// layer's zero-overhead guarantee for untraced runs.
+func TestObserverNilZeroAlloc(t *testing.T) {
+	k := New()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			k.Schedule(time.Duration(j&7)*time.Microsecond, fn)
+		}
+		k.MustRun()
+	})
+	if allocs > 0 {
+		t.Fatalf("nil-observer dispatch allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// BenchmarkKernelDispatchObserved is BenchmarkKernelDispatch with an
+// observer installed — the incremental cost of the tracing hook when it
+// IS active (compare against BenchmarkKernelDispatch for the delta; the
+// nil path is covered by TestObserverNilZeroAlloc).
+func BenchmarkKernelDispatchObserved(b *testing.B) {
+	b.ReportAllocs()
+	fn := func() {}
+	const batch = 1024
+	k := New()
+	var count uint64
+	k.SetDispatchObserver(func(seq uint64, at time.Duration) { count++ })
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= batch {
+		m := batch
+		if m > n {
+			m = n
+		}
+		for j := 0; j < m; j++ {
+			k.Schedule(time.Duration(j&127)*time.Microsecond, fn)
+		}
+		k.MustRun()
+	}
+	_ = count
+}

@@ -5,6 +5,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/trace"
 )
 
 // This file is the chaos transport: the delivery paths used when a fault
@@ -63,6 +64,9 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 		attempt := st.attempts
 		st.attempts++
 		v := w.inj.Message(c.rank, dst, tag, id, attempt, w.K.Now(), size)
+		if v.Drop {
+			w.traceFault(trace.FaultDrop, c.rank, dst, tag, size, id)
+		}
 		send := func(extra time.Duration) {
 			transmit(extra, func() {
 				if w.deadRank(c.rank) || w.deadRank(dst) {
@@ -118,6 +122,7 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 					Attempts: st.attempts, Elapsed: w.K.Now() - start,
 				}
 				w.inj.NoteTimeout()
+				w.traceFault(trace.FaultTimeout, c.rank, dst, tag, size, id)
 				w.failures = append(w.failures, err)
 				if onFail != nil {
 					onFail(err)
@@ -131,6 +136,7 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 					Attempts: st.attempts, Elapsed: w.K.Now() - start,
 				}
 				w.inj.NoteTimeout()
+				w.traceFault(trace.FaultTimeout, c.rank, dst, tag, size, id)
 				w.failures = append(w.failures, err)
 				if onFail != nil {
 					onFail(err)
@@ -138,10 +144,21 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 				return
 			}
 			w.inj.NoteRetry()
+			w.traceFault(trace.FaultRetry, c.rank, dst, tag, size, id)
 			try()
 		})
 	}
 	try()
+}
+
+// traceFault records one fault-path event (drop / retry / timeout) with
+// the reliable-transmission id so a Perfetto view can group every attempt
+// of the same logical message. No-op when tracing is off.
+func (w *World) traceFault(kind trace.Kind, rank, peer int, tag comm.Tag, size int, xid uint64) {
+	if tb := w.Trace; tb != nil {
+		tb.Add(trace.Record{At: w.K.Now(), Rank: rank, Kind: kind,
+			Peer: peer, Tag: tag, Size: size, Xid: xid})
+	}
 }
 
 // completeIfLive completes req unless it already finished — under chaos a
@@ -184,7 +201,9 @@ func (c *Comm) chaosEager(d *Comm, req *request, tag comm.Tag, msg comm.Msg, st 
 				copy(buf, retained)
 				del.Data = buf
 			}
-			d.arrive(d.newEnvelope(c.rank, tag, del, nil))
+			env := d.newEnvelope(c.rank, tag, del, nil)
+			env.postID = req.postID
+			d.arrive(env)
 		},
 		func() {
 			release()

@@ -7,6 +7,7 @@ import (
 	"adapt/internal/faults"
 	"adapt/internal/perf"
 	"adapt/internal/sim"
+	"adapt/internal/trace"
 )
 
 // Fail-stop crash model on the simulated substrate.
@@ -122,6 +123,9 @@ func (w *World) crashRank(r int) {
 	ct := w.crash
 	ct.dead[r] = true
 	c := w.ranks[r]
+	if tb := w.Trace; tb != nil {
+		tb.Add(trace.Record{At: w.K.Now(), Rank: r, Kind: trace.Crash, Peer: -1})
+	}
 	// Sweep the unexpected queue: an RTS parked here belongs to a LIVE
 	// sender that would otherwise wait forever for a grant. Fail it with
 	// the same structured error an exhausted retry chain produces. Eager
@@ -139,10 +143,15 @@ func (w *World) crashRank(r int) {
 	c.unexpected = nil
 	c.posted = nil // the rank's own receives die with it
 	c.cbQueue = nil
-	// Detector leases, on the deterministic kernel.
+	// Detector leases, on the deterministic kernel. Detector events are
+	// world-level, not rank-level: they trace on pseudo-rank -1 ("the
+	// detector") with Peer = the dead rank.
 	w.K.Schedule(w.rec.SuspectAfter, func() {
 		ct.suspects++
 		perf.RecordDetectorSuspect()
+		if tb := w.Trace; tb != nil {
+			tb.Add(trace.Record{At: w.K.Now(), Rank: -1, Kind: trace.Suspect, Peer: r})
+		}
 	})
 	w.K.Schedule(w.rec.ConfirmAfter, func() {
 		ct.confirmed[r] = true
@@ -151,6 +160,10 @@ func (w *World) crashRank(r int) {
 		// One repaired tree takes effect per confirmed death.
 		ct.repairs++
 		perf.RecordTreeRepair()
+		if tb := w.Trace; tb != nil {
+			tb.Add(trace.Record{At: w.K.Now(), Rank: -1, Kind: trace.Confirm, Peer: r})
+			tb.Add(trace.Record{At: w.K.Now(), Rank: -1, Kind: trace.Repair, Peer: r})
+		}
 		for _, d := range w.ranks {
 			if !ct.dead[d.rank] {
 				d.pushNotice(comm.Notice{Kind: comm.NoticeDeath, Rank: r})

@@ -106,11 +106,12 @@ func (w *World) Failures() []*faults.TimeoutError { return w.failures }
 
 // envelope is a message (or its rendezvous RTS) at the receiver side.
 type envelope struct {
-	src int
-	tag comm.Tag
-	msg comm.Msg
-	rts *request // non-nil: rendezvous announcement; data not yet sent
-	seq uint64   // arrival order, for deterministic diagnostics
+	src    int
+	tag    comm.Tag
+	msg    comm.Msg
+	rts    *request // non-nil: rendezvous announcement; data not yet sent
+	seq    uint64   // arrival order, for deterministic diagnostics
+	postID uint64   // sender's SendPost trace id, carried for the Link edge
 }
 
 // request implements comm.Request.
@@ -125,6 +126,11 @@ type request struct {
 	src   int
 	tag   comm.Tag
 	space comm.MemSpace
+
+	// causal trace ids (0 when tracing is off)
+	postID  uint64 // this operation's post record
+	matchID uint64 // receives: the matched sender's SendPost record
+	doneID  uint64 // this operation's completion record
 }
 
 func (r *request) Test() (comm.Status, bool) { return r.status, r.done }
@@ -151,6 +157,17 @@ type Comm struct {
 	// Control-plane notice queue (fail-stop model; see crash.go).
 	notices   []comm.Notice
 	noticeSeq uint64
+
+	// curCause is the rank's causal context: the record id of the latest
+	// event the rank has observed — the completion whose callback is
+	// running, the last completion that released a Wait, a finished
+	// compute, or a collective entry. Operations posted afterwards get it
+	// as their causal Parent. Inside a callback it is that callback's
+	// completion (the paper's callback → posted-op chain); between
+	// callbacks it persists as the last completion, so straight-line code
+	// after a Wait (program order) stays on the causal chain too. 0
+	// whenever tracing is off, so the fast paths never branch.
+	curCause uint64
 
 	// envFree recycles envelope structs: a collective pushes one envelope
 	// per segment per hop through this rank, and each lives only from
@@ -211,8 +228,15 @@ func (req *request) complete(st comm.Status) {
 		if req.isSend {
 			kind = trace.SendDone
 		}
-		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: kind,
-			Peer: peer, Tag: st.Tag, Size: st.Msg.Size})
+		req.doneID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: kind,
+			Peer: peer, Tag: st.Tag, Size: st.Msg.Size,
+			Parent: req.postID, Link: req.matchID})
+		if req.doneID != 0 {
+			// The rank cannot act on anything older once this completion
+			// lands: it becomes the causal context for whatever the rank
+			// posts next (callback or post-Wait straight-line code).
+			c.curCause = req.doneID
+		}
 	}
 	c.completedCount++
 	c.pendingOps--
@@ -223,6 +247,8 @@ func (req *request) complete(st comm.Status) {
 }
 
 // drainCallbacks fires all queued callbacks on the caller's goroutine.
+// While a callback runs, the completion record it reacts to is the rank's
+// causal context: anything the callback posts links back to it.
 func (c *Comm) drainCallbacks() int {
 	n := 0
 	for len(c.cbQueue) > 0 {
@@ -230,6 +256,9 @@ func (c *Comm) drainCallbacks() int {
 		c.cbQueue = c.cbQueue[1:]
 		cb := req.cb
 		req.cb = nil
+		if req.doneID != 0 {
+			c.curCause = req.doneID
+		}
 		cb(req.status)
 		n++
 	}
@@ -250,8 +279,8 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	d := c.w.ranks[dst]
 	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
 	if tb := c.w.Trace; tb != nil {
-		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size})
+		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
+			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
 	}
 	if msg.Size <= c.w.Net.P.EagerLimit {
 		if c.w.inj != nil {
@@ -270,7 +299,11 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 		}
 		c.w.Net.StartTransfer(c.rank, dst, msg.Size, msg.Space,
 			func() { req.complete(st) },
-			func() { d.arrive(d.newEnvelope(c.rank, tag, send, nil)) })
+			func() {
+				env := d.newEnvelope(c.rank, tag, send, nil)
+				env.postID = req.postID
+				d.arrive(env)
+			})
 		return req
 	}
 	// Rendezvous: announce via RTS; data moves once the receiver matches.
@@ -280,7 +313,9 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
-		d.arrive(d.newEnvelope(c.rank, tag, msg, req))
+		env := d.newEnvelope(c.rank, tag, msg, req)
+		env.postID = req.postID
+		d.arrive(env)
 	})
 	return req
 }
@@ -298,8 +333,8 @@ func (c *Comm) IrecvIn(src int, tag comm.Tag, space comm.MemSpace) comm.Request 
 	req := &request{c: c, src: src, tag: tag, space: space}
 	c.pendingOps++
 	if tb := c.w.Trace; tb != nil {
-		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.RecvPost,
-			Peer: src, Tag: tag})
+		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.RecvPost,
+			Peer: src, Tag: tag, Parent: c.curCause})
 	}
 	// Unexpected queue first (MPI matching order).
 	for i, env := range c.unexpected {
@@ -340,6 +375,10 @@ func (c *Comm) arrive(env *envelope) {
 func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
 	net := c.w.Net
 	src, tag, msg, sender := env.src, env.tag, env.msg, env.rts
+	req.matchID = env.postID // causal Link: this receive consumed that send
+	if sender != nil {
+		req.matchID = sender.postID
+	}
 	c.freeEnvelope(env)
 	if sender != nil {
 		if c.w.inj != nil {
@@ -400,6 +439,10 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 	req := &request{c: c, isSend: true}
 	c.pendingOps++
 	d := c.w.ranks[dst]
+	if tb := c.w.Trace; tb != nil {
+		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
+			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
+	}
 	if c.w.inj != nil {
 		c.chaosRendezvous(d, req, tag, msg)
 	} else {
@@ -547,15 +590,45 @@ func (c *Comm) Compute(n int, kind comm.ComputeKind) {
 	c.ComputeFor(c.w.Net.CPUCost(n, kind))
 }
 
-// ComputeFor charges an explicit blocking local-work duration.
+// ComputeFor charges an explicit blocking local-work duration. The
+// compute span becomes the rank's causal context: whatever the handler
+// posts next depends on this work having finished.
 func (c *Comm) ComputeFor(d time.Duration) {
 	if tb := c.w.Trace; tb != nil {
-		tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.Compute,
-			Peer: -1, Dur: d})
+		if id := tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.Compute,
+			Peer: -1, Dur: d, Parent: c.curCause}); id != 0 {
+			c.curCause = id
+		}
 	}
 	c.noiseResume()
 	c.proc.Sleep(d)
 	c.busyUntil = c.proc.Now()
+}
+
+// TraceEmit implements trace.Emitter: it stamps the record with this
+// rank's identity and virtual clock, defaults its Parent to the current
+// causal context, and appends it. Returns 0 (and stays allocation-free)
+// when tracing is off.
+func (c *Comm) TraceEmit(r trace.Record) uint64 {
+	tb := c.w.Trace
+	if tb == nil {
+		return 0
+	}
+	r.At = c.w.K.Now()
+	r.Rank = c.rank
+	if r.Parent == 0 {
+		r.Parent = c.curCause
+	}
+	return tb.Add(r)
+}
+
+// TraceSetCause installs id as the rank's causal context and returns the
+// previous one; collectives bracket their entry with it so the initial
+// wave of posts links back to the CollStart record.
+func (c *Comm) TraceSetCause(id uint64) uint64 {
+	prev := c.curCause
+	c.curCause = id
+	return prev
 }
 
 // DeviceReduce offloads an n-byte reduction to this rank's GPU (§4.2).

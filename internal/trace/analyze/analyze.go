@@ -1,0 +1,222 @@
+// Package analyze reconstructs the data-dependency DAG from a captured
+// trace run and answers the paper's performance questions over it: what
+// chain of events determines the makespan (critical path, §2's claim
+// that only data dependencies remain once synchronization is gone), how
+// much of the wait is wire time versus compute versus pipeline stall,
+// and how much the levels of a topology-aware tree actually overlap in
+// time (§3.2.2).
+//
+// The graph's edges come straight from the Record fields: Parent is the
+// same-rank causal predecessor (completion → its post, posted op → the
+// completion callback that posted it) and Link is the cross-event data
+// edge (matched receive → send-post, CollEnd → CollStart). Every
+// computation here is deterministic: ties are broken by record id, and
+// all iteration is over sorted slices, never map order.
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"adapt/internal/trace"
+)
+
+// Graph is the dependency DAG of one traced run.
+type Graph struct {
+	Run  trace.Run
+	byID map[uint64]int // record id → index into Run.Records
+}
+
+// New indexes a run for analysis.
+func New(run trace.Run) *Graph {
+	g := &Graph{Run: run, byID: make(map[uint64]int, len(run.Records))}
+	for i, r := range run.Records {
+		g.byID[r.ID] = i
+	}
+	return g
+}
+
+// lookup returns the record with the given id, if present. Dangling ids
+// (edges into records dropped at the buffer cap) resolve to ok=false.
+func (g *Graph) lookup(id uint64) (trace.Record, bool) {
+	if id == 0 {
+		return trace.Record{}, false
+	}
+	i, ok := g.byID[id]
+	if !ok {
+		return trace.Record{}, false
+	}
+	return g.Run.Records[i], true
+}
+
+// Makespan returns the latest event completion time in the run.
+func (g *Graph) Makespan() time.Duration {
+	_, end := g.last()
+	return end
+}
+
+// last returns the record with the latest End (ties → lowest id) and
+// that End. ok=false on an empty run is signalled by a zero record.
+func (g *Graph) last() (trace.Record, time.Duration) {
+	var best trace.Record
+	var bestEnd time.Duration
+	found := false
+	for _, r := range g.Run.Records {
+		end := r.End()
+		if !found || end > bestEnd || (end == bestEnd && r.ID < best.ID) {
+			best, bestEnd, found = r, end, true
+		}
+	}
+	return best, bestEnd
+}
+
+// EdgeClass attributes one critical-path step's wait.
+type EdgeClass uint8
+
+const (
+	// EdgeLink: wire time — the step is a transfer completion, so the
+	// wait since its predecessor was spent in the network model (link
+	// serialization, latency, a slow sender).
+	EdgeLink EdgeClass = iota
+	// EdgeCompute: local work (reduction arithmetic, copies, app code).
+	EdgeCompute
+	// EdgeStall: pipeline stall — the step is a post or control event
+	// that sat waiting for its turn (window full, callback chain,
+	// protocol round) rather than for bytes or flops.
+	EdgeStall
+)
+
+func (e EdgeClass) String() string {
+	switch e {
+	case EdgeLink:
+		return "link wait"
+	case EdgeCompute:
+		return "compute"
+	case EdgeStall:
+		return "pipeline stall"
+	}
+	return "?"
+}
+
+// Step is one node on the critical path.
+type Step struct {
+	Rec   trace.Record
+	Class EdgeClass
+	// Wait is this step's contribution to the makespan: End(Rec) minus
+	// the predecessor's End (or minus zero for the first step), clamped
+	// at 0. Along a well-formed trace the Waits telescope to Makespan.
+	Wait time.Duration
+}
+
+// Path is the critical path: the causal chain ending at the run's last
+// event, in chronological order.
+type Path struct {
+	Steps    []Step
+	Makespan time.Duration
+	// Attribution totals over Steps (Link+Compute+Stall == sum of Waits).
+	Link    time.Duration
+	Compute time.Duration
+	Stall   time.Duration
+}
+
+// classOf attributes a step by what its record represents: transfer
+// completions are wire time, compute spans are compute, everything else
+// (posts, collective markers, FT control) is pipeline stall.
+func classOf(r trace.Record) EdgeClass {
+	switch r.Kind {
+	case trace.SendDone, trace.RecvDone:
+		return EdgeLink
+	case trace.Compute:
+		return EdgeCompute
+	}
+	return EdgeStall
+}
+
+// CriticalPath walks causal edges backwards from the latest event,
+// always following the predecessor that finished later (ties: the data
+// edge Link over the same-rank Parent, then the lower id), and
+// attributes each hop's wait. The path's final End equals Makespan.
+func (g *Graph) CriticalPath() Path {
+	p := Path{}
+	if len(g.Run.Records) == 0 {
+		return p
+	}
+	cur, end := g.last()
+	p.Makespan = end
+
+	var rev []trace.Record
+	seen := make(map[uint64]bool)
+	for !seen[cur.ID] {
+		seen[cur.ID] = true
+		rev = append(rev, cur)
+		parent, pok := g.lookup(cur.Parent)
+		link, lok := g.lookup(cur.Link)
+		switch {
+		case pok && lok:
+			// Prefer the later-finishing predecessor: that is the one the
+			// current event actually waited for. Tie → the data edge.
+			if parent.End() > link.End() {
+				cur = parent
+			} else {
+				cur = link
+			}
+		case pok:
+			cur = parent
+		case lok:
+			cur = link
+		default:
+			rev = append(rev, trace.Record{}) // sentinel: no predecessor
+		}
+		if rev[len(rev)-1].ID == 0 {
+			rev = rev[:len(rev)-1]
+			break
+		}
+	}
+
+	prevEnd := time.Duration(0)
+	p.Steps = make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		r := rev[i]
+		wait := r.End() - prevEnd
+		if wait < 0 {
+			wait = 0
+		}
+		st := Step{Rec: r, Class: classOf(r), Wait: wait}
+		p.Steps = append(p.Steps, st)
+		switch st.Class {
+		case EdgeLink:
+			p.Link += wait
+		case EdgeCompute:
+			p.Compute += wait
+		case EdgeStall:
+			p.Stall += wait
+		}
+		prevEnd = r.End()
+	}
+	return p
+}
+
+// End returns the completion time of the path's last step (equals
+// Makespan for a path produced by CriticalPath).
+func (p Path) End() time.Duration {
+	if len(p.Steps) == 0 {
+		return 0
+	}
+	return p.Steps[len(p.Steps)-1].Rec.End()
+}
+
+// ranksOf returns the sorted set of real ranks (≥ 0) in the run.
+func (g *Graph) ranksOf() []int {
+	set := map[int]bool{}
+	for _, r := range g.Run.Records {
+		if r.Rank >= 0 {
+			set[r.Rank] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package analyze_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/netmodel"
+	"adapt/internal/noise"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trace"
+	"adapt/internal/trace/analyze"
+	"adapt/internal/trees"
+)
+
+// handRun builds a two-rank, one-transfer causal chain:
+//
+//	rank 0: CollStart(1) → SendPost(2) → SendDone(4)
+//	rank 1: RecvPost(3) → RecvDone(5, Link=2) → Compute(6) → CollEnd(7)
+func handRun() trace.Run {
+	tag := comm.MakeTag(comm.KindBcast, 0, 0)
+	ms := time.Millisecond
+	return trace.Run{
+		Name: "hand",
+		Records: []trace.Record{
+			{ID: 1, Kind: trace.CollStart, Rank: 0, At: 0, Peer: 0, Tag: tag, Size: 64},
+			{ID: 2, Kind: trace.SendPost, Rank: 0, At: 0, Parent: 1, Peer: 1, Tag: tag, Size: 64},
+			{ID: 3, Kind: trace.RecvPost, Rank: 1, At: 0, Peer: 0, Tag: tag},
+			{ID: 4, Kind: trace.SendDone, Rank: 0, At: 10 * ms, Parent: 2, Peer: 1, Tag: tag, Size: 64},
+			{ID: 5, Kind: trace.RecvDone, Rank: 1, At: 12 * ms, Parent: 3, Link: 2, Peer: 0, Tag: tag, Size: 64},
+			{ID: 6, Kind: trace.Compute, Rank: 1, At: 12 * ms, Dur: 3 * ms, Parent: 5, Peer: -1, Size: 64},
+			{ID: 7, Kind: trace.CollEnd, Rank: 1, At: 15 * ms, Parent: 6, Link: 1, Peer: 0, Tag: tag, Size: 64},
+		},
+	}
+}
+
+func TestCriticalPathHandGraph(t *testing.T) {
+	g := analyze.New(handRun())
+	ms := time.Millisecond
+	if got := g.Makespan(); got != 15*ms {
+		t.Fatalf("makespan = %v, want 15ms", got)
+	}
+	p := g.CriticalPath()
+	if p.End() != p.Makespan {
+		t.Fatalf("path end %v != makespan %v", p.End(), p.Makespan)
+	}
+	// Makespan ties (Compute id 6 and CollEnd id 7 both end at 15ms) go to
+	// the lower id; the backward walk prefers the later-finishing
+	// predecessor and, on ties, the cross-rank Link edge.
+	var ids []uint64
+	for _, st := range p.Steps {
+		ids = append(ids, st.Rec.ID)
+	}
+	want := []uint64{1, 2, 5, 6}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("path ids = %v, want %v", ids, want)
+	}
+	if p.Link != 12*ms || p.Compute != 3*ms || p.Stall != 0 {
+		t.Fatalf("attribution link=%v compute=%v stall=%v, want 12ms/3ms/0",
+			p.Link, p.Compute, p.Stall)
+	}
+	if p.Link+p.Compute+p.Stall != p.Makespan {
+		t.Fatalf("attribution does not telescope to makespan")
+	}
+}
+
+func TestOverlapByLevelHandGraph(t *testing.T) {
+	tag := comm.MakeTag(comm.KindBcast, 0, 0)
+	ms := time.Millisecond
+	// Chain 0 → 1 → 2, rank 1's send starting halfway through rank 0's.
+	run := trace.Run{Records: []trace.Record{
+		{ID: 1, Kind: trace.SendPost, Rank: 0, At: 0, Peer: 1, Tag: tag},
+		{ID: 2, Kind: trace.SendDone, Rank: 0, At: 10 * ms, Parent: 1, Peer: 1, Tag: tag},
+		{ID: 3, Kind: trace.SendPost, Rank: 1, At: 5 * ms, Peer: 2, Tag: tag},
+		{ID: 4, Kind: trace.SendDone, Rank: 1, At: 15 * ms, Parent: 3, Peer: 2, Tag: tag},
+		{ID: 5, Kind: trace.RecvDone, Rank: 2, At: 15 * ms, Peer: 1, Tag: tag},
+	}}
+	levels := analyze.New(run).OverlapByLevel()
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if !reflect.DeepEqual(levels[0].Ranks, []int{0}) || !reflect.DeepEqual(levels[1].Ranks, []int{1}) {
+		t.Fatalf("level ranks = %v / %v", levels[0].Ranks, levels[1].Ranks)
+	}
+	if levels[0].Busy != 10*ms || levels[0].OverlapNext != 5*ms {
+		t.Fatalf("level 0 busy=%v overlap=%v, want 10ms/5ms", levels[0].Busy, levels[0].OverlapNext)
+	}
+	if levels[0].Ratio != 0.5 {
+		t.Fatalf("level 0 ratio = %v, want 0.5", levels[0].Ratio)
+	}
+}
+
+func TestSegmentLanes(t *testing.T) {
+	mk := func(seg int) comm.Tag { return comm.MakeTag(comm.KindBcast, 0, seg) }
+	ms := time.Millisecond
+	run := trace.Run{Records: []trace.Record{
+		{ID: 1, Kind: trace.SendPost, Rank: 0, At: 0, Peer: 1, Tag: mk(1)},
+		{ID: 2, Kind: trace.SendDone, Rank: 0, At: 4 * ms, Parent: 1, Peer: 1, Tag: mk(1)},
+		{ID: 3, Kind: trace.SendPost, Rank: 0, At: 2 * ms, Peer: 1, Tag: mk(0)},
+		{ID: 4, Kind: trace.SendDone, Rank: 0, At: 6 * ms, Parent: 3, Peer: 1, Tag: mk(0)},
+	}}
+	lanes := analyze.New(run).SegmentLanes()
+	if len(lanes) != 2 || lanes[0].Seg != 0 || lanes[1].Seg != 1 {
+		t.Fatalf("lanes = %+v, want segs [0 1]", lanes)
+	}
+	if lanes[0].Spans[0] != (analyze.Interval{Start: 2 * ms, End: 6 * ms}) {
+		t.Fatalf("seg 0 span = %+v", lanes[0].Spans[0])
+	}
+}
+
+// simBcast runs one traced broadcast on the simulator and returns the
+// snapshot plus the kernel's makespan.
+func simBcast(t *testing.T) (trace.Run, time.Duration) {
+	t.Helper()
+	k := sim.New()
+	w := simmpi.NewWorld(k, netmodel.Cori(1), noise.None)
+	w.Trace = &trace.Buffer{}
+	n := w.Size()
+	tree := trees.Binomial(n, 0)
+	w.Spawn(func(c *simmpi.Comm) {
+		opt := core.DefaultOptions()
+		opt.SegSize = 64 << 10
+		core.Bcast(c, tree, comm.Sized(256<<10), opt)
+	})
+	end, err := k.Run()
+	if err != nil {
+		t.Fatalf("deadlock: %v", err)
+	}
+	return w.Trace.Snapshot("bcast"), end
+}
+
+// The acceptance gate: the analyzer's critical path must end exactly at
+// the simulation's makespan — the path it reconstructs from Parent/Link
+// edges is the chain of events that determined the run's length.
+func TestCriticalPathEndEqualsSimMakespan(t *testing.T) {
+	run, end := simBcast(t)
+	if len(run.Records) == 0 {
+		t.Fatal("no trace records captured")
+	}
+	g := analyze.New(run)
+	if got := g.Makespan(); got != end {
+		t.Fatalf("trace makespan %v != kernel makespan %v", got, end)
+	}
+	p := g.CriticalPath()
+	if p.End() != end {
+		t.Fatalf("critical path ends at %v, want kernel makespan %v", p.End(), end)
+	}
+	if len(p.Steps) < 3 {
+		t.Fatalf("critical path suspiciously short: %d steps", len(p.Steps))
+	}
+	if p.Link+p.Compute+p.Stall != p.Makespan {
+		t.Fatalf("attribution %v+%v+%v does not telescope to %v",
+			p.Link, p.Compute, p.Stall, p.Makespan)
+	}
+}
+
+func TestSimBcastOverlapAndDeterminism(t *testing.T) {
+	run1, _ := simBcast(t)
+	run2, _ := simBcast(t)
+	run2.Name = run1.Name
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatal("identical sim runs produced different traces")
+	}
+
+	g := analyze.New(run1)
+	levels := g.OverlapByLevel()
+	if len(levels) == 0 {
+		t.Fatal("no tree levels recovered from broadcast flow graph")
+	}
+	if !reflect.DeepEqual(levels[0].Ranks, []int{0}) {
+		t.Fatalf("level 0 = %v, want just the root", levels[0].Ranks)
+	}
+	maxRatio := 0.0
+	for _, lv := range levels {
+		if lv.Ratio > maxRatio {
+			maxRatio = lv.Ratio
+		}
+		if lv.Ratio < 0 || lv.Ratio > 1+1e-9 {
+			t.Fatalf("level %d ratio %v out of [0,1]", lv.Level, lv.Ratio)
+		}
+	}
+	if maxRatio == 0 {
+		t.Fatal("pipelined broadcast shows zero inter-level overlap")
+	}
+	if lanes := g.SegmentLanes(); len(lanes) != 4 {
+		t.Fatalf("lanes = %d, want 4 (256KB / 64KB segments)", len(lanes))
+	}
+}
+
+func TestReportSmoke(t *testing.T) {
+	run, _ := simBcast(t)
+	var buf bytes.Buffer
+	analyze.New(run).Report(&buf)
+	out := buf.String()
+	for _, want := range []string{"critical path:", "attribution:", "level", "seg "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

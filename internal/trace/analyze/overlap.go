@@ -1,0 +1,248 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/trace"
+)
+
+// Interval is a half-open busy span [Start, End).
+type Interval struct {
+	Start, End time.Duration
+}
+
+// mergeIntervals sorts and unions overlapping intervals in place.
+func mergeIntervals(iv []Interval) []Interval {
+	if len(iv) == 0 {
+		return iv
+	}
+	sort.Slice(iv, func(i, j int) bool {
+		if iv[i].Start != iv[j].Start {
+			return iv[i].Start < iv[j].Start
+		}
+		return iv[i].End < iv[j].End
+	})
+	out := iv[:1]
+	for _, v := range iv[1:] {
+		last := &out[len(out)-1]
+		if v.Start <= last.End {
+			if v.End > last.End {
+				last.End = v.End
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// totalOf sums the lengths of merged intervals.
+func totalOf(iv []Interval) time.Duration {
+	var t time.Duration
+	for _, v := range iv {
+		t += v.End - v.Start
+	}
+	return t
+}
+
+// intersectTotal returns the total overlap between two merged interval
+// sets (two-pointer sweep).
+func intersectTotal(a, b []Interval) time.Duration {
+	var t time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			t += hi - lo
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return t
+}
+
+// dataKind reports whether a tag belongs to payload traffic of a
+// collective (as opposed to rendezvous control, FT notifications, or
+// raw point-to-point).
+func dataKind(t comm.Tag) bool {
+	switch t.Kind() {
+	case comm.KindBcast, comm.KindReduce, comm.KindScatter, comm.KindGather,
+		comm.KindAllgather, comm.KindAllreduce, comm.KindAlltoall:
+		return true
+	}
+	return false
+}
+
+// sendSpan pairs a SendPost with its SendDone (SendDone.Parent = the
+// post's id) and returns the transfer's in-flight interval.
+func (g *Graph) sendSpans() map[uint64]Interval {
+	spans := map[uint64]Interval{}
+	for _, r := range g.Run.Records {
+		if r.Kind != trace.SendDone {
+			continue
+		}
+		if post, ok := g.lookup(r.Parent); ok && post.Kind == trace.SendPost {
+			spans[post.ID] = Interval{Start: post.At, End: r.End()}
+		}
+	}
+	return spans
+}
+
+// LevelOverlap describes one tree level's send activity and how much of
+// it runs concurrently with the next level down — the §3.2.2 pipelining
+// claim made measurable. Ratio is overlap ÷ the shorter of the two
+// levels' busy times (1.0 = the faster level is fully hidden).
+type LevelOverlap struct {
+	Level       int
+	Ranks       []int
+	Busy        time.Duration // union of this level's send intervals
+	OverlapNext time.Duration // intersection with level+1's busy time
+	Ratio       float64
+}
+
+// OverlapByLevel reconstructs tree levels from the message-flow graph
+// (SendPost edges of payload traffic; level = BFS distance from the
+// ranks nobody sends to) and measures per-level send activity overlap.
+// Runs whose flow graph has no source rank (e.g. a ring allgather)
+// return nil.
+func (g *Graph) OverlapByLevel() []LevelOverlap {
+	ranks := g.ranksOf()
+	if len(ranks) == 0 {
+		return nil
+	}
+	indeg := map[int]int{}
+	succ := map[int][]int{}
+	for _, r := range ranks {
+		indeg[r] = 0
+	}
+	for _, r := range g.Run.Records {
+		if r.Kind != trace.SendPost || !dataKind(r.Tag) || r.Rank < 0 || r.Peer < 0 {
+			continue
+		}
+		if r.Rank == r.Peer {
+			continue
+		}
+		succ[r.Rank] = append(succ[r.Rank], r.Peer)
+		indeg[r.Peer]++
+	}
+
+	level := map[int]int{}
+	var frontier []int
+	for _, r := range ranks {
+		if indeg[r] == 0 {
+			level[r] = 0
+			frontier = append(frontier, r)
+		}
+	}
+	if len(frontier) == 0 {
+		return nil // cyclic flow (ring/pairwise): no tree levels to speak of
+	}
+	sort.Ints(frontier)
+	maxLevel := 0
+	for len(frontier) > 0 {
+		next := map[int]bool{}
+		for _, u := range frontier {
+			for _, v := range succ[u] {
+				if _, seen := level[v]; !seen {
+					level[v] = level[u] + 1
+					if level[v] > maxLevel {
+						maxLevel = level[v]
+					}
+					next[v] = true
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for v := range next {
+			frontier = append(frontier, v)
+		}
+		sort.Ints(frontier)
+	}
+
+	// Per-level busy intervals from paired send spans.
+	spans := g.sendSpans()
+	busy := make([][]Interval, maxLevel+1)
+	levelRanks := make([][]int, maxLevel+1)
+	for _, rk := range ranks {
+		if lv, ok := level[rk]; ok {
+			levelRanks[lv] = append(levelRanks[lv], rk)
+		}
+	}
+	for _, r := range g.Run.Records {
+		if r.Kind != trace.SendPost || !dataKind(r.Tag) {
+			continue
+		}
+		lv, ok := level[r.Rank]
+		if !ok {
+			continue
+		}
+		if sp, ok := spans[r.ID]; ok && sp.End > sp.Start {
+			busy[lv] = append(busy[lv], sp)
+		}
+	}
+	for i := range busy {
+		busy[i] = mergeIntervals(busy[i])
+	}
+
+	out := make([]LevelOverlap, 0, maxLevel+1)
+	for lv := 0; lv <= maxLevel; lv++ {
+		lo := LevelOverlap{Level: lv, Ranks: levelRanks[lv], Busy: totalOf(busy[lv])}
+		if lv < maxLevel {
+			lo.OverlapNext = intersectTotal(busy[lv], busy[lv+1])
+			shorter := lo.Busy
+			if b := totalOf(busy[lv+1]); b < shorter {
+				shorter = b
+			}
+			if shorter > 0 {
+				lo.Ratio = float64(lo.OverlapNext) / float64(shorter)
+			}
+		}
+		out = append(out, lo)
+	}
+	return out
+}
+
+// Lane is one pipeline segment's transfer timeline across all ranks:
+// every interval during which some copy of segment Seg was on the wire.
+type Lane struct {
+	Seg   int
+	Spans []Interval
+}
+
+// SegmentLanes groups payload transfers by pipeline segment index —
+// the per-lane view of ADAPT's segment independence. Sorted by segment.
+func (g *Graph) SegmentLanes() []Lane {
+	spans := g.sendSpans()
+	bySeg := map[int][]Interval{}
+	for _, r := range g.Run.Records {
+		if r.Kind != trace.SendPost || !dataKind(r.Tag) {
+			continue
+		}
+		if sp, ok := spans[r.ID]; ok && sp.End > sp.Start {
+			seg := r.Tag.Seg()
+			bySeg[seg] = append(bySeg[seg], sp)
+		}
+	}
+	segs := make([]int, 0, len(bySeg))
+	for s := range bySeg {
+		segs = append(segs, s)
+	}
+	sort.Ints(segs)
+	out := make([]Lane, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, Lane{Seg: s, Spans: mergeIntervals(bySeg[s])})
+	}
+	return out
+}

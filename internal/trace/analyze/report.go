@@ -1,0 +1,129 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"adapt/internal/trace"
+)
+
+// pct renders a share of the makespan.
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// stepLabel renders one critical-path record compactly.
+func stepLabel(r trace.Record) string {
+	switch r.Kind {
+	case trace.SendPost, trace.SendDone:
+		return fmt.Sprintf("%s %s → %d", r.Kind, r.Tag, r.Peer)
+	case trace.RecvPost, trace.RecvDone:
+		return fmt.Sprintf("%s %s ← %d", r.Kind, r.Tag, r.Peer)
+	case trace.CollStart, trace.CollEnd:
+		return fmt.Sprintf("%s %s root=%d", r.Kind, r.Tag, r.Peer)
+	case trace.Compute:
+		return fmt.Sprintf("compute %dB", r.Size)
+	}
+	return r.Kind.String()
+}
+
+// FprintPath writes the critical path: one line per step with its wait
+// attribution, then the class totals. The last step's end time is the
+// run's makespan.
+func FprintPath(w io.Writer, p Path) {
+	fmt.Fprintf(w, "critical path: %d steps, makespan %v\n",
+		len(p.Steps), p.Makespan.Round(time.Nanosecond))
+	const headTail = 15
+	elide := len(p.Steps) > 2*headTail+5
+	for i, st := range p.Steps {
+		if elide && i == headTail {
+			fmt.Fprintf(w, "  … %d steps elided …\n", len(p.Steps)-2*headTail)
+		}
+		if elide && i >= headTail && i < len(p.Steps)-headTail {
+			continue
+		}
+		fmt.Fprintf(w, "  %9v  rank %-3d +%-9v %-14s %s\n",
+			st.Rec.End().Round(time.Nanosecond), st.Rec.Rank,
+			st.Wait.Round(time.Nanosecond), st.Class, stepLabel(st.Rec))
+	}
+	fmt.Fprintf(w, "attribution: link wait %v (%s), compute %v (%s), pipeline stall %v (%s)\n",
+		p.Link.Round(time.Nanosecond), pct(p.Link, p.Makespan),
+		p.Compute.Round(time.Nanosecond), pct(p.Compute, p.Makespan),
+		p.Stall.Round(time.Nanosecond), pct(p.Stall, p.Makespan))
+}
+
+// FprintOverlap writes the per-level overlap table.
+func FprintOverlap(w io.Writer, levels []LevelOverlap) {
+	if len(levels) == 0 {
+		fmt.Fprintln(w, "level overlap: no tree structure in the flow graph")
+		return
+	}
+	fmt.Fprintln(w, "level  ranks  busy        overlap(next)  ratio")
+	for _, lv := range levels {
+		ratio := "-"
+		over := "-"
+		if lv.Level < len(levels)-1 {
+			ratio = fmt.Sprintf("%.2f", lv.Ratio)
+			over = lv.OverlapNext.Round(time.Nanosecond).String()
+		}
+		fmt.Fprintf(w, "%-6d %-6d %-11v %-14s %s\n",
+			lv.Level, len(lv.Ranks), lv.Busy.Round(time.Nanosecond), over, ratio)
+	}
+}
+
+// FprintLanes renders per-segment transfer activity as text strips:
+// one row per pipeline segment, '#' where some copy of the segment is
+// on the wire. Rows beyond maxLanes are elided.
+func FprintLanes(w io.Writer, lanes []Lane, span time.Duration, cols, maxLanes int) {
+	if len(lanes) == 0 || span <= 0 || cols <= 0 {
+		fmt.Fprintln(w, "lanes: no segment transfers recorded")
+		return
+	}
+	shown := lanes
+	if maxLanes > 0 && len(shown) > maxLanes {
+		shown = shown[:maxLanes]
+	}
+	bucket := func(at time.Duration) int {
+		i := int(int64(at) * int64(cols) / int64(span))
+		if i >= cols {
+			i = cols - 1
+		}
+		return i
+	}
+	for _, ln := range shown {
+		cells := make([]byte, cols)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, sp := range ln.Spans {
+			for i := bucket(sp.Start); i <= bucket(sp.End-1) && i < cols; i++ {
+				cells[i] = '#'
+			}
+		}
+		fmt.Fprintf(w, "seg %4d |%s|\n", ln.Seg, cells)
+	}
+	if len(shown) < len(lanes) {
+		fmt.Fprintf(w, "… %d more segments elided\n", len(lanes)-len(shown))
+	}
+}
+
+// Report writes the compact all-in-one text report for a run: event
+// census, critical path with attribution, level overlap, and segment
+// lanes.
+func (g *Graph) Report(w io.Writer) {
+	fmt.Fprintf(w, "run %q: %d events", g.Run.Name, len(g.Run.Records))
+	if g.Run.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d DROPPED at the buffer cap — analysis under-counts)", g.Run.Dropped)
+	}
+	fmt.Fprintln(w)
+	p := g.CriticalPath()
+	FprintPath(w, p)
+	fmt.Fprintln(w)
+	FprintOverlap(w, g.OverlapByLevel())
+	fmt.Fprintln(w)
+	FprintLanes(w, g.SegmentLanes(), p.Makespan, 64, 32)
+}

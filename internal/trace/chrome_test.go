@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+func sampleRun(name string) Run {
+	tag := comm.MakeTag(comm.KindBcast, 3, 2)
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	return Run{
+		Name:    name,
+		Dropped: 1,
+		Records: []Record{
+			{ID: 1, At: us(0), Rank: 0, Kind: CollStart, Peer: 0, Tag: comm.MakeTag(comm.KindBcast, 3, 0), Size: 1024},
+			{ID: 2, Parent: 1, At: us(1), Rank: 0, Kind: SendPost, Peer: 1, Tag: tag, Size: 512},
+			{ID: 3, At: us(1), Rank: 1, Kind: RecvPost, Peer: 0, Tag: tag, Size: 512},
+			{ID: 4, Parent: 2, At: us(9), Rank: 0, Kind: SendDone, Peer: 1, Tag: tag, Size: 512},
+			{ID: 5, Parent: 3, Link: 2, At: us(10), Rank: 1, Kind: RecvDone, Peer: 0, Tag: tag, Size: 512},
+			{ID: 6, Parent: 5, At: us(10), Dur: us(4), Rank: 1, Kind: Compute, Peer: -1, Size: 512},
+			{ID: 7, Parent: 6, At: us(14), Rank: 1, Kind: FaultRetry, Peer: 0, Tag: tag, Xid: 77},
+			{ID: 8, Parent: 6, Link: 1, At: us(15), Rank: 0, Kind: CollEnd, Peer: 0, Tag: comm.MakeTag(comm.KindBcast, 3, 0), Size: 1024},
+		},
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	runs := []Run{sampleRun("alpha"), sampleRun("beta")}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d runs back, want 2", len(got))
+	}
+	for i := range runs {
+		if got[i].Name != runs[i].Name || got[i].Dropped != runs[i].Dropped {
+			t.Fatalf("run %d meta mismatch: %+v", i, got[i])
+		}
+		if len(got[i].Records) != len(runs[i].Records) {
+			t.Fatalf("run %d: %d records, want %d", i, len(got[i].Records), len(runs[i].Records))
+		}
+		for j := range runs[i].Records {
+			if got[i].Records[j] != runs[i].Records[j] {
+				t.Fatalf("run %d record %d: %+v != %+v", i, j, got[i].Records[j], runs[i].Records[j])
+			}
+		}
+	}
+}
+
+// The file must be valid JSON with the structure Perfetto expects:
+// a traceEvents array of objects each carrying a legal "ph".
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []Run{sampleRun("r")}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	events, ok := doc["traceEvents"].([]any)
+	if !ok || len(events) == 0 {
+		t.Fatalf("traceEvents missing or empty")
+	}
+	legal := map[string]bool{"X": true, "i": true, "s": true, "f": true, "M": true}
+	phases := map[string]int{}
+	for _, e := range events {
+		obj, ok := e.(map[string]any)
+		if !ok {
+			t.Fatalf("event not an object: %v", e)
+		}
+		ph, _ := obj["ph"].(string)
+		if !legal[ph] {
+			t.Fatalf("illegal phase %q in %v", ph, obj)
+		}
+		phases[ph]++
+		if _, ok := obj["pid"].(float64); !ok {
+			t.Fatalf("event missing pid: %v", obj)
+		}
+	}
+	// The sample has paired spans, a matched recv (flow pair), a fault
+	// instant, and per-run metadata.
+	if phases["X"] < 3 || phases["s"] != 1 || phases["f"] != 1 || phases["i"] < 1 || phases["M"] < 2 {
+		t.Fatalf("phase census wrong: %v", phases)
+	}
+}
+
+// Byte-identical output for identical input — the determinism gates diff
+// trace files directly.
+func TestChromeDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	runs := []Run{sampleRun("alpha")}
+	if err := WriteChrome(&a, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same runs differ")
+	}
+}
+
+func TestReadChromeRejectsForeignJSON(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("want error for a file without adaptRuns")
+	}
+	if _, err := ReadChrome(strings.NewReader(`{"adaptRuns":[{"name":"x","records":[[1,2]]}]}`)); err == nil {
+		t.Fatal("want error for short record tuples")
+	}
+	if _, err := ReadChrome(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("want error for garbage")
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The live runtime completes requests from peer ranks' goroutines, so the
+// buffer must take concurrent Adds without losing records or ids (run
+// under -race by `make race` / `make trace`).
+func TestBufferConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 500
+	b := &Buffer{}
+	var wg sync.WaitGroup
+	ids := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := b.Add(Record{At: time.Duration(i), Rank: w, Kind: SendPost, Peer: -1})
+				ids[w] = append(ids[w], id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Len(); got != writers*perWriter {
+		t.Fatalf("lost records: %d, want %d", got, writers*perWriter)
+	}
+	if b.DroppedCount() != 0 {
+		t.Fatalf("unexpected drops: %d", b.DroppedCount())
+	}
+	// Every id unique, 1..N, and matching the record stored at that slot.
+	seen := make(map[uint64]bool)
+	for w := range ids {
+		for _, id := range ids[w] {
+			if id == 0 || seen[id] {
+				t.Fatalf("id %d duplicated or zero", id)
+			}
+			seen[id] = true
+		}
+	}
+	for i, r := range b.Records {
+		if r.ID != uint64(i)+1 {
+			t.Fatalf("record %d has id %d", i, r.ID)
+		}
+	}
+}
+
+// Concurrent writers racing past Cap: retained + dropped must account for
+// every Add, and only dropped Adds may return id 0.
+func TestBufferConcurrentCapDrops(t *testing.T) {
+	const writers = 8
+	const perWriter = 300
+	const cap = 1000
+	b := &Buffer{Cap: cap}
+	var wg sync.WaitGroup
+	zero := make([]int, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if b.Add(Record{Rank: w, Kind: RecvPost, Peer: -1}) == 0 {
+					zero[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := writers * perWriter
+	if b.Len() != cap {
+		t.Fatalf("retained %d, want cap %d", b.Len(), cap)
+	}
+	if got := b.DroppedCount(); got != total-cap {
+		t.Fatalf("dropped %d, want %d", got, total-cap)
+	}
+	var zeros int
+	for _, z := range zero {
+		zeros += z
+	}
+	if zeros != total-cap {
+		t.Fatalf("%d zero ids, want %d (one per drop)", zeros, total-cap)
+	}
+	// Drop reporting surfaces in the summary text.
+	s := b.Summarize()
+	if s.Dropped != total-cap {
+		t.Fatalf("summary.Dropped = %d, want %d", s.Dropped, total-cap)
+	}
+	var out bytes.Buffer
+	s.Fprint(&out)
+	if !strings.Contains(out.String(), "DROPPED") {
+		t.Fatalf("summary print must report drops:\n%s", out.String())
+	}
+	// No-drop summaries stay quiet.
+	out.Reset()
+	(&Buffer{}).Summarize().Fprint(&out)
+	if strings.Contains(out.String(), "DROPPED") {
+		t.Fatalf("clean summary should not mention drops:\n%s", out.String())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	b := &Buffer{}
+	b.Add(Record{Rank: 0, Kind: SendPost, Peer: 1})
+	snap := b.Snapshot("run-a")
+	b.Add(Record{Rank: 1, Kind: RecvPost, Peer: 0})
+	if len(snap.Records) != 1 || snap.Name != "run-a" {
+		t.Fatalf("snapshot not isolated: %+v", snap)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("buffer len %d", b.Len())
+	}
+}

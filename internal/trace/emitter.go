@@ -1,0 +1,41 @@
+package trace
+
+// Emitter is implemented by communicators that can record causal trace
+// events (both substrates' Comm types). Emit returns the assigned record
+// id, or 0 when tracing is off or the record was dropped — callers thread
+// the id into later records' Parent/Link fields, and 0 degrades cleanly
+// to "no edge".
+type Emitter interface {
+	TraceEmit(r Record) uint64
+}
+
+// Emit records through c if it traces, else no-op. This keeps the
+// collectives in internal/core substrate-agnostic: they hold a comm.Comm
+// and probe for the optional tracing capability here.
+func Emit(c any, r Record) uint64 {
+	if e, ok := c.(Emitter); ok {
+		return e.TraceEmit(r)
+	}
+	return 0
+}
+
+// CauseSetter is the optional second half of the tracing capability: a
+// communicator that tracks a per-rank causal context (the record every
+// subsequently posted operation gets as its Parent).
+type CauseSetter interface {
+	TraceSetCause(id uint64) (prev uint64)
+}
+
+// SetCause installs id as c's causal context and returns the previous
+// context (0 when c does not trace). Callers restore the previous value
+// when their causal scope ends:
+//
+//	prev := trace.SetCause(c, startID)
+//	... post the initial operation wave ...
+//	trace.SetCause(c, prev)
+func SetCause(c any, id uint64) uint64 {
+	if s, ok := c.(CauseSetter); ok {
+		return s.TraceSetCause(id)
+	}
+	return 0
+}

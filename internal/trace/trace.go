@@ -1,14 +1,31 @@
-// Package trace captures per-rank communication events from the
-// simulated runtime and renders summaries and text timelines — the
-// debugging lens for questions like "which lane stalls the pipeline" or
-// "how much do the levels of the topology-aware tree actually overlap"
-// (paper §3.2.2).
+// Package trace captures per-rank communication events from both
+// substrates and renders summaries, text timelines, and causal traces —
+// the debugging lens for questions like "which lane stalls the pipeline"
+// or "how much do the levels of the topology-aware tree actually
+// overlap" (paper §3.2.2).
+//
+// Beyond flat per-rank event lists, every record carries span identity
+// (the collective op and segment ride in the tag, the reliable-
+// transmission id in Xid) and two causal edges:
+//
+//   - Parent: the same-rank predecessor — a completion links back to the
+//     operation it completes, and an operation posted inside a completion
+//     callback links back to the completion that posted it (the paper's
+//     event-driven chain: callback → posted op).
+//   - Link: the cross-rank data edge — a receive completion links to the
+//     send-post whose payload it matched.
+//
+// Together these edges reconstruct the data-dependency DAG that §2 argues
+// is all that remains once synchronization is gone; internal/trace/analyze
+// computes critical paths and overlap ratios over it, and chrome.go
+// exports it as Perfetto-loadable Chrome trace-event JSON.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"adapt/internal/comm"
@@ -28,6 +45,32 @@ const (
 	RecvDone
 	// Compute: blocking local work was charged (At..At+Dur).
 	Compute
+	// CollStart: a collective state machine was entered on this rank
+	// (Peer = root, Tag carries the collective kind and sequence).
+	CollStart
+	// CollEnd: the rank's share of the collective completed (Link = the
+	// matching CollStart).
+	CollEnd
+	// Redrive: an FT orphan sent a re-drive request to its new parent
+	// (Peer = the new parent).
+	Redrive
+	// Epoch: the FT reduce restarted its fold as a new epoch (Size = the
+	// epoch number).
+	Epoch
+	// Crash: this rank halted (fail-stop).
+	Crash
+	// Suspect: the failure detector's suspicion lease expired for Peer.
+	Suspect
+	// Confirm: the failure detector confirmed Peer dead.
+	Confirm
+	// Repair: the spanning tree was healed around Peer's death.
+	Repair
+	// FaultDrop: fault injection lost one message copy in flight.
+	FaultDrop
+	// FaultRetry: the reliable transport retransmitted.
+	FaultRetry
+	// FaultTimeout: an operation failed after exhausting its attempts.
+	FaultTimeout
 )
 
 func (k Kind) String() string {
@@ -42,41 +85,98 @@ func (k Kind) String() string {
 		return "recv-done"
 	case Compute:
 		return "compute"
+	case CollStart:
+		return "coll-start"
+	case CollEnd:
+		return "coll-end"
+	case Redrive:
+		return "redrive"
+	case Epoch:
+		return "epoch"
+	case Crash:
+		return "crash"
+	case Suspect:
+		return "suspect"
+	case Confirm:
+		return "confirm"
+	case Repair:
+		return "repair"
+	case FaultDrop:
+		return "drop"
+	case FaultRetry:
+		return "retry"
+	case FaultTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Record is one traced event.
+// Record is one traced event. ID/Parent/Link are buffer-local record ids
+// (1-based; 0 = none): Parent is the same-rank causal predecessor, Link
+// the cross-event edge (a completion's post, a matched receive's
+// send-post, a CollEnd's CollStart).
 type Record struct {
-	At   time.Duration
-	Dur  time.Duration // Compute only
-	Rank int
-	Kind Kind
-	Peer int // counterpart rank; -1 for Compute
-	Tag  comm.Tag
-	Size int
+	ID     uint64
+	Parent uint64
+	Link   uint64
+	At     time.Duration
+	Dur    time.Duration // Compute only
+	Rank   int
+	Kind   Kind
+	Peer   int // counterpart rank; -1 when not applicable
+	Tag    comm.Tag
+	Size   int
+	Xid    uint64 // reliable-transmission id (fault paths; 0 otherwise)
 }
 
-// Buffer accumulates events. It is single-writer by construction (the
-// simulator is single-threaded); Cap bounds memory for long runs (0 = no
-// bound; when full, further events are dropped and counted).
+// End is the record's completion time (At except for Compute spans).
+func (r Record) End() time.Duration { return r.At + r.Dur }
+
+// Buffer accumulates events. Add is safe for concurrent writers (the
+// live runtime completes requests from peer goroutines); the simulator
+// is single-threaded, so its appends are uncontended and keep kernel
+// dispatch order. Cap bounds memory for long runs (0 = no bound; when
+// full, further events are dropped and counted).
 type Buffer struct {
 	Cap     int
 	Records []Record
 	Dropped int
+
+	mu sync.Mutex
 }
 
-// Add appends one event.
-func (b *Buffer) Add(r Record) {
+// Add assigns the record its id, appends it, and returns the id (0 when
+// the record was dropped because the buffer is at Cap). Caller-set ID
+// values are overwritten.
+func (b *Buffer) Add(r Record) uint64 {
+	b.mu.Lock()
 	if b.Cap > 0 && len(b.Records) >= b.Cap {
 		b.Dropped++
-		return
+		b.mu.Unlock()
+		return 0
 	}
+	r.ID = uint64(len(b.Records)) + 1
 	b.Records = append(b.Records, r)
+	b.mu.Unlock()
+	return r.ID
 }
 
-// Rank filters the buffer down to one rank's events (in time order —
-// the simulator emits them ordered).
+// Len returns the number of retained records.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.Records)
+}
+
+// DroppedCount returns how many records were dropped at Cap.
+func (b *Buffer) DroppedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.Dropped
+}
+
+// Rank filters the buffer down to one rank's events (in append order —
+// the simulator emits them in dispatch order).
 func (b *Buffer) Rank(rank int) []Record {
 	var out []Record
 	for _, r := range b.Records {
@@ -87,9 +187,29 @@ func (b *Buffer) Rank(rank int) []Record {
 	return out
 }
 
+// Run is an immutable snapshot of one traced execution, the unit the
+// Chrome exporter and the analyzer consume.
+type Run struct {
+	Name    string
+	Records []Record
+	Dropped int
+}
+
+// Snapshot copies the buffer out as a named run.
+func (b *Buffer) Snapshot(name string) Run {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Run{
+		Name:    name,
+		Records: append([]Record(nil), b.Records...),
+		Dropped: b.Dropped,
+	}
+}
+
 // Summary aggregates the buffer.
 type Summary struct {
 	Events      int
+	Dropped     int // records lost at Cap — the summary under-counts by this
 	ByKind      map[Kind]int
 	BytesSent   map[int]int // per rank, at SendPost
 	ComputeTime map[int]time.Duration
@@ -99,6 +219,7 @@ type Summary struct {
 // Summarize computes aggregate statistics.
 func (b *Buffer) Summarize() Summary {
 	s := Summary{
+		Dropped:     b.Dropped,
 		ByKind:      map[Kind]int{},
 		BytesSent:   map[int]int{},
 		ComputeTime: map[int]time.Duration{},
@@ -112,7 +233,7 @@ func (b *Buffer) Summarize() Summary {
 		if r.Kind == Compute {
 			s.ComputeTime[r.Rank] += r.Dur
 		}
-		if end := r.At + r.Dur; end > s.Span {
+		if end := r.End(); end > s.Span {
 			s.Span = end
 		}
 	}
@@ -122,6 +243,9 @@ func (b *Buffer) Summarize() Summary {
 // Fprint writes the summary as text.
 func (s Summary) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "trace: %d events over %v\n", s.Events, s.Span.Round(time.Microsecond))
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "  DROPPED %d events at the buffer cap — totals below under-count\n", s.Dropped)
+	}
 	kinds := make([]Kind, 0, len(s.ByKind))
 	for k := range s.ByKind {
 		kinds = append(kinds, k)

@@ -30,6 +30,21 @@ go test -run 'TestCleanRunDetectorCountersZero' -count=1 ./internal/conform >/de
     exit 1
 }
 
+# Observer-effect gate: attaching the causal tracer must not change what
+# it observes — a traced run's collective output (tables) must be
+# byte-identical to an untraced run of the same experiment.
+echo "bench.sh: checking traced runs produce byte-identical collective output"
+tdir=$(mktemp -d)
+go build -o "$tdir/adaptbench" ./cmd/adaptbench
+"$tdir/adaptbench" -exp table1 -scale quick >"$tdir/plain.txt" 2>/dev/null
+"$tdir/adaptbench" -exp table1 -scale quick -ctrace "$tdir/t.json" >"$tdir/traced.txt" 2>/dev/null
+cmp -s "$tdir/plain.txt" "$tdir/traced.txt" || {
+    echo "bench.sh: FAIL: -ctrace changed the experiment output (tracer observer effect)" >&2
+    rm -rf "$tdir"
+    exit 1
+}
+rm -rf "$tdir"
+
 go test -run '^$' \
     -bench 'BenchmarkKernelDispatch$|BenchmarkKernelSelfSchedule$|BenchmarkSegmentPool$|BenchmarkSegmentMake$' \
     -benchmem "$@" ./internal/sim ./internal/comm | tee "$raw"
