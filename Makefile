@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fuzz trace
+.PHONY: verify test build race vet bench chaos crash fuzz trace net
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -46,6 +46,17 @@ trace:
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -run 'TestObserverNilZeroAlloc|TestTraceSweepByteIdentical' ./internal/sim ./internal/bench
 	$(GO) test -run '^$$' -bench 'BenchmarkKernelDispatch$$|BenchmarkKernelDispatchObserved$$' -benchmem ./internal/sim
+
+# TCP transport gate: the loopback socket suite under the race detector
+# (matching engine, eager/rendezvous wire protocol, lease detector,
+# crash paths), the cross-substrate conformance + boundary grids, and
+# the multi-process adaptrun end-to-end scenarios (clean verified run,
+# dead root -> structured RankFailedError, mid-tree crash healed).
+net:
+	$(GO) build ./...
+	$(GO) test -race ./internal/nettransport/...
+	$(GO) test -race -run 'TestConformanceGridTCP|TestCrashGridTCP|TestEagerBoundary|TestSeqWrap' ./internal/conform
+	$(GO) test -run 'TestE2E' -v ./cmd/adaptrun
 
 # Short fuzz passes over the tag-matching predicate and the fault-plan
 # parser; the committed corpora under testdata/fuzz run in every normal

@@ -81,13 +81,19 @@ func GetBufZero(n int) []byte {
 	return b
 }
 
-// PutBuf returns b to the pool. Only slices whose capacity is exactly a
-// pool size class are retained; anything else (including slices never
-// obtained from GetBuf) is silently dropped. The caller must not use b
-// after the call.
+// PutBuf returns b to the pool. Only non-empty slices whose capacity is
+// exactly a pool size class are retained; anything else (including
+// slices never obtained from GetBuf) is silently dropped. The caller
+// must not use b after the call.
+//
+// Zero-length slices are always dropped, whatever their capacity: an
+// empty slice is how callers pass "no payload", and code holding
+// msg.Data[:0] rarely means to surrender the backing array. Retaining it
+// would hand memory to the next GetBuf while the original owner still
+// writes through the parent slice — a poisoned size class.
 func PutBuf(b []byte) {
 	c := cap(b)
-	if c < 1<<minBufClassBits {
+	if len(b) == 0 || c < 1<<minBufClassBits {
 		perf.RecordBufPut(false)
 		return
 	}

@@ -2,6 +2,8 @@ package comm
 
 import (
 	"testing"
+
+	"adapt/internal/perf"
 )
 
 func TestBufClassRounding(t *testing.T) {
@@ -60,6 +62,89 @@ func TestPutBufForeignSliceDropped(t *testing.T) {
 	got := GetBuf(4096)
 	if cap(got) != 4096 {
 		t.Fatalf("cap = %d", cap(got))
+	}
+	PutBuf(got)
+}
+
+// TestPutBufZeroLengthDropped: empty slices are "no payload" handles,
+// not ownership transfers. Whatever their capacity, PutBuf must drop
+// them — retaining b[:0] would alias the pool's next hand-out with the
+// original owner's buffer.
+func TestPutBufZeroLengthDropped(t *testing.T) {
+	base := perf.Read().BufRecycled
+	PutBuf(nil)
+	PutBuf([]byte{})
+	b := GetBuf(1024)
+	PutBuf(b[:0]) // full class capacity behind it, still dropped
+	if d := perf.Read().BufRecycled - base; d != 0 {
+		t.Fatalf("zero-length puts retained %d buffers, want 0", d)
+	}
+	// The owner kept writing through b; nothing the pool now hands out may
+	// alias it.
+	for i := range b {
+		b[i] = 0x5A
+	}
+	c := GetBufZero(1024)
+	for i := range b {
+		b[i] = 0xA5
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("pool handed out memory aliasing a zero-length put (byte %d = %#x)", i, v)
+		}
+	}
+	PutBuf(c)
+	PutBuf(b)
+}
+
+// TestPutBufSubCapacityReslices pins the classification of re-sliced
+// views. A plain reslice keeps its class capacity and is retained whole;
+// a three-index or tail reslice with exact-class capacity is accepted as
+// that smaller class (indistinguishable from a genuine buffer — the
+// ownership contract, not classification, forbids putting views of
+// memory the caller still uses); any other capacity is dropped.
+func TestPutBufSubCapacityReslices(t *testing.T) {
+	base := perf.Read()
+
+	short := GetBuf(4096)[:100] // cap still 4096: retained, full class recovered
+	PutBuf(short)
+	if got := GetBuf(4096); cap(got) != 4096 || len(got) != 4096 {
+		t.Fatalf("after short-len put: len=%d cap=%d", len(got), cap(got))
+	} else {
+		PutBuf(got)
+	}
+
+	odd := make([]byte, 0, 300) // sub-class, non-exact capacity
+	odd = append(odd, 1)
+	oddBase := perf.Read().BufRecycled
+	PutBuf(odd)
+	mid := GetBuf(1024)[128:896] // interior view: cap 896, not a class
+	PutBuf(mid)
+	if d := perf.Read().BufRecycled - oddBase; d != 0 {
+		t.Fatalf("non-class capacities retained %d buffers, want 0", d)
+	}
+
+	// Every retained buffer in this test matched an exact class.
+	snap := perf.Read()
+	puts := snap.BufPuts - base.BufPuts
+	if puts == 0 {
+		t.Fatal("perf counters did not move; test is not observing the pool")
+	}
+}
+
+// TestPutBufExactClassViewIsUsable: a three-index view with exact-class
+// capacity enters the smaller class and must come back out as a fully
+// usable buffer of that class.
+func TestPutBufExactClassViewIsUsable(t *testing.T) {
+	parent := GetBuf(1024)
+	view := parent[:512:512] // ownership of the whole parent surrendered here
+	PutBuf(view)
+	got := GetBuf(512)
+	if len(got) != 512 || cap(got) != 512 {
+		t.Fatalf("len=%d cap=%d, want 512/512", len(got), cap(got))
+	}
+	for i := range got {
+		got[i] = byte(i)
 	}
 	PutBuf(got)
 }

@@ -1,0 +1,210 @@
+package conform
+
+import (
+	"bytes"
+	"testing"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/hwloc"
+	"adapt/internal/netmodel"
+	"adapt/internal/nettransport"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+	"adapt/internal/trees"
+)
+
+// Cross-substrate protocol-boundary parity. All three transports must
+// classify a message of exactly the eager limit as EAGER: the send
+// completes without any receiver action. One substrate flipping the
+// boundary to `<` would deadlock this exchange — the sender's Wait would
+// park in a rendezvous handshake while the receiver waits for the
+// sender's follow-up flag before posting the payload receive.
+
+const boundaryLimit = 8 * 1024 // pinned identically on every substrate
+
+// boundaryExchange is the substrate-generic probe. Rank 0 must complete
+// the boundary-sized send *before* rank 1 posts any receive (rank 1 is
+// parked waiting for the flag that rank 0 only sends after the payload
+// send's Wait returns). Delivery is then checked byte-for-byte.
+func boundaryExchange(t *testing.T, c comm.Comm, payload []byte, label string) {
+	tagBig := comm.MakeTag(comm.KindP2P, 1, 0)
+	tagFlag := comm.MakeTag(comm.KindP2P, 1, 1)
+	switch c.Rank() {
+	case 0:
+		st := c.Wait(c.Isend(1, tagBig, comm.Bytes(payload)))
+		if st.Err != nil {
+			t.Errorf("%s: boundary send: %v", label, st.Err)
+		}
+		c.Send(1, tagFlag, comm.Bytes([]byte{1}))
+	case 1:
+		// No receive for the payload exists until the flag arrives: an
+		// eager boundary classification is the only way rank 0 gets here.
+		c.Recv(0, tagFlag)
+		st := c.Recv(0, tagBig)
+		if st.Err != nil {
+			t.Errorf("%s: boundary recv: %v", label, st.Err)
+		} else if !bytes.Equal(st.Msg.Data, payload) {
+			t.Errorf("%s: boundary payload corrupted (%d bytes)", label, len(st.Msg.Data))
+		}
+	}
+}
+
+func TestEagerBoundaryParity(t *testing.T) {
+	payload := pattern(boundaryLimit, 0x0EA6E5)
+
+	t.Run("simmpi", func(t *testing.T) {
+		k := sim.New()
+		p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 1))
+		p.EagerLimit = boundaryLimit
+		w := simmpi.NewWorld(k, p, noise.None)
+		w.Spawn(func(c *simmpi.Comm) { boundaryExchange(t, c, payload, "simmpi") })
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("simmpi classifies the boundary as rendezvous (deadlock): %v", err)
+		}
+	})
+
+	t.Run("runtime", func(t *testing.T) {
+		w := runtime.NewWorld(2, runtime.WithEagerLimit(boundaryLimit))
+		w.Run(func(c *runtime.Comm) { boundaryExchange(t, c, payload, "runtime") })
+	})
+
+	t.Run("nettransport", func(t *testing.T) {
+		w, err := nettransport.NewLocalWorld(2, nettransport.WithEagerLimit(boundaryLimit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		w.Run(func(c *nettransport.Comm) { boundaryExchange(t, c, payload, "nettransport") })
+	})
+}
+
+// TestEagerBoundaryPlusOneDelivery locks the other side of the boundary:
+// one byte past the limit must still arrive intact on every substrate,
+// whatever protocol carries it.
+func TestEagerBoundaryPlusOneDelivery(t *testing.T) {
+	payload := pattern(boundaryLimit+1, 0x0EA6E6)
+	exchange := func(t *testing.T, c comm.Comm, label string) {
+		tag := comm.MakeTag(comm.KindP2P, 2, 0)
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag, comm.Bytes(payload))
+		case 1:
+			st := c.Recv(0, tag)
+			if st.Err != nil || !bytes.Equal(st.Msg.Data, payload) {
+				t.Errorf("%s: limit+1 delivery broken (err=%v, %d bytes)", label, st.Err, len(st.Msg.Data))
+			}
+		}
+	}
+
+	t.Run("simmpi", func(t *testing.T) {
+		k := sim.New()
+		p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 1))
+		p.EagerLimit = boundaryLimit
+		w := simmpi.NewWorld(k, p, noise.None)
+		w.Spawn(func(c *simmpi.Comm) { exchange(t, c, "simmpi") })
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("kernel: %v", err)
+		}
+	})
+	t.Run("runtime", func(t *testing.T) {
+		w := runtime.NewWorld(2, runtime.WithEagerLimit(boundaryLimit))
+		w.Run(func(c *runtime.Comm) { exchange(t, c, "runtime") })
+	})
+	t.Run("nettransport", func(t *testing.T) {
+		w, err := nettransport.NewLocalWorld(2, nettransport.WithEagerLimit(boundaryLimit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		w.Run(func(c *nettransport.Comm) { exchange(t, c, "nettransport") })
+	})
+}
+
+// Seq wraparound: the 24-bit sequence field wraps at comm.SeqWrap. Two
+// back-to-back collectives straddling the wrap (raw Seq SeqWrap-1, then
+// SeqWrap ≡ 0) must not cross-match in-flight segments: their normalized
+// tags differ, and matching is exact, so each collective's bytes stay its
+// own. Runs on all three substrates.
+func TestSeqWraparoundStraddle(t *testing.T) {
+	const n = 4
+	topo := hwloc.New(n, 1, 1)
+	size := 16 * 8 * n
+	binom := trees.Binomial(n, 0)
+	srcA := pattern(size, 0x5EA5A)
+	srcB := pattern(size, 0x5EA5B)
+
+	// straddle drives the two broadcasts back-to-back on one endpoint.
+	// Distinct payloads per side of the wrap: a stale cross-match would
+	// surface as the wrong bytes, not a hang.
+	straddle := func(t *testing.T, c comm.Comm, label string) {
+		for i, src := range [][]byte{srcA, srcB} {
+			opt := core.DefaultOptions()
+			opt.SegSize = 64 // many in-flight segments around the wrap
+			opt.Seq = comm.SeqWrap - 1 + i
+			in := comm.Sized(size)
+			if c.Rank() == 0 {
+				in = comm.Bytes(append([]byte(nil), src...))
+			}
+			out := core.Bcast(c, binom, in, opt)
+			if !bytes.Equal(out.Data, src) {
+				t.Errorf("%s: rank %d seq %d: bcast bytes crossed the wrap", label, c.Rank(), opt.Seq)
+			}
+		}
+	}
+
+	t.Run("simmpi", func(t *testing.T) {
+		k := sim.New()
+		p := netmodel.Cori(1).WithTopo(topo)
+		w := simmpi.NewWorld(k, p, noise.None)
+		w.Spawn(func(c *simmpi.Comm) { straddle(t, c, "simmpi") })
+		if _, err := k.Run(); err != nil {
+			t.Fatalf("kernel: %v", err)
+		}
+	})
+	t.Run("runtime", func(t *testing.T) {
+		w := runtime.NewWorld(n)
+		w.Run(func(c *runtime.Comm) { straddle(t, c, "runtime") })
+	})
+	t.Run("nettransport", func(t *testing.T) {
+		w, err := nettransport.NewLocalWorld(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		w.Run(func(c *nettransport.Comm) { straddle(t, c, "nettransport") })
+	})
+}
+
+// TestSeqWrapTagNormalization pins the arithmetic: raw Seq values that
+// alias modulo SeqWrap produce identical tags, and values on either side
+// of the wrap produce distinct ones.
+func TestSeqWrapTagNormalization(t *testing.T) {
+	opt := core.DefaultOptions()
+	tagOf := func(seq int) comm.Tag {
+		o := opt
+		o.Seq = seq
+		return o.TagOf(comm.KindBcast, 3)
+	}
+	if tagOf(comm.SeqWrap) != tagOf(0) {
+		t.Error("Seq=SeqWrap and Seq=0 should alias to the same tag")
+	}
+	if tagOf(comm.SeqWrap-1) == tagOf(comm.SeqWrap) {
+		t.Error("seqs on either side of the wrap must produce distinct tags")
+	}
+	if tagOf(-1) != tagOf(comm.SeqWrap-1) {
+		t.Error("negative seq must normalize into the wrap range")
+	}
+	for _, seq := range []int{0, 1, comm.SeqWrap - 1, comm.SeqWrap, 3 * comm.SeqWrap, -comm.SeqWrap} {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("TagOf panicked at raw seq %d: %v", seq, p)
+				}
+			}()
+			_ = tagOf(seq)
+		}()
+	}
+}

@@ -25,11 +25,14 @@ import (
 
 // Case is one collective under test. In builds rank r's input; Run
 // invokes the collective and returns its local result. Both are built by
-// Cases/GPUCases with the world shape and payload size baked in.
+// Cases/GPUCases with the world shape and payload size baked in. Run
+// takes the abstract endpoint so the same registry drives every
+// substrate — simulator, in-process runtime, TCP sockets; GPU cases
+// assert comm.DeviceComm and skip substrates without a device path.
 type Case struct {
 	Name string
 	In   func(rank int) comm.Msg
-	Run  func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg
+	Run  func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg
 }
 
 // Result is one simulated run of a case.

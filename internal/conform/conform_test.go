@@ -14,7 +14,6 @@ import (
 	"adapt/internal/hwloc"
 	"adapt/internal/netmodel"
 	"adapt/internal/perf"
-	"adapt/internal/simmpi"
 	"adapt/internal/trees"
 )
 
@@ -215,7 +214,7 @@ func TestDropAllEdgeFailsStructured(t *testing.T) {
 	cs := Case{
 		Name: "bcast-chain-root0",
 		In:   rootData("bcast-chain-root0", 0, size),
-		Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+		Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 			return core.Bcast(c, chain, in, opt)
 		},
 	}
@@ -271,7 +270,7 @@ func TestDropAllRecoveredByRetries(t *testing.T) {
 	cs := Case{
 		Name: "bcast-chain-heavy-loss",
 		In:   rootData("bcast-chain-heavy-loss", 0, size),
-		Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+		Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 			return core.Bcast(c, chain, in, opt)
 		},
 	}

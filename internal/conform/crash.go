@@ -22,11 +22,12 @@ import (
 
 // CrashCase is one fault-tolerant collective under the fail-stop model.
 // In builds rank r's input; Run invokes the FT engine and returns its
-// structured per-rank outcome.
+// structured per-rank outcome. Like Case, Run takes the abstract
+// endpoint so crash cases replay on any fail-stop-capable substrate.
 type CrashCase struct {
 	Name string
 	In   func(rank int) comm.Msg
-	Run  func(c *simmpi.Comm, in comm.Msg, opt core.Options) core.FTResult
+	Run  func(c comm.Comm, in comm.Msg, opt core.Options) core.FTResult
 }
 
 // CrashResult is one simulated run of a crash case. Ranks that died
@@ -95,28 +96,28 @@ func CrashCases(n, size int) []CrashCase {
 		{
 			Name: "ft/bcast-binomial",
 			In:   rootData("ft/bcast-binomial", 0, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) core.FTResult {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) core.FTResult {
 				return core.BcastFT(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "ft/bcast-chain",
 			In:   rootData("ft/bcast-chain", 0, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) core.FTResult {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) core.FTResult {
 				return core.BcastFT(c, chain, in, opt)
 			},
 		},
 		{
 			Name: "ft/reduce-binomial",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) core.FTResult {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) core.FTResult {
 				return core.ReduceFT(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "ft/reduce-chain",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) core.FTResult {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) core.FTResult {
 				return core.ReduceFT(c, chain, in, opt)
 			},
 		},

@@ -7,7 +7,6 @@ import (
 	"adapt/internal/comm"
 	"adapt/internal/core"
 	"adapt/internal/hwloc"
-	"adapt/internal/simmpi"
 	"adapt/internal/trees"
 )
 
@@ -79,175 +78,175 @@ func Cases(topo *hwloc.Topology, size int) []Case {
 		{
 			Name: "core/bcast-binomial",
 			In:   rootData("core/bcast-binomial", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Bcast(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "core/bcast-chain",
 			In:   rootData("core/bcast-chain", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Bcast(c, chain, in, opt)
 			},
 		},
 		{
 			Name: "core/bcast-binary",
 			In:   rootData("core/bcast-binary", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Bcast(c, bin, in, opt)
 			},
 		},
 		{
 			Name: "core/bcast-twotree",
 			In:   rootData("core/bcast-twotree", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.BcastTwoTree(c, ta, tb, in, opt)
 			},
 		},
 		{
 			Name: "core/reduce",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Reduce(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "core/allreduce",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Allreduce(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "core/allgather",
 			In:   contribData("core/allgather", size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Allgather(c, in, opt)
 			},
 		},
 		{
 			Name: "core/alltoall",
 			In:   contribData("core/alltoall", size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Alltoall(c, in, opt)
 			},
 		},
 		{
 			Name: "core/gather",
 			In:   contribData("core/gather", size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Gather(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "core/scatter",
 			In:   rootData("core/scatter", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return core.Scatter(c, binom, in, opt)
 			},
 		},
 		{
 			Name: "coll/bcast-blocking",
 			In:   rootData("coll/bcast-blocking", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Bcast(c, binom, in, opt, coll.Blocking)
 			},
 		},
 		{
 			Name: "coll/bcast-nonblocking",
 			In:   rootData("coll/bcast-nonblocking", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Bcast(c, binom, in, opt, coll.NonBlocking)
 			},
 		},
 		{
 			Name: "coll/reduce-blocking",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Reduce(c, binom, in, opt, coll.Blocking)
 			},
 		},
 		{
 			Name: "coll/reduce-nonblocking",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Reduce(c, binom, in, opt, coll.NonBlocking)
 			},
 		},
 		{
 			Name: "coll/scatter",
 			In:   rootData("coll/scatter", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Scatter(c, root, in, opt)
 			},
 		},
 		{
 			Name: "coll/gather",
 			In:   contribData("coll/gather", size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Gather(c, root, in, opt)
 			},
 		},
 		{
 			Name: "coll/allgather",
 			In:   contribData("coll/allgather", size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Allgather(c, in, opt)
 			},
 		},
 		{
 			Name: "coll/bcast-scatter-allgather",
 			In:   rootData("coll/bcast-scatter-allgather", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.BcastScatterAllgather(c, root, in, opt)
 			},
 		},
 		{
 			Name: "coll/allreduce-tree",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Allreduce(c, t0, in, opt)
 			},
 		},
 		{
 			Name: "coll/allreduce-ring",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.AllreduceRing(c, in, opt)
 			},
 		},
 		{
 			Name: "coll/reduce-scatter-ring",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.ReduceScatterRing(c, in, opt)
 			},
 		},
 		{
 			Name: "coll/allreduce-rabenseifner",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.AllreduceRabenseifner(c, in, opt)
 			},
 		},
 		{
 			Name: "coll/bcast-multilevel",
 			In:   rootData("coll/bcast-multilevel", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.BcastMultiLevel(c, topo, root, in, opt, mlSpec)
 			},
 		},
 		{
 			Name: "coll/reduce-multilevel",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.ReduceMultiLevel(c, topo, root, in, opt, mlSpec)
 			},
 		},
 		{
 			Name: "coll/barrier",
 			In:   func(int) comm.Msg { return comm.Msg{} },
-			Run: func(c *simmpi.Comm, _ comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, _ comm.Msg, opt core.Options) comm.Msg {
 				coll.Barrier(c, opt.Seq)
 				return comm.Msg{}
 			},
@@ -260,7 +259,7 @@ func Cases(topo *hwloc.Topology, size int) []Case {
 				}
 				return comm.Sized(vtotal)
 			},
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Scatterv(c, binom, layout, in, opt)
 			},
 		},
@@ -269,7 +268,7 @@ func Cases(topo *hwloc.Topology, size int) []Case {
 			In: func(rank int) comm.Msg {
 				return comm.Bytes(pattern(vcounts[rank], caseSalt("coll/gatherv", rank)))
 			},
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
 				return coll.Gatherv(c, binom, layout, in, opt)
 			},
 		},
@@ -293,15 +292,15 @@ func GPUCases(topo *hwloc.Topology, size int) []Case {
 		{
 			Name: "gpu/bcast-staged",
 			In:   rootData("gpu/bcast-staged", root, size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
-				return core.BcastStaged(c, topo, binom, in, opt)
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.BcastStaged(c.(comm.DeviceComm), topo, binom, in, opt)
 			},
 		},
 		{
 			Name: "gpu/reduce-offload",
 			In:   contribLattice(size),
-			Run: func(c *simmpi.Comm, in comm.Msg, opt core.Options) comm.Msg {
-				return core.ReduceOffload(c, binom, in, opt)
+			Run: func(c comm.Comm, in comm.Msg, opt core.Options) comm.Msg {
+				return core.ReduceOffload(c.(comm.DeviceComm), binom, in, opt)
 			},
 		},
 	}

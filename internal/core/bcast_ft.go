@@ -155,6 +155,15 @@ func newBcastFT(c comm.Comm, fs comm.FailStop, t *trees.Tree, msg comm.Msg, opt 
 // run is the owner-goroutine main loop: notices are processed here, one
 // at a time, never inside completion callbacks.
 func (s *bcastFT) run(msg comm.Msg) FTResult {
+	// Deaths confirmed before this collective began were announced as
+	// notices to an earlier operation (or to nobody); replay them from the
+	// detector's cumulative mask so a back-to-back collective starts from
+	// the healed tree instead of waiting forever on a dead rank.
+	for r, d := range s.fs.ConfirmedDead() {
+		if d {
+			s.onDeath(r)
+		}
+	}
 	s.maybeDone()
 	s.maybeCommit()
 	for {

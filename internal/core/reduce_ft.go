@@ -160,6 +160,13 @@ func (s *reduceFT) startEpoch() {
 }
 
 func (s *reduceFT) run() FTResult {
+	// Replay deaths confirmed before this collective began (their notices
+	// went to an earlier operation); see bcastFT.run.
+	for r, d := range s.fs.ConfirmedDead() {
+		if d {
+			s.onDeath(r)
+		}
+	}
 	for {
 		for _, nt := range s.fs.TakeNotices() {
 			s.onNotice(nt)

@@ -1,0 +1,39 @@
+package nettransport
+
+import (
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/faults"
+	"adapt/internal/trees"
+)
+
+func TestBackToBackFTAfterCrash(t *testing.T) {
+	const n, size = 4, 512
+	w := newTestWorld(t, n, WithCrashes([]faults.Crash{{Rank: 2, AfterSends: 1}}))
+	w.WithRunTimeout(10 * time.Second)
+	binom := trees.Binomial(n, 0)
+	errs1 := make([]error, n)
+	w.Run(func(c *Comm) {
+		opt := core.Options{SegSize: 256, Seq: 1}
+		in := comm.Sized(size)
+		if c.Rank() == 0 {
+			in = comm.Bytes(fill(size, 1))
+		}
+		errs1[c.Rank()] = core.BcastFT(c, binom, in, opt).Err
+	})
+	for r := 0; r < n; r++ {
+		if r != 2 && errs1[r] != nil {
+			t.Fatalf("case1 survivor %d: %v", r, errs1[r])
+		}
+	}
+	w.Run(func(c *Comm) {
+		opt := core.Options{SegSize: 256, Seq: 2}
+		res := core.ReduceFT(c, binom, comm.Bytes(lattice(c.Rank(), size)), opt)
+		if res.Err != nil {
+			t.Errorf("case2 survivor %d: %v", c.Rank(), res.Err)
+		}
+	})
+}

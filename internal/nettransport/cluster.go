@@ -1,0 +1,244 @@
+package nettransport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Multi-process bootstrap. A launcher (cmd/adaptrun) owns a Coordinator;
+// each worker process calls JoinCluster with the coordinator's address
+// and its env-assigned rank. The rendezvous:
+//
+//  1. worker binds its data-plane listener, dials the coordinator (with
+//     the same exponential backoff as mesh dials) and sends a hello
+//     carrying (rank, data address);
+//  2. once all n hellos are in, the coordinator broadcasts the full
+//     address map plus an opaque payload (the launcher's job spec);
+//  3. workers build the peer mesh among themselves and run;
+//  4. each worker reports an opaque result payload back on the same
+//     connection; a connection that dies instead marks the worker lost.
+//
+// The control connection doubles as a liveness channel: the launcher
+// learns about a killed worker from its broken gob stream even if the
+// worker died before reporting.
+
+type helloMsg struct {
+	Rank int
+	Addr string
+}
+
+type assignMsg struct {
+	Addrs   []string
+	Payload []byte
+}
+
+type resultMsg struct {
+	Payload []byte
+}
+
+// WorkerResult is the launcher's view of one worker's outcome.
+type WorkerResult struct {
+	Rank    int
+	Payload []byte // the worker's report; nil when lost
+	Lost    bool   // control connection died before a report arrived
+	Err     string // transport-level failure description
+}
+
+// Coordinator is the launcher-side rendezvous point.
+type Coordinator struct {
+	n     int
+	ln    net.Listener
+	conns []net.Conn
+	encs  []*gob.Encoder
+	decs  []*gob.Decoder
+}
+
+// NewCoordinator listens for n workers on loopback.
+func NewCoordinator(n int) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{n: n, ln: ln,
+		conns: make([]net.Conn, n),
+		encs:  make([]*gob.Encoder, n),
+		decs:  make([]*gob.Decoder, n)}, nil
+}
+
+// Addr is the address workers dial (ADAPT_NET_COORD).
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Rendezvous accepts all n hellos and broadcasts the address map; the
+// payload function builds each rank's opaque job spec. deadline bounds
+// the whole exchange.
+func (co *Coordinator) Rendezvous(payload func(rank int) []byte, deadline time.Duration) error {
+	type hello struct {
+		conn net.Conn
+		msg  helloMsg
+		err  error
+	}
+	hellos := make(chan hello, co.n)
+	stop := time.AfterFunc(deadline, func() { co.ln.Close() })
+	defer stop.Stop()
+	for i := 0; i < co.n; i++ {
+		conn, err := co.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("nettransport: coordinator accept: %w (%d/%d workers arrived)", err, i, co.n)
+		}
+		go func(conn net.Conn) {
+			var h helloMsg
+			conn.SetReadDeadline(time.Now().Add(deadline))
+			err := gob.NewDecoder(conn).Decode(&h)
+			conn.SetReadDeadline(time.Time{})
+			hellos <- hello{conn: conn, msg: h, err: err}
+		}(conn)
+	}
+	addrs := make([]string, co.n)
+	for i := 0; i < co.n; i++ {
+		h := <-hellos
+		if h.err != nil {
+			return fmt.Errorf("nettransport: coordinator hello: %w", h.err)
+		}
+		r := h.msg.Rank
+		if r < 0 || r >= co.n {
+			return fmt.Errorf("nettransport: hello from out-of-range rank %d", r)
+		}
+		if co.conns[r] != nil {
+			return fmt.Errorf("nettransport: two workers claim rank %d", r)
+		}
+		co.conns[r] = h.conn
+		co.encs[r] = gob.NewEncoder(h.conn)
+		co.decs[r] = gob.NewDecoder(h.conn)
+		addrs[r] = h.msg.Addr
+	}
+	for r := 0; r < co.n; r++ {
+		var p []byte
+		if payload != nil {
+			p = payload(r)
+		}
+		if err := co.encs[r].Encode(assignMsg{Addrs: addrs, Payload: p}); err != nil {
+			return fmt.Errorf("nettransport: coordinator assign rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Gather reads one result per worker (bounded by deadline). A worker
+// whose connection breaks — a crashed process — comes back Lost rather
+// than failing the whole gather.
+func (co *Coordinator) Gather(deadline time.Duration) []WorkerResult {
+	out := make([]WorkerResult, co.n)
+	done := make(chan WorkerResult, co.n)
+	for r := 0; r < co.n; r++ {
+		go func(r int) {
+			res := WorkerResult{Rank: r}
+			if co.conns[r] == nil {
+				res.Lost, res.Err = true, "never joined"
+				done <- res
+				return
+			}
+			var m resultMsg
+			co.conns[r].SetReadDeadline(time.Now().Add(deadline))
+			if err := co.decs[r].Decode(&m); err != nil {
+				res.Lost, res.Err = true, err.Error()
+			} else {
+				res.Payload = m.Payload
+			}
+			done <- res
+		}(r)
+	}
+	for i := 0; i < co.n; i++ {
+		res := <-done
+		out[res.Rank] = res
+	}
+	return out
+}
+
+// Close releases the coordinator's sockets.
+func (co *Coordinator) Close() {
+	co.ln.Close()
+	for _, c := range co.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// ClusterConn is a worker's control connection back to the launcher.
+type ClusterConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Report sends the worker's opaque result payload to the launcher.
+func (cc *ClusterConn) Report(payload []byte) error {
+	return cc.enc.Encode(resultMsg{Payload: payload})
+}
+
+// Close tears the control connection down (after Report).
+func (cc *ClusterConn) Close() { cc.conn.Close() }
+
+// abruptClose exposes the raw close for crash simulation: a dying worker
+// cuts the control plane exactly like its data plane.
+func (cc *ClusterConn) abruptClose() { cc.conn.Close() }
+
+// JoinCluster is the worker-process entry point: bind a data listener,
+// rendezvous through the coordinator, build the mesh. It returns the
+// wired endpoint, the control connection for reporting, and the
+// launcher's opaque job payload.
+func JoinCluster(coordAddr string, rank, n int, opts ...Option) (*Comm, *ClusterConn, []byte, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var conn net.Conn
+	var lastErr error
+	for attempt := 0; attempt < cfg.dialRecovery.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(cfg.dialRecovery.Timeout(attempt - 1))
+		}
+		conn, lastErr = net.Dial("tcp", coordAddr)
+		if lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		ln.Close()
+		return nil, nil, nil, fmt.Errorf("nettransport: join coordinator %s: %w", coordAddr, lastErr)
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(helloMsg{Rank: rank, Addr: ln.Addr().String()}); err != nil {
+		conn.Close()
+		ln.Close()
+		return nil, nil, nil, err
+	}
+	var assign assignMsg
+	if err := dec.Decode(&assign); err != nil {
+		conn.Close()
+		ln.Close()
+		return nil, nil, nil, fmt.Errorf("nettransport: rank %d awaiting assignment: %w", rank, err)
+	}
+	c := newComm(rank, n, ln, cfg)
+	cc := &ClusterConn{conn: conn, enc: enc}
+	// A worker that hits its crash point must also cut the control plane
+	// so the launcher's gather sees the loss.
+	prevExit := c.cfg.crashExit
+	c.cfg.crashExit = func() {
+		cc.abruptClose()
+		if prevExit != nil {
+			prevExit()
+		}
+	}
+	if err := c.joinMesh(assign.Addrs); err != nil {
+		conn.Close()
+		ln.Close()
+		return nil, nil, nil, err
+	}
+	return c, cc, assign.Payload, nil
+}

@@ -1,0 +1,284 @@
+package nettransport
+
+import (
+	goruntime "runtime"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+	"adapt/internal/perf"
+	"adapt/internal/trace"
+)
+
+// Lease-based failure detection over sockets. The trigger is observed
+// teardown — a connection that errors or hits EOF without the Bye
+// handshake — rather than inferred silence: TCP resets and FINs from a
+// dying process arrive promptly on loopback, and a lease on top of the
+// observation keeps a transient glitch from instantly committing a
+// death. Mirrors the runtime substrate's detector (runtime/crash.go):
+// suspicion is counters-only, confirmation fans a death Notice to the
+// owner's control plane and fails every pending operation that depended
+// on the dead peer.
+
+// peerLost records a connection loss without the clean handshake and
+// arms the suspicion/confirmation leases. Callable from any goroutine;
+// idempotent per peer.
+func (c *Comm) peerLost(rank int, cause error) {
+	c.mu.Lock()
+	if c.closed || c.peerDown[rank] {
+		c.mu.Unlock()
+		return
+	}
+	c.peerDown[rank] = true
+	c.mu.Unlock()
+	perf.RecordNetPeerDown()
+	if tb := c.cfg.traceBuf; tb != nil {
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Crash, Peer: rank})
+	}
+	c.peers[rank].markDead(cause)
+	time.AfterFunc(c.cfg.rec.SuspectAfter, func() {
+		if c.isClosed() {
+			return
+		}
+		perf.RecordDetectorSuspect()
+		if tb := c.cfg.traceBuf; tb != nil {
+			tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Suspect, Peer: rank})
+		}
+	})
+	time.AfterFunc(c.cfg.rec.ConfirmAfter, func() { c.confirmDeath(rank) })
+}
+
+// confirmDeath commits a suspected death: mask it, notify the owner, and
+// fail every pending operation waiting on the dead peer.
+func (c *Comm) confirmDeath(rank int) {
+	c.mu.Lock()
+	if c.closed || c.confirmed[rank] {
+		c.mu.Unlock()
+		return
+	}
+	c.confirmed[rank] = true
+
+	// Rendezvous sends parked on a grant that will never come.
+	for xid, req := range c.sendPend {
+		if req.dst != rank {
+			continue
+		}
+		delete(c.sendPend, xid)
+		req.done = true
+		req.status = comm.Status{Source: c.rank, Tag: req.tag,
+			Err: &faults.TimeoutError{Rank: c.rank, Peer: rank, Tag: req.tag, Attempts: 1}}
+		c.finishLocked(req)
+	}
+	// Matched receives parked on a payload that will never stream.
+	for xid, pl := range c.pulls {
+		if pl.src == rank {
+			c.failPullLocked(xid)
+		}
+	}
+	// Rendezvous announcements from the dead peer still sitting unexpected
+	// can never be granted; drop them so a later Irecv does not park
+	// forever on a dead sender.
+	keep := c.unexpected[:0]
+	for _, env := range c.unexpected {
+		if env.src == rank && env.rdv {
+			continue
+		}
+		keep = append(keep, env)
+	}
+	c.unexpected = keep
+
+	c.notices = append(c.notices, comm.Notice{Kind: comm.NoticeDeath, Rank: rank})
+	c.noticeSeq++
+	c.mu.Unlock()
+
+	perf.RecordDetectorConfirm()
+	perf.RecordTreeRepair()
+	if tb := c.cfg.traceBuf; tb != nil {
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Confirm, Peer: rank})
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Repair, Peer: rank})
+	}
+	if f := c.cfg.onPeerDeath; f != nil {
+		f(rank)
+	}
+	c.signal()
+}
+
+// isClosed reports whether clean shutdown has begun.
+func (c *Comm) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// noteSend counts one send initiation; at the rank's crash point it
+// tears the process's connections down abruptly — no Bye — and leaves
+// via the configured exit hook. Owner-goroutine only.
+func (c *Comm) noteSend() {
+	if c.crashAfter < 0 || c.deadSelf {
+		return
+	}
+	n := c.sendsSeen
+	c.sendsSeen++
+	if n < c.crashAfter {
+		return
+	}
+	c.deadSelf = true
+	if tb := c.cfg.traceBuf; tb != nil {
+		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Crash, Peer: -1})
+	}
+	c.die()
+	if c.cfg.crashExit != nil {
+		c.cfg.crashExit()
+	}
+	// Fail-stop means the rank stops: no configured exit hook leaves via
+	// Goexit so the rank's goroutine never executes another instruction.
+	goruntime.Goexit()
+}
+
+// die is the fail-stop half of a crash: every connection is cut without
+// the Bye handshake, so peers observe exactly what a killed process
+// leaves behind. The dying endpoint marks itself closed first so its own
+// readers observing the teardown never feed the (now moot) detector.
+func (c *Comm) die() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		p.markDead(errCrashed{})
+		p.conn.Close()
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+}
+
+type errCrashed struct{}
+
+func (errCrashed) Error() string { return "nettransport: rank crashed (fail-stop)" }
+
+// Close performs the clean shutdown handshake: a Bye frame to every live
+// peer, writers drained, sockets closed. After Close the endpoint must
+// not be used. Losses observed during teardown never count as deaths.
+func (c *Comm) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		p.enqueue(outFrame{hdr: encodeBye()})
+		p.closeQueue()
+	}
+	for _, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		<-p.done // writer flushed (or gave up); the Bye is on the wire
+		p.conn.Close()
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+}
+
+// ---- comm.FailStop implementation ----
+
+// pushNotice appends a control-plane notice and wakes the rank.
+func (c *Comm) pushNotice(n comm.Notice) {
+	c.mu.Lock()
+	c.notices = append(c.notices, n)
+	c.noticeSeq++
+	c.mu.Unlock()
+	c.signal()
+}
+
+// CrashesEnabled reports whether crash rules are armed anywhere in this
+// world — every rank must agree so the FT collectives pick one path.
+func (c *Comm) CrashesEnabled() bool { return c.cfg.crashArmed }
+
+// ConfirmedDead returns a fresh detector-confirmed death mask.
+func (c *Comm) ConfirmedDead() []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]bool, c.size)
+	copy(out, c.confirmed)
+	return out
+}
+
+// TakeNotices drains this rank's pending control-plane notices.
+func (c *Comm) TakeNotices() []comm.Notice {
+	c.mu.Lock()
+	out := c.notices
+	c.notices = nil
+	c.mu.Unlock()
+	return out
+}
+
+// WaitEvent blocks until a completion callback fires or a new notice
+// arrives. Legal with no operation in flight.
+func (c *Comm) WaitEvent() {
+	c.mu.Lock()
+	start := c.noticeSeq
+	c.mu.Unlock()
+	for {
+		if c.fireCallbacks(c.popCallbacks()) > 0 {
+			return
+		}
+		c.mu.Lock()
+		advanced := c.noticeSeq > start
+		c.mu.Unlock()
+		if advanced {
+			return
+		}
+		<-c.wake
+	}
+}
+
+// CancelRecv retracts a posted, unmatched receive. Returns false when
+// the receive already matched (its callback still fires — with the
+// payload, or with the structured error its sender's death produces).
+func (c *Comm) CancelRecv(r comm.Request) bool {
+	req := r.(*request)
+	if req.c != c || req.isSend {
+		panic("nettransport: CancelRecv on foreign or send request")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.done {
+		return false
+	}
+	for i, q := range c.posted {
+		if q == req {
+			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
+			req.done = true
+			req.cb = nil
+			c.pendingOps--
+			return true
+		}
+	}
+	return false
+}
+
+// Commit fans a NoticeCommit out to every live rank. Counts as a send
+// initiation, so a crash scheduled at the root's commit point fires here.
+func (c *Comm) Commit(seq int, survivors []bool) {
+	c.noteSend()
+	frame := encodeCommit(seq, survivors)
+	c.mu.Lock()
+	down := append([]bool(nil), c.peerDown...)
+	c.mu.Unlock()
+	for r, p := range c.peers {
+		if p == nil || down[r] {
+			continue
+		}
+		p.enqueue(outFrame{hdr: append([]byte(nil), frame...)})
+	}
+}

@@ -1,0 +1,175 @@
+package nettransport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LocalWorld is an n-rank communicator whose endpoints live in one
+// process but talk over real TCP loopback sockets — every byte crosses
+// the kernel, every protocol leg (eager, RTS/CTS, Bye) is the real wire
+// exchange. It exists for tests and benchmarks: the conformance grid
+// exercises the full socket path without paying a process spawn per
+// case, while cmd/adaptrun runs the same endpoints as true OS processes.
+type LocalWorld struct {
+	comms         []*Comm
+	runTimeout    time.Duration
+	watchdogFired atomic.Bool
+	closed        bool
+}
+
+// NewLocalWorld creates n endpoints on loopback listeners and wires the
+// full mesh. The world must be Closed to release the sockets.
+func NewLocalWorld(n int, opts ...Option) (*LocalWorld, error) {
+	if n <= 0 {
+		panic(fmt.Sprintf("nettransport: world size %d", n))
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	w := &LocalWorld{}
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		c := newComm(r, n, ln, cfg)
+		w.comms = append(w.comms, c)
+		addrs[r] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = w.comms[r].joinMesh(addrs)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// WithRunTimeout bounds every Run call: if the ranks have not all
+// returned within d, Run panics with a per-rank dump of pending
+// operations instead of hanging the caller.
+func (w *LocalWorld) WithRunTimeout(d time.Duration) *LocalWorld {
+	w.runTimeout = d
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *LocalWorld) Size() int { return len(w.comms) }
+
+// Rank returns rank r's endpoint.
+func (w *LocalWorld) Rank(r int) *Comm { return w.comms[r] }
+
+// Run executes body once per rank, each on its own goroutine, and blocks
+// until all return. Panics aggregate across ranks like runtime.World.Run;
+// a rank that hits its crash point exits silently (fail-stop) and is
+// skipped by every later Run — a dead process does not come back.
+func (w *LocalWorld) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan string, len(w.comms))
+	for _, c := range w.comms {
+		c := c
+		if c.deadSelf {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", c.rank, p)
+				}
+			}()
+			body(c)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if w.runTimeout > 0 {
+		t := time.NewTimer(w.runTimeout)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			if w.watchdogFired.CompareAndSwap(false, true) {
+				panic(fmt.Sprintf("nettransport: Run still incomplete after %v\n%s", w.runTimeout, w.pendingDump()))
+			}
+			panic(fmt.Sprintf("nettransport: Run still incomplete after %v (pending-op dump already emitted)", w.runTimeout))
+		}
+	} else {
+		<-done
+	}
+	close(panics)
+	var msgs []string
+	for p := range panics {
+		msgs = append(msgs, p)
+	}
+	switch len(msgs) {
+	case 0:
+	case 1:
+		panic(msgs[0])
+	default:
+		sort.Strings(msgs)
+		panic(fmt.Sprintf("nettransport: %d ranks panicked:\n%s", len(msgs), strings.Join(msgs, "\n")))
+	}
+}
+
+// pendingDump renders each rank's unfinished operations for the watchdog.
+func (w *LocalWorld) pendingDump() string {
+	var b strings.Builder
+	for _, c := range w.comms {
+		c.mu.Lock()
+		fmt.Fprintf(&b, "rank %d: %d pending ops, %d posted recvs, %d unexpected, %d rdv sends, %d rdv pulls\n",
+			c.rank, c.pendingOps, len(c.posted), len(c.unexpected), len(c.sendPend), len(c.pulls))
+		for _, req := range c.posted {
+			fmt.Fprintf(&b, "  posted recv src=%d tag=%v\n", req.src, req.tag)
+		}
+		for _, env := range c.unexpected {
+			fmt.Fprintf(&b, "  unexpected src=%d tag=%v rdv=%v\n", env.src, env.tag, env.rdv)
+		}
+		c.mu.Unlock()
+	}
+	return b.String()
+}
+
+// Crashed returns the per-rank self-death mask (ranks that hit their
+// crash point during a Run).
+func (w *LocalWorld) Crashed() []bool {
+	out := make([]bool, len(w.comms))
+	for r, c := range w.comms {
+		out[r] = c.deadSelf
+	}
+	return out
+}
+
+// Close shuts every endpoint down cleanly (Bye handshakes first, then
+// sockets). Ranks that crashed already cut their connections.
+func (w *LocalWorld) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, c := range w.comms {
+		if c != nil && !c.deadSelf {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package nettransport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"adapt/internal/faults"
+	"adapt/internal/perf"
+)
+
+// Mesh construction. Every pair of ranks shares one bidirectional TCP
+// connection; the higher rank dials the lower rank's listener (so rank 0
+// only accepts) and announces itself with an ident frame. Dials retry
+// with the faults.Recovery exponential backoff — worker processes in a
+// cluster start at different times, and the address map reaches them
+// before every listener's accept loop is necessarily draining.
+
+// dialPeer dials addr with exponential backoff and performs the ident
+// handshake.
+func dialPeer(addr string, selfRank int, rec faults.Recovery) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < rec.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			perf.RecordNetDialRetry()
+			time.Sleep(rec.Timeout(attempt - 1))
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if _, err := conn.Write(encodeIdent(selfRank)); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		return conn, nil
+	}
+	return nil, fmt.Errorf("nettransport: dial %s: %d attempts exhausted: %w", addr, rec.MaxAttempts, lastErr)
+}
+
+// joinMesh wires c to every peer given the full address map (indexed by
+// rank). c's own listener must already be bound at addrs[c.rank]. On
+// return every peer connection is established and its reader/writer
+// goroutines are running.
+func (c *Comm) joinMesh(addrs []string) error {
+	if len(addrs) != c.size {
+		return fmt.Errorf("nettransport: address map has %d entries for a %d-rank world", len(addrs), c.size)
+	}
+	type dialed struct {
+		rank int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan dialed, c.size)
+	// Dial every lower rank concurrently.
+	for r := 0; r < c.rank; r++ {
+		go func(r int) {
+			conn, err := dialPeer(addrs[r], c.rank, c.cfg.dialRecovery)
+			results <- dialed{rank: r, conn: conn, err: err}
+		}(r)
+	}
+	// Accept every higher rank; the ident frame says who dialed.
+	expect := c.size - 1 - c.rank
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				results <- dialed{rank: -1, err: err}
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			go func(conn net.Conn) {
+				br := bufio.NewReaderSize(conn, 64*1024)
+				m, err := readFrame(br)
+				if err != nil || m.ftype != frameIdent {
+					conn.Close()
+					results <- dialed{rank: -1, err: fmt.Errorf("nettransport: bad ident handshake: %v", err)}
+					return
+				}
+				if m.rank <= c.rank || m.rank >= c.size {
+					conn.Close()
+					results <- dialed{rank: -1, err: fmt.Errorf("nettransport: ident from unexpected rank %d", m.rank)}
+					return
+				}
+				if n := br.Buffered(); n > 0 {
+					// Frames already behind the ident must not be lost when we
+					// hand the raw conn to the peer's own buffered reader.
+					conn = &bufferedConn{Conn: conn, head: br}
+				}
+				results <- dialed{rank: m.rank, conn: conn}
+			}(conn)
+		}
+	}()
+	for i := 0; i < c.size-1; i++ {
+		d := <-results
+		if d.err != nil {
+			return d.err
+		}
+		if c.peers[d.rank] != nil {
+			return fmt.Errorf("nettransport: duplicate connection for rank %d", d.rank)
+		}
+		c.peers[d.rank] = newPeer(c, d.rank, d.conn)
+	}
+	for _, p := range c.peers {
+		if p != nil {
+			p.start()
+		}
+	}
+	return nil
+}
+
+// bufferedConn replays bytes the ident handshake over-read before
+// falling through to the socket.
+type bufferedConn struct {
+	net.Conn
+	head *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) {
+	if b.head != nil {
+		if n := b.head.Buffered(); n > 0 {
+			return b.head.Read(p[:min(len(p), n)])
+		}
+		b.head = nil
+	}
+	return b.Conn.Read(p)
+}

@@ -1,0 +1,244 @@
+package nettransport
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+
+	"adapt/internal/comm"
+	"adapt/internal/perf"
+)
+
+// outFrame is one queued wire frame: a pre-encoded header plus an
+// optional payload written right behind it. pooled payloads are returned
+// to the buffer pool after the write; done (if set) observes the write's
+// outcome — it is how a rendezvous send completes only once its payload
+// is actually on the wire.
+type outFrame struct {
+	hdr     []byte
+	payload []byte
+	pooled  bool
+	done    func(error)
+}
+
+// peer is one bidirectional TCP connection to another rank. A dedicated
+// writer goroutine drains an unbounded queue so that reader goroutines
+// (which enqueue CTS grants and DATA frames) never block on a socket
+// write — bounded per-peer queues could deadlock two ranks bulk-sending
+// to each other in full duplex.
+type peer struct {
+	rank int
+	c    *Comm
+	conn net.Conn
+	bw   *bufio.Writer
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []outFrame
+	closed bool  // writer drains what is queued, then stops
+	dead   bool  // drop new frames: peer is gone or being torn down
+	werr   error // first write error
+
+	done chan struct{} // writer goroutine exited
+}
+
+func newPeer(c *Comm, rank int, conn net.Conn) *peer {
+	p := &peer{rank: rank, c: c, conn: conn,
+		bw: bufio.NewWriterSize(conn, 64*1024), done: make(chan struct{})}
+	p.qcond = sync.NewCond(&p.qmu)
+	return p
+}
+
+// start launches the writer and reader goroutines.
+func (p *peer) start() {
+	go p.writeLoop()
+	go p.readLoop()
+}
+
+// enqueue hands a frame to the writer. Frames offered after the peer is
+// dead or closing are dropped — their done hooks still run (with the
+// recorded error) so a rendezvous send never silently leaks its request.
+func (p *peer) enqueue(f outFrame) {
+	p.qmu.Lock()
+	if p.closed || p.dead {
+		err := p.werr
+		if err == nil {
+			err = net.ErrClosed
+		}
+		p.qmu.Unlock()
+		if f.pooled && f.payload != nil {
+			comm.PutBuf(f.payload)
+		}
+		if f.done != nil {
+			f.done(err)
+		}
+		return
+	}
+	p.queue = append(p.queue, f)
+	p.qcond.Signal()
+	p.qmu.Unlock()
+}
+
+// markDead flips the drop-frames switch (detector-confirmed death or
+// abrupt local teardown) and wakes the writer so it can notice.
+func (p *peer) markDead(err error) {
+	p.qmu.Lock()
+	p.dead = true
+	if p.werr == nil {
+		p.werr = err
+	}
+	p.qcond.Signal()
+	p.qmu.Unlock()
+}
+
+// closeQueue asks the writer to drain what is queued and stop.
+func (p *peer) closeQueue() {
+	p.qmu.Lock()
+	p.closed = true
+	p.qcond.Signal()
+	p.qmu.Unlock()
+}
+
+// writeLoop is the peer's single socket writer. It batches whatever is
+// queued, writes it, flushes once the queue runs dry, and reports the
+// first write error to the failure detector.
+func (p *peer) writeLoop() {
+	defer close(p.done)
+	for {
+		p.qmu.Lock()
+		for len(p.queue) == 0 && !p.closed && !p.dead {
+			p.qcond.Wait()
+		}
+		batch := p.queue
+		p.queue = nil
+		closing := p.closed
+		dead := p.dead
+		err := p.werr
+		p.qmu.Unlock()
+
+		for _, f := range batch {
+			if err == nil && !dead {
+				err = p.writeFrame(f)
+				if err != nil {
+					p.qmu.Lock()
+					p.dead, dead = true, true
+					if p.werr == nil {
+						p.werr = err
+					}
+					p.qmu.Unlock()
+					if !closing {
+						p.c.peerLost(p.rank, err)
+					}
+				}
+			} else {
+				if f.pooled && f.payload != nil {
+					comm.PutBuf(f.payload)
+				}
+				if f.done != nil {
+					f.done(errOr(err, net.ErrClosed))
+				}
+			}
+		}
+		if err == nil && !dead {
+			if ferr := p.bw.Flush(); ferr != nil {
+				p.qmu.Lock()
+				p.dead = true
+				if p.werr == nil {
+					p.werr = ferr
+				}
+				p.qmu.Unlock()
+				if !closing {
+					p.c.peerLost(p.rank, ferr)
+				}
+			}
+		}
+		if closing || dead {
+			if err == nil && !dead {
+				p.bw.Flush()
+			}
+			return
+		}
+	}
+}
+
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}
+
+// writeFrame writes one frame and runs its completion hook.
+func (p *peer) writeFrame(f outFrame) error {
+	_, err := p.bw.Write(f.hdr)
+	if err == nil && len(f.payload) > 0 {
+		_, err = p.bw.Write(f.payload)
+	}
+	if err == nil {
+		perf.RecordNetFrameOut(len(f.hdr) + len(f.payload))
+	}
+	if f.pooled && f.payload != nil {
+		comm.PutBuf(f.payload)
+	}
+	if f.done != nil {
+		f.done(err)
+	}
+	return err
+}
+
+// readLoop drains the connection, feeding the matching engine. It exits
+// on a Bye (clean shutdown), on local teardown, or on a connection error
+// — the last of which arms the failure detector.
+func (p *peer) readLoop() {
+	br := bufio.NewReaderSize(p.conn, 64*1024)
+	for {
+		m, err := readFrame(br)
+		if err != nil {
+			if p.c.isClosed() {
+				return // local teardown raced the read; not a peer death
+			}
+			p.c.peerLost(p.rank, err)
+			return
+		}
+		switch m.ftype {
+		case frameEager:
+			msg := comm.Msg{Size: m.size}
+			if m.hasData {
+				if m.payload == nil {
+					m.payload = []byte{} // zero-byte payload, not elided
+				}
+				msg.Data = m.payload
+				if len(msg.Data) != m.size {
+					msg.Data = msg.Data[:m.size]
+				}
+			} else if m.payload != nil {
+				comm.PutBuf(m.payload)
+			}
+			p.c.deliver(&envelope{src: p.rank, tag: m.tag, msg: msg,
+				hasData: m.hasData, xid: m.xid})
+		case frameRTS:
+			p.c.deliver(&envelope{src: p.rank, tag: m.tag,
+				msg: comm.Msg{Size: m.size}, rdv: true, hasData: m.hasData, xid: m.xid})
+		case frameCTS:
+			p.c.onCTS(p, m.xid)
+		case frameData:
+			p.c.onData(p.rank, m.xid, m.payload)
+		case frameCommit:
+			p.c.pushNotice(comm.Notice{Kind: comm.NoticeCommit, Seq: m.seq, Survivors: m.survivors})
+		case frameBye:
+			// Clean shutdown: drain to EOF so the kernel can reclaim the
+			// socket, but never treat what follows as a death.
+			for {
+				if _, err := br.Discard(1); err != nil {
+					return
+				}
+			}
+		case frameIdent:
+			// Legal only as a connection's first frame, which the mesh
+			// bootstrap consumes before readLoop starts.
+			p.c.peerLost(p.rank, io.ErrUnexpectedEOF)
+			return
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package nettransport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"adapt/internal/comm"
+	"adapt/internal/perf"
+)
+
+// Wire format: every frame is a 4-byte little-endian length prefix (the
+// byte count of everything after the prefix) followed by a 1-byte frame
+// type and a type-specific body. Fixed-width fields are little-endian.
+//
+//	ident   u32 rank                                  — first frame on a dialed conn
+//	eager   i64 tag, u64 xid, u32 size, u8 flags, payload
+//	rts     i64 tag, u64 xid, u32 size, u8 flags      — rendezvous announcement
+//	cts     u64 xid                                   — clear-to-send grant
+//	data    u64 xid, payload                          — rendezvous payload
+//	commit  i64 seq, u32 n, n×u8 survivors            — control-plane commit fan-out
+//	bye     (empty)                                   — clean shutdown; EOF after it is not a death
+//
+// The xid is a sender-local transfer id: it pairs a data frame (or grant)
+// with the announcement that created it, bypassing tag matching for the
+// second half of a rendezvous. flags bit 0 records whether the message
+// carries real bytes — a payload-elided comm.Msg travels as a zero-byte
+// payload with the logical size in the header, and must come back out as
+// an elided Msg on the receiver.
+const (
+	frameIdent = byte(iota)
+	frameEager
+	frameRTS
+	frameCTS
+	frameData
+	frameCommit
+	frameBye
+)
+
+const (
+	flagHasData = 1 << 0
+
+	// eagerHdrLen is the fixed body length of eager/rts frames before the
+	// payload: tag(8) + xid(8) + size(4) + flags(1).
+	eagerHdrLen = 21
+
+	// maxFrameBody bounds a frame body read from the wire; anything larger
+	// is a corrupt or hostile stream, not a legal message (the pool's
+	// largest class is 64 MB and collectives segment well below that).
+	maxFrameBody = 1 << 30
+)
+
+// wireMsg is a decoded data-plane frame.
+type wireMsg struct {
+	ftype     byte
+	tag       comm.Tag
+	xid       uint64
+	size      int    // logical message size (eager/rts)
+	hasData   bool   // the transfer carries real bytes
+	payload   []byte // pooled; owned by the receiver (eager/data)
+	rank      int    // ident
+	seq       int    // commit
+	survivors []bool // commit
+}
+
+// appendHeader writes the length prefix and type for a body of n bytes.
+func appendHeader(dst []byte, ftype byte, n int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n+1))
+	return append(dst, ftype)
+}
+
+// encodeIdent builds the mesh handshake frame announcing the dialer's rank.
+func encodeIdent(rank int) []byte {
+	b := appendHeader(make([]byte, 0, 9), frameIdent, 4)
+	return binary.LittleEndian.AppendUint32(b, uint32(rank))
+}
+
+// encodeEagerHdr builds the header of an eager or rts frame; payloadLen is
+// the byte count that will follow (always 0 for rts).
+func encodeEagerHdr(ftype byte, tag comm.Tag, xid uint64, size, payloadLen int, hasData bool) []byte {
+	b := appendHeader(make([]byte, 0, 5+eagerHdrLen), ftype, eagerHdrLen+payloadLen)
+	b = binary.LittleEndian.AppendUint64(b, uint64(tag))
+	b = binary.LittleEndian.AppendUint64(b, xid)
+	b = binary.LittleEndian.AppendUint32(b, uint32(size))
+	var flags byte
+	if hasData {
+		flags |= flagHasData
+	}
+	return append(b, flags)
+}
+
+// encodeCTS builds a clear-to-send grant for the given transfer.
+func encodeCTS(xid uint64) []byte {
+	b := appendHeader(make([]byte, 0, 13), frameCTS, 8)
+	return binary.LittleEndian.AppendUint64(b, xid)
+}
+
+// encodeDataHdr builds the header of a rendezvous payload frame.
+func encodeDataHdr(xid uint64, payloadLen int) []byte {
+	b := appendHeader(make([]byte, 0, 13), frameData, 8+payloadLen)
+	return binary.LittleEndian.AppendUint64(b, xid)
+}
+
+// encodeCommit builds a control-plane commit notice.
+func encodeCommit(seq int, survivors []bool) []byte {
+	b := appendHeader(make([]byte, 0, 5+12+len(survivors)), frameCommit, 12+len(survivors))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(seq)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(survivors)))
+	for _, s := range survivors {
+		if s {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// encodeBye builds the clean-shutdown frame.
+func encodeBye() []byte {
+	return appendHeader(make([]byte, 0, 5), frameBye, 0)
+}
+
+// readFrame reads and decodes one frame. Payload bytes land in a pooled
+// buffer owned by the caller. An io.EOF at a frame boundary comes back
+// verbatim; a mid-frame EOF is an io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader) (wireMsg, error) {
+	var m wireMsg
+	var pfx [4]byte
+	if _, err := io.ReadFull(br, pfx[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF // a cut connection, not a truncated frame
+		}
+		return m, err
+	}
+	n := int(binary.LittleEndian.Uint32(pfx[:]))
+	if n < 1 || n > maxFrameBody {
+		return m, fmt.Errorf("nettransport: frame body %d bytes out of range", n)
+	}
+	ft, err := br.ReadByte()
+	if err != nil {
+		return m, unexpectedEOF(err)
+	}
+	m.ftype = ft
+	body := n - 1
+	perf.RecordNetFrameIn(4 + n)
+	switch ft {
+	case frameIdent:
+		var fix [4]byte
+		if err := readFixed(br, fix[:], body, 4); err != nil {
+			return m, err
+		}
+		m.rank = int(binary.LittleEndian.Uint32(fix[:]))
+		return m, nil
+	case frameEager, frameRTS:
+		var fix [eagerHdrLen]byte
+		if body < eagerHdrLen {
+			return m, fmt.Errorf("nettransport: short %d-byte eager/rts frame", body)
+		}
+		if _, err := io.ReadFull(br, fix[:]); err != nil {
+			return m, unexpectedEOF(err)
+		}
+		m.tag = comm.Tag(int64(binary.LittleEndian.Uint64(fix[0:])))
+		m.xid = binary.LittleEndian.Uint64(fix[8:])
+		m.size = int(binary.LittleEndian.Uint32(fix[16:]))
+		m.hasData = fix[20]&flagHasData != 0
+		plen := body - eagerHdrLen
+		if ft == frameRTS && plen != 0 {
+			return m, fmt.Errorf("nettransport: rts frame with %d payload bytes", plen)
+		}
+		if plen > 0 {
+			m.payload = comm.GetBuf(plen)
+			if _, err := io.ReadFull(br, m.payload); err != nil {
+				comm.PutBuf(m.payload)
+				m.payload = nil
+				return m, unexpectedEOF(err)
+			}
+		}
+		return m, nil
+	case frameCTS:
+		var fix [8]byte
+		if err := readFixed(br, fix[:], body, 8); err != nil {
+			return m, err
+		}
+		m.xid = binary.LittleEndian.Uint64(fix[:])
+		return m, nil
+	case frameData:
+		var fix [8]byte
+		if body < 8 {
+			return m, fmt.Errorf("nettransport: short %d-byte data frame", body)
+		}
+		if _, err := io.ReadFull(br, fix[:]); err != nil {
+			return m, unexpectedEOF(err)
+		}
+		m.xid = binary.LittleEndian.Uint64(fix[:])
+		if plen := body - 8; plen > 0 {
+			m.payload = comm.GetBuf(plen)
+			if _, err := io.ReadFull(br, m.payload); err != nil {
+				comm.PutBuf(m.payload)
+				m.payload = nil
+				return m, unexpectedEOF(err)
+			}
+		}
+		return m, nil
+	case frameCommit:
+		if body < 12 {
+			return m, fmt.Errorf("nettransport: short %d-byte commit frame", body)
+		}
+		var fix [12]byte
+		if _, err := io.ReadFull(br, fix[:]); err != nil {
+			return m, unexpectedEOF(err)
+		}
+		m.seq = int(int64(binary.LittleEndian.Uint64(fix[0:])))
+		cnt := int(binary.LittleEndian.Uint32(fix[8:]))
+		if cnt != body-12 {
+			return m, fmt.Errorf("nettransport: commit mask %d entries in %d-byte body", cnt, body)
+		}
+		raw := make([]byte, cnt)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return m, unexpectedEOF(err)
+		}
+		m.survivors = make([]bool, cnt)
+		for i, v := range raw {
+			m.survivors[i] = v != 0
+		}
+		return m, nil
+	case frameBye:
+		if body != 0 {
+			return m, fmt.Errorf("nettransport: bye frame with %d-byte body", body)
+		}
+		return m, nil
+	}
+	return m, fmt.Errorf("nettransport: unknown frame type %d", ft)
+}
+
+// readFixed reads a fixed-size body and rejects length mismatches.
+func readFixed(br *bufio.Reader, dst []byte, body, want int) error {
+	if body != want {
+		return fmt.Errorf("nettransport: frame body %d bytes, want %d", body, want)
+	}
+	_, err := io.ReadFull(br, dst)
+	return unexpectedEOF(err)
+}
+
+// unexpectedEOF normalizes a mid-frame EOF so the caller can distinguish
+// "connection cut between frames" (io.EOF) from "cut inside a frame".
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -45,6 +45,16 @@ var (
 	detectorSuspects atomic.Uint64 // suspicion leases expired
 	detectorConfirms atomic.Uint64 // deaths confirmed by the detector
 	treeRepairs      atomic.Uint64 // tree self-healing passes triggered
+
+	// TCP transport (internal/nettransport). Frame/byte counters move on
+	// every socket run; dial retries and peer-downs stay zero on a clean
+	// loopback link — scripts/bench.sh gates on that.
+	netFramesOut   atomic.Uint64 // frames written to peer sockets
+	netBytesOut    atomic.Uint64 // bytes written (headers + payload)
+	netFramesIn    atomic.Uint64 // frames read from peer sockets
+	netBytesIn     atomic.Uint64 // bytes read
+	netDialRetries atomic.Uint64 // mesh dials that needed a backoff retry
+	netPeerDowns   atomic.Uint64 // connections lost without a Bye handshake
 )
 
 // RecordKernelRun publishes one kernel's counter deltas after a Run.
@@ -105,6 +115,26 @@ func RecordDetectorConfirm() { detectorConfirms.Add(1) }
 // RecordTreeRepair counts one tree self-healing pass.
 func RecordTreeRepair() { treeRepairs.Add(1) }
 
+// RecordNetFrameOut counts one frame of n wire bytes written to a socket.
+func RecordNetFrameOut(n int) {
+	netFramesOut.Add(1)
+	netBytesOut.Add(uint64(n))
+}
+
+// RecordNetFrameIn counts one frame of n wire bytes read from a socket.
+func RecordNetFrameIn(n int) {
+	netFramesIn.Add(1)
+	netBytesIn.Add(uint64(n))
+}
+
+// RecordNetDialRetry counts one mesh dial attempt that failed and backed
+// off before retrying.
+func RecordNetDialRetry() { netDialRetries.Add(1) }
+
+// RecordNetPeerDown counts one peer connection lost without the clean
+// shutdown handshake (the failure detector's trigger).
+func RecordNetPeerDown() { netPeerDowns.Add(1) }
+
 // Snapshot is a point-in-time view of the counters.
 type Snapshot struct {
 	KernelRuns       uint64
@@ -127,6 +157,13 @@ type Snapshot struct {
 	DetectorSuspects uint64
 	DetectorConfirms uint64
 	TreeRepairs      uint64
+
+	NetFramesOut   uint64
+	NetBytesOut    uint64
+	NetFramesIn    uint64
+	NetBytesIn     uint64
+	NetDialRetries uint64
+	NetPeerDowns   uint64
 }
 
 // FaultTotal sums every fault-path counter; non-zero means the fault
@@ -140,6 +177,13 @@ func (s Snapshot) FaultTotal() uint64 {
 // rank crash was suspected, confirmed, or repaired around.
 func (s Snapshot) DetectorTotal() uint64 {
 	return s.DetectorSuspects + s.DetectorConfirms + s.TreeRepairs
+}
+
+// NetTrouble sums the TCP transport's trouble counters: dial retries and
+// unclean connection losses. Zero on a healthy loopback run — the
+// bench.sh nettransport gate asserts exactly that.
+func (s Snapshot) NetTrouble() uint64 {
+	return s.NetDialRetries + s.NetPeerDowns
 }
 
 // Read returns the current counter values.
@@ -162,6 +206,12 @@ func Read() Snapshot {
 		DetectorSuspects: detectorSuspects.Load(),
 		DetectorConfirms: detectorConfirms.Load(),
 		TreeRepairs:      treeRepairs.Load(),
+		NetFramesOut:     netFramesOut.Load(),
+		NetBytesOut:      netBytesOut.Load(),
+		NetFramesIn:      netFramesIn.Load(),
+		NetBytesIn:       netBytesIn.Load(),
+		NetDialRetries:   netDialRetries.Load(),
+		NetPeerDowns:     netPeerDowns.Load(),
 	}
 }
 
@@ -184,6 +234,12 @@ func Reset() {
 	detectorSuspects.Store(0)
 	detectorConfirms.Store(0)
 	treeRepairs.Store(0)
+	netFramesOut.Store(0)
+	netBytesOut.Store(0)
+	netFramesIn.Store(0)
+	netBytesIn.Store(0)
+	netDialRetries.Store(0)
+	netPeerDowns.Store(0)
 }
 
 // JSON renders the snapshot as indented JSON (adaptbench -perf-json),
@@ -216,6 +272,10 @@ func (s Snapshot) Fprint(w io.Writer) {
 	if s.DetectorTotal() > 0 {
 		fmt.Fprintf(w, "perf: detector %d suspects, %d confirms; %d tree repairs\n",
 			s.DetectorSuspects, s.DetectorConfirms, s.TreeRepairs)
+	}
+	if s.NetFramesOut+s.NetFramesIn > 0 {
+		fmt.Fprintf(w, "perf: net %d frames out (%d B), %d frames in (%d B); %d dial retries, %d peer downs\n",
+			s.NetFramesOut, s.NetBytesOut, s.NetFramesIn, s.NetBytesIn, s.NetDialRetries, s.NetPeerDowns)
 	}
 }
 

@@ -45,6 +45,28 @@ cmp -s "$tdir/plain.txt" "$tdir/traced.txt" || {
 }
 rm -rf "$tdir"
 
+# TCP transport gate: a clean multi-process run over loopback must
+# leave every network-fault counter at zero (no dial retries, no peer
+# teardowns) and verify byte-identical against the simmpi golden.
+# adaptrun itself exits non-zero if a clean run moved the counters; the
+# grep double-checks the printed perf line.
+echo "bench.sh: checking nettransport clean runs leave net fault counters zero"
+ndir=$(mktemp -d)
+go build -o "$ndir/adaptrun" ./cmd/adaptrun
+"$ndir/adaptrun" -n 4 -coll bcast,allreduce -perf >"$ndir/net.txt" 2>&1 || {
+    echo "bench.sh: FAIL: clean adaptrun run failed (see below)" >&2
+    cat "$ndir/net.txt" >&2
+    rm -rf "$ndir"
+    exit 1
+}
+grep -q 'trouble 0' "$ndir/net.txt" || {
+    echo "bench.sh: FAIL: clean nettransport run moved net fault counters" >&2
+    cat "$ndir/net.txt" >&2
+    rm -rf "$ndir"
+    exit 1
+}
+rm -rf "$ndir"
+
 go test -run '^$' \
     -bench 'BenchmarkKernelDispatch$|BenchmarkKernelSelfSchedule$|BenchmarkSegmentPool$|BenchmarkSegmentMake$' \
     -benchmem "$@" ./internal/sim ./internal/comm | tee "$raw"
