@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fuzz trace net
+.PHONY: verify test build race vet bench chaos crash fuzz trace net progress
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -20,9 +20,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Microbenchmarks for the simulation kernel and segment-buffer pool;
-# writes BENCH_kernel.json for the perf trajectory.
+# Microbenchmarks for the simulation kernel and segment-buffer pool plus
+# the multi-collective concurrency benchmark; writes BENCH_kernel.json
+# and BENCH_progress.json for the perf trajectory.
 bench:
+	./scripts/bench.sh
+
+# Shared progress-engine gate: the unified matching core and scheduler
+# under the race detector (fairness/starvation, mid-flight enrollment,
+# fuzz corpus regression), the zero-alloc segment-pool assertion, the
+# goroutine-footprint gate on the readiness-loop transport, and the full
+# bench gate (clean-run counters + BENCH_progress.json).
+progress:
+	$(GO) test -race ./internal/progress/...
+	$(GO) test -run 'TestSegmentPoolZeroAlloc' ./internal/comm
+	$(GO) test -race -run 'TestGoroutineFootprint' ./internal/nettransport
 	./scripts/bench.sh
 
 # Full-width conformance grid: every collective × world sizes × payload
@@ -58,10 +70,12 @@ net:
 	$(GO) test -race -run 'TestConformanceGridTCP|TestCrashGridTCP|TestEagerBoundary|TestSeqWrap' ./internal/conform
 	$(GO) test -run 'TestE2E' -v ./cmd/adaptrun
 
-# Short fuzz passes over the tag-matching predicate and the fault-plan
-# parser; the committed corpora under testdata/fuzz run in every normal
-# `go test`, this target explores beyond them.
+# Short fuzz passes over the tag-matching predicate, the fault-plan
+# parser, and the unified matching core; the committed corpora under
+# testdata/fuzz run in every normal `go test`, this target explores
+# beyond them.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTagMatch -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -run '^$$' -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/progress

@@ -18,10 +18,16 @@ import (
 // the garbage collector a hidden participant in every experiment.
 //
 // GetBuf/PutBuf recycle those slices through power-of-two size classes
-// (256 B … 64 MB, one sync.Pool per class). Requests above the largest
-// class fall back to plain allocation; Puts of foreign or undersized
-// slices are dropped, never retained, so the pool cannot be poisoned by
-// odd capacities.
+// (256 B … 64 MB). Each class is fronted by a typed, mutex-guarded
+// freelist — a plain [][]byte stack — so the steady-state get/put cycle
+// moves slice headers only: no interface boxing, no per-cycle
+// allocation (sync.Pool alone costs one *[]byte box per recycle, which
+// at collective rates is an allocation per segment). A bounded freelist
+// overflows into a sync.Pool tier so bursts beyond the cap still
+// recycle, with GC-driven eviction reclaiming them under memory
+// pressure. Requests above the largest class fall back to plain
+// allocation; Puts of foreign or undersized slices are dropped, never
+// retained, so the pool cannot be poisoned by odd capacities.
 //
 // Ownership discipline: a buffer obtained from GetBuf is owned by exactly
 // one party at a time. Callers Put only buffers they own and must not
@@ -36,7 +42,64 @@ const (
 	numBufClasses   = maxBufClassBits - minBufClassBits + 1
 )
 
-var bufClasses [numBufClasses]sync.Pool
+// bufFreelist is one class's typed fast path. Pops and pushes move
+// slice headers in and out of a reused backing array — zero allocations
+// once the stack's array has grown to its high-water mark (bounded by
+// the class cap).
+type bufFreelist struct {
+	mu   sync.Mutex
+	bufs [][]byte
+	cap  int
+}
+
+var (
+	bufFree    [numBufClasses]bufFreelist
+	bufClasses [numBufClasses]sync.Pool // overflow tier, GC-evictable
+)
+
+func init() {
+	// Bound each freelist to ~8 MB of retained capacity, but always allow
+	// at least one resident buffer and never more than 64 — small classes
+	// are cheap to retain, the 64 MB class keeps exactly one.
+	const retainBudget = 8 << 20
+	for cls := range bufFree {
+		c := retainBudget / (1 << (cls + minBufClassBits))
+		if c < 1 {
+			c = 1
+		}
+		if c > 64 {
+			c = 64
+		}
+		bufFree[cls].cap = c
+	}
+}
+
+// pop takes a full-capacity buffer off the freelist, or nil.
+func (fl *bufFreelist) pop() []byte {
+	fl.mu.Lock()
+	n := len(fl.bufs)
+	if n == 0 {
+		fl.mu.Unlock()
+		return nil
+	}
+	b := fl.bufs[n-1]
+	fl.bufs[n-1] = nil
+	fl.bufs = fl.bufs[:n-1]
+	fl.mu.Unlock()
+	return b
+}
+
+// push retains a full-capacity buffer if the class has room.
+func (fl *bufFreelist) push(b []byte) bool {
+	fl.mu.Lock()
+	if len(fl.bufs) >= fl.cap {
+		fl.mu.Unlock()
+		return false
+	}
+	fl.bufs = append(fl.bufs, b)
+	fl.mu.Unlock()
+	return true
+}
 
 // bufClass returns the index of the smallest class with capacity ≥ n, or
 // -1 if n exceeds the largest class.
@@ -63,6 +126,10 @@ func GetBuf(n int) []byte {
 	if cls < 0 {
 		perf.RecordBufGet(false)
 		return make([]byte, n)
+	}
+	if b := bufFree[cls].pop(); b != nil {
+		perf.RecordBufGet(true)
+		return b[:n]
 	}
 	if p, _ := bufClasses[cls].Get().(*[]byte); p != nil {
 		perf.RecordBufGet(true)
@@ -102,7 +169,11 @@ func PutBuf(b []byte) {
 		perf.RecordBufPut(false)
 		return
 	}
-	full := b[:c]
-	bufClasses[cls].Put(&full)
+	if !bufFree[cls].push(b[:c]) {
+		// Overflow tier only: the boxed header is declared here so the
+		// freelist fast path stays allocation-free.
+		full := b[:c]
+		bufClasses[cls].Put(&full)
+	}
 	perf.RecordBufPut(true)
 }

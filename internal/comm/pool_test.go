@@ -162,6 +162,24 @@ func TestPoolReuse(t *testing.T) {
 	PutBuf(c)
 }
 
+// TestSegmentPoolZeroAlloc pins the freelist fast path: a steady-state
+// get/put cycle must not allocate — no sync.Pool interface boxing, no
+// slice-header heap escapes. One warm-up cycle seeds the freelist.
+func TestSegmentPoolZeroAlloc(t *testing.T) {
+	for _, n := range []int{256, 8 << 10, 128 << 10} {
+		n := n
+		PutBuf(GetBuf(n)) // warm the class
+		allocs := testing.AllocsPerRun(100, func() {
+			b := GetBuf(n)
+			b[0] = 1
+			PutBuf(b)
+		})
+		if allocs != 0 {
+			t.Errorf("GetBuf/PutBuf(%d): %.1f allocs/op, want 0", n, allocs)
+		}
+	}
+}
+
 // BenchmarkSegmentPool measures a pooled get/put cycle at the default
 // 128 KB pipeline segment size — the allocation pattern of every
 // real-payload collective.

@@ -7,6 +7,7 @@ import (
 	"adapt/internal/comm"
 	"adapt/internal/faults"
 	"adapt/internal/perf"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -35,7 +36,7 @@ func (c *Comm) peerLost(rank int, cause error) {
 	if tb := c.cfg.traceBuf; tb != nil {
 		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Crash, Peer: rank})
 	}
-	c.peers[rank].markDead(cause)
+	c.sched.markDead(rank, cause)
 	time.AfterFunc(c.cfg.rec.SuspectAfter, func() {
 		if c.isClosed() {
 			return
@@ -60,14 +61,12 @@ func (c *Comm) confirmDeath(rank int) {
 
 	// Rendezvous sends parked on a grant that will never come.
 	for xid, req := range c.sendPend {
-		if req.dst != rank {
+		if req.Dst != rank {
 			continue
 		}
 		delete(c.sendPend, xid)
-		req.done = true
-		req.status = comm.Status{Source: c.rank, Tag: req.tag,
-			Err: &faults.TimeoutError{Rank: c.rank, Peer: rank, Tag: req.tag, Attempts: 1}}
-		c.finishLocked(req)
+		req.Complete(comm.Status{Source: c.rank, Tag: req.Tag,
+			Err: &faults.TimeoutError{Rank: c.rank, Peer: rank, Tag: req.Tag, Attempts: 1}})
 	}
 	// Matched receives parked on a payload that will never stream.
 	for xid, pl := range c.pulls {
@@ -75,22 +74,16 @@ func (c *Comm) confirmDeath(rank int) {
 			c.failPullLocked(xid)
 		}
 	}
+	c.mu.Unlock()
+
 	// Rendezvous announcements from the dead peer still sitting unexpected
 	// can never be granted; drop them so a later Irecv does not park
 	// forever on a dead sender.
-	keep := c.unexpected[:0]
-	for _, env := range c.unexpected {
-		if env.src == rank && env.rdv {
-			continue
-		}
-		keep = append(keep, env)
-	}
-	c.unexpected = keep
+	c.eng.DropUnexpected(func(env *progress.Env) bool {
+		return env.Src == rank && env.Rdv
+	})
 
-	c.notices = append(c.notices, comm.Notice{Kind: comm.NoticeDeath, Rank: rank})
-	c.noticeSeq++
-	c.mu.Unlock()
-
+	c.eng.PushNotice(comm.Notice{Kind: comm.NoticeDeath, Rank: rank})
 	perf.RecordDetectorConfirm()
 	perf.RecordTreeRepair()
 	if tb := c.cfg.traceBuf; tb != nil {
@@ -138,17 +131,27 @@ func (c *Comm) noteSend() {
 // die is the fail-stop half of a crash: every connection is cut without
 // the Bye handshake, so peers observe exactly what a killed process
 // leaves behind. The dying endpoint marks itself closed first so its own
-// readers observing the teardown never feed the (now moot) detector.
+// I/O loop observing the teardown never feeds the (now moot) detector.
 func (c *Comm) die() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
-	for _, p := range c.peers {
-		if p == nil {
+	// Kill every send queue (backlogs dispose, the writer drains and
+	// exits), stop the readiness loop, then cut the sockets. The loop must
+	// stop before the raw fds close.
+	c.sched.markAllDead(errCrashed{})
+	c.sched.closeAll()
+	if c.io != nil {
+		c.io.stop()
+	}
+	for _, cs := range c.conns {
+		if cs == nil {
 			continue
 		}
-		p.markDead(errCrashed{})
-		p.conn.Close()
+		cs.conn.Close()
+		if cs.file != nil {
+			cs.file.Close()
+		}
 	}
 	if c.ln != nil {
 		c.ln.Close()
@@ -160,8 +163,9 @@ type errCrashed struct{}
 func (errCrashed) Error() string { return "nettransport: rank crashed (fail-stop)" }
 
 // Close performs the clean shutdown handshake: a Bye frame to every live
-// peer, writers drained, sockets closed. After Close the endpoint must
-// not be used. Losses observed during teardown never count as deaths.
+// peer, the send scheduler drained, the readiness loop stopped, sockets
+// closed. After Close the endpoint must not be used. Losses observed
+// during teardown never count as deaths.
 func (c *Comm) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -170,19 +174,25 @@ func (c *Comm) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	for _, p := range c.peers {
-		if p == nil {
+	for r, cs := range c.conns {
+		if cs == nil {
 			continue
 		}
-		p.enqueue(outFrame{hdr: encodeBye()})
-		p.closeQueue()
+		c.sched.enqueue(r, outFrame{hdr: encodeBye()})
 	}
-	for _, p := range c.peers {
-		if p == nil {
+	c.sched.closeAll()
+	<-c.sched.done // writer flushed (or gave up); the Byes are on the wire
+	if c.io != nil {
+		c.io.stop()
+	}
+	for _, cs := range c.conns {
+		if cs == nil {
 			continue
 		}
-		<-p.done // writer flushed (or gave up); the Bye is on the wire
-		p.conn.Close()
+		cs.conn.Close()
+		if cs.file != nil {
+			cs.file.Close()
+		}
 	}
 	if c.ln != nil {
 		c.ln.Close()
@@ -192,13 +202,7 @@ func (c *Comm) Close() {
 // ---- comm.FailStop implementation ----
 
 // pushNotice appends a control-plane notice and wakes the rank.
-func (c *Comm) pushNotice(n comm.Notice) {
-	c.mu.Lock()
-	c.notices = append(c.notices, n)
-	c.noticeSeq++
-	c.mu.Unlock()
-	c.signal()
-}
+func (c *Comm) pushNotice(n comm.Notice) { c.eng.PushNotice(n) }
 
 // CrashesEnabled reports whether crash rules are armed anywhere in this
 // world — every rank must agree so the FT collectives pick one path.
@@ -214,58 +218,16 @@ func (c *Comm) ConfirmedDead() []bool {
 }
 
 // TakeNotices drains this rank's pending control-plane notices.
-func (c *Comm) TakeNotices() []comm.Notice {
-	c.mu.Lock()
-	out := c.notices
-	c.notices = nil
-	c.mu.Unlock()
-	return out
-}
+func (c *Comm) TakeNotices() []comm.Notice { return c.eng.TakeNotices() }
 
 // WaitEvent blocks until a completion callback fires or a new notice
 // arrives. Legal with no operation in flight.
-func (c *Comm) WaitEvent() {
-	c.mu.Lock()
-	start := c.noticeSeq
-	c.mu.Unlock()
-	for {
-		if c.fireCallbacks(c.popCallbacks()) > 0 {
-			return
-		}
-		c.mu.Lock()
-		advanced := c.noticeSeq > start
-		c.mu.Unlock()
-		if advanced {
-			return
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitEvent() { c.eng.WaitEvent() }
 
 // CancelRecv retracts a posted, unmatched receive. Returns false when
 // the receive already matched (its callback still fires — with the
 // payload, or with the structured error its sender's death produces).
-func (c *Comm) CancelRecv(r comm.Request) bool {
-	req := r.(*request)
-	if req.c != c || req.isSend {
-		panic("nettransport: CancelRecv on foreign or send request")
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if req.done {
-		return false
-	}
-	for i, q := range c.posted {
-		if q == req {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			req.done = true
-			req.cb = nil
-			c.pendingOps--
-			return true
-		}
-	}
-	return false
-}
+func (c *Comm) CancelRecv(r comm.Request) bool { return c.eng.CancelRecv(r) }
 
 // Commit fans a NoticeCommit out to every live rank. Counts as a send
 // initiation, so a crash scheduled at the root's commit point fires here.
@@ -275,10 +237,10 @@ func (c *Comm) Commit(seq int, survivors []bool) {
 	c.mu.Lock()
 	down := append([]bool(nil), c.peerDown...)
 	c.mu.Unlock()
-	for r, p := range c.peers {
-		if p == nil || down[r] {
+	for r, cs := range c.conns {
+		if cs == nil || down[r] {
 			continue
 		}
-		p.enqueue(outFrame{hdr: append([]byte(nil), frame...)})
+		c.sched.enqueue(r, outFrame{hdr: append([]byte(nil), frame...)})
 	}
 }

@@ -1,0 +1,68 @@
+package nettransport
+
+import (
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+// TestGoroutineFootprint gates the readiness-loop architecture: a live
+// n-rank world must run on O(1) I/O goroutines per endpoint (one send
+// scheduler plus, on Linux, one epoll loop — NOT a reader/writer pair
+// per peer connection), and tearing the world down must release every
+// goroutine it started.
+func TestGoroutineFootprint(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	const n = 6
+	w, err := NewLocalWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			w.Close()
+		}
+	}()
+
+	// Traffic over both protocols so every loop is demonstrably live.
+	tagE, tagR := comm.Tag(1), comm.Tag(2)
+	w.WithRunTimeout(20 * time.Second).Run(func(c *Comm) {
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		se := c.Isend(next, tagE, comm.Sized(512))
+		sr := c.Isend(next, tagR, comm.Sized(DefaultEagerLimit*4))
+		c.Recv(prev, tagE)
+		c.Recv(prev, tagR)
+		c.WaitAll([]comm.Request{se, sr})
+	})
+
+	if goruntime.GOOS == "linux" {
+		// Steady state: per endpoint one sendSched.run plus one epoll loop.
+		// Everything else (mesh dial/accept helpers, Run bodies) has exited.
+		budget := base + 2*n + 4 // slack for runtime-internal goroutines
+		if got := goruntime.NumGoroutine(); got > budget {
+			t.Errorf("world of %d ranks holds %d goroutines (baseline %d, budget %d): I/O is not O(1) per endpoint",
+				n, got, base, budget)
+		}
+	}
+
+	w.Close()
+	closed = true
+	// Teardown releases the schedulers and I/O loops; give the runtime a
+	// moment to retire them before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := goruntime.NumGoroutine(); got <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:goruntime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+				goruntime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

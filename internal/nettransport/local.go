@@ -136,16 +136,18 @@ func (w *LocalWorld) Run(body func(c *Comm)) {
 func (w *LocalWorld) pendingDump() string {
 	var b strings.Builder
 	for _, c := range w.comms {
+		pending, posted, unexpected := c.eng.Snapshot()
 		c.mu.Lock()
-		fmt.Fprintf(&b, "rank %d: %d pending ops, %d posted recvs, %d unexpected, %d rdv sends, %d rdv pulls\n",
-			c.rank, c.pendingOps, len(c.posted), len(c.unexpected), len(c.sendPend), len(c.pulls))
-		for _, req := range c.posted {
-			fmt.Fprintf(&b, "  posted recv src=%d tag=%v\n", req.src, req.tag)
-		}
-		for _, env := range c.unexpected {
-			fmt.Fprintf(&b, "  unexpected src=%d tag=%v rdv=%v\n", env.src, env.tag, env.rdv)
-		}
+		sendPend, pulls := len(c.sendPend), len(c.pulls)
 		c.mu.Unlock()
+		fmt.Fprintf(&b, "rank %d: %d pending ops, %d posted recvs, %d unexpected, %d rdv sends, %d rdv pulls\n",
+			c.rank, pending, len(posted), len(unexpected), sendPend, pulls)
+		for _, req := range posted {
+			fmt.Fprintf(&b, "  posted recv src=%d tag=%v\n", req.Src, req.Tag)
+		}
+		for _, env := range unexpected {
+			fmt.Fprintf(&b, "  unexpected src=%d tag=%v rdv=%v\n", env.Src, env.Tag, env.Rdv)
+		}
 	}
 	return b.String()
 }

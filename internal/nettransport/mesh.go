@@ -1,8 +1,9 @@
 package nettransport
 
 import (
-	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -44,10 +45,32 @@ func dialPeer(addr string, selfRank int, rec faults.Recovery) (net.Conn, error) 
 	return nil, fmt.Errorf("nettransport: dial %s: %d attempts exhausted: %w", addr, rec.MaxAttempts, lastErr)
 }
 
+// readIdent consumes exactly the ident frame from a freshly accepted
+// connection — no over-read, so the conn can be handed to the readiness
+// loop with nothing buffered in user space.
+func readIdent(conn net.Conn) (int, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(conn, pfx[:]); err != nil {
+		return -1, err
+	}
+	n := int(binary.LittleEndian.Uint32(pfx[:]))
+	if n != 5 {
+		return -1, fmt.Errorf("nettransport: ident frame body %d bytes, want 5", n)
+	}
+	var body [5]byte
+	if _, err := io.ReadFull(conn, body[:]); err != nil {
+		return -1, err
+	}
+	if body[0] != frameIdent {
+		return -1, fmt.Errorf("nettransport: first frame type %d, want ident", body[0])
+	}
+	return int(binary.LittleEndian.Uint32(body[1:5])), nil
+}
+
 // joinMesh wires c to every peer given the full address map (indexed by
 // rank). c's own listener must already be bound at addrs[c.rank]. On
-// return every peer connection is established and its reader/writer
-// goroutines are running.
+// return every peer connection is established and the endpoint's send
+// scheduler and readiness loop are running.
 func (c *Comm) joinMesh(addrs []string) error {
 	if len(addrs) != c.size {
 		return fmt.Errorf("nettransport: address map has %d entries for a %d-rank world", len(addrs), c.size)
@@ -78,24 +101,18 @@ func (c *Comm) joinMesh(addrs []string) error {
 				tc.SetNoDelay(true)
 			}
 			go func(conn net.Conn) {
-				br := bufio.NewReaderSize(conn, 64*1024)
-				m, err := readFrame(br)
-				if err != nil || m.ftype != frameIdent {
+				rank, err := readIdent(conn)
+				if err != nil {
 					conn.Close()
 					results <- dialed{rank: -1, err: fmt.Errorf("nettransport: bad ident handshake: %v", err)}
 					return
 				}
-				if m.rank <= c.rank || m.rank >= c.size {
+				if rank <= c.rank || rank >= c.size {
 					conn.Close()
-					results <- dialed{rank: -1, err: fmt.Errorf("nettransport: ident from unexpected rank %d", m.rank)}
+					results <- dialed{rank: -1, err: fmt.Errorf("nettransport: ident from unexpected rank %d", rank)}
 					return
 				}
-				if n := br.Buffered(); n > 0 {
-					// Frames already behind the ident must not be lost when we
-					// hand the raw conn to the peer's own buffered reader.
-					conn = &bufferedConn{Conn: conn, head: br}
-				}
-				results <- dialed{rank: m.rank, conn: conn}
+				results <- dialed{rank: rank, conn: conn}
 			}(conn)
 		}
 	}()
@@ -104,32 +121,17 @@ func (c *Comm) joinMesh(addrs []string) error {
 		if d.err != nil {
 			return d.err
 		}
-		if c.peers[d.rank] != nil {
+		if c.conns[d.rank] != nil {
 			return fmt.Errorf("nettransport: duplicate connection for rank %d", d.rank)
 		}
-		c.peers[d.rank] = newPeer(c, d.rank, d.conn)
+		c.conns[d.rank] = newConnState(d.rank, d.conn)
 	}
-	for _, p := range c.peers {
-		if p != nil {
-			p.start()
-		}
+	c.sched = newSendSched(c)
+	go c.sched.run()
+	io, err := startIO(c)
+	if err != nil {
+		return err
 	}
+	c.io = io
 	return nil
-}
-
-// bufferedConn replays bytes the ident handshake over-read before
-// falling through to the socket.
-type bufferedConn struct {
-	net.Conn
-	head *bufio.Reader
-}
-
-func (b *bufferedConn) Read(p []byte) (int, error) {
-	if b.head != nil {
-		if n := b.head.Buffered(); n > 0 {
-			return b.head.Read(p[:min(len(p), n)])
-		}
-		b.head = nil
-	}
-	return b.Conn.Read(p)
 }

@@ -3,16 +3,23 @@
 // one process) and point-to-point traffic travels over TCP as
 // length-prefixed frames carrying (tag, xid, payload).
 //
-// It implements comm.Comm with the same matching-engine semantics as
-// internal/runtime — posted-receive queue, unexpected-message queue,
-// eager and rendezvous (RTS/CTS) protocols, completion callbacks fired
-// from the owner's progress loop — so every collective in internal/coll
-// and internal/core runs on it unchanged. Where the runtime moves
-// payloads between goroutines, this substrate serializes them through
-// sockets: eager messages ship their bytes with the announcement, large
-// messages announce first (RTS) and stream the payload only after the
-// receiver matches and grants (CTS), which keeps unexpected-queue memory
-// bounded by announcements rather than payloads.
+// It implements comm.Comm through the shared matching core in
+// internal/progress — the same posted-receive queue, unexpected-message
+// queue, eager and rendezvous (RTS/CTS) protocols, and completion
+// callbacks as the other substrates — so every collective in
+// internal/coll and internal/core runs on it unchanged. Where the
+// runtime moves payloads between goroutines, this substrate serializes
+// them through sockets: eager messages ship their bytes with the
+// announcement, large messages announce first (RTS) and stream the
+// payload only after the receiver matches and grants (CTS), which keeps
+// unexpected-queue memory bounded by announcements rather than payloads.
+//
+// I/O is readiness-driven, not goroutine-per-peer: each endpoint runs
+// ONE reader (an epoll loop multiplexing every peer connection with
+// non-blocking reads, see ioloop_linux.go) and ONE writer (a send
+// scheduler draining per-peer queues round-robin with writev-coalesced
+// batches, see sendsched.go), so the goroutine count is O(1) per
+// endpoint regardless of world size.
 //
 // Fail-stop semantics come from the sockets themselves: a peer that
 // vanishes without the clean Bye handshake trips a lease-based failure
@@ -31,6 +38,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -120,51 +128,10 @@ func WithDeathHook(f func(rank int)) Option {
 	return func(c *config) { c.onPeerDeath = f }
 }
 
-// envelope is a message announcement at the receiver: an eager envelope
-// already owns its payload copy, a rendezvous envelope holds only the
-// header until the payload is granted and streamed.
-type envelope struct {
-	src     int
-	tag     comm.Tag
-	msg     comm.Msg
-	rdv     bool // rendezvous: payload still at the sender
-	hasData bool // the transfer carries real bytes (vs payload-elided)
-	xid     uint64
-}
-
-// request implements comm.Request. All mutable state is guarded by the
-// owner rank's mutex.
-type request struct {
-	c      *Comm
-	isSend bool
-	done   bool
-	status comm.Status
-	cb     func(comm.Status)
-
-	src int // posted-receive source (AnySource ok)
-	tag comm.Tag
-
-	dst int      // rendezvous send destination
-	msg comm.Msg // rendezvous send payload (referenced until granted)
-	xid uint64   // rendezvous transfer id
-
-	postID  uint64 // causal trace ids; 0 when tracing is off
-	matchID uint64
-	doneID  uint64
-}
-
-func (r *request) Test() (comm.Status, bool) {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	return r.status, r.done
-}
-
-func (r *request) IsSend() bool { return r.isSend }
-
 // rdvPull is a matched rendezvous receive parked until the payload frame
 // arrives (or the sender's death fails it).
 type rdvPull struct {
-	req     *request
+	req     *progress.Req
 	src     int
 	tag     comm.Tag
 	size    int
@@ -172,27 +139,27 @@ type rdvPull struct {
 }
 
 // Comm is one rank's endpoint. Its blocking methods must be called from
-// the rank's own goroutine; frame delivery runs on per-connection reader
-// goroutines.
+// the rank's own goroutine; frame delivery runs on the endpoint's single
+// I/O loop goroutine.
 type Comm struct {
 	rank, size int
 	cfg        config
 	ln         net.Listener
-	peers      []*peer // peers[rank] == nil
+	conns      []*connState // conns[rank] == nil
+	sched      *sendSched
+	io         ioLoop // platform readiness loop (see ioloop_*.go)
 
-	mu             sync.Mutex
-	posted         []*request
-	unexpected     []*envelope
-	cbQueue        []*request
-	completedCount uint64
-	pendingOps     int
-	notices        []comm.Notice
-	noticeSeq      uint64
-	sendPend       map[uint64]*request // xid → rendezvous send awaiting CTS
-	pulls          map[uint64]*rdvPull // xid → matched recv awaiting DATA
-	peerDown       []bool              // connection lost (death suspected)
-	confirmed      []bool              // detector-confirmed deaths
-	closed         bool                // clean shutdown begun; losses are expected
+	eng *progress.Engine
+
+	// mu guards the wire-protocol state below. Lock order: c.mu may be
+	// held around engine calls (substrate lock → engine lock), never the
+	// reverse.
+	mu        sync.Mutex
+	sendPend  map[uint64]*progress.Req // xid → rendezvous send awaiting CTS
+	pulls     map[uint64]*rdvPull      // xid → matched recv awaiting DATA
+	peerDown  []bool                   // connection lost (death suspected)
+	confirmed []bool                   // detector-confirmed deaths
+	closed    bool                     // clean shutdown begun; losses are expected
 
 	xidNext uint64 // owner-goroutine only
 
@@ -200,9 +167,6 @@ type Comm struct {
 	crashAfter int // send initiations before this rank dies; -1 = never
 	sendsSeen  int
 	deadSelf   bool
-
-	// curCause is the rank's causal trace context; owner-goroutine only.
-	curCause uint64
 
 	wake chan struct{}
 }
@@ -217,14 +181,23 @@ var (
 func newComm(rank, size int, ln net.Listener, cfg config) *Comm {
 	c := &Comm{
 		rank: rank, size: size, cfg: cfg, ln: ln,
-		peers:      make([]*peer, size),
-		sendPend:   make(map[uint64]*request),
+		conns:      make([]*connState, size),
+		sendPend:   make(map[uint64]*progress.Req),
 		pulls:      make(map[uint64]*rdvPull),
 		peerDown:   make([]bool, size),
 		confirmed:  make([]bool, size),
 		crashAfter: -1,
 		wake:       make(chan struct{}, 1),
 	}
+	c.eng = progress.New(progress.Backend{
+		Prefix:  "nettransport",
+		Rank:    rank,
+		Now:     c.Now,
+		Trace:   func() *trace.Buffer { return c.cfg.traceBuf },
+		Wake:    c.signal,
+		Block:   func() { <-c.wake },
+		OnMatch: c.onMatch,
+	})
 	for _, cr := range cfg.crashPlan {
 		if cr.Rank == rank {
 			c.crashAfter = cr.AfterSends
@@ -252,28 +225,17 @@ func (c *Comm) Now() time.Duration { return time.Since(c.cfg.start) }
 // real by the caller.
 func (c *Comm) Compute(n int, kind comm.ComputeKind) {}
 
+// AttachProgressNotifier wires a scheduler notifier to this endpoint's
+// engine (see progress.Scheduler).
+func (c *Comm) AttachProgressNotifier(n *progress.Notifier) { c.eng.AttachNotifier(n) }
+
 // TraceEmit implements trace.Emitter: wall-clock offsets, rank identity,
 // Parent defaulted to the causal context. Returns 0 when tracing is off.
-func (c *Comm) TraceEmit(r trace.Record) uint64 {
-	tb := c.cfg.traceBuf
-	if tb == nil {
-		return 0
-	}
-	r.At = c.Now()
-	r.Rank = c.rank
-	if r.Parent == 0 {
-		r.Parent = c.curCause
-	}
-	return tb.Add(r)
-}
+func (c *Comm) TraceEmit(r trace.Record) uint64 { return c.eng.TraceEmit(r) }
 
 // TraceSetCause installs id as the rank's causal context and returns the
 // previous one. Owner-goroutine only.
-func (c *Comm) TraceSetCause(id uint64) uint64 {
-	prev := c.curCause
-	c.curCause = id
-	return prev
-}
+func (c *Comm) TraceSetCause(id uint64) uint64 { return c.eng.TraceSetCause(id) }
 
 // signal wakes the owner if it is blocked in a wait loop.
 func (c *Comm) signal() {
@@ -281,58 +243,6 @@ func (c *Comm) signal() {
 	case c.wake <- struct{}{}:
 	default:
 	}
-}
-
-// complete finishes req. Callable from any goroutine; takes the owner's
-// lock.
-func (req *request) complete(st comm.Status) {
-	c := req.c
-	c.mu.Lock()
-	if req.done {
-		c.mu.Unlock()
-		panic("nettransport: request completed twice")
-	}
-	req.done = true
-	req.status = st
-	if tb := c.cfg.traceBuf; tb != nil {
-		kind := trace.RecvDone
-		if req.isSend {
-			kind = trace.SendDone
-		}
-		req.doneID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: kind,
-			Peer: st.Source, Tag: st.Tag, Size: st.Msg.Size,
-			Parent: req.postID, Link: req.matchID})
-	}
-	c.completedCount++
-	c.pendingOps--
-	if req.cb != nil {
-		c.cbQueue = append(c.cbQueue, req)
-	}
-	c.mu.Unlock()
-	c.signal()
-}
-
-// popCallbacks atomically takes the ready-callback batch.
-func (c *Comm) popCallbacks() []*request {
-	c.mu.Lock()
-	batch := c.cbQueue
-	c.cbQueue = nil
-	c.mu.Unlock()
-	return batch
-}
-
-// fireCallbacks runs a batch on the owner goroutine; the completion a
-// callback reacts to becomes the rank's causal context (see runtime).
-func (c *Comm) fireCallbacks(batch []*request) int {
-	for _, req := range batch {
-		cb := req.cb
-		req.cb = nil
-		if req.doneID != 0 {
-			c.curCause = req.doneID
-		}
-		cb(req.status)
-	}
-	return len(batch)
 }
 
 // Isend starts a non-blocking send. Messages at or below the eager limit
@@ -344,159 +254,97 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 		panic(fmt.Sprintf("nettransport: send to rank %d of %d", dst, c.size))
 	}
 	c.noteSend() // crash point: the rank may die initiating this send
-	req := &request{c: c, isSend: true, dst: dst}
-	if tb := c.cfg.traceBuf; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
-	}
-	c.mu.Lock()
-	c.pendingOps++
-	c.mu.Unlock()
+	req := c.eng.StartSend(dst, tag, msg.Size)
 	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
 	if dst == c.rank {
 		panic("nettransport: self-send (collectives never send to self)")
 	}
-	p := c.peers[dst]
 	c.xidNext++
 	xid := c.xidNext
 	if msg.Size <= c.cfg.eagerLimit {
 		// Eager: snapshot the payload (the sender may reuse its buffer as
-		// soon as we return) into a pooled buffer the writer releases after
-		// the frame hits the socket, and complete immediately. A dead peer
-		// swallows the frame — eager sends never fail, mirroring runtime.
+		// soon as we return) into a pooled buffer the scheduler releases
+		// after the frame hits the socket, and complete immediately. A dead
+		// peer swallows the frame — eager sends never fail, mirroring
+		// runtime.
 		var payload []byte
 		if msg.Data != nil {
 			payload = comm.GetBuf(len(msg.Data))
 			copy(payload, msg.Data)
 		}
 		hdr := encodeEagerHdr(frameEager, tag, xid, msg.Size, len(payload), msg.Data != nil)
-		p.enqueue(outFrame{hdr: hdr, payload: payload, pooled: true})
-		req.complete(st)
+		c.sched.enqueue(dst, outFrame{hdr: hdr, payload: payload, pooled: true})
+		req.Complete(st)
 		return req
 	}
 	// Rendezvous: register the transfer, announce, and wait for the grant.
 	// The user buffer is referenced — not copied — until the payload frame
 	// has been written, which is exactly when the request completes.
-	req.msg = msg
-	req.xid = xid
-	req.tag = tag
+	req.Msg = msg
+	req.Xid = xid
+	req.Tag = tag
 	c.mu.Lock()
 	if c.confirmed[dst] {
 		// The detector already declared the peer dead: fail fast with the
 		// same structured error an exhausted retry chain produces.
 		c.mu.Unlock()
-		req.complete(comm.Status{Source: c.rank, Tag: tag,
+		req.Complete(comm.Status{Source: c.rank, Tag: tag,
 			Err: &faults.TimeoutError{Rank: c.rank, Peer: dst, Tag: tag, Attempts: 1}})
 		return req
 	}
 	c.sendPend[xid] = req
 	c.mu.Unlock()
 	hdr := encodeEagerHdr(frameRTS, tag, xid, msg.Size, 0, msg.Data != nil)
-	p.enqueue(outFrame{hdr: hdr})
+	c.sched.enqueue(dst, outFrame{hdr: hdr})
 	return req
 }
 
 // Irecv posts a non-blocking receive.
 func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
-	req := &request{c: c, src: src, tag: tag}
-	if tb := c.cfg.traceBuf; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.RecvPost,
-			Peer: src, Tag: tag, Parent: c.curCause})
-	}
-	c.mu.Lock()
-	c.pendingOps++
-	for i, env := range c.unexpected {
-		if req.matches(env) {
-			c.unexpected = append(c.unexpected[:i:i], c.unexpected[i+1:]...)
-			c.consumeLocked(req, env)
-			c.mu.Unlock()
-			return req
-		}
-	}
-	c.posted = append(c.posted, req)
-	c.mu.Unlock()
-	return req
+	return c.eng.PostRecv(src, tag, comm.MemDefault)
 }
 
-func (req *request) matches(env *envelope) bool {
-	return (req.src == comm.AnySource || req.src == env.src) && req.tag.Matches(env.tag)
-}
-
-// deliver matches an incoming envelope against posted receives or parks
-// it in the unexpected queue. Runs on the connection's reader goroutine.
-func (c *Comm) deliver(env *envelope) {
-	c.mu.Lock()
-	for i, req := range c.posted {
-		if req.matches(env) {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			c.consumeLocked(req, env)
-			c.mu.Unlock()
-			return
-		}
-	}
-	c.unexpected = append(c.unexpected, env)
-	c.mu.Unlock()
-	c.signal() // wake a blocked Probe
-}
-
-// consumeLocked pairs a receive with a matched envelope; c.mu is held.
-// Eager envelopes complete the receive immediately (they own their
-// payload); rendezvous envelopes park the receive and grant the sender.
-func (c *Comm) consumeLocked(req *request, env *envelope) {
-	if !env.rdv {
-		req.done = true
-		req.status = comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg}
-		c.finishLocked(req)
+// onMatch pairs a receive with a matched envelope. Eager envelopes
+// complete the receive immediately (they own their payload, delivered
+// pooled straight off the read path); rendezvous envelopes park the
+// receive as a pull and grant the sender.
+func (c *Comm) onMatch(req *progress.Req, env *progress.Env, wasUnexpected bool) {
+	if !env.Rdv {
+		req.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Msg: env.Msg})
 		return
 	}
-	c.pulls[env.xid] = &rdvPull{req: req, src: env.src, tag: env.tag,
-		size: env.msg.Size, hasData: env.hasData}
-	if c.confirmed[env.src] || c.peerDown[env.src] {
+	c.mu.Lock()
+	c.pulls[env.Xid] = &rdvPull{req: req, src: env.Src, tag: env.Tag,
+		size: env.Msg.Size, hasData: env.HasData}
+	if c.confirmed[env.Src] || c.peerDown[env.Src] {
 		// The sender is already gone; the grant would go nowhere. Fail the
 		// receive through the same path its death notice would take.
-		c.failPullLocked(env.xid)
+		c.failPullLocked(env.Xid)
+		c.mu.Unlock()
 		return
 	}
-	c.peers[env.src].enqueue(outFrame{hdr: encodeCTS(env.xid)})
-}
-
-// finishLocked completes req under c.mu (deliver-path completions hold
-// the lock through matching; complete() is for lock-free callers).
-func (c *Comm) finishLocked(req *request) {
-	if tb := c.cfg.traceBuf; tb != nil {
-		kind := trace.RecvDone
-		if req.isSend {
-			kind = trace.SendDone
-		}
-		req.doneID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: kind,
-			Peer: req.status.Source, Tag: req.status.Tag, Size: req.status.Msg.Size,
-			Parent: req.postID, Link: req.matchID})
-	}
-	c.completedCount++
-	c.pendingOps--
-	if req.cb != nil {
-		c.cbQueue = append(c.cbQueue, req)
-	}
-	c.signal()
+	c.mu.Unlock()
+	// A death confirmed between the unlock and this enqueue is still safe:
+	// the confirm sweep saw the registered pull and failed it; the dead
+	// queue drops the grant on the floor.
+	c.sched.enqueue(env.Src, outFrame{hdr: encodeCTS(env.Xid)})
 }
 
 // failPullLocked fails a parked rendezvous receive whose sender died;
-// c.mu is held.
+// c.mu is held (completion takes the engine lock underneath it).
 func (c *Comm) failPullLocked(xid uint64) {
 	pl := c.pulls[xid]
 	if pl == nil {
 		return
 	}
 	delete(c.pulls, xid)
-	pl.req.done = true
-	pl.req.status = comm.Status{Source: pl.src, Tag: pl.tag,
-		Err: &faults.TimeoutError{Rank: c.rank, Peer: pl.src, Tag: pl.tag, Attempts: 1}}
-	c.finishLocked(pl.req)
+	pl.req.Complete(comm.Status{Source: pl.src, Tag: pl.tag,
+		Err: &faults.TimeoutError{Rank: c.rank, Peer: pl.src, Tag: pl.tag, Attempts: 1}})
 }
 
 // onCTS resolves a clear-to-send grant: stream the payload. Runs on the
-// granting peer's reader goroutine.
-func (c *Comm) onCTS(p *peer, xid uint64) {
+// I/O loop goroutine.
+func (c *Comm) onCTS(src int, xid uint64) {
 	c.mu.Lock()
 	req := c.sendPend[xid]
 	if req == nil {
@@ -506,23 +354,23 @@ func (c *Comm) onCTS(p *peer, xid uint64) {
 	delete(c.sendPend, xid)
 	c.mu.Unlock()
 	var payload []byte
-	if req.msg.Data != nil {
-		payload = req.msg.Data
+	if req.Msg.Data != nil {
+		payload = req.Msg.Data
 	}
-	st := comm.Status{Source: c.rank, Tag: req.tag, Msg: req.msg}
-	p.enqueue(outFrame{hdr: encodeDataHdr(xid, len(payload)), payload: payload,
+	st := comm.Status{Source: c.rank, Tag: req.Tag, Msg: req.Msg}
+	c.sched.enqueue(src, outFrame{hdr: encodeDataHdr(xid, len(payload)), payload: payload,
 		done: func(err error) {
 			if err != nil {
 				st = comm.Status{Source: c.rank, Tag: st.Tag,
-					Err: &faults.TimeoutError{Rank: c.rank, Peer: p.rank, Tag: st.Tag, Attempts: 1}}
+					Err: &faults.TimeoutError{Rank: c.rank, Peer: src, Tag: st.Tag, Attempts: 1}}
 			}
-			req.complete(st)
+			req.Complete(st)
 		}})
 }
 
-// onData resolves a rendezvous payload frame. Runs on the sending peer's
-// reader goroutine; the payload buffer is pooled and owned by the
-// receiver from here on.
+// onData resolves a rendezvous payload frame. Runs on the I/O loop
+// goroutine; the payload buffer is pooled and owned by the receiver from
+// here on.
 func (c *Comm) onData(src int, xid uint64, payload []byte) {
 	c.mu.Lock()
 	pl := c.pulls[xid]
@@ -534,6 +382,7 @@ func (c *Comm) onData(src int, xid uint64, payload []byte) {
 		return
 	}
 	delete(c.pulls, xid)
+	c.mu.Unlock()
 	msg := comm.Msg{Size: pl.size}
 	if pl.hasData {
 		if payload == nil {
@@ -543,10 +392,7 @@ func (c *Comm) onData(src int, xid uint64, payload []byte) {
 	} else if payload != nil {
 		comm.PutBuf(payload)
 	}
-	pl.req.done = true
-	pl.req.status = comm.Status{Source: pl.src, Tag: pl.tag, Msg: msg}
-	c.finishLocked(pl.req)
-	c.mu.Unlock()
+	pl.req.Complete(comm.Status{Source: pl.src, Tag: pl.tag, Msg: msg})
 }
 
 // Send performs a blocking send: for rendezvous-size messages it returns
@@ -558,27 +404,13 @@ func (c *Comm) Send(dst int, tag comm.Tag, msg comm.Msg) {
 // Iprobe reports whether a message matching (src, tag) has arrived
 // without consuming it. src may be AnySource, tag AnyTag.
 func (c *Comm) Iprobe(src int, tag comm.Tag) (comm.Status, bool) {
-	probe := &request{c: c, src: src, tag: tag}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, env := range c.unexpected {
-		if probe.matches(env) {
-			return comm.Status{Source: env.src, Tag: env.tag,
-				Msg: comm.Msg{Size: env.msg.Size, Space: env.msg.Space}}, true
-		}
-	}
-	return comm.Status{}, false
+	return c.eng.Iprobe(src, tag)
 }
 
 // Probe blocks until a matching message is available, leaving it in the
 // unexpected queue for a later Recv.
 func (c *Comm) Probe(src int, tag comm.Tag) comm.Status {
-	for {
-		if st, ok := c.Iprobe(src, tag); ok {
-			return st
-		}
-		<-c.wake
-	}
+	return c.eng.Probe(src, tag)
 }
 
 // Recv performs a blocking receive.
@@ -587,125 +419,22 @@ func (c *Comm) Recv(src int, tag comm.Tag) comm.Status {
 }
 
 // Wait blocks until r completes, firing ready callbacks meanwhile.
-func (c *Comm) Wait(r comm.Request) comm.Status {
-	req := r.(*request)
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		if st, ok := req.Test(); ok {
-			if req.doneID != 0 {
-				c.curCause = req.doneID
-			}
-			return st
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) Wait(r comm.Request) comm.Status { return c.eng.Wait(r) }
 
 // WaitAll blocks until every request completes; nil entries are skipped.
-func (c *Comm) WaitAll(rs []comm.Request) {
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		alldone := true
-		for _, r := range rs {
-			if r == nil {
-				continue
-			}
-			if _, ok := r.Test(); !ok {
-				alldone = false
-				break
-			}
-		}
-		if alldone {
-			var last uint64
-			for _, r := range rs {
-				if req, ok := r.(*request); ok && req != nil && req.doneID > last {
-					last = req.doneID
-				}
-			}
-			if last != 0 {
-				c.curCause = last
-			}
-			return
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitAll(rs []comm.Request) { c.eng.WaitAll(rs) }
 
 // WaitAny blocks until some live request completes and returns its index;
 // nil entries are skipped.
-func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
-	live := false
-	for _, r := range rs {
-		if r != nil {
-			live = true
-			break
-		}
-	}
-	if !live {
-		panic("nettransport: WaitAny with no live request")
-	}
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		for i, r := range rs {
-			if r == nil {
-				continue
-			}
-			if st, ok := r.Test(); ok {
-				if req, ok := r.(*request); ok && req.doneID != 0 {
-					c.curCause = req.doneID
-				}
-				return i, st
-			}
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) { return c.eng.WaitAny(rs) }
 
 // OnComplete attaches fn to r; it fires on this rank's goroutine from
 // inside Progress or a Wait variant.
-func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) {
-	req := r.(*request)
-	if req.c != c {
-		panic("nettransport: OnComplete on foreign request")
-	}
-	c.mu.Lock()
-	if req.cb != nil {
-		c.mu.Unlock()
-		panic("nettransport: request already has a callback")
-	}
-	req.cb = fn
-	if req.done {
-		c.cbQueue = append(c.cbQueue, req)
-		c.mu.Unlock()
-		c.signal()
-		return
-	}
-	c.mu.Unlock()
-}
+func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) { c.eng.OnComplete(r, fn) }
 
 // TryProgress fires ready callbacks without blocking.
-func (c *Comm) TryProgress() bool {
-	return c.fireCallbacks(c.popCallbacks()) > 0
-}
+func (c *Comm) TryProgress() bool { return c.eng.TryProgress() }
 
 // Progress blocks until at least one completion is processed, fires the
 // ready callbacks, and returns.
-func (c *Comm) Progress() {
-	c.mu.Lock()
-	start := c.completedCount
-	c.mu.Unlock()
-	for {
-		fired := c.fireCallbacks(c.popCallbacks())
-		c.mu.Lock()
-		advanced := c.completedCount > start
-		pending := c.pendingOps
-		c.mu.Unlock()
-		if fired > 0 || advanced {
-			return
-		}
-		if pending == 0 {
-			panic(fmt.Sprintf("nettransport: rank %d progressing with no operation in flight", c.rank))
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) Progress() { c.eng.Progress() }

@@ -139,9 +139,9 @@ func TestZeroSizeAndElided(t *testing.T) {
 	w.Run(func(c *Comm) {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, tagZ, comm.Msg{})                            // zero-size
-			c.Send(1, tagE, comm.Sized(4096))                      // elided eager
-			c.Send(1, tagR, comm.Sized(DefaultEagerLimit*2))       // elided rendezvous
+			c.Send(1, tagZ, comm.Msg{})                      // zero-size
+			c.Send(1, tagE, comm.Sized(4096))                // elided eager
+			c.Send(1, tagR, comm.Sized(DefaultEagerLimit*2)) // elided rendezvous
 		case 1:
 			if st := c.Recv(0, tagZ); st.Msg.Size != 0 || st.Msg.Elided() {
 				t.Errorf("zero-size came back %v", st.Msg)

@@ -1,0 +1,214 @@
+package nettransport
+
+import (
+	"net"
+	"sync"
+
+	"adapt/internal/comm"
+	"adapt/internal/perf"
+)
+
+// outFrame is one queued wire frame: a pre-encoded header plus an
+// optional payload written right behind it. pooled payloads are returned
+// to the buffer pool after the write; done (if set) observes the write's
+// outcome — it is how a rendezvous send completes only once its payload
+// is actually on the wire.
+type outFrame struct {
+	hdr     []byte
+	payload []byte
+	pooled  bool
+	done    func(error)
+}
+
+// sendSched is the endpoint's single socket writer: one goroutine
+// draining per-peer queues round-robin. Each service takes a whole
+// queue's backlog and writes it as one writev (net.Buffers) batch, so
+// frames that pile up while another peer is being served coalesce into
+// one syscall. Queues are unbounded so that the I/O loop (which enqueues
+// CTS grants and DATA frames) never blocks on a socket write — bounded
+// per-peer queues could deadlock two ranks bulk-sending to each other in
+// full duplex.
+type sendSched struct {
+	c *Comm
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	qs      []schedQ
+	closing bool // drain what is queued, then stop
+	rr      int  // next queue to service (fairness cursor)
+
+	done chan struct{} // writer goroutine exited
+
+	bufs net.Buffers // writev scratch, writer-goroutine only
+}
+
+// schedQ is one peer's outbound queue.
+type schedQ struct {
+	frames []outFrame
+	dead   bool  // drop new frames: peer is gone or being torn down
+	closed bool  // no new frames accepted (clean shutdown)
+	werr   error // first write error
+}
+
+func newSendSched(c *Comm) *sendSched {
+	s := &sendSched{c: c, qs: make([]schedQ, c.size), done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue hands a frame to the writer. Frames offered after the peer is
+// dead or closing are dropped — their done hooks still run (with the
+// recorded error) so a rendezvous send never silently leaks its request.
+func (s *sendSched) enqueue(rank int, f outFrame) {
+	s.mu.Lock()
+	q := &s.qs[rank]
+	if q.closed || q.dead {
+		err := errOr(q.werr, net.ErrClosed)
+		s.mu.Unlock()
+		disposeFrame(f, err)
+		return
+	}
+	q.frames = append(q.frames, f)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// markDead flips one queue's drop-frames switch (detector-confirmed
+// death or abrupt local teardown) and disposes its backlog.
+func (s *sendSched) markDead(rank int, err error) {
+	s.mu.Lock()
+	q := &s.qs[rank]
+	q.dead = true
+	if q.werr == nil {
+		q.werr = err
+	}
+	backlog := q.frames
+	q.frames = nil
+	werr := q.werr
+	s.mu.Unlock()
+	for _, f := range backlog {
+		disposeFrame(f, werr)
+	}
+}
+
+// markAllDead kills every queue (fail-stop self-crash).
+func (s *sendSched) markAllDead(err error) {
+	for r := range s.qs {
+		s.markDead(r, err)
+	}
+}
+
+// closeAll stops accepting frames everywhere and asks the writer to
+// drain what is queued and exit.
+func (s *sendSched) closeAll() {
+	s.mu.Lock()
+	for r := range s.qs {
+		s.qs[r].closed = true
+	}
+	s.closing = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// disposeFrame releases a frame that will never reach the wire.
+func disposeFrame(f outFrame, err error) {
+	if f.pooled && f.payload != nil {
+		comm.PutBuf(f.payload)
+	}
+	if f.done != nil {
+		f.done(err)
+	}
+}
+
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}
+
+// run is the writer goroutine: pick the next non-empty queue round-robin,
+// take its whole backlog, write it as one batch, repeat. Exits once
+// closing is set and every queue has drained.
+func (s *sendSched) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		idx := -1
+		for {
+			for i := 0; i < len(s.qs); i++ {
+				r := (s.rr + i) % len(s.qs)
+				if len(s.qs[r].frames) > 0 {
+					idx = r
+					break
+				}
+			}
+			if idx >= 0 || s.closing {
+				break
+			}
+			s.cond.Wait()
+		}
+		if idx < 0 {
+			s.mu.Unlock()
+			return
+		}
+		q := &s.qs[idx]
+		batch := q.frames
+		q.frames = nil
+		dead := q.dead
+		werr := q.werr
+		s.rr = idx + 1
+		s.mu.Unlock()
+
+		if dead {
+			for _, f := range batch {
+				disposeFrame(f, errOr(werr, net.ErrClosed))
+			}
+			continue
+		}
+		s.writeBatch(idx, batch)
+	}
+}
+
+// writeBatch coalesces a queue's backlog into one writev and settles
+// every frame's buffers and hooks against the outcome. A write error
+// kills the queue and (outside clean shutdown) arms the failure
+// detector.
+func (s *sendSched) writeBatch(rank int, batch []outFrame) {
+	cs := s.c.conns[rank]
+	s.bufs = s.bufs[:0]
+	for _, f := range batch {
+		s.bufs = append(s.bufs, f.hdr)
+		if len(f.payload) > 0 {
+			s.bufs = append(s.bufs, f.payload)
+		}
+	}
+	// WriteTo consumes the slice header it is called on; hand it a copy so
+	// the scratch backing array survives for the next batch.
+	bufs := s.bufs
+	_, err := bufs.WriteTo(cs.conn)
+	for _, f := range batch {
+		if err == nil {
+			perf.RecordNetFrameOut(len(f.hdr) + len(f.payload))
+		}
+		if f.pooled && f.payload != nil {
+			comm.PutBuf(f.payload)
+		}
+		if f.done != nil {
+			f.done(err)
+		}
+	}
+	if err != nil {
+		s.mu.Lock()
+		q := &s.qs[rank]
+		q.dead = true
+		if q.werr == nil {
+			q.werr = err
+		}
+		closing := s.closing
+		s.mu.Unlock()
+		if !closing && !s.c.isClosed() {
+			s.c.peerLost(rank, err)
+		}
+	}
+}

@@ -1,13 +1,9 @@
 package nettransport
 
 import (
-	"bufio"
 	"encoding/binary"
-	"fmt"
-	"io"
 
 	"adapt/internal/comm"
-	"adapt/internal/perf"
 )
 
 // Wire format: every frame is a 4-byte little-endian length prefix (the
@@ -50,19 +46,6 @@ const (
 	// largest class is 64 MB and collectives segment well below that).
 	maxFrameBody = 1 << 30
 )
-
-// wireMsg is a decoded data-plane frame.
-type wireMsg struct {
-	ftype     byte
-	tag       comm.Tag
-	xid       uint64
-	size      int    // logical message size (eager/rts)
-	hasData   bool   // the transfer carries real bytes
-	payload   []byte // pooled; owned by the receiver (eager/data)
-	rank      int    // ident
-	seq       int    // commit
-	survivors []bool // commit
-}
 
 // appendHeader writes the length prefix and type for a body of n bytes.
 func appendHeader(dst []byte, ftype byte, n int) []byte {
@@ -120,134 +103,4 @@ func encodeCommit(seq int, survivors []bool) []byte {
 // encodeBye builds the clean-shutdown frame.
 func encodeBye() []byte {
 	return appendHeader(make([]byte, 0, 5), frameBye, 0)
-}
-
-// readFrame reads and decodes one frame. Payload bytes land in a pooled
-// buffer owned by the caller. An io.EOF at a frame boundary comes back
-// verbatim; a mid-frame EOF is an io.ErrUnexpectedEOF.
-func readFrame(br *bufio.Reader) (wireMsg, error) {
-	var m wireMsg
-	var pfx [4]byte
-	if _, err := io.ReadFull(br, pfx[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			err = io.EOF // a cut connection, not a truncated frame
-		}
-		return m, err
-	}
-	n := int(binary.LittleEndian.Uint32(pfx[:]))
-	if n < 1 || n > maxFrameBody {
-		return m, fmt.Errorf("nettransport: frame body %d bytes out of range", n)
-	}
-	ft, err := br.ReadByte()
-	if err != nil {
-		return m, unexpectedEOF(err)
-	}
-	m.ftype = ft
-	body := n - 1
-	perf.RecordNetFrameIn(4 + n)
-	switch ft {
-	case frameIdent:
-		var fix [4]byte
-		if err := readFixed(br, fix[:], body, 4); err != nil {
-			return m, err
-		}
-		m.rank = int(binary.LittleEndian.Uint32(fix[:]))
-		return m, nil
-	case frameEager, frameRTS:
-		var fix [eagerHdrLen]byte
-		if body < eagerHdrLen {
-			return m, fmt.Errorf("nettransport: short %d-byte eager/rts frame", body)
-		}
-		if _, err := io.ReadFull(br, fix[:]); err != nil {
-			return m, unexpectedEOF(err)
-		}
-		m.tag = comm.Tag(int64(binary.LittleEndian.Uint64(fix[0:])))
-		m.xid = binary.LittleEndian.Uint64(fix[8:])
-		m.size = int(binary.LittleEndian.Uint32(fix[16:]))
-		m.hasData = fix[20]&flagHasData != 0
-		plen := body - eagerHdrLen
-		if ft == frameRTS && plen != 0 {
-			return m, fmt.Errorf("nettransport: rts frame with %d payload bytes", plen)
-		}
-		if plen > 0 {
-			m.payload = comm.GetBuf(plen)
-			if _, err := io.ReadFull(br, m.payload); err != nil {
-				comm.PutBuf(m.payload)
-				m.payload = nil
-				return m, unexpectedEOF(err)
-			}
-		}
-		return m, nil
-	case frameCTS:
-		var fix [8]byte
-		if err := readFixed(br, fix[:], body, 8); err != nil {
-			return m, err
-		}
-		m.xid = binary.LittleEndian.Uint64(fix[:])
-		return m, nil
-	case frameData:
-		var fix [8]byte
-		if body < 8 {
-			return m, fmt.Errorf("nettransport: short %d-byte data frame", body)
-		}
-		if _, err := io.ReadFull(br, fix[:]); err != nil {
-			return m, unexpectedEOF(err)
-		}
-		m.xid = binary.LittleEndian.Uint64(fix[:])
-		if plen := body - 8; plen > 0 {
-			m.payload = comm.GetBuf(plen)
-			if _, err := io.ReadFull(br, m.payload); err != nil {
-				comm.PutBuf(m.payload)
-				m.payload = nil
-				return m, unexpectedEOF(err)
-			}
-		}
-		return m, nil
-	case frameCommit:
-		if body < 12 {
-			return m, fmt.Errorf("nettransport: short %d-byte commit frame", body)
-		}
-		var fix [12]byte
-		if _, err := io.ReadFull(br, fix[:]); err != nil {
-			return m, unexpectedEOF(err)
-		}
-		m.seq = int(int64(binary.LittleEndian.Uint64(fix[0:])))
-		cnt := int(binary.LittleEndian.Uint32(fix[8:]))
-		if cnt != body-12 {
-			return m, fmt.Errorf("nettransport: commit mask %d entries in %d-byte body", cnt, body)
-		}
-		raw := make([]byte, cnt)
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return m, unexpectedEOF(err)
-		}
-		m.survivors = make([]bool, cnt)
-		for i, v := range raw {
-			m.survivors[i] = v != 0
-		}
-		return m, nil
-	case frameBye:
-		if body != 0 {
-			return m, fmt.Errorf("nettransport: bye frame with %d-byte body", body)
-		}
-		return m, nil
-	}
-	return m, fmt.Errorf("nettransport: unknown frame type %d", ft)
-}
-
-// readFixed reads a fixed-size body and rejects length mismatches.
-func readFixed(br *bufio.Reader, dst []byte, body, want int) error {
-	if body != want {
-		return fmt.Errorf("nettransport: frame body %d bytes, want %d", body, want)
-	}
-	_, err := io.ReadFull(br, dst)
-	return unexpectedEOF(err)
-}
-
-// unexpectedEOF normalizes a mid-frame EOF so the caller can distinguish
-// "connection cut between frames" (io.EOF) from "cut inside a frame".
-func unexpectedEOF(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
-	}
-	return err
 }

@@ -1,0 +1,180 @@
+package progress
+
+import "adapt/internal/comm"
+
+// Notifier is a one-token wake channel shared across engines: each
+// wake-worthy event (completion, parked arrival, notice) on any attached
+// engine deposits the token, and a scheduler blocked in Wait consumes
+// it. The token coalesces bursts — one wake may cover many events, so
+// consumers must re-scan their work after every Wait.
+type Notifier struct {
+	ch chan struct{}
+}
+
+// NewNotifier builds an unarmed notifier.
+func NewNotifier() *Notifier {
+	return &Notifier{ch: make(chan struct{}, 1)}
+}
+
+// Signal deposits the wake token; never blocks.
+func (n *Notifier) Signal() {
+	select {
+	case n.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until a Signal lands (or consumes one already deposited).
+func (n *Notifier) Wait() { <-n.ch }
+
+// Op is a driveable operation: anything with completion detection. The
+// non-blocking collectives in internal/core satisfy it.
+type Op interface {
+	Done() bool
+}
+
+// notifierAttacher is the optional substrate hook the scheduler uses to
+// block across many communicators at once. Every substrate Comm in this
+// repository implements it; foreign comm.Comm implementations fall back
+// to single-comm blocking.
+type notifierAttacher interface {
+	AttachProgressNotifier(*Notifier)
+}
+
+// Scheduled is one operation under a scheduler's care, with the
+// communicator whose progress loop advances it.
+type Scheduled struct {
+	C  comm.Comm
+	Op Op
+
+	// DoneTick records the Drive tick on which the operation was first
+	// observed complete (0 until then) — the fairness tests pin the
+	// round-robin contract with it.
+	DoneTick int
+}
+
+// Scheduler drives many concurrent operations — on one communicator or
+// across several — with fair round-robin service: every tick visits
+// every unfinished operation once, starting one position later than the
+// previous tick, so a long rendezvous transfer on one communicator
+// cannot starve small collectives on another. When a full round makes no
+// progress the scheduler blocks on a shared Notifier (or, for
+// communicators without one, on the first unfinished operation's
+// blocking Progress) instead of spinning.
+type Scheduler struct {
+	items    []*Scheduled
+	notifier *Notifier
+	allWired bool // every communicator accepted the notifier
+	rr       int  // rotating round-robin start index
+
+	// Ticks counts scheduling rounds; monotone across Drive calls.
+	Ticks int
+}
+
+// NewScheduler adopts the given operations. Communicators that support
+// notifier attachment (all three substrates here) are wired to a shared
+// Notifier so Drive can block across all of them at once.
+func NewScheduler(items ...*Scheduled) *Scheduler {
+	s := &Scheduler{items: items, notifier: NewNotifier(), allWired: true}
+	seen := make(map[comm.Comm]bool)
+	for _, it := range items {
+		if seen[it.C] {
+			continue
+		}
+		seen[it.C] = true
+		if na, ok := it.C.(notifierAttacher); ok {
+			na.AttachProgressNotifier(s.notifier)
+		} else {
+			s.allWired = false
+		}
+	}
+	return s
+}
+
+// Add enrolls another operation mid-flight.
+func (s *Scheduler) Add(it *Scheduled) {
+	if na, ok := it.C.(notifierAttacher); ok {
+		na.AttachProgressNotifier(s.notifier)
+	} else {
+		s.allWired = false
+	}
+	s.items = append(s.items, it)
+}
+
+// Items exposes the scheduled operations (completion ticks included).
+func (s *Scheduler) Items() []*Scheduled { return s.items }
+
+// step runs one fair round: visit every unfinished operation once,
+// rotating the start index, firing each communicator's ready callbacks.
+// Returns how many operations remain and whether any completed.
+func (s *Scheduler) step() (remaining int, advanced bool) {
+	n := len(s.items)
+	s.Ticks++
+	start := s.rr
+	s.rr++
+	for k := 0; k < n; k++ {
+		it := s.items[(start+k)%n]
+		if it.Op == nil || it.DoneTick != 0 {
+			continue
+		}
+		it.C.TryProgress()
+		if it.Op.Done() {
+			it.DoneTick = s.Ticks
+			advanced = true
+			continue
+		}
+		remaining++
+	}
+	return remaining, advanced
+}
+
+// Drive runs the scheduler until every operation completes.
+func (s *Scheduler) Drive() {
+	for {
+		remaining, advanced := s.step()
+		if remaining == 0 {
+			return
+		}
+		if advanced {
+			continue
+		}
+		if s.allWired {
+			s.notifier.Wait()
+			continue
+		}
+		// Fallback: block on one unfinished operation's communicator. Its
+		// Progress both parks correctly on every substrate (including the
+		// simulator, whose procs cannot block on channels) and fires that
+		// communicator's callbacks; the next round rescans the rest.
+		for _, it := range s.items {
+			if it.Op != nil && it.DoneTick == 0 {
+				it.C.Progress()
+				break
+			}
+		}
+	}
+}
+
+// DriveUntil runs the scheduler until pred returns true (checked once
+// per tick) or every operation completes.
+func (s *Scheduler) DriveUntil(pred func() bool) {
+	for !pred() {
+		remaining, advanced := s.step()
+		if remaining == 0 {
+			return
+		}
+		if advanced {
+			continue
+		}
+		if s.allWired {
+			s.notifier.Wait()
+			continue
+		}
+		for _, it := range s.items {
+			if it.Op != nil && it.DoneTick == 0 {
+				it.C.Progress()
+				break
+			}
+		}
+	}
+}

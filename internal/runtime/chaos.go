@@ -8,6 +8,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -65,18 +66,18 @@ func (w *World) Failures() []*faults.TimeoutError {
 
 // chaosDeliver carries env from c to d under the fault plan. Runs on the
 // sender's goroutine; delayed copies hop to timer goroutines.
-func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
+func (c *Comm) chaosDeliver(d *Comm, env *progress.Env, size int) {
 	w := c.w
-	env.xid = w.xmitSeq.Add(1)
+	env.Xid = w.xmitSeq.Add(1)
 	var wait time.Duration
 	for attempt := 0; attempt < w.rec.MaxAttempts; attempt++ {
-		v := w.inj.Message(c.rank, d.rank, env.tag, env.xid, attempt, c.Now(), size)
+		v := w.inj.Message(c.rank, d.rank, env.Tag, env.Xid, attempt, c.Now(), size)
 		if v.Drop {
-			c.traceFault(trace.FaultDrop, d.rank, env.tag, size, env.xid)
+			c.traceFault(trace.FaultDrop, d.rank, env.Tag, size, env.Xid)
 			wait += w.rec.Timeout(attempt)
 			if attempt+1 < w.rec.MaxAttempts {
 				w.inj.NoteRetry()
-				c.traceFault(trace.FaultRetry, d.rank, env.tag, size, env.xid)
+				c.traceFault(trace.FaultRetry, d.rank, env.Tag, size, env.Xid)
 			}
 			continue
 		}
@@ -84,10 +85,10 @@ func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
 			// The duplicate gets its own payload buffer (eager payloads are
 			// pooled and freed independently) and trails the original.
 			dup := *env
-			if dup.rts == nil && dup.msg.Data != nil {
-				buf := comm.GetBuf(len(dup.msg.Data))
-				copy(buf, dup.msg.Data)
-				dup.msg.Data = buf
+			if dup.Rts == nil && dup.Msg.Data != nil {
+				buf := comm.GetBuf(len(dup.Msg.Data))
+				copy(buf, dup.Msg.Data)
+				dup.Msg.Data = buf
 			}
 			deliverAfter(d, &dup, wait+v.Extra+w.rec.RTO/2)
 		}
@@ -96,20 +97,20 @@ func (c *Comm) chaosDeliver(d *Comm, env *envelope, size int) {
 	}
 	// Every attempt dropped: the message is lost for good.
 	w.inj.NoteTimeout()
-	c.traceFault(trace.FaultTimeout, d.rank, env.tag, size, env.xid)
+	c.traceFault(trace.FaultTimeout, d.rank, env.Tag, size, env.Xid)
 	err := &faults.TimeoutError{
-		Rank: c.rank, Peer: d.rank, Tag: env.tag,
+		Rank: c.rank, Peer: d.rank, Tag: env.Tag,
 		Attempts: w.rec.MaxAttempts, Elapsed: wait,
 	}
 	w.failMu.Lock()
 	w.failures = append(w.failures, err)
 	w.failMu.Unlock()
-	if env.rts != nil {
-		env.rts.complete(comm.Status{Source: c.rank, Tag: env.tag, Err: err})
+	if env.Rts != nil {
+		env.Rts.Complete(comm.Status{Source: c.rank, Tag: env.Tag, Err: err})
 		return
 	}
-	if env.msg.Data != nil {
-		comm.PutBuf(env.msg.Data) // the receiver will never own this copy
+	if env.Msg.Data != nil {
+		comm.PutBuf(env.Msg.Data) // the receiver will never own this copy
 	}
 }
 
@@ -122,7 +123,7 @@ func (c *Comm) traceFault(kind trace.Kind, peer int, tag comm.Tag, size int, xid
 }
 
 // deliverAfter lands env on d now or after a wall-clock delay.
-func deliverAfter(d *Comm, env *envelope, delay time.Duration) {
+func deliverAfter(d *Comm, env *progress.Env, delay time.Duration) {
 	if delay <= 0 {
 		d.deliver(env)
 		return
@@ -131,10 +132,10 @@ func deliverAfter(d *Comm, env *envelope, delay time.Duration) {
 }
 
 // suppress discards a duplicate delivery that lost the dedup race.
-func (c *Comm) suppress(env *envelope) {
+func (c *Comm) suppress(env *progress.Env) {
 	c.w.inj.NoteSuppressed()
-	if env.rts == nil && env.msg.Data != nil {
-		comm.PutBuf(env.msg.Data)
+	if env.Rts == nil && env.Msg.Data != nil {
+		comm.PutBuf(env.Msg.Data)
 	}
 }
 
@@ -144,23 +145,22 @@ func (c *Comm) suppress(env *envelope) {
 func (w *World) pendingDump() string {
 	var sb strings.Builder
 	for _, c := range w.ranks {
-		c.mu.Lock()
-		fmt.Fprintf(&sb, "  rank %d: %d ops in flight", c.rank, c.pendingOps)
-		for _, req := range c.posted {
+		pending, posted, unexpected := c.eng.Snapshot()
+		fmt.Fprintf(&sb, "  rank %d: %d ops in flight", c.rank, pending)
+		for _, req := range posted {
 			src := "any"
-			if req.src != comm.AnySource {
-				src = fmt.Sprintf("%d", req.src)
+			if req.Src != comm.AnySource {
+				src = fmt.Sprintf("%d", req.Src)
 			}
-			fmt.Fprintf(&sb, "; posted recv src=%s tag=%s", src, req.tag)
+			fmt.Fprintf(&sb, "; posted recv src=%s tag=%s", src, req.Tag)
 		}
-		for _, env := range c.unexpected {
+		for _, env := range unexpected {
 			kind := "eager"
-			if env.rts != nil {
+			if env.Rts != nil {
 				kind = "rts"
 			}
-			fmt.Fprintf(&sb, "; unexpected %s from %d tag=%s", kind, env.src, env.tag)
+			fmt.Fprintf(&sb, "; unexpected %s from %d tag=%s", kind, env.Src, env.Tag)
 		}
-		c.mu.Unlock()
 		sb.WriteByte('\n')
 	}
 	// Failures are recorded in completion order, which varies run to run

@@ -8,6 +8,7 @@ import (
 	"adapt/internal/comm"
 	"adapt/internal/faults"
 	"adapt/internal/perf"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -135,13 +136,7 @@ func (w *World) noteSend(c *Comm) {
 // halt tears down the dying rank's matching engine and releases live
 // senders parked in its unexpected queue.
 func (c *Comm) halt() {
-	c.mu.Lock()
-	c.halted = true
-	une := c.unexpected
-	c.unexpected = nil
-	c.posted = nil
-	c.cbQueue = nil
-	c.mu.Unlock()
+	_, une := c.eng.Halt()
 	for _, env := range une {
 		c.refuse(env)
 	}
@@ -150,27 +145,27 @@ func (c *Comm) halt() {
 // refuse handles traffic addressed to a halted rank: a rendezvous
 // announcement fails its (live) sender with the same structured error an
 // exhausted retry chain produces; an eager payload is swallowed.
-func (c *Comm) refuse(env *envelope) {
-	if env.rts != nil {
-		err := &faults.TimeoutError{Rank: env.src, Peer: c.rank, Tag: env.tag, Attempts: 1}
+func (c *Comm) refuse(env *progress.Env) {
+	if env.Rts != nil {
+		err := &faults.TimeoutError{Rank: env.Src, Peer: c.rank, Tag: env.Tag, Attempts: 1}
 		if c.w.inj != nil {
 			c.w.inj.NoteTimeout()
 		}
 		c.w.failMu.Lock()
 		c.w.failures = append(c.w.failures, err)
 		c.w.failMu.Unlock()
-		env.rts.complete(comm.Status{Source: env.src, Tag: env.tag, Err: err})
+		env.Rts.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Err: err})
 		return
 	}
-	if env.msg.Data != nil {
-		comm.PutBuf(env.msg.Data)
+	if env.Msg.Data != nil {
+		comm.PutBuf(env.Msg.Data)
 	}
 }
 
 // annihilate swallows an in-flight copy from a crashed sender.
-func (c *Comm) annihilate(env *envelope) {
-	if env.rts == nil && env.msg.Data != nil {
-		comm.PutBuf(env.msg.Data)
+func (c *Comm) annihilate(env *progress.Env) {
+	if env.Rts == nil && env.Msg.Data != nil {
+		comm.PutBuf(env.Msg.Data)
 	}
 	// A rendezvous announcement from a dead sender simply vanishes: its
 	// request will never be waited on again.
@@ -213,13 +208,7 @@ func (w *World) armDetector(r int) {
 var _ comm.FailStop = (*Comm)(nil)
 
 // pushNotice appends a control-plane notice and wakes the rank.
-func (c *Comm) pushNotice(n comm.Notice) {
-	c.mu.Lock()
-	c.notices = append(c.notices, n)
-	c.noticeSeq++
-	c.mu.Unlock()
-	c.signal()
-}
+func (c *Comm) pushNotice(n comm.Notice) { c.eng.PushNotice(n) }
 
 // CrashesEnabled reports whether crash rules are armed in this world.
 func (c *Comm) CrashesEnabled() bool { return c.w.crash != nil }
@@ -236,57 +225,15 @@ func (c *Comm) ConfirmedDead() []bool {
 }
 
 // TakeNotices drains this rank's pending control-plane notices.
-func (c *Comm) TakeNotices() []comm.Notice {
-	c.mu.Lock()
-	out := c.notices
-	c.notices = nil
-	c.mu.Unlock()
-	return out
-}
+func (c *Comm) TakeNotices() []comm.Notice { return c.eng.TakeNotices() }
 
 // WaitEvent blocks until a completion callback fires or a new notice
 // arrives. Legal with no operation in flight.
-func (c *Comm) WaitEvent() {
-	c.mu.Lock()
-	start := c.noticeSeq
-	c.mu.Unlock()
-	for {
-		if c.fireCallbacks(c.popCallbacks()) > 0 {
-			return
-		}
-		c.mu.Lock()
-		advanced := c.noticeSeq > start
-		c.mu.Unlock()
-		if advanced {
-			return
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitEvent() { c.eng.WaitEvent() }
 
 // CancelRecv retracts a posted, unmatched receive. Returns false when
 // the receive already matched (its callback still fires).
-func (c *Comm) CancelRecv(r comm.Request) bool {
-	req := r.(*request)
-	if req.c != c || req.isSend {
-		panic("runtime: CancelRecv on foreign or send request")
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if req.done {
-		return false
-	}
-	for i, q := range c.posted {
-		if q == req {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			req.done = true
-			req.cb = nil
-			c.pendingOps--
-			return true
-		}
-	}
-	return false
-}
+func (c *Comm) CancelRecv(r comm.Request) bool { return c.eng.CancelRecv(r) }
 
 // Commit fans a NoticeCommit out to every live rank. Counts as a send
 // initiation, so a crash scheduled at the root's commit point fires here.

@@ -10,6 +10,11 @@
 // simulator (internal/simmpi) reproduces the paper's scale; this runtime
 // proves the algorithms against a genuinely parallel executor and backs
 // the runnable examples.
+//
+// Matching itself — posted/unexpected queues, wait loops, callback
+// delivery — is the shared core in internal/progress; this package
+// supplies the live transport: goroutine-to-goroutine payload hand-off
+// with real pooled copies at the protocol-mandated points.
 package runtime
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -85,7 +91,20 @@ func NewWorld(n int, opts ...Option) *World {
 		o(w)
 	}
 	for r := 0; r < n; r++ {
-		w.ranks = append(w.ranks, &Comm{w: w, rank: r, wake: make(chan struct{}, 1)})
+		c := &Comm{w: w, rank: r, wake: make(chan struct{}, 1)}
+		c.eng = progress.New(progress.Backend{
+			Prefix:  "runtime",
+			Rank:    r,
+			Now:     c.Now,
+			Trace:   func() *trace.Buffer { return w.Trace },
+			Wake:    c.signal,
+			Block:   func() { <-c.wake },
+			OnMatch: c.onMatch,
+			// Chaos duplicates are real second copies racing through
+			// deliver; the engine suppresses them by transmission id.
+			DedupXids: true,
+		})
+		w.ranks = append(w.ranks, c)
 	}
 	w.armCrashes()
 	return w
@@ -152,71 +171,12 @@ func (w *World) Run(body func(c *Comm)) {
 	}
 }
 
-// envelope is a message (or rendezvous announcement) at the receiver.
-type envelope struct {
-	src int
-	tag comm.Tag
-	msg comm.Msg
-	// rendezvous: the sender's request, completed when the payload is
-	// pulled; nil for eager envelopes (whose payload was already copied).
-	rts *request
-	// xid is the reliable-transmission id under fault injection; the
-	// receiver suppresses duplicate deliveries of the same id. Zero on the
-	// fault-free path.
-	xid uint64
-	// postID carries the sender's SendPost trace record id for the
-	// matched-receive Link edge. Zero when tracing is off.
-	postID uint64
-}
-
-// request implements comm.Request. All mutable state is guarded by the
-// owner rank's mutex.
-type request struct {
-	c      *Comm
-	isSend bool
-	done   bool
-	status comm.Status
-	cb     func(comm.Status)
-
-	src int
-	tag comm.Tag
-
-	// causal trace ids (0 when tracing is off); postID is written at post
-	// time on the owner, matchID/doneID under the owner's mutex.
-	postID  uint64
-	matchID uint64
-	doneID  uint64
-}
-
-func (r *request) Test() (comm.Status, bool) {
-	r.c.mu.Lock()
-	defer r.c.mu.Unlock()
-	return r.status, r.done
-}
-
-func (r *request) IsSend() bool { return r.isSend }
-
 // Comm is one rank's endpoint. Its blocking methods must be called from
 // the rank's own goroutine; internal delivery may run on peer goroutines.
 type Comm struct {
 	w    *World
 	rank int
-
-	mu             sync.Mutex
-	posted         []*request
-	unexpected     []*envelope
-	cbQueue        []*request
-	completedCount uint64
-	pendingOps     int
-	seen           map[uint64]struct{} // delivered xids (fault injection dedup)
-	halted         bool                // this rank crashed (fail-stop)
-	notices        []comm.Notice       // control-plane queue (death/commit)
-	noticeSeq      uint64
-
-	// curCause is the rank's causal context (see simmpi): only ever
-	// touched from the owner goroutine (fireCallbacks, posts, TraceEmit).
-	curCause uint64
-
+	eng  *progress.Engine
 	wake chan struct{}
 }
 
@@ -235,29 +195,18 @@ func (c *Comm) Now() time.Duration { return time.Since(c.w.start) }
 // is performed for real by the caller; there is nothing to charge.
 func (c *Comm) Compute(n int, kind comm.ComputeKind) {}
 
+// AttachProgressNotifier wires a scheduler notifier to this endpoint's
+// engine (see progress.Scheduler).
+func (c *Comm) AttachProgressNotifier(n *progress.Notifier) { c.eng.AttachNotifier(n) }
+
 // TraceEmit implements trace.Emitter: it stamps the record with this
 // rank's identity and wall clock, defaults its Parent to the current
 // causal context, and appends it. Returns 0 when tracing is off.
-func (c *Comm) TraceEmit(r trace.Record) uint64 {
-	tb := c.w.Trace
-	if tb == nil {
-		return 0
-	}
-	r.At = c.Now()
-	r.Rank = c.rank
-	if r.Parent == 0 {
-		r.Parent = c.curCause
-	}
-	return tb.Add(r)
-}
+func (c *Comm) TraceEmit(r trace.Record) uint64 { return c.eng.TraceEmit(r) }
 
 // TraceSetCause installs id as the rank's causal context and returns the
 // previous one. Owner-goroutine only, like every blocking Comm method.
-func (c *Comm) TraceSetCause(id uint64) uint64 {
-	prev := c.curCause
-	c.curCause = id
-	return prev
-}
+func (c *Comm) TraceSetCause(id uint64) uint64 { return c.eng.TraceSetCause(id) }
 
 // signal wakes the owner if it is blocked in a wait loop.
 func (c *Comm) signal() {
@@ -267,75 +216,13 @@ func (c *Comm) signal() {
 	}
 }
 
-// complete finishes req. Callable from any goroutine; takes the owner's
-// lock.
-func (req *request) complete(st comm.Status) {
-	c := req.c
-	c.mu.Lock()
-	if req.done {
-		c.mu.Unlock()
-		panic("runtime: request completed twice")
-	}
-	req.done = true
-	req.status = st
-	if tb := c.w.Trace; tb != nil {
-		kind := trace.RecvDone
-		if req.isSend {
-			kind = trace.SendDone
-		}
-		req.doneID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: kind,
-			Peer: st.Source, Tag: st.Tag, Size: st.Msg.Size,
-			Parent: req.postID, Link: req.matchID})
-	}
-	c.completedCount++
-	c.pendingOps--
-	if req.cb != nil {
-		c.cbQueue = append(c.cbQueue, req)
-	}
-	c.mu.Unlock()
-	c.signal()
-}
-
-// popCallbacks atomically takes the ready-callback batch.
-func (c *Comm) popCallbacks() []*request {
-	c.mu.Lock()
-	batch := c.cbQueue
-	c.cbQueue = nil
-	c.mu.Unlock()
-	return batch
-}
-
-// fireCallbacks runs a batch on the owner goroutine. Returns count fired.
-// The completion a callback reacts to becomes the rank's causal context
-// while it runs and persists afterwards (see simmpi's curCause), so both
-// callback-posted ops and straight-line code after a Wait link back to
-// the completion that released them.
-func (c *Comm) fireCallbacks(batch []*request) int {
-	for _, req := range batch {
-		cb := req.cb
-		req.cb = nil
-		if req.doneID != 0 {
-			c.curCause = req.doneID
-		}
-		cb(req.status)
-	}
-	return len(batch)
-}
-
 // Isend starts a non-blocking send.
 func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("runtime: send to rank %d of %d", dst, c.Size()))
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
-	req := &request{c: c, isSend: true}
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
-	}
-	c.mu.Lock()
-	c.pendingOps++
-	c.mu.Unlock()
+	req := c.eng.StartSend(dst, tag, msg.Size)
 	d := c.w.ranks[dst]
 	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
 	if msg.Size <= c.w.eagerLimit {
@@ -348,18 +235,18 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			copy(buf, msg.Data)
 			delivered.Data = buf
 		}
-		env := &envelope{src: c.rank, tag: tag, msg: delivered, postID: req.postID}
+		env := &progress.Env{Src: c.rank, Tag: tag, Msg: delivered, PostID: req.PostID}
 		if c.w.inj != nil {
 			c.chaosDeliver(d, env, msg.Size)
 		} else {
 			d.deliver(env)
 		}
-		req.complete(st)
+		req.Complete(st)
 		return req
 	}
 	// Rendezvous: announce; the payload is pulled zero-copy when matched,
 	// completing this request only then.
-	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req, postID: req.postID}
+	env := &progress.Env{Src: c.rank, Tag: tag, Msg: msg, Rts: req, PostID: req.PostID}
 	if c.w.inj != nil {
 		c.chaosDeliver(d, env, msg.Size)
 	} else {
@@ -370,78 +257,33 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 
 // Irecv posts a non-blocking receive.
 func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
-	req := &request{c: c, src: src, tag: tag}
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.RecvPost,
-			Peer: src, Tag: tag, Parent: c.curCause})
-	}
-	c.mu.Lock()
-	c.pendingOps++
-	for i, env := range c.unexpected {
-		if req.matches(env) {
-			c.unexpected = append(c.unexpected[:i:i], c.unexpected[i+1:]...)
-			c.mu.Unlock()
-			c.consume(req, env)
-			return req
-		}
-	}
-	c.posted = append(c.posted, req)
-	c.mu.Unlock()
-	return req
+	return c.eng.PostRecv(src, tag, comm.MemDefault)
 }
 
-func (req *request) matches(env *envelope) bool {
-	return (req.src == comm.AnySource || req.src == env.src) && req.tag.Matches(env.tag)
-}
-
-// deliver matches an incoming envelope against posted receives or parks
-// it in the unexpected queue. Runs on the sender's goroutine (or a timer
-// goroutine for fault-delayed copies).
-func (c *Comm) deliver(env *envelope) {
-	if c.w.crash != nil && c.w.rankDead(env.src) {
+// deliver hands an incoming envelope to the matching engine. Runs on the
+// sender's goroutine (or a timer goroutine for fault-delayed copies).
+func (c *Comm) deliver(env *progress.Env) {
+	if c.w.crash != nil && c.w.rankDead(env.Src) {
 		// Annihilation: a copy in flight from a crashed rank vanishes at
 		// arrival (timer-delayed chaos copies can outlive their sender).
 		c.annihilate(env)
 		return
 	}
-	c.mu.Lock()
-	if c.halted {
+	switch c.eng.Arrive(env) {
+	case progress.ArriveHalted:
 		// Traffic addressed to a crashed rank: refuse it so a live
 		// rendezvous sender fails instead of waiting forever for a grant.
-		c.mu.Unlock()
 		c.refuse(env)
-		return
+	case progress.ArriveDuplicate:
+		c.suppress(env)
 	}
-	if env.xid != 0 {
-		if _, dup := c.seen[env.xid]; dup {
-			c.mu.Unlock()
-			c.suppress(env)
-			return
-		}
-		if c.seen == nil {
-			c.seen = make(map[uint64]struct{})
-		}
-		c.seen[env.xid] = struct{}{}
-	}
-	for i, req := range c.posted {
-		if req.matches(env) {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			c.mu.Unlock()
-			c.consume(req, env)
-			return
-		}
-	}
-	c.unexpected = append(c.unexpected, env)
-	c.mu.Unlock()
-	c.signal() // wake a blocked Probe
 }
 
-// consume completes a matched (receive, envelope) pair. For rendezvous
+// onMatch completes a matched (receive, envelope) pair. For rendezvous
 // envelopes it pulls the payload and releases the sender.
-func (c *Comm) consume(req *request, env *envelope) {
-	msg := env.msg
-	req.matchID = env.postID // causal Link: this receive consumed that send
-	if env.rts != nil {
+func (c *Comm) onMatch(req *progress.Req, env *progress.Env, wasUnexpected bool) {
+	msg := env.Msg
+	if env.Rts != nil {
 		// Pull the payload out of the sender's buffer; after the sender's
 		// request completes the sender may scribble on it. The pooled copy
 		// is owned by the receiver.
@@ -450,9 +292,9 @@ func (c *Comm) consume(req *request, env *envelope) {
 			copy(buf, msg.Data)
 			msg.Data = buf
 		}
-		env.rts.complete(comm.Status{Source: env.src, Tag: env.tag, Msg: env.msg})
+		env.Rts.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Msg: env.Msg})
 	}
-	req.complete(comm.Status{Source: env.src, Tag: env.tag, Msg: msg})
+	req.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Msg: msg})
 }
 
 // Send performs a blocking send: for rendezvous-size messages it returns
@@ -469,16 +311,9 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 		panic(fmt.Sprintf("runtime: ssend to rank %d of %d", dst, c.Size()))
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
-	req := &request{c: c, isSend: true}
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
-	}
-	c.mu.Lock()
-	c.pendingOps++
-	c.mu.Unlock()
+	req := c.eng.StartSend(dst, tag, msg.Size)
 	d := c.w.ranks[dst]
-	env := &envelope{src: c.rank, tag: tag, msg: msg, rts: req, postID: req.postID}
+	env := &progress.Env{Src: c.rank, Tag: tag, Msg: msg, Rts: req, PostID: req.PostID}
 	if c.w.inj != nil {
 		c.chaosDeliver(d, env, msg.Size)
 	} else {
@@ -490,27 +325,13 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 // Iprobe reports whether a message matching (src, tag) has arrived
 // without consuming it (MPI_Iprobe). src may be AnySource, tag AnyTag.
 func (c *Comm) Iprobe(src int, tag comm.Tag) (comm.Status, bool) {
-	probe := &request{c: c, src: src, tag: tag}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, env := range c.unexpected {
-		if probe.matches(env) {
-			return comm.Status{Source: env.src, Tag: env.tag,
-				Msg: comm.Msg{Size: env.msg.Size, Space: env.msg.Space}}, true
-		}
-	}
-	return comm.Status{}, false
+	return c.eng.Iprobe(src, tag)
 }
 
 // Probe blocks until a matching message is available (MPI_Probe), leaving
 // it in the unexpected queue for a later Recv.
 func (c *Comm) Probe(src int, tag comm.Tag) comm.Status {
-	for {
-		if st, ok := c.Iprobe(src, tag); ok {
-			return st
-		}
-		<-c.wake
-	}
+	return c.eng.Probe(src, tag)
 }
 
 // Recv performs a blocking receive.
@@ -519,130 +340,22 @@ func (c *Comm) Recv(src int, tag comm.Tag) comm.Status {
 }
 
 // Wait blocks until r completes, firing ready callbacks meanwhile.
-func (c *Comm) Wait(r comm.Request) comm.Status {
-	req := r.(*request)
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		if st, ok := req.Test(); ok {
-			// doneID was published under c.mu before done; Test's lock
-			// round-trip makes it visible here. The completion that
-			// released this Wait is the rank's causal context from now on.
-			if req.doneID != 0 {
-				c.curCause = req.doneID
-			}
-			return st
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) Wait(r comm.Request) comm.Status { return c.eng.Wait(r) }
 
 // WaitAll blocks until every request completes; nil entries are skipped.
-func (c *Comm) WaitAll(rs []comm.Request) {
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		alldone := true
-		for _, r := range rs {
-			if r == nil {
-				continue
-			}
-			if _, ok := r.Test(); !ok {
-				alldone = false
-				break
-			}
-		}
-		if alldone {
-			// The rank proceeds only once every request has landed: the
-			// latest completion (largest record id) is its causal context.
-			var last uint64
-			for _, r := range rs {
-				if req, ok := r.(*request); ok && req != nil && req.doneID > last {
-					last = req.doneID
-				}
-			}
-			if last != 0 {
-				c.curCause = last
-			}
-			return
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitAll(rs []comm.Request) { c.eng.WaitAll(rs) }
 
 // WaitAny blocks until some live request completes and returns its index;
 // nil entries are skipped.
-func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
-	live := false
-	for _, r := range rs {
-		if r != nil {
-			live = true
-			break
-		}
-	}
-	if !live {
-		panic("runtime: WaitAny with no live request")
-	}
-	for {
-		c.fireCallbacks(c.popCallbacks())
-		for i, r := range rs {
-			if r == nil {
-				continue
-			}
-			if st, ok := r.Test(); ok {
-				if req, ok := r.(*request); ok && req.doneID != 0 {
-					c.curCause = req.doneID
-				}
-				return i, st
-			}
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) { return c.eng.WaitAny(rs) }
 
 // OnComplete attaches fn to r; it fires on this rank's goroutine from
 // inside Progress or a Wait variant.
-func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) {
-	req := r.(*request)
-	if req.c != c {
-		panic("runtime: OnComplete on foreign request")
-	}
-	c.mu.Lock()
-	if req.cb != nil {
-		c.mu.Unlock()
-		panic("runtime: request already has a callback")
-	}
-	req.cb = fn
-	if req.done {
-		c.cbQueue = append(c.cbQueue, req)
-		c.mu.Unlock()
-		c.signal()
-		return
-	}
-	c.mu.Unlock()
-}
+func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) { c.eng.OnComplete(r, fn) }
 
 // TryProgress fires ready callbacks without blocking.
-func (c *Comm) TryProgress() bool {
-	return c.fireCallbacks(c.popCallbacks()) > 0
-}
+func (c *Comm) TryProgress() bool { return c.eng.TryProgress() }
 
 // Progress blocks until at least one completion is processed, fires the
 // ready callbacks, and returns.
-func (c *Comm) Progress() {
-	c.mu.Lock()
-	start := c.completedCount
-	c.mu.Unlock()
-	for {
-		fired := c.fireCallbacks(c.popCallbacks())
-		c.mu.Lock()
-		advanced := c.completedCount > start
-		pending := c.pendingOps
-		c.mu.Unlock()
-		if fired > 0 || advanced {
-			return
-		}
-		if pending == 0 {
-			panic(fmt.Sprintf("runtime: rank %d progressing with no operation in flight", c.rank))
-		}
-		<-c.wake
-	}
-}
+func (c *Comm) Progress() { c.eng.Progress() }

@@ -5,6 +5,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
 
@@ -161,20 +162,12 @@ func (w *World) traceFault(kind trace.Kind, rank, peer int, tag comm.Tag, size i
 	}
 }
 
-// completeIfLive completes req unless it already finished — under chaos a
-// late success can race a timeout failure (or vice versa); first wins.
-func completeIfLive(req *request, st comm.Status) {
-	if !req.done {
-		req.complete(st)
-	}
-}
-
 // chaosEager is the eager protocol under a fault plan. The payload is
 // snapshotted once into a transmission buffer that feeds every
 // (re)transmission; the receiver gets its own pooled copy on first
 // arrival. The send completes on acknowledgement — not at first-hop end
 // as in the fault-free engine — or with a TimeoutError.
-func (c *Comm) chaosEager(d *Comm, req *request, tag comm.Tag, msg comm.Msg, st comm.Status) {
+func (c *Comm) chaosEager(d *Comm, req *progress.Req, tag comm.Tag, msg comm.Msg, st comm.Status) {
 	send := msg
 	var retained []byte
 	if msg.Data != nil {
@@ -201,27 +194,28 @@ func (c *Comm) chaosEager(d *Comm, req *request, tag comm.Tag, msg comm.Msg, st 
 				copy(buf, retained)
 				del.Data = buf
 			}
-			env := d.newEnvelope(c.rank, tag, del, nil)
-			env.postID = req.postID
+			env := d.eng.NewEnv(c.rank, tag, del, nil)
+			env.PostID = req.PostID
 			d.arrive(env)
 		},
 		func() {
 			release()
-			completeIfLive(req, st)
+			req.CompleteIfLive(st)
 		},
 		func(err *faults.TimeoutError) {
 			release()
 			fst := st
 			fst.Err = err
-			completeIfLive(req, fst)
+			req.CompleteIfLive(fst)
 		})
 }
 
 // chaosRendezvous announces a rendezvous send under a fault plan: the RTS
 // control message is transmitted reliably; the data flies after the CTS
 // (see chaosGrant). An undeliverable RTS fails the send request.
-func (c *Comm) chaosRendezvous(d *Comm, req *request, tag comm.Tag, msg comm.Msg) {
-	env := d.newEnvelope(c.rank, tag, msg, req)
+func (c *Comm) chaosRendezvous(d *Comm, req *progress.Req, tag comm.Tag, msg comm.Msg) {
+	env := d.eng.NewEnv(c.rank, tag, msg, req)
+	env.PostID = req.PostID
 	rtsDelay := c.w.Net.ControlLatency(c.rank, d.rank) + c.w.Net.P.RndvAlpha
 	c.chaosSend(d.rank, tag, 0,
 		func(extra time.Duration, arrive func()) {
@@ -230,7 +224,7 @@ func (c *Comm) chaosRendezvous(d *Comm, req *request, tag comm.Tag, msg comm.Msg
 		func() { d.arrive(env) },
 		nil, // the ack only stops retransmission; completion rides the data
 		func(err *faults.TimeoutError) {
-			completeIfLive(req, comm.Status{Source: c.rank, Tag: tag, Msg: msg, Err: err})
+			req.CompleteIfLive(comm.Status{Source: c.rank, Tag: tag, Msg: msg, Err: err})
 		})
 }
 
@@ -238,7 +232,7 @@ func (c *Comm) chaosRendezvous(d *Comm, req *request, tag comm.Tag, msg comm.Msg
 // CTS grant travels back reliably, then the bulk data crosses the fabric
 // reliably; sender and receiver complete when the data lands. A dead
 // reverse link fails the receive; a dead forward link fails both ends.
-func (c *Comm) chaosGrant(req *request, src int, tag comm.Tag, msg comm.Msg, sender *request) {
+func (c *Comm) chaosGrant(req *progress.Req, src int, tag comm.Tag, msg comm.Msg, sender *progress.Req) {
 	net := c.w.Net
 	ctsDelay := net.ControlLatency(c.rank, src) + net.P.RndvAlpha
 	sc := c.w.ranks[src]
@@ -263,19 +257,19 @@ func (c *Comm) chaosGrant(req *request, src int, tag comm.Tag, msg comm.Msg, sen
 						copy(buf, msg.Data)
 						recv.Data = buf
 					}
-					completeIfLive(sender, comm.Status{Source: src, Tag: tag, Msg: msg})
-					net.DeliverFrom(src, c.rank, msg.Size, req.space, func() {
-						completeIfLive(req, comm.Status{Source: src, Tag: tag, Msg: recv})
+					sender.CompleteIfLive(comm.Status{Source: src, Tag: tag, Msg: msg})
+					net.DeliverFrom(src, c.rank, msg.Size, req.Space, func() {
+						req.CompleteIfLive(comm.Status{Source: src, Tag: tag, Msg: recv})
 					})
 				},
 				nil,
 				func(err *faults.TimeoutError) {
-					completeIfLive(sender, comm.Status{Source: src, Tag: tag, Msg: msg, Err: err})
-					completeIfLive(req, comm.Status{Source: src, Tag: tag, Err: err})
+					sender.CompleteIfLive(comm.Status{Source: src, Tag: tag, Msg: msg, Err: err})
+					req.CompleteIfLive(comm.Status{Source: src, Tag: tag, Err: err})
 				})
 		},
 		nil,
 		func(err *faults.TimeoutError) {
-			completeIfLive(req, comm.Status{Source: src, Tag: tag, Err: err})
+			req.CompleteIfLive(comm.Status{Source: src, Tag: tag, Err: err})
 		})
 }

@@ -126,23 +126,23 @@ func (w *World) crashRank(r int) {
 	if tb := w.Trace; tb != nil {
 		tb.Add(trace.Record{At: w.K.Now(), Rank: r, Kind: trace.Crash, Peer: -1})
 	}
-	// Sweep the unexpected queue: an RTS parked here belongs to a LIVE
-	// sender that would otherwise wait forever for a grant. Fail it with
-	// the same structured error an exhausted retry chain produces. Eager
-	// payloads parked here are simply swallowed.
-	for _, env := range c.unexpected {
-		if env.rts != nil {
-			err := &faults.TimeoutError{Rank: env.src, Peer: r, Tag: env.tag, Attempts: 1}
+	// Halt the matching engine (posted receives die with the rank, queued
+	// callbacks never fire, later arrivals are refused) and sweep the
+	// unexpected queue: an RTS parked there belongs to a LIVE sender that
+	// would otherwise wait forever for a grant. Fail it with the same
+	// structured error an exhausted retry chain produces. Eager payloads
+	// parked there are simply swallowed.
+	_, unexpected := c.eng.Halt()
+	for _, env := range unexpected {
+		if env.Rts != nil {
+			err := &faults.TimeoutError{Rank: env.Src, Peer: r, Tag: env.Tag, Attempts: 1}
 			w.inj.NoteTimeout()
 			w.failures = append(w.failures, err)
-			completeIfLive(env.rts, comm.Status{Source: env.src, Tag: env.tag, Err: err})
-		} else if env.msg.Data != nil {
-			comm.PutBuf(env.msg.Data)
+			env.Rts.CompleteIfLive(comm.Status{Source: env.Src, Tag: env.Tag, Err: err})
+		} else if env.Msg.Data != nil {
+			comm.PutBuf(env.Msg.Data)
 		}
 	}
-	c.unexpected = nil
-	c.posted = nil // the rank's own receives die with it
-	c.cbQueue = nil
 	// Detector leases, on the deterministic kernel. Detector events are
 	// world-level, not rank-level: they trace on pseudo-rank -1 ("the
 	// detector") with Peer = the dead rank.
@@ -177,11 +177,7 @@ func (w *World) crashRank(r int) {
 var _ comm.FailStop = (*Comm)(nil)
 
 // pushNotice appends a control-plane notice and wakes the rank.
-func (c *Comm) pushNotice(n comm.Notice) {
-	c.notices = append(c.notices, n)
-	c.noticeSeq++
-	c.proc.Unpark()
-}
+func (c *Comm) pushNotice(n comm.Notice) { c.eng.PushNotice(n) }
 
 // CrashesEnabled reports whether crash rules are armed in this world.
 func (c *Comm) CrashesEnabled() bool { return c.w.crash != nil }
@@ -196,46 +192,15 @@ func (c *Comm) ConfirmedDead() []bool {
 }
 
 // TakeNotices drains this rank's pending control-plane notices.
-func (c *Comm) TakeNotices() []comm.Notice {
-	out := c.notices
-	c.notices = nil
-	return out
-}
+func (c *Comm) TakeNotices() []comm.Notice { return c.eng.TakeNotices() }
 
 // WaitEvent blocks until a completion callback fires or a new notice
 // arrives. Legal with no operation in flight (control-plane waits).
-func (c *Comm) WaitEvent() {
-	start := c.noticeSeq
-	for {
-		if c.drainCallbacks() > 0 || c.noticeSeq > start {
-			return
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
-}
+func (c *Comm) WaitEvent() { c.eng.WaitEvent() }
 
 // CancelRecv retracts a posted, unmatched receive. Returns false when
 // the receive already matched (its callback still fires).
-func (c *Comm) CancelRecv(r comm.Request) bool {
-	req := r.(*request)
-	if req.c != c || req.isSend {
-		panic("simmpi: CancelRecv on foreign or send request")
-	}
-	if req.done {
-		return false
-	}
-	for i, q := range c.posted {
-		if q == req {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			req.done = true
-			req.cb = nil
-			c.pendingOps--
-			return true
-		}
-	}
-	return false
-}
+func (c *Comm) CancelRecv(r comm.Request) bool { return c.eng.CancelRecv(r) }
 
 // Commit fans a NoticeCommit for (seq, survivors) out to every live rank
 // over the control plane. The fan-out counts as a send initiation, so a

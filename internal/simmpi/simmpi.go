@@ -2,7 +2,10 @@
 // simulator, so the collective algorithms in internal/coll and
 // internal/core run unmodified at 1000+-rank scale.
 //
-// The protocol engine mirrors a real MPI point-to-point layer:
+// The matching engine — posted/unexpected queues, tag matching,
+// completion callbacks, wait loops — is the shared core in
+// internal/progress; this package supplies the simulated substrate
+// around it:
 //
 //   - Eager protocol for messages up to Params.EagerLimit: the payload is
 //     pushed immediately; if it arrives before the matching receive is
@@ -27,6 +30,7 @@ import (
 	"adapt/internal/faults"
 	"adapt/internal/netmodel"
 	"adapt/internal/noise"
+	"adapt/internal/progress"
 	"adapt/internal/sim"
 	"adapt/internal/trace"
 )
@@ -58,7 +62,25 @@ func NewWorld(k *sim.Kernel, p *netmodel.Platform, spec noise.Spec) *World {
 	n := p.Topo.Size()
 	w.ranks = make([]*Comm, n)
 	for r := 0; r < n; r++ {
-		w.ranks[r] = &Comm{w: w, rank: r, noiseSrc: spec.NewSource(r)}
+		c := &Comm{w: w, rank: r, noiseSrc: spec.NewSource(r)}
+		c.eng = progress.New(progress.Backend{
+			Prefix: "simmpi",
+			Rank:   r,
+			Now:    k.Now,
+			Trace:  func() *trace.Buffer { return w.Trace },
+			Wake: func() {
+				if c.proc != nil {
+					c.proc.Unpark()
+				}
+			},
+			Block: func() {
+				c.proc.Park()
+				c.noiseResume()
+			},
+			OnMatch:         c.onMatch,
+			CauseOnComplete: true,
+		})
+		w.ranks[r] = c
 	}
 	return w
 }
@@ -73,8 +95,8 @@ func (w *World) Spawn(body func(c *Comm)) {
 		c := c
 		c.proc = w.K.Go(fmt.Sprintf("rank-%d", c.rank), func(p *sim.Proc) {
 			body(c)
-			if c.pendingOps != 0 {
-				panic(fmt.Sprintf("simmpi: rank %d finished with %d operations in flight", c.rank, c.pendingOps))
+			if n := c.eng.Pending(); n != 0 {
+				panic(fmt.Sprintf("simmpi: rank %d finished with %d operations in flight", c.rank, n))
 			}
 		})
 	}
@@ -104,94 +126,17 @@ func (w *World) FaultStats() faults.Stats {
 // virtual-time order. Empty when every message was recovered.
 func (w *World) Failures() []*faults.TimeoutError { return w.failures }
 
-// envelope is a message (or its rendezvous RTS) at the receiver side.
-type envelope struct {
-	src    int
-	tag    comm.Tag
-	msg    comm.Msg
-	rts    *request // non-nil: rendezvous announcement; data not yet sent
-	seq    uint64   // arrival order, for deterministic diagnostics
-	postID uint64   // sender's SendPost trace id, carried for the Link edge
-}
-
-// request implements comm.Request.
-type request struct {
-	c      *Comm
-	isSend bool
-	done   bool
-	status comm.Status
-	cb     func(comm.Status)
-
-	// receive-side matching state
-	src   int
-	tag   comm.Tag
-	space comm.MemSpace
-
-	// causal trace ids (0 when tracing is off)
-	postID  uint64 // this operation's post record
-	matchID uint64 // receives: the matched sender's SendPost record
-	doneID  uint64 // this operation's completion record
-}
-
-func (r *request) Test() (comm.Status, bool) { return r.status, r.done }
-func (r *request) IsSend() bool              { return r.isSend }
-
 // Comm is one simulated rank's endpoint. It implements comm.Comm and, on
-// GPU platforms, comm.DeviceComm.
+// GPU platforms, comm.DeviceComm. Matching and wait loops live in the
+// shared engine; this type supplies the simulated transport.
 type Comm struct {
 	w    *World
 	rank int
 	proc *sim.Proc
-
-	posted     []*request  // receive queue, post order
-	unexpected []*envelope // arrived-unmatched queue, arrival order
-	arrivalSeq uint64
-
-	cbQueue        []*request // completed requests with callbacks to fire
-	completedCount uint64
-	pendingOps     int
+	eng  *progress.Engine
 
 	busyUntil time.Duration
 	noiseSrc  *noise.Source
-
-	// Control-plane notice queue (fail-stop model; see crash.go).
-	notices   []comm.Notice
-	noticeSeq uint64
-
-	// curCause is the rank's causal context: the record id of the latest
-	// event the rank has observed — the completion whose callback is
-	// running, the last completion that released a Wait, a finished
-	// compute, or a collective entry. Operations posted afterwards get it
-	// as their causal Parent. Inside a callback it is that callback's
-	// completion (the paper's callback → posted-op chain); between
-	// callbacks it persists as the last completion, so straight-line code
-	// after a Wait (program order) stays on the causal chain too. 0
-	// whenever tracing is off, so the fast paths never branch.
-	curCause uint64
-
-	// envFree recycles envelope structs: a collective pushes one envelope
-	// per segment per hop through this rank, and each lives only from
-	// arrival to match. The kernel is single-threaded, so a plain slice
-	// free-list (no locking) is safe.
-	envFree []*envelope
-}
-
-// newEnvelope draws an envelope from the rank's free-list.
-func (c *Comm) newEnvelope(src int, tag comm.Tag, msg comm.Msg, rts *request) *envelope {
-	if n := len(c.envFree); n > 0 {
-		env := c.envFree[n-1]
-		c.envFree = c.envFree[:n-1]
-		*env = envelope{src: src, tag: tag, msg: msg, rts: rts}
-		return env
-	}
-	return &envelope{src: src, tag: tag, msg: msg, rts: rts}
-}
-
-// freeEnvelope returns a matched envelope to the free-list. Callers must
-// have copied out every field they still need.
-func (c *Comm) freeEnvelope(env *envelope) {
-	*env = envelope{}
-	c.envFree = append(c.envFree, env)
 }
 
 var _ comm.Comm = (*Comm)(nil)
@@ -206,63 +151,16 @@ func (c *Comm) Size() int { return len(c.w.ranks) }
 // Now returns the rank's virtual clock.
 func (c *Comm) Now() time.Duration { return c.w.K.Now() }
 
+// AttachProgressNotifier wires a scheduler notifier to this endpoint's
+// engine (see progress.Scheduler).
+func (c *Comm) AttachProgressNotifier(n *progress.Notifier) { c.eng.AttachNotifier(n) }
+
 // noiseResume delays the rank to its noise availability horizon. Called
 // whenever the rank is about to continue executing after a wake-up.
 func (c *Comm) noiseResume() {
 	avail := c.noiseSrc.AvailableAt(c.proc.Now(), c.busyUntil)
 	c.busyUntil = avail
 	c.proc.SleepUntil(avail)
-}
-
-// complete marks req done and queues its callback on the owning rank.
-func (req *request) complete(st comm.Status) {
-	if req.done {
-		panic("simmpi: request completed twice")
-	}
-	req.done = true
-	req.status = st
-	c := req.c
-	if tb := c.w.Trace; tb != nil {
-		kind := trace.RecvDone
-		peer := st.Source
-		if req.isSend {
-			kind = trace.SendDone
-		}
-		req.doneID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: kind,
-			Peer: peer, Tag: st.Tag, Size: st.Msg.Size,
-			Parent: req.postID, Link: req.matchID})
-		if req.doneID != 0 {
-			// The rank cannot act on anything older once this completion
-			// lands: it becomes the causal context for whatever the rank
-			// posts next (callback or post-Wait straight-line code).
-			c.curCause = req.doneID
-		}
-	}
-	c.completedCount++
-	c.pendingOps--
-	if req.cb != nil {
-		c.cbQueue = append(c.cbQueue, req)
-	}
-	c.proc.Unpark()
-}
-
-// drainCallbacks fires all queued callbacks on the caller's goroutine.
-// While a callback runs, the completion record it reacts to is the rank's
-// causal context: anything the callback posts links back to it.
-func (c *Comm) drainCallbacks() int {
-	n := 0
-	for len(c.cbQueue) > 0 {
-		req := c.cbQueue[0]
-		c.cbQueue = c.cbQueue[1:]
-		cb := req.cb
-		req.cb = nil
-		if req.doneID != 0 {
-			c.curCause = req.doneID
-		}
-		cb(req.status)
-		n++
-	}
-	return n
 }
 
 // resolveSpace maps MemDefault to the platform's payload home.
@@ -274,14 +172,9 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 		panic(fmt.Sprintf("simmpi: send to rank %d of %d", dst, c.Size()))
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
-	req := &request{c: c, isSend: true}
-	c.pendingOps++
+	req := c.eng.StartSend(dst, tag, msg.Size)
 	d := c.w.ranks[dst]
 	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
-	}
 	if msg.Size <= c.w.Net.P.EagerLimit {
 		if c.w.inj != nil {
 			c.chaosEager(d, req, tag, msg, st)
@@ -298,10 +191,10 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			send.Data = buf
 		}
 		c.w.Net.StartTransfer(c.rank, dst, msg.Size, msg.Space,
-			func() { req.complete(st) },
+			func() { req.Complete(st) },
 			func() {
-				env := d.newEnvelope(c.rank, tag, send, nil)
-				env.postID = req.postID
+				env := d.eng.NewEnv(c.rank, tag, send, nil)
+				env.PostID = req.PostID
 				d.arrive(env)
 			})
 		return req
@@ -313,8 +206,8 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
-		env := d.newEnvelope(c.rank, tag, msg, req)
-		env.postID = req.postID
+		env := d.eng.NewEnv(c.rank, tag, msg, req)
+		env.PostID = req.PostID
 		d.arrive(env)
 	})
 	return req
@@ -330,56 +223,44 @@ func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
 // memory space (the §4.1 staging optimization receives GPU-bound traffic
 // into an explicit host buffer).
 func (c *Comm) IrecvIn(src int, tag comm.Tag, space comm.MemSpace) comm.Request {
-	req := &request{c: c, src: src, tag: tag, space: space}
-	c.pendingOps++
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.RecvPost,
-			Peer: src, Tag: tag, Parent: c.curCause})
-	}
-	// Unexpected queue first (MPI matching order).
-	for i, env := range c.unexpected {
-		if req.matches(env) {
-			c.unexpected = append(c.unexpected[:i:i], c.unexpected[i+1:]...)
-			c.deliverMatched(req, env, true)
-			return req
-		}
-	}
-	c.posted = append(c.posted, req)
-	return req
-}
-
-func (req *request) matches(env *envelope) bool {
-	return (req.src == comm.AnySource || req.src == env.src) && req.tag.Matches(env.tag)
+	return c.eng.PostRecv(src, tag, space)
 }
 
 // arrive processes a payload or RTS reaching this rank's host boundary.
 // Runs in kernel event context.
-func (c *Comm) arrive(env *envelope) {
-	c.arrivalSeq++
-	env.seq = c.arrivalSeq
-	for i, req := range c.posted {
-		if req.matches(env) {
-			c.posted = append(c.posted[:i:i], c.posted[i+1:]...)
-			c.deliverMatched(req, env, false)
-			return
+func (c *Comm) arrive(env *progress.Env) {
+	switch c.eng.Arrive(env) {
+	case progress.ArriveHalted:
+		// The rank crashed after this copy left its sender (the chaos
+		// transport normally annihilates such copies before arrival, so
+		// this is a defensive path): fail a live rendezvous sender, swallow
+		// an eager payload.
+		if env.Rts != nil {
+			err := &faults.TimeoutError{Rank: env.Src, Peer: c.rank, Tag: env.Tag, Attempts: 1}
+			if c.w.inj != nil {
+				c.w.inj.NoteTimeout()
+			}
+			c.w.failures = append(c.w.failures, err)
+			env.Rts.CompleteIfLive(comm.Status{Source: env.Src, Tag: env.Tag, Err: err})
+		} else if env.Msg.Data != nil {
+			comm.PutBuf(env.Msg.Data)
 		}
+	default:
+		// Matched (consumed via onMatch) or parked unexpected.
 	}
-	c.unexpected = append(c.unexpected, env)
-	c.proc.Unpark() // wake a blocked Probe
 }
 
-// deliverMatched completes the (req, env) match. wasUnexpected indicates
-// the payload sat in the unexpected queue and must be copied out. The
+// onMatch completes the (req, env) match. wasUnexpected indicates the
+// payload sat in the unexpected queue and must be copied out. The
 // envelope is recycled here; every field still needed below is copied
 // into locals first.
-func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
+func (c *Comm) onMatch(req *progress.Req, env *progress.Env, wasUnexpected bool) {
 	net := c.w.Net
-	src, tag, msg, sender := env.src, env.tag, env.msg, env.rts
-	req.matchID = env.postID // causal Link: this receive consumed that send
+	src, tag, msg, sender := env.Src, env.Tag, env.Msg, env.Rts
 	if sender != nil {
-		req.matchID = sender.postID
+		req.MatchID = sender.PostID // causal Link: this receive consumed that send
 	}
-	c.freeEnvelope(env)
+	c.eng.FreeEnv(env)
 	if sender != nil {
 		if c.w.inj != nil {
 			c.chaosGrant(req, src, tag, msg, sender)
@@ -398,9 +279,9 @@ func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
 			}
 			st := comm.Status{Source: src, Tag: tag, Msg: recv}
 			net.StartTransfer(src, c.rank, msg.Size, msg.Space,
-				func() { sender.complete(comm.Status{Source: src, Tag: tag, Msg: msg}) },
+				func() { sender.Complete(comm.Status{Source: src, Tag: tag, Msg: msg}) },
 				func() {
-					net.DeliverFrom(src, c.rank, msg.Size, req.space, func() { req.complete(st) })
+					net.DeliverFrom(src, c.rank, msg.Size, req.Space, func() { req.Complete(st) })
 				})
 		})
 		return
@@ -409,7 +290,7 @@ func (c *Comm) deliverMatched(req *request, env *envelope, wasUnexpected bool) {
 	// pooled copy owned by this rank — see Isend).
 	st := comm.Status{Source: src, Tag: tag, Msg: msg}
 	finish := func() {
-		net.DeliverFrom(src, c.rank, msg.Size, req.space, func() { req.complete(st) })
+		net.DeliverFrom(src, c.rank, msg.Size, req.Space, func() { req.Complete(st) })
 	}
 	if wasUnexpected {
 		// Buffered copy-out penalty (paper §2.2.1: "memory allocation and
@@ -436,19 +317,14 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 		panic(fmt.Sprintf("simmpi: ssend to rank %d of %d", dst, c.Size()))
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
-	req := &request{c: c, isSend: true}
-	c.pendingOps++
+	req := c.eng.StartSend(dst, tag, msg.Size)
 	d := c.w.ranks[dst]
-	if tb := c.w.Trace; tb != nil {
-		req.postID = tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.SendPost,
-			Peer: dst, Tag: tag, Size: msg.Size, Parent: c.curCause})
-	}
 	if c.w.inj != nil {
 		c.chaosRendezvous(d, req, tag, msg)
 	} else {
 		rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 		c.w.K.Schedule(rtsDelay, func() {
-			d.arrive(d.newEnvelope(c.rank, tag, msg, req))
+			d.arrive(d.eng.NewEnv(c.rank, tag, msg, req))
 		})
 	}
 	c.Wait(req)
@@ -457,25 +333,12 @@ func (c *Comm) Ssend(dst int, tag comm.Tag, msg comm.Msg) {
 // Iprobe reports whether a matching message (or rendezvous announcement)
 // has arrived without consuming it.
 func (c *Comm) Iprobe(src int, tag comm.Tag) (comm.Status, bool) {
-	probe := &request{c: c, src: src, tag: tag}
-	for _, env := range c.unexpected {
-		if probe.matches(env) {
-			return comm.Status{Source: env.src, Tag: env.tag,
-				Msg: comm.Msg{Size: env.msg.Size, Space: env.msg.Space}}, true
-		}
-	}
-	return comm.Status{}, false
+	return c.eng.Iprobe(src, tag)
 }
 
 // Probe blocks until a matching message is available, leaving it queued.
 func (c *Comm) Probe(src int, tag comm.Tag) comm.Status {
-	for {
-		if st, ok := c.Iprobe(src, tag); ok {
-			return st
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
+	return c.eng.Probe(src, tag)
 }
 
 // Recv performs a blocking receive.
@@ -484,106 +347,25 @@ func (c *Comm) Recv(src int, tag comm.Tag) comm.Status {
 }
 
 // Wait blocks until r completes, firing ready callbacks meanwhile.
-func (c *Comm) Wait(r comm.Request) comm.Status {
-	req := r.(*request)
-	for {
-		c.drainCallbacks()
-		if req.done {
-			return req.status
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
-}
+func (c *Comm) Wait(r comm.Request) comm.Status { return c.eng.Wait(r) }
 
 // WaitAll blocks until every request completes. nil entries (inactive
 // handles, as with MPI_REQUEST_NULL) are skipped.
-func (c *Comm) WaitAll(rs []comm.Request) {
-	for {
-		c.drainCallbacks()
-		alldone := true
-		for _, r := range rs {
-			if r == nil {
-				continue
-			}
-			if _, ok := r.Test(); !ok {
-				alldone = false
-				break
-			}
-		}
-		if alldone {
-			return
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
-}
+func (c *Comm) WaitAll(rs []comm.Request) { c.eng.WaitAll(rs) }
 
 // WaitAny blocks until some request completes and returns its index.
 // nil entries are inactive and skipped; at least one entry must be live.
-func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) {
-	live := false
-	for _, r := range rs {
-		if r != nil {
-			live = true
-			break
-		}
-	}
-	if !live {
-		panic("simmpi: WaitAny with no live request")
-	}
-	for {
-		c.drainCallbacks()
-		for i, r := range rs {
-			if r == nil {
-				continue
-			}
-			if st, ok := r.Test(); ok {
-				return i, st
-			}
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
-}
+func (c *Comm) WaitAny(rs []comm.Request) (int, comm.Status) { return c.eng.WaitAny(rs) }
 
 // OnComplete attaches fn to r; it fires from Progress/Wait on this rank.
-func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) {
-	req := r.(*request)
-	if req.c != c {
-		panic("simmpi: OnComplete on foreign request")
-	}
-	if req.cb != nil {
-		panic("simmpi: request already has a callback")
-	}
-	if req.done {
-		req.cb = fn
-		c.cbQueue = append(c.cbQueue, req)
-		return
-	}
-	req.cb = fn
-}
+func (c *Comm) OnComplete(r comm.Request, fn func(comm.Status)) { c.eng.OnComplete(r, fn) }
 
 // Progress blocks until at least one completion is processed, fires ready
 // callbacks, and returns.
-func (c *Comm) Progress() {
-	start := c.completedCount
-	for {
-		if c.drainCallbacks() > 0 || c.completedCount > start {
-			return
-		}
-		if c.pendingOps == 0 {
-			panic(fmt.Sprintf("simmpi: rank %d progressing with no operation in flight", c.rank))
-		}
-		c.proc.Park()
-		c.noiseResume()
-	}
-}
+func (c *Comm) Progress() { c.eng.Progress() }
 
 // TryProgress fires ready callbacks without blocking.
-func (c *Comm) TryProgress() bool {
-	return c.drainCallbacks() > 0
-}
+func (c *Comm) TryProgress() bool { return c.eng.TryProgress() }
 
 // Compute charges n bytes of blocking local work to this rank.
 func (c *Comm) Compute(n int, kind comm.ComputeKind) {
@@ -596,8 +378,8 @@ func (c *Comm) Compute(n int, kind comm.ComputeKind) {
 func (c *Comm) ComputeFor(d time.Duration) {
 	if tb := c.w.Trace; tb != nil {
 		if id := tb.Add(trace.Record{At: c.w.K.Now(), Rank: c.rank, Kind: trace.Compute,
-			Peer: -1, Dur: d, Parent: c.curCause}); id != 0 {
-			c.curCause = id
+			Peer: -1, Dur: d, Parent: c.eng.TraceSetCause(0)}); id != 0 {
+			c.eng.TraceSetCause(id)
 		}
 	}
 	c.noiseResume()
@@ -609,41 +391,24 @@ func (c *Comm) ComputeFor(d time.Duration) {
 // rank's identity and virtual clock, defaults its Parent to the current
 // causal context, and appends it. Returns 0 (and stays allocation-free)
 // when tracing is off.
-func (c *Comm) TraceEmit(r trace.Record) uint64 {
-	tb := c.w.Trace
-	if tb == nil {
-		return 0
-	}
-	r.At = c.w.K.Now()
-	r.Rank = c.rank
-	if r.Parent == 0 {
-		r.Parent = c.curCause
-	}
-	return tb.Add(r)
-}
+func (c *Comm) TraceEmit(r trace.Record) uint64 { return c.eng.TraceEmit(r) }
 
 // TraceSetCause installs id as the rank's causal context and returns the
 // previous one; collectives bracket their entry with it so the initial
 // wave of posts links back to the CollStart record.
-func (c *Comm) TraceSetCause(id uint64) uint64 {
-	prev := c.curCause
-	c.curCause = id
-	return prev
-}
+func (c *Comm) TraceSetCause(id uint64) uint64 { return c.eng.TraceSetCause(id) }
 
 // DeviceReduce offloads an n-byte reduction to this rank's GPU (§4.2).
 func (c *Comm) DeviceReduce(n int) comm.Request {
-	req := &request{c: c, isSend: true}
-	c.pendingOps++
-	c.w.Net.GPUReduce(c.rank, n, func() { req.complete(comm.Status{Source: c.rank}) })
+	req := c.eng.StartOp()
+	c.w.Net.GPUReduce(c.rank, n, func() { req.Complete(comm.Status{Source: c.rank}) })
 	return req
 }
 
 // AsyncCopy starts an asynchronous host↔device copy (§4.1 staging flush).
 func (c *Comm) AsyncCopy(n int, from, to comm.MemSpace) comm.Request {
-	req := &request{c: c, isSend: true}
-	c.pendingOps++
-	c.w.Net.AsyncCopy(c.rank, n, from, to, func() { req.complete(comm.Status{Source: c.rank}) })
+	req := c.eng.StartOp()
+	c.w.Net.AsyncCopy(c.rank, n, from, to, func() { req.Complete(comm.Status{Source: c.rank}) })
 	return req
 }
 

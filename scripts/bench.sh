@@ -1,16 +1,19 @@
 #!/bin/sh
-# Run the kernel-dispatch and segment-pool microbenchmarks and record the
-# numbers in BENCH_kernel.json so future changes can track the perf
-# trajectory. Run from the repo root:
+# Run the kernel-dispatch and segment-pool microbenchmarks plus the
+# multi-collective concurrency benchmark, and record the numbers in
+# BENCH_kernel.json / BENCH_progress.json so future changes can track
+# the perf trajectory. Run from the repo root:
 #
-#   ./scripts/bench.sh            # writes BENCH_kernel.json
+#   ./scripts/bench.sh            # writes BENCH_kernel.json + BENCH_progress.json
 #   ./scripts/bench.sh -count=3   # extra args forwarded to go test
 set -eu
 
 cd "$(dirname "$0")/.."
 out=BENCH_kernel.json
+pout=BENCH_progress.json
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+praw=$(mktemp)
+trap 'rm -f "$raw" "$praw"' EXIT
 
 # No-regression gate: a clean run (no fault plan installed) must leave
 # every fault/recovery counter at zero — the chaos transport may cost
@@ -87,3 +90,33 @@ END {
 ' "$raw" | { printf '[\n'; cat; printf ']\n'; } >"$out"
 
 echo "wrote $out"
+
+# Shared progress-engine gate: one rank-0 scheduler driving N
+# communicators × M concurrent collectives. Throughput (ops/s) and tail
+# latency (p99-ns) land in BENCH_progress.json; the parser is generic
+# over Go's (value, unit) metric pairs so added ReportMetric columns
+# flow through without script changes.
+go test -run '^$' -bench 'BenchmarkMultiCollective' "$@" \
+    ./internal/progress | tee "$praw"
+
+awk '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    printf "%s  {\"name\": \"%s\", \"iters\": %s", (n ? ",\n" : ""), name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+    n++
+}
+END {
+    if (!n) { print "bench.sh: no progress benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print ""
+}
+' "$praw" | { printf '[\n'; cat; printf ']\n'; } >"$pout"
+
+echo "wrote $pout"
