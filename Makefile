@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fuzz trace net progress
+.PHONY: verify test build race vet bench chaos crash fuzz trace net progress serve
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -70,12 +70,22 @@ net:
 	$(GO) test -race -run 'TestConformanceGridTCP|TestCrashGridTCP|TestEagerBoundary|TestSeqWrap' ./internal/conform
 	$(GO) test -run 'TestE2E' -v ./cmd/adaptrun
 
+# Serving-layer gate: the daemon package under the race detector (the
+# full soak battery with chaos, membership churn, fusing byte-identity,
+# proxy sessions), the daemon-substrate conformance grid, and the full
+# bench gate (BENCH_serve.json + the adaptd clean-counters check).
+serve:
+	$(GO) test -race ./internal/serve/...
+	$(GO) test -race -run 'TestConformanceGridDaemon' ./internal/conform
+	./scripts/bench.sh
+
 # Short fuzz passes over the tag-matching predicate, the fault-plan
-# parser, and the unified matching core; the committed corpora under
-# testdata/fuzz run in every normal `go test`, this target explores
-# beyond them.
+# parser, the unified matching core, and the daemon's framed request
+# codec; the committed corpora under testdata/fuzz run in every normal
+# `go test`, this target explores beyond them.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTagMatch -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/progress
+	$(GO) test -run '^$$' -fuzz FuzzRequestFrame -fuzztime $(FUZZTIME) ./internal/serve

@@ -66,10 +66,37 @@ func run() int {
 	ctrace := flag.String("ctrace", "", "capture causal event traces and write Chrome trace-event JSON (Perfetto) to this file")
 	ctraceCap := flag.Int("ctrace-cap", 500_000, "per-cell causal-trace record cap (0 = unbounded)")
 	ctraceReport := flag.Bool("ctrace-report", false, "print a critical-path/overlap report for the captured traces")
+	serveAddr := flag.String("serve", "", "benchmark a running adaptd at this address instead of the simulated exhibits")
+	servePoints := flag.String("serve-points", "1x64,4x64,16x32", "comma-separated SESSIONSxREQUESTS load points for -serve")
+	serveWorld := flag.Int("serve-world", 4, "backend world size for -serve requests")
+	serveElems := flag.Int("serve-elems", 16, "per-rank elements for -serve requests")
+	servePipeline := flag.Int("serve-pipeline", 4, "in-flight requests per session for -serve")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(validIDs())
+		return 0
+	}
+	if *serveAddr != "" {
+		points, err := parseServePoints(*servePoints)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 2
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptbench:", err)
+				return 1
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		if err := runServeBench(w, *serveAddr, points, *serveWorld, *serveElems, *servePipeline); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
 		return 0
 	}
 	if *exp == "" {

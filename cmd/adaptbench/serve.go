@@ -1,0 +1,213 @@
+// adaptbench -serve: the daemon-client load generator. Instead of the
+// simulated substrate, it opens S concurrent sessions against a running
+// adaptd, streams R pipelined allreduce requests per session at each
+// configured point, verifies every result against the closed-form sum,
+// and reports throughput plus p50/p99 request latency as JSON
+// (scripts/bench.sh writes it to BENCH_serve.json).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"adapt/internal/serve"
+)
+
+// servePoint is one sessions×requests load point.
+type servePoint struct {
+	Sessions int
+	Requests int
+}
+
+// parseServePoints parses "1x64,4x64,16x32" into load points.
+func parseServePoints(s string) ([]servePoint, error) {
+	var pts []servePoint
+	for _, part := range strings.Split(s, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), "x")
+		if !ok {
+			return nil, fmt.Errorf("bad -serve-points entry %q (want SESSIONSxREQUESTS)", part)
+		}
+		sn, err1 := strconv.Atoi(a)
+		rn, err2 := strconv.Atoi(b)
+		if err1 != nil || err2 != nil || sn <= 0 || rn <= 0 {
+			return nil, fmt.Errorf("bad -serve-points entry %q (want SESSIONSxREQUESTS)", part)
+		}
+		pts = append(pts, servePoint{Sessions: sn, Requests: rn})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("-serve-points is empty")
+	}
+	return pts, nil
+}
+
+// serveBenchRow is one point's measurement, serialized to the JSON report.
+type serveBenchRow struct {
+	Sessions      int     `json:"sessions"`
+	ReqsPerSess   int     `json:"requests_per_session"`
+	World         int     `json:"world"`
+	Elems         int     `json:"elems"`
+	TotalRequests int     `json:"total_requests"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ReqsPerSec    float64 `json:"reqs_per_sec"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+}
+
+// serveContrib builds the world*elems input whose element-wise tree sum
+// has the closed form checked in serveWantSum. Lattice-exact values, so
+// fuse-order and tree-order folds agree bitwise.
+func serveContrib(world, elems, salt int) []float64 {
+	vals := make([]float64, world*elems)
+	for r := 0; r < world; r++ {
+		for e := 0; e < elems; e++ {
+			vals[r*elems+e] = float64((r+1)*(e+3) + salt)
+		}
+	}
+	return vals
+}
+
+func serveWantSum(world, e, salt int) float64 {
+	var sum float64
+	for r := 0; r < world; r++ {
+		sum += float64((r+1)*(e+3) + salt)
+	}
+	return sum
+}
+
+// runServeBench drives every load point against the daemon at addr and
+// writes the JSON report to w. Each session keeps up to pipeline
+// requests in flight; per-request latency is Start→Wait wall time.
+func runServeBench(w io.Writer, addr string, points []servePoint, world, elems, pipeline int) error {
+	if world < 1 {
+		return fmt.Errorf("-serve-world must be >= 1")
+	}
+	if elems < 1 {
+		return fmt.Errorf("-serve-elems must be >= 1")
+	}
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	rows := make([]serveBenchRow, 0, len(points))
+	for pi, pt := range points {
+		lat, elapsed, err := runServePoint(addr, pt, world, elems, pipeline, pi)
+		if err != nil {
+			return fmt.Errorf("point %dx%d: %w", pt.Sessions, pt.Requests, err)
+		}
+		sort.Float64s(lat)
+		total := pt.Sessions * pt.Requests
+		rows = append(rows, serveBenchRow{
+			Sessions:      pt.Sessions,
+			ReqsPerSess:   pt.Requests,
+			World:         world,
+			Elems:         elems,
+			TotalRequests: total,
+			ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+			ReqsPerSec:    float64(total) / elapsed.Seconds(),
+			P50us:         percentile(lat, 0.50),
+			P99us:         percentile(lat, 0.99),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// runServePoint runs one sessions×requests point and returns the
+// per-request latencies in microseconds plus the point's wall time.
+func runServePoint(addr string, pt servePoint, world, elems, pipeline, pi int) ([]float64, time.Duration, error) {
+	var (
+		mu   sync.Mutex
+		lats []float64
+		errs []error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < pt.Sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessLats, err := runServeSession(addr, pt.Requests, world, elems, pipeline, pi*1_000_000+s*10_000)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("session %d: %w", s, err))
+				return
+			}
+			lats = append(lats, sessLats...)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(errs) > 0 {
+		return nil, 0, errs[0]
+	}
+	return lats, elapsed, nil
+}
+
+// runServeSession opens one session and streams its requests, keeping up
+// to pipeline calls in flight, verifying every result.
+func runServeSession(addr string, requests, world, elems, pipeline, saltBase int) ([]float64, error) {
+	sess, err := serve.Dial(addr, serve.SessionOpts{World: world, Group: "bench", ProxyRank: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	type inflight struct {
+		call  *serve.Call
+		salt  int
+		start time.Time
+	}
+	lats := make([]float64, 0, requests)
+	window := make([]inflight, 0, pipeline)
+	finish := func(f inflight) error {
+		out, _, err := f.call.Wait()
+		if err != nil {
+			return err
+		}
+		lats = append(lats, float64(time.Since(f.start))/float64(time.Microsecond))
+		for e, v := range out {
+			if want := serveWantSum(world, e, f.salt); v != want {
+				return fmt.Errorf("salt %d element %d: got %v, want %v", f.salt, e, v, want)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < requests; i++ {
+		if len(window) == pipeline {
+			if err := finish(window[0]); err != nil {
+				return nil, err
+			}
+			window = window[1:]
+		}
+		salt := saltBase + i
+		t0 := time.Now()
+		c, err := sess.StartAllreduce(serveContrib(world, elems, salt))
+		if err != nil {
+			return nil, err
+		}
+		window = append(window, inflight{call: c, salt: salt, start: t0})
+	}
+	for _, f := range window {
+		if err := finish(f); err != nil {
+			return nil, err
+		}
+	}
+	return lats, nil
+}
+
+// percentile returns the p-quantile of sorted microsecond latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

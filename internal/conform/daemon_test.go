@@ -1,0 +1,99 @@
+package conform
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/core"
+	"adapt/internal/faults"
+	"adapt/internal/hwloc"
+	"adapt/internal/netmodel"
+	"adapt/internal/serve"
+)
+
+// Daemon-substrate conformance: every registered collective runs
+// *through adaptd* — each rank is a client session holding the
+// daemon-backed comm.Comm adapter (serve.RemoteComm), so every Isend,
+// Irecv, and completion crosses the serving layer's wire protocol
+// before touching a backend rank — and must still deliver the exact
+// bytes the simulator's golden run produced. Gated behind -short
+// because each cell stands up a daemon plus one TCP session per rank.
+
+// TestConformanceGridDaemon walks sizes × segment counts on a 4-rank
+// world. One proxy backend per cell (distinct tag spaces); the cases
+// run back-to-back on it with advancing Seq, which doubles as a
+// session-reuse check across collectives.
+func TestConformanceGridDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon substrate grid skipped in -short")
+	}
+	srv, err := serve.New(serve.Config{DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	defer srv.Close()
+
+	topo := hwloc.New(2, 1, 2) // 4 ranks, two "nodes"
+	n := topo.Size()
+	p := netmodel.Cori(1).WithTopo(topo)
+	cell := 0
+	for _, unit := range units() {
+		size := unit * 8 * n
+		for segName, segSize := range segGrid() {
+			cell++
+			segSize, cell := segSize, cell
+			t.Run(fmt.Sprintf("n%d/%dB/%s", n, size, segName), func(t *testing.T) {
+				runDaemonGridCell(t, srv, p, topo, cell, size, segSize)
+			})
+		}
+	}
+}
+
+func runDaemonGridCell(t *testing.T, srv *serve.Server, p *netmodel.Platform, topo *hwloc.Topology, cell, size, segSize int) {
+	n := topo.Size()
+	sessions := make([]*serve.Session, n)
+	for r := 0; r < n; r++ {
+		s, err := serve.Dial(srv.Addr(), serve.SessionOpts{
+			World: n, Group: "conform", TagSpace: cell, ProxyRank: r,
+		})
+		if err != nil {
+			t.Fatalf("Dial rank %d: %v", r, err)
+		}
+		defer s.Close()
+		sessions[r] = s
+	}
+	for i, cs := range Cases(topo, size) {
+		opt := core.DefaultOptions()
+		if segSize > 0 {
+			opt.SegSize = segSize
+		}
+		opt.Seq = i + 1
+		golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+		if golden.Err != nil {
+			t.Fatalf("%s: golden run failed: %v", cs.Name, golden.Err)
+		}
+		out := make([][]byte, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := cs.Run(sessions[r].Comm(), cs.In(r), opt)
+				if res.Data != nil {
+					out[r] = append([]byte(nil), res.Data...)
+				}
+			}()
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(golden.Out[r], out[r]) {
+				t.Errorf("%s: rank %d diverges from simulator golden through the daemon (%d vs %d bytes, first delta at %d)",
+					cs.Name, r, len(golden.Out[r]), len(out[r]), firstDelta(golden.Out[r], out[r]))
+			}
+		}
+	}
+}

@@ -55,6 +55,17 @@ var (
 	netBytesIn     atomic.Uint64 // bytes read
 	netDialRetries atomic.Uint64 // mesh dials that needed a backoff retry
 	netPeerDowns   atomic.Uint64 // connections lost without a Bye handshake
+
+	// Serving layer (internal/serve). Sessions/requests/fusing move on
+	// every daemon run; overloads, rank failures, and rank deaths stay
+	// zero on a clean unsaturated run — scripts/bench.sh gates on that.
+	serveSessions   atomic.Uint64 // client sessions accepted
+	serveRequests   atomic.Uint64 // collective requests admitted
+	serveFusedBatch atomic.Uint64 // fused batches executed (>1 request)
+	serveFusedReqs  atomic.Uint64 // requests that rode in a fused batch
+	serveOverloads  atomic.Uint64 // typed Overloaded rejections
+	serveRankFails  atomic.Uint64 // requests failed with RankFailed
+	serveRankDeaths atomic.Uint64 // backend ranks observed dead
 )
 
 // RecordKernelRun publishes one kernel's counter deltas after a Run.
@@ -135,6 +146,27 @@ func RecordNetDialRetry() { netDialRetries.Add(1) }
 // shutdown handshake (the failure detector's trigger).
 func RecordNetPeerDown() { netPeerDowns.Add(1) }
 
+// RecordServeSession counts one accepted client session.
+func RecordServeSession() { serveSessions.Add(1) }
+
+// RecordServeRequest counts one admitted collective request.
+func RecordServeRequest() { serveRequests.Add(1) }
+
+// RecordServeFused counts one fused batch carrying k (>1) requests.
+func RecordServeFused(k int) {
+	serveFusedBatch.Add(1)
+	serveFusedReqs.Add(uint64(k))
+}
+
+// RecordServeOverload counts one typed Overloaded admission rejection.
+func RecordServeOverload() { serveOverloads.Add(1) }
+
+// RecordServeRankFail counts one request failed with RankFailed.
+func RecordServeRankFail() { serveRankFails.Add(1) }
+
+// RecordServeRankDeath counts one backend rank observed dead.
+func RecordServeRankDeath() { serveRankDeaths.Add(1) }
+
 // Snapshot is a point-in-time view of the counters.
 type Snapshot struct {
 	KernelRuns       uint64
@@ -164,6 +196,14 @@ type Snapshot struct {
 	NetBytesIn     uint64
 	NetDialRetries uint64
 	NetPeerDowns   uint64
+
+	ServeSessions   uint64
+	ServeRequests   uint64
+	ServeFusedBatch uint64
+	ServeFusedReqs  uint64
+	ServeOverloads  uint64
+	ServeRankFails  uint64
+	ServeRankDeaths uint64
 }
 
 // FaultTotal sums every fault-path counter; non-zero means the fault
@@ -184,6 +224,13 @@ func (s Snapshot) DetectorTotal() uint64 {
 // bench.sh nettransport gate asserts exactly that.
 func (s Snapshot) NetTrouble() uint64 {
 	return s.NetDialRetries + s.NetPeerDowns
+}
+
+// ServeTrouble sums the serving layer's trouble counters: admission
+// rejections, rank-failed requests, and rank deaths. Zero on a clean
+// unsaturated daemon run — the bench.sh serve gate asserts exactly that.
+func (s Snapshot) ServeTrouble() uint64 {
+	return s.ServeOverloads + s.ServeRankFails + s.ServeRankDeaths
 }
 
 // Read returns the current counter values.
@@ -212,6 +259,13 @@ func Read() Snapshot {
 		NetBytesIn:       netBytesIn.Load(),
 		NetDialRetries:   netDialRetries.Load(),
 		NetPeerDowns:     netPeerDowns.Load(),
+		ServeSessions:    serveSessions.Load(),
+		ServeRequests:    serveRequests.Load(),
+		ServeFusedBatch:  serveFusedBatch.Load(),
+		ServeFusedReqs:   serveFusedReqs.Load(),
+		ServeOverloads:   serveOverloads.Load(),
+		ServeRankFails:   serveRankFails.Load(),
+		ServeRankDeaths:  serveRankDeaths.Load(),
 	}
 }
 
@@ -240,6 +294,13 @@ func Reset() {
 	netBytesIn.Store(0)
 	netDialRetries.Store(0)
 	netPeerDowns.Store(0)
+	serveSessions.Store(0)
+	serveRequests.Store(0)
+	serveFusedBatch.Store(0)
+	serveFusedReqs.Store(0)
+	serveOverloads.Store(0)
+	serveRankFails.Store(0)
+	serveRankDeaths.Store(0)
 }
 
 // JSON renders the snapshot as indented JSON (adaptbench -perf-json),
@@ -276,6 +337,11 @@ func (s Snapshot) Fprint(w io.Writer) {
 	if s.NetFramesOut+s.NetFramesIn > 0 {
 		fmt.Fprintf(w, "perf: net %d frames out (%d B), %d frames in (%d B); %d dial retries, %d peer downs\n",
 			s.NetFramesOut, s.NetBytesOut, s.NetFramesIn, s.NetBytesIn, s.NetDialRetries, s.NetPeerDowns)
+	}
+	if s.ServeSessions > 0 {
+		fmt.Fprintf(w, "perf: serve %d sessions, %d requests (%d fused into %d batches); trouble %d (%d overloads, %d rank fails, %d rank deaths)\n",
+			s.ServeSessions, s.ServeRequests, s.ServeFusedReqs, s.ServeFusedBatch,
+			s.ServeTrouble(), s.ServeOverloads, s.ServeRankFails, s.ServeRankDeaths)
 	}
 }
 

@@ -1,0 +1,165 @@
+package progress
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+// eagerEngine builds a minimal eager-delivery engine: OnMatch completes
+// the receive immediately, like a substrate delivering a buffered
+// payload.
+func eagerEngine(t *testing.T, blockFatal bool) *Engine {
+	t.Helper()
+	block := func() {}
+	if blockFatal {
+		block = func() { t.Fatal("test script must never block") }
+	}
+	return New(Backend{
+		Prefix: "canceltest", Rank: 0,
+		Now:   func() time.Duration { return 0 },
+		Wake:  func() {},
+		Block: block,
+		OnMatch: func(req *Req, env *Env, wasUnexpected bool) {
+			req.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Msg: env.Msg})
+		},
+	})
+}
+
+// TestCancelStatusDistinguishable pins the ErrCanceled contract: a
+// retracted receive reads back done with a typed error, not a status
+// identical to a successful zero-byte receive from rank 0.
+func TestCancelStatusDistinguishable(t *testing.T) {
+	eng := eagerEngine(t, true)
+	req := eng.PostRecv(comm.AnySource, comm.AnyTag, comm.MemDefault)
+	if !eng.CancelRecv(req) {
+		t.Fatal("cancel of an unmatched posted receive must succeed")
+	}
+	st, done := req.Test()
+	if !done {
+		t.Fatal("canceled receive must read back done")
+	}
+	if st.Err != ErrCanceled {
+		t.Fatalf("canceled receive status error = %v, want ErrCanceled", st.Err)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("pending ops after cancel = %d, want 0", p)
+	}
+}
+
+// TestCancelAfterMatchTooLate: the envelope wins, the late cancel
+// reports false, and the delivered status is untouched.
+func TestCancelAfterMatchTooLate(t *testing.T) {
+	eng := eagerEngine(t, true)
+	req := eng.PostRecv(3, comm.Tag(7), comm.MemDefault)
+	if res := eng.Arrive(&Env{Src: 3, Tag: comm.Tag(7), Msg: comm.Msg{Size: 16}}); res != ArriveMatched {
+		t.Fatalf("arrival = %v, want ArriveMatched", res)
+	}
+	if eng.CancelRecv(req) {
+		t.Fatal("cancel after match must report false")
+	}
+	st, done := req.Test()
+	if !done || st.Err != nil || st.Source != 3 {
+		t.Fatalf("matched receive status = %+v done=%v, want clean completion from rank 3", st, done)
+	}
+}
+
+// TestCancelWhileMatching pins the mid-match window directly: a
+// substrate whose OnMatch completes asynchronously (wire rendezvous —
+// the payload is still across the socket) leaves the receive neither
+// posted nor done. A Cancel landing in that window must lose to the
+// match, and the deferred completion must then land exactly once.
+func TestCancelWhileMatching(t *testing.T) {
+	var deferred *Req
+	eng := New(Backend{
+		Prefix: "canceltest", Rank: 0,
+		Now:   func() time.Duration { return 0 },
+		Wake:  func() {},
+		Block: func() { t.Fatal("test script must never block") },
+		OnMatch: func(req *Req, env *Env, wasUnexpected bool) {
+			deferred = req // delivery completes later, like a CTS/data exchange
+		},
+	})
+	req := eng.PostRecv(1, comm.Tag(5), comm.MemDefault)
+	if res := eng.Arrive(&Env{Src: 1, Tag: comm.Tag(5), Msg: comm.Msg{Size: 1 << 20}, Rdv: true}); res != ArriveMatched {
+		t.Fatalf("arrival = %v, want ArriveMatched", res)
+	}
+	if deferred != req {
+		t.Fatal("OnMatch did not receive the posted request")
+	}
+	if _, done := req.Test(); done {
+		t.Fatal("mid-match request must not be done yet")
+	}
+	if eng.CancelRecv(req) {
+		t.Fatal("cancel inside the mid-match window must lose to the match")
+	}
+	deferred.Complete(comm.Status{Source: 1, Tag: comm.Tag(5), Msg: comm.Msg{Size: 1 << 20}})
+	st, done := req.Test()
+	if !done || st.Err != nil {
+		t.Fatalf("deferred completion after refused cancel: status %+v done=%v", st, done)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("pending ops = %d, want 0", p)
+	}
+}
+
+// TestCancelVsArriveExactlyOnce races a concurrent Cancel against an
+// arriving envelope, many rounds, and asserts the exactly-once
+// settlement contract: either the cancel wins (typed ErrCanceled, the
+// envelope parks unexpected) or the match wins (clean delivery, cancel
+// reports false) — never both, never neither, never a double
+// completion (Complete panics on one).
+func TestCancelVsArriveExactlyOnce(t *testing.T) {
+	rounds := 3000
+	if testing.Short() {
+		rounds = 500
+	}
+	for i := 0; i < rounds; i++ {
+		eng := eagerEngine(t, false)
+		req := eng.PostRecv(1, comm.Tag(9), comm.MemDefault)
+		var (
+			wg       sync.WaitGroup
+			canceled bool
+			arrive   ArriveResult
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			arrive = eng.Arrive(&Env{Src: 1, Tag: comm.Tag(9), Msg: comm.Msg{Size: 8}})
+		}()
+		go func() {
+			defer wg.Done()
+			canceled = eng.CancelRecv(req)
+		}()
+		wg.Wait()
+
+		st, done := req.Test()
+		if !done {
+			t.Fatal("request neither completed nor canceled")
+		}
+		if canceled {
+			if st.Err != ErrCanceled {
+				t.Fatalf("round %d: cancel won but status error = %v", i, st.Err)
+			}
+			if arrive != ArriveParked {
+				t.Fatalf("round %d: cancel won but arrival = %v, want ArriveParked", i, arrive)
+			}
+			// Drain the parked envelope so the engine quiesces.
+			if _, ok := eng.PostRecv(comm.AnySource, comm.AnyTag, comm.MemDefault).Test(); !ok {
+				t.Fatalf("round %d: parked envelope not consumed by wildcard", i)
+			}
+		} else {
+			if st.Err != nil {
+				t.Fatalf("round %d: match won but status error = %v", i, st.Err)
+			}
+			if arrive != ArriveMatched {
+				t.Fatalf("round %d: match won but arrival = %v, want ArriveMatched", i, arrive)
+			}
+		}
+		if p := eng.Pending(); p != 0 {
+			t.Fatalf("round %d: pending ops = %d, want 0", i, p)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package progress
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,12 @@ import (
 	"adapt/internal/comm"
 	"adapt/internal/trace"
 )
+
+// ErrCanceled is the status error of a receive retracted by CancelRecv.
+// Before it existed a canceled request's Status was indistinguishable
+// from a successful zero-byte receive from rank 0 — callers that kept a
+// handle after canceling could mistake retraction for delivery.
+var ErrCanceled = errors.New("progress: receive canceled")
 
 // Env is a message (or its rendezvous announcement) at the receiver
 // side. Substrates populate the fields they use: the simulator and the
@@ -69,6 +76,14 @@ type Req struct {
 	eng    *Engine
 	isSend bool
 	done   bool
+
+	// matching marks the window between an envelope being matched to
+	// this receive (popped off a queue under the lock) and the match's
+	// completion landing — OnMatch may deliver asynchronously, so the
+	// request is neither posted nor done meanwhile. CancelRecv refuses
+	// requests in this state explicitly: the match already won.
+	matching bool
+
 	status comm.Status
 	cb     func(comm.Status)
 
@@ -304,6 +319,7 @@ func (e *Engine) PostRecv(src int, tag comm.Tag, space comm.MemSpace) *Req {
 		if req.matches(env) {
 			e.unexpected = append(e.unexpected[:i:i], e.unexpected[i+1:]...)
 			req.MatchID = env.PostID
+			req.matching = true
 			e.mu.Unlock()
 			e.b.OnMatch(req, env, true)
 			return req
@@ -344,6 +360,7 @@ func (e *Engine) Arrive(env *Env) ArriveResult {
 		if req.matches(env) {
 			e.posted = append(e.posted[:i:i], e.posted[i+1:]...)
 			req.MatchID = env.PostID
+			req.matching = true
 			e.mu.Unlock()
 			e.b.OnMatch(req, env, false)
 			return ArriveMatched
@@ -358,6 +375,7 @@ func (e *Engine) Arrive(env *Env) ArriveResult {
 // completeLocked finishes req under the engine lock.
 func (e *Engine) completeLocked(req *Req, st comm.Status) {
 	req.done = true
+	req.matching = false
 	req.status = st
 	if tb := e.b.Trace(); tb != nil {
 		kind := trace.RecvDone
@@ -597,7 +615,12 @@ func (e *Engine) Probe(src int, tag comm.Tag) comm.Status {
 }
 
 // CancelRecv retracts a posted, unmatched receive. Returns false when
-// the receive already matched (its callback still fires).
+// the receive already matched or completed (its callback still fires) —
+// in particular when a Cancel races an arriving envelope: the arrival
+// pops the receive off the posted queue and marks it mid-match under
+// the engine lock, so exactly one of the two wins. A retracted request
+// reads back done with status error ErrCanceled, distinguishing it from
+// any delivered message.
 func (e *Engine) CancelRecv(r comm.Request) bool {
 	req, ok := r.(*Req)
 	if !ok || req.eng != e || req.isSend {
@@ -605,7 +628,7 @@ func (e *Engine) CancelRecv(r comm.Request) bool {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if req.done {
+	if req.done || req.matching {
 		return false
 	}
 	for i, q := range e.posted {
@@ -613,6 +636,7 @@ func (e *Engine) CancelRecv(r comm.Request) bool {
 			e.posted = append(e.posted[:i:i], e.posted[i+1:]...)
 			req.done = true
 			req.cb = nil
+			req.status = comm.Status{Source: req.Src, Tag: req.Tag, Err: ErrCanceled}
 			e.pendingOps--
 			return true
 		}

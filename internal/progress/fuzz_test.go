@@ -26,6 +26,10 @@ func FuzzMatch(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 2, 3, 1, 0, 0, 3, 2, 1})          // post, arrive, wildcard, rdv
 	f.Add([]byte{1, 2, 0, 0, 2, 1, 1, 4, 3, 3, 5, 0, 0})       // dedup mode with a replay
 	f.Add([]byte{0, 5, 1, 1, 0, 0, 0, 2, 3, 3, 1, 2, 4, 0, 1}) // cancel racing a match
+	// cancel-then-rendezvous-then-cancel: a retracted receive must read
+	// back ErrCanceled, the freed slot must not swallow the later
+	// rendezvous, and a second cancel after the match must lose.
+	f.Add([]byte{0, 0, 1, 2, 5, 0, 0, 3, 1, 2, 1, 0, 2, 5, 1, 0, 2, 1, 2, 0, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 1 {
 			return
@@ -116,7 +120,12 @@ func FuzzMatch(f *testing.F) {
 				if len(recvs) == 0 {
 					continue
 				}
-				eng.CancelRecv(recvs[int(a)%len(recvs)])
+				r := recvs[int(a)%len(recvs)]
+				retracted := eng.CancelRecv(r)
+				st, settled := r.Test()
+				if retracted && (!settled || st.Err != ErrCanceled) {
+					t.Fatalf("retracted receive reads %+v settled=%v, want ErrCanceled", st, settled)
+				}
 			}
 		}
 

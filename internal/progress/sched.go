@@ -104,6 +104,46 @@ func (s *Scheduler) Add(it *Scheduled) {
 // Items exposes the scheduled operations (completion ticks included).
 func (s *Scheduler) Items() []*Scheduled { return s.items }
 
+// Live returns the number of enrolled operations not yet observed
+// complete — the admission-control signal a serving layer bounds its
+// in-flight work with.
+func (s *Scheduler) Live() int {
+	n := 0
+	for _, it := range s.items {
+		if it.Op != nil && it.DoneTick == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Poke deposits the wake token so a Drive/DriveUntil blocked in the
+// notifier re-checks its predicate. Unlike every other method it is safe
+// from any goroutine — producers use it to hand new work to a driver
+// parked with nothing in flight advancing.
+func (s *Scheduler) Poke() { s.notifier.Signal() }
+
+// Compact drops completed operations so a long-lived scheduler serving
+// an endless request stream does not grow without bound. Returns how
+// many items were released. Owner-goroutine only, like Drive.
+func (s *Scheduler) Compact() int {
+	kept := s.items[:0]
+	for _, it := range s.items {
+		if it.Op != nil && it.DoneTick == 0 {
+			kept = append(kept, it)
+		}
+	}
+	removed := len(s.items) - len(kept)
+	for i := len(kept); i < len(s.items); i++ {
+		s.items[i] = nil
+	}
+	s.items = kept
+	if len(s.items) == 0 {
+		s.rr = 0
+	}
+	return removed
+}
+
 // step runs one fair round: visit every unfinished operation once,
 // rotating the start index, firing each communicator's ready callbacks.
 // Returns how many operations remain and whether any completed.

@@ -1,0 +1,87 @@
+package progress_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/core"
+	"adapt/internal/progress"
+	"adapt/internal/runtime"
+	"adapt/internal/trees"
+)
+
+// TestSchedulerAdmissionHooks pins the serving-layer contract on the
+// scheduler: Live counts unfinished operations (the admission signal),
+// Compact releases completed items so a persistent scheduler stays
+// bounded, and Poke wakes a blocked driver from a foreign goroutine so
+// newly queued work is noticed without a completion event.
+func TestSchedulerAdmissionHooks(t *testing.T) {
+	const (
+		mOps = 3
+		size = 64_000 // rendezvous-sized: root ops stay pending until the peer receives
+	)
+	w := runtime.NewWorld(2)
+	tree := trees.Flat(2, 0)
+	root := w.Rank(0)
+
+	sched := progress.NewScheduler()
+	if got := sched.Live(); got != 0 {
+		t.Fatalf("empty scheduler Live = %d, want 0", got)
+	}
+	if got := sched.Compact(); got != 0 {
+		t.Fatalf("empty scheduler Compact = %d, want 0", got)
+	}
+
+	for m := 0; m < mOps; m++ {
+		opt := core.DefaultOptions()
+		opt.Seq = m
+		op := core.StartBcast(root, tree, comm.Bytes(pattern(size, byte(m))), opt)
+		sched.Add(&progress.Scheduled{C: root, Op: op})
+	}
+	if got := sched.Live(); got != mOps {
+		t.Fatalf("Live = %d after enrolling %d pending ops", got, mOps)
+	}
+
+	// The driver parks: nothing can advance until rank 1 receives. Poke
+	// from this goroutine must get it past the notifier wait so it
+	// re-checks its predicate.
+	released := make(chan struct{})
+	var stop atomic.Bool
+	go func() {
+		defer close(released)
+		sched.DriveUntil(func() bool { return stop.Load() })
+	}()
+	time.Sleep(20 * time.Millisecond) // let the driver reach the blocked state
+	stop.Store(true)
+	sched.Poke()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Poke did not release a parked DriveUntil")
+	}
+
+	// Let rank 1 receive everything, then finish the drive and compact.
+	peerDone := make(chan struct{})
+	go func() {
+		defer close(peerDone)
+		c := w.Rank(1)
+		for m := 0; m < mOps; m++ {
+			opt := core.DefaultOptions()
+			opt.Seq = m
+			core.Bcast(c, tree, comm.Sized(size), opt)
+		}
+	}()
+	sched.Drive()
+	<-peerDone
+	if got := sched.Live(); got != 0 {
+		t.Fatalf("Live = %d after Drive, want 0", got)
+	}
+	if got := sched.Compact(); got != mOps {
+		t.Fatalf("Compact released %d items, want %d", got, mOps)
+	}
+	if got := len(sched.Items()); got != 0 {
+		t.Fatalf("Items() holds %d entries after Compact, want 0", got)
+	}
+}

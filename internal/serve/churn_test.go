@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adapt/internal/faults"
+	"adapt/internal/perf"
+)
+
+// maskSum is the survivor-set reference: the FT fold ranges over exactly
+// the masked-in ranks.
+func maskSum(vals []float64, elems int, mask []bool) []float64 {
+	out := make([]float64, elems)
+	for r, alive := range mask {
+		if !alive {
+			continue
+		}
+		for e := 0; e < elems; e++ {
+			out[e] += vals[r*elems+e]
+		}
+	}
+	return out
+}
+
+// TestMembershipChurn kills a mid-tree worker during a live request
+// stream: the in-flight session survives, its collectives complete on
+// the healed survivor set, the degraded backend is evicted, and a new
+// session for the same key is admitted against a fresh full-strength
+// world (the "re-admitted" worker).
+func TestMembershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership churn (live TCP mesh + failure detector) skipped in -short")
+	}
+	before := perf.Read()
+	srv := newTestServer(t, Config{
+		Backend:      "net",
+		Crashes:      []faults.Crash{{Rank: 2, AfterSends: 0}}, // dies at its first send
+		CrashGroup:   "churn",
+		DrainTimeout: 10 * time.Second,
+	})
+	const world, elems = 4, 16
+	sess, err := Dial(srv.Addr(), SessionOpts{World: world, Group: "churn", ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer sess.Close()
+	if sess.Gen() != 1 {
+		t.Fatalf("first session got generation %d, want 1", sess.Gen())
+	}
+
+	// A crash-armed group serves FT collectives only; the plain path is a
+	// typed rejection, not a silent downgrade.
+	if _, err := sess.Allreduce(contrib(world, elems, 0)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("non-FT request on armed group: got %v, want typed BadRequest", err)
+	}
+
+	// Request 1 triggers the crash mid-collective; the survivors heal the
+	// tree and the fold ranges over exactly the survivor set.
+	vals := contrib(world, elems, 1)
+	out, mask, err := sess.ReduceFT(vals)
+	if err != nil {
+		t.Fatalf("ReduceFT during crash: %v", err)
+	}
+	if len(mask) != world || mask[2] {
+		t.Fatalf("survivor mask %v still counts the dead rank", mask)
+	}
+	alive := 0
+	for _, a := range mask {
+		if a {
+			alive++
+		}
+	}
+	if alive != world-1 {
+		t.Fatalf("survivor mask %v, want exactly one dead rank", mask)
+	}
+	want := maskSum(vals, elems, mask)
+	for e, v := range out {
+		if v != want[e] {
+			t.Fatalf("element %d: got %v, want survivor-set sum %v", e, v, want[e])
+		}
+	}
+
+	// The session stays live on its degraded world: later requests skip
+	// the dead rank and keep completing.
+	vals2 := contrib(world, elems, 2)
+	out2, mask2, err := sess.ReduceFT(vals2)
+	if err != nil {
+		t.Fatalf("ReduceFT after crash: %v", err)
+	}
+	if mask2[2] {
+		t.Fatalf("post-crash mask %v resurrected the dead rank", mask2)
+	}
+	want2 := maskSum(vals2, elems, mask2)
+	for e, v := range out2 {
+		if v != want2[e] {
+			t.Fatalf("post-crash element %d: got %v, want %v", e, v, want2[e])
+		}
+	}
+
+	// The degraded backend was evicted: a new session for the same key is
+	// admitted against a fresh generation with all ranks re-admitted (and
+	// the armed crash rule fires again on its first FT request).
+	fresh, err := Dial(srv.Addr(), SessionOpts{World: world, Group: "churn", ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial after churn: %v", err)
+	}
+	defer fresh.Close()
+	if fresh.Gen() != 2 {
+		t.Fatalf("post-churn session got generation %d, want 2 (fresh world)", fresh.Gen())
+	}
+	vals3 := contrib(world, elems, 3)
+	out3, mask3, err := fresh.ReduceFT(vals3)
+	if err != nil {
+		t.Fatalf("ReduceFT on fresh generation: %v", err)
+	}
+	want3 := maskSum(vals3, elems, mask3)
+	for e, v := range out3 {
+		if v != want3[e] {
+			t.Fatalf("fresh-generation element %d: got %v, want %v", e, v, want3[e])
+		}
+	}
+
+	// The detector observed the deaths as structured state, not hangs:
+	// one rank death per generation that ran an FT request.
+	d := perf.Read()
+	if deaths := d.ServeRankDeaths - before.ServeRankDeaths; deaths < 2 {
+		t.Errorf("recorded %d rank deaths, want >= 2 (one per crashed generation)", deaths)
+	}
+	if confirms := d.DetectorConfirms - before.DetectorConfirms; confirms == 0 {
+		t.Error("failure detector confirmed no deaths during churn")
+	}
+}
+
+// TestDeadRootTypedError: when the root itself dies, survivors cannot
+// commit a result — the request must fail with the typed RankFailed
+// error, and the session must stay usable.
+func TestDeadRootTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dead-root churn (live TCP mesh + failure detector) skipped in -short")
+	}
+	before := perf.Read()
+	srv := newTestServer(t, Config{
+		Backend:      "net",
+		Crashes:      []faults.Crash{{Rank: 0, AfterSends: 0}}, // the root dies
+		CrashGroup:   "churn",
+		DrainTimeout: 10 * time.Second,
+	})
+	const world, elems = 4, 8
+	sess, err := Dial(srv.Addr(), SessionOpts{World: world, Group: "churn", ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer sess.Close()
+	_, _, err = sess.ReduceFT(contrib(world, elems, 1))
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("dead-root ReduceFT: got %v, want typed RankFailed", err)
+	}
+	if fails := perf.Read().ServeRankFails - before.ServeRankFails; fails == 0 {
+		t.Error("no RankFailed outcome recorded")
+	}
+	// The session itself survived the failed request.
+	if sess.Err() != nil {
+		t.Fatalf("request-level failure escalated to session error: %v", sess.Err())
+	}
+}

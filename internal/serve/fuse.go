@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"adapt/internal/perf"
+)
+
+// fuser merges same-shape allreduce requests arriving within the fuse
+// window into one collective over a concatenated vector. Request i's
+// result is the fused result's bytes at offset i*elems — element
+// positions never mix and each element's fold order over ranks is the
+// tree order either way, so fused execution is byte-identical to
+// running every request alone.
+type fuser struct {
+	b       *backend
+	window  time.Duration
+	maxReqs int
+
+	mu      sync.Mutex
+	batches map[int]*fuseBatch // per-rank element count → open batch
+}
+
+type fusePart struct {
+	vals    []float64 // world*elems contributions, rank-major
+	deliver func(out []byte, mask []bool, err error)
+}
+
+type fuseBatch struct {
+	elems int
+	parts []fusePart
+	timer *time.Timer
+}
+
+func newFuser(b *backend, window time.Duration, maxReqs int) *fuser {
+	return &fuser{b: b, window: window, maxReqs: maxReqs, batches: map[int]*fuseBatch{}}
+}
+
+// add enqueues one allreduce of elems float64s per rank. With fusing
+// off (or on a crash-armed backend, whose jobs serialize) the request
+// submits immediately as a batch of one.
+func (f *fuser) add(vals []float64, elems int, deliver func(out []byte, mask []bool, err error)) {
+	if f.window <= 0 || f.b.armed {
+		f.b.submitFused(&fuseBatch{elems: elems, parts: []fusePart{{vals: vals, deliver: deliver}}})
+		return
+	}
+	f.mu.Lock()
+	bt := f.batches[elems]
+	if bt == nil {
+		bt = &fuseBatch{elems: elems}
+		f.batches[elems] = bt
+		bt.timer = time.AfterFunc(f.window, func() { f.flush(elems) })
+	}
+	bt.parts = append(bt.parts, fusePart{vals: vals, deliver: deliver})
+	if len(bt.parts) >= f.maxReqs {
+		delete(f.batches, elems)
+		bt.timer.Stop()
+		f.mu.Unlock()
+		f.b.submitFused(bt)
+		return
+	}
+	f.mu.Unlock()
+}
+
+// flush closes the open batch for elems when its window expires.
+func (f *fuser) flush(elems int) {
+	f.mu.Lock()
+	bt := f.batches[elems]
+	delete(f.batches, elems)
+	f.mu.Unlock()
+	if bt != nil {
+		f.b.submitFused(bt)
+	}
+}
+
+// submitFused turns a batch into one service job. Rank r's contribution
+// is the concatenation of every part's rank-r slice; delivery
+// demultiplexes the fused result back by offset. An admission rejection
+// fails every part in the batch with the typed Overloaded error.
+func (b *backend) submitFused(bt *fuseBatch) {
+	k := len(bt.parts)
+	elems := bt.elems
+	if k > 1 {
+		perf.RecordServeFused(k)
+	}
+	in := make([][]byte, b.n)
+	for r := 0; r < b.n; r++ {
+		buf := make([]byte, k*elems*8)
+		for i, part := range bt.parts {
+			slice := part.vals[r*elems : (r+1)*elems]
+			for e, v := range slice {
+				binary.LittleEndian.PutUint64(buf[(i*elems+e)*8:], math.Float64bits(v))
+			}
+		}
+		in[r] = buf
+	}
+	j := &job{
+		kind: jobAllreduce,
+		in:   in,
+		deliver: func(out []byte, mask []bool, err error) {
+			for i, part := range bt.parts {
+				if err != nil {
+					part.deliver(nil, nil, err)
+					continue
+				}
+				part.deliver(out[i*elems*8:(i+1)*elems*8], mask, nil)
+			}
+		},
+	}
+	if err := b.submitService(j); err != nil {
+		for _, part := range bt.parts {
+			part.deliver(nil, nil, err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adapt/internal/perf"
+)
+
+// TestFusedByteIdentity is the fusing conformance check: k same-shape
+// requests merged into one fused collective must demux to results
+// byte-identical to running each request through an unfused daemon.
+// Lattice inputs keep every fold order exact, so any bit difference
+// is a real demux defect (offset slip, scaling, precision loss) —
+// element positions never mix and the data path must be exact.
+func TestFusedByteIdentity(t *testing.T) {
+	const world, elems, k = 4, 8, 6
+
+	// Reference: unfused daemon, one collective per request.
+	plain := newTestServer(t, Config{DrainTimeout: 2 * time.Second})
+	ref, err := Dial(plain.Addr(), SessionOpts{World: world, ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial unfused: %v", err)
+	}
+	defer ref.Close()
+	want := make([][]uint64, k)
+	for i := 0; i < k; i++ {
+		out, err := ref.Allreduce(contrib(world, elems, i))
+		if err != nil {
+			t.Fatalf("unfused request %d: %v", i, err)
+		}
+		want[i] = floatBitsOf(out)
+	}
+
+	// Fused daemon: a long window parks the batch until the k-th request
+	// closes it, so all k requests ride one collective deterministically.
+	fused := newTestServer(t, Config{
+		FuseWindow:   500 * time.Millisecond,
+		FuseMaxReqs:  k,
+		DrainTimeout: 2 * time.Second,
+	})
+	before := perf.Read()
+	sess, err := Dial(fused.Addr(), SessionOpts{World: world, ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial fused: %v", err)
+	}
+	defer sess.Close()
+	calls := make([]*Call, k)
+	for i := range calls {
+		c, err := sess.StartAllreduce(contrib(world, elems, i))
+		if err != nil {
+			t.Fatalf("fused request %d: %v", i, err)
+		}
+		calls[i] = c
+	}
+	for i, c := range calls {
+		out, _, err := c.Wait()
+		if err != nil {
+			t.Fatalf("fused request %d: %v", i, err)
+		}
+		got := floatBitsOf(out)
+		if len(got) != len(want[i]) {
+			t.Fatalf("fused request %d: %d elements, want %d", i, len(got), len(want[i]))
+		}
+		for e := range got {
+			if got[e] != want[i][e] {
+				t.Fatalf("fused request %d element %d: bits %#x, want %#x (values %v vs %v)",
+					i, e, got[e], want[i][e],
+					math.Float64frombits(got[e]), math.Float64frombits(want[i][e]))
+			}
+		}
+	}
+	after := perf.Read()
+	if batches := after.ServeFusedBatch - before.ServeFusedBatch; batches == 0 {
+		t.Fatal("no fused batch executed — the byte-identity run never exercised fusing")
+	}
+	if fusedReqs := after.ServeFusedReqs - before.ServeFusedReqs; fusedReqs < k {
+		t.Fatalf("only %d requests rode fused batches, want >= %d", fusedReqs, k)
+	}
+}
+
+// TestFuseMixedShapes interleaves two request shapes: same-shape
+// requests fuse with each other only, and both shapes demux correctly.
+func TestFuseMixedShapes(t *testing.T) {
+	const world = 2
+	srv := newTestServer(t, Config{
+		FuseWindow:   20 * time.Millisecond,
+		FuseMaxReqs:  64,
+		DrainTimeout: 2 * time.Second,
+	})
+	sess, err := Dial(srv.Addr(), SessionOpts{World: world, ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer sess.Close()
+
+	shapes := []int{4, 16, 4, 16, 4, 16}
+	calls := make([]*Call, len(shapes))
+	for i, elems := range shapes {
+		c, err := sess.StartAllreduce(contrib(world, elems, i))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		calls[i] = c
+	}
+	for i, c := range calls {
+		out, _, err := c.Wait()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if len(out) != shapes[i] {
+			t.Fatalf("request %d: %d elements, want %d", i, len(out), shapes[i])
+		}
+		for e, v := range out {
+			if want := wantSum(world, e, i); v != want {
+				t.Fatalf("request %d element %d: got %v, want %v", i, e, v, want)
+			}
+		}
+	}
+}
+
+// TestFuseWindowFlush: a partial batch (below FuseMaxReqs) must still
+// flush when its window expires.
+func TestFuseWindowFlush(t *testing.T) {
+	const world, elems = 2, 8
+	srv := newTestServer(t, Config{
+		FuseWindow:   15 * time.Millisecond,
+		FuseMaxReqs:  64,
+		DrainTimeout: 2 * time.Second,
+	})
+	sess, err := Dial(srv.Addr(), SessionOpts{World: world, ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer sess.Close()
+	c1, err := sess.StartAllreduce(contrib(world, elems, 1))
+	if err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	c2, err := sess.StartAllreduce(contrib(world, elems, 2))
+	if err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	for i, c := range []*Call{c1, c2} {
+		out, _, err := c.Wait()
+		if err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+		for e, v := range out {
+			if want := wantSum(world, e, i+1); v != want {
+				t.Fatalf("request %d element %d: got %v, want %v", i+1, e, v, want)
+			}
+		}
+	}
+}
+
+func floatBitsOf(vals []float64) []uint64 {
+	bits := make([]uint64, len(vals))
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	return bits
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+)
+
+// TestProxyPingPong drives the daemon-backed comm.Comm adapter with raw
+// point-to-point traffic: eager and rendezvous-sized messages both ways,
+// with data, sources, and tags intact.
+func TestProxyPingPong(t *testing.T) {
+	srv := newTestServer(t, Config{DrainTimeout: 2 * time.Second})
+	const world = 2
+	opts := func(r int) SessionOpts {
+		return SessionOpts{World: world, Group: "pp", ProxyRank: r}
+	}
+	s0, err := Dial(srv.Addr(), opts(0))
+	if err != nil {
+		t.Fatalf("Dial rank 0: %v", err)
+	}
+	defer s0.Close()
+	s1, err := Dial(srv.Addr(), opts(1))
+	if err != nil {
+		t.Fatalf("Dial rank 1: %v", err)
+	}
+	defer s1.Close()
+	c0, c1 := s0.Comm(), s1.Comm()
+	if c0.Rank() != 0 || c0.Size() != world || c1.Rank() != 1 {
+		t.Fatalf("adapter identity: rank %d size %d / rank %d", c0.Rank(), c0.Size(), c1.Rank())
+	}
+
+	for _, size := range []int{64, 64 * 1024} { // eager and rendezvous
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c0.Send(1, comm.Tag(7), comm.Bytes(payload))
+		}()
+		st := c1.Recv(0, comm.Tag(7))
+		wg.Wait()
+		if st.Err != nil {
+			t.Fatalf("size %d: recv error: %v", size, st.Err)
+		}
+		if st.Source != 0 || st.Tag != comm.Tag(7) {
+			t.Fatalf("size %d: status source %d tag %d", size, st.Source, st.Tag)
+		}
+		if !bytes.Equal(st.Msg.Data, payload) {
+			t.Fatalf("size %d: payload corrupted in transit", size)
+		}
+		// Reply the other way with a transformed payload.
+		reply := append([]byte(nil), st.Msg.Data...)
+		for i := range reply {
+			reply[i] ^= 0xff
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c1.Send(0, comm.Tag(9), comm.Bytes(reply))
+		}()
+		back := c0.Recv(1, comm.Tag(9))
+		wg.Wait()
+		if back.Err != nil || !bytes.Equal(back.Msg.Data, reply) {
+			t.Fatalf("size %d: reply corrupted (err %v)", size, back.Err)
+		}
+	}
+}
+
+// TestProxyNonBlockingAndCallbacks covers Isend/Irecv/WaitAny/OnComplete
+// semantics of the adapter: callbacks fire on the owner goroutine from
+// inside Wait/Progress, wildcard receives resolve sources.
+func TestProxyNonBlockingAndCallbacks(t *testing.T) {
+	srv := newTestServer(t, Config{DrainTimeout: 2 * time.Second})
+	const world = 3
+	sessions := make([]*Session, world)
+	for r := 0; r < world; r++ {
+		s, err := Dial(srv.Addr(), SessionOpts{World: world, Group: "nb", ProxyRank: r})
+		if err != nil {
+			t.Fatalf("Dial rank %d: %v", r, err)
+		}
+		defer s.Close()
+		sessions[r] = s
+	}
+	var wg sync.WaitGroup
+	for r := 1; r < world; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sessions[r].Comm()
+			c.Send(0, comm.Tag(int64(r)), comm.Bytes([]byte{byte(r)}))
+		}()
+	}
+	c0 := sessions[0].Comm()
+	rs := []comm.Request{
+		c0.Irecv(comm.AnySource, comm.Tag(1)),
+		c0.Irecv(2, comm.AnyTag),
+	}
+	fired := 0
+	c0.OnComplete(rs[0], func(st comm.Status) {
+		if st.Source != 1 {
+			t.Errorf("wildcard-source recv matched source %d, want 1", st.Source)
+		}
+		fired++
+	})
+	idx := []int{0, 1} // original identity of each live handle
+	for len(rs) > 0 {
+		i, st := c0.WaitAny(rs)
+		if st.Err != nil {
+			t.Fatalf("request %d: %v", idx[i], st.Err)
+		}
+		if idx[i] == 1 && st.Source != 2 {
+			t.Fatalf("recv from rank 2 matched source %d", st.Source)
+		}
+		// Remove the completed handle, as the WaitAny contract requires.
+		rs = append(rs[:i], rs[i+1:]...)
+		idx = append(idx[:i], idx[i+1:]...)
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", fired)
+	}
+}
+
+// TestProxyRankExclusivity: one live proxy session per rank; rebinding a
+// bound rank is a typed BadRequest, and the slot frees on close.
+func TestProxyRankExclusivity(t *testing.T) {
+	srv := newTestServer(t, Config{DrainTimeout: 2 * time.Second})
+	opts := SessionOpts{World: 2, Group: "x", ProxyRank: 0}
+	s1, err := Dial(srv.Addr(), opts)
+	if err != nil {
+		t.Fatalf("Dial 1: %v", err)
+	}
+	if _, err := Dial(srv.Addr(), opts); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("double bind: got %v, want typed BadRequest", err)
+	}
+	s1.Close()
+	s2, err := Dial(srv.Addr(), opts)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	s2.Close()
+}

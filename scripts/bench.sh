@@ -4,7 +4,7 @@
 # BENCH_kernel.json / BENCH_progress.json so future changes can track
 # the perf trajectory. Run from the repo root:
 #
-#   ./scripts/bench.sh            # writes BENCH_kernel.json + BENCH_progress.json
+#   ./scripts/bench.sh            # writes BENCH_kernel.json, BENCH_progress.json, BENCH_serve.json
 #   ./scripts/bench.sh -count=3   # extra args forwarded to go test
 set -eu
 
@@ -120,3 +120,50 @@ END {
 ' "$praw" | { printf '[\n'; cat; printf ']\n'; } >"$pout"
 
 echo "wrote $pout"
+
+# Serving-layer gate: a real adaptd process serves a multi-point session
+# load (adaptbench -serve verifies every result), writes throughput and
+# p50/p99 latency to BENCH_serve.json, and the daemon's drain summary
+# must report "trouble 0" — no overload rejections, rank failures, or
+# rank deaths on a clean unsaturated run.
+echo "bench.sh: benchmarking the serving layer (adaptd + session load)"
+sdir=$(mktemp -d)
+go build -o "$sdir/adaptd" ./cmd/adaptd
+go build -o "$sdir/adaptbench" ./cmd/adaptbench
+"$sdir/adaptd" -fuse 200us >"$sdir/adaptd.txt" 2>&1 &
+adaptd_pid=$!
+addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    addr=$(sed -n 's/^adaptd: listening on //p' "$sdir/adaptd.txt")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || {
+    echo "bench.sh: FAIL: adaptd never printed its listen address" >&2
+    kill "$adaptd_pid" 2>/dev/null || true
+    cat "$sdir/adaptd.txt" >&2
+    rm -rf "$sdir"
+    exit 1
+}
+"$sdir/adaptbench" -serve "$addr" -serve-points '1x64,4x64,16x32' -o BENCH_serve.json >/dev/null || {
+    echo "bench.sh: FAIL: adaptbench -serve run failed (result mismatch or session error)" >&2
+    kill "$adaptd_pid" 2>/dev/null || true
+    cat "$sdir/adaptd.txt" >&2
+    rm -rf "$sdir"
+    exit 1
+}
+kill -INT "$adaptd_pid"
+wait "$adaptd_pid" || {
+    echo "bench.sh: FAIL: adaptd exited non-zero at drain" >&2
+    cat "$sdir/adaptd.txt" >&2
+    rm -rf "$sdir"
+    exit 1
+}
+grep -q 'trouble 0' "$sdir/adaptd.txt" || {
+    echo "bench.sh: FAIL: clean serving run moved serve/net trouble counters" >&2
+    cat "$sdir/adaptd.txt" >&2
+    rm -rf "$sdir"
+    exit 1
+}
+rm -rf "$sdir"
+echo "wrote BENCH_serve.json"
