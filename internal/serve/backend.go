@@ -254,6 +254,7 @@ func (b *backend) noteDead(rank int) {
 	bound := b.proxySess[rank]
 	b.mu.Unlock()
 	perf.RecordServeRankDeath()
+	b.sweepDead(rank)
 	if bound != nil {
 		bound.sessionError(&RequestError{
 			Code: CodeRankFailed,
@@ -263,18 +264,41 @@ func (b *backend) noteDead(rank int) {
 	b.srv.evictBackend(b)
 }
 
-// deadMask snapshots the confirmed-dead ranks.
-func (b *backend) deadMask() []bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return append([]bool(nil), b.dead...)
-}
-
-func (b *backend) nextSeq() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.seqNext++
-	return b.seqNext
+// sweepDead retires jobs already queued on a dead rank's channel: its
+// executor is gone, so nothing else will ever drain them, and a leaked
+// job pins its admission token forever. Safe to drain without the lock:
+// dead[rank] is set under b.mu before this runs, so submitService will
+// never enqueue here again, and a rank is only confirmed dead once its
+// executor goroutine has exited (fail-stop crashes Goexit the executor
+// itself), so there is no competing consumer.
+//
+// Plain allreduces cannot complete without the rank, so their queued
+// copies fail with a typed error (releasing the token via the deliver
+// wrapper). FT jobs are left to the surviving executors, which run the
+// collective over the healed tree and settle delivery through ftDone.
+// Proxy ops fail back onto their bound session.
+func (b *backend) sweepDead(rank int) {
+	for {
+		select {
+		case j := <-b.jobCh[rank]:
+			switch j.kind {
+			case jobAllreduce:
+				j.once.Do(func() {
+					j.deliver(nil, nil, &RequestError{Code: CodeRankFailed,
+						Msg: fmt.Sprintf("backend rank %d died before allreduce ran", rank)})
+				})
+			case jobReduceFT:
+				// Survivors deliver via ftDone.
+			case jobIsend, jobIrecv:
+				j.sess.opDone(j.opID, comm.Status{Source: comm.AnySource, Err: &RequestError{
+					Code: CodeRankFailed,
+					Msg:  fmt.Sprintf("backend rank %d died", rank),
+				}})
+			}
+		default:
+			return
+		}
+	}
 }
 
 // bindProxy claims rank r for sess; one live proxy session per rank.
@@ -302,6 +326,15 @@ func (b *backend) unbindProxy(r int, sess *session) {
 // submitService fans a service job out to every rank executor after
 // taking an admission token; a full pool is a typed Overloaded error.
 // The token releases at delivery, so queue depth bounds live work.
+//
+// Seq assignment and the whole per-rank fan-out happen atomically under
+// b.mu. Blocking FT execution depends on every rank's channel carrying
+// service jobs in one global order — each rank must reach the same
+// barrier before the same blocking collective, and two concurrent
+// submitters interleaving their fan-out loops would leave ranks blocked
+// in different collectives with disjoint tags, deadlocked. The same
+// lock keeps the dead[] check coherent with noteDead, whose queue sweep
+// only runs after dead[r] is set under b.mu.
 func (b *backend) submitService(j *job) error {
 	select {
 	case b.admit <- struct{}{}:
@@ -314,23 +347,45 @@ func (b *backend) submitService(j *job) error {
 		<-b.admit
 		inner(out, mask, err)
 	}
-	j.seq = b.nextSeq()
-	// Dead ranks' executors are gone; their channels drain nothing, so a
-	// fan-out there would eventually wedge the whole backend.
+	b.mu.Lock()
+	// A channel send must not block while b.mu is held (the failure
+	// detector's death hook takes the lock in noteDead), so check every
+	// live rank has a free slot up front. Executors only drain, and b.mu
+	// serializes all service enqueues, so the check cannot go stale
+	// before the sends below. Early-delivered FT failures release their
+	// token while copies are still queued, which is how occupancy can
+	// outrun the token pool into the slack.
 	alive := 0
-	dead := b.deadMask()
 	for r := range b.jobCh {
-		if !dead[r] {
-			alive++
-		}
-	}
-	j.remaining.Store(int32(alive))
-	for r := range b.jobCh {
-		if dead[r] {
+		if b.dead[r] {
 			continue
 		}
-		b.jobCh[r] <- j
-		b.scheds[r].Poke()
+		alive++
+		if len(b.jobCh[r]) == cap(b.jobCh[r]) {
+			b.mu.Unlock()
+			<-b.admit
+			perf.RecordServeOverload()
+			return ErrOverloaded
+		}
+	}
+	if alive == 0 {
+		b.mu.Unlock()
+		<-b.admit
+		return &RequestError{Code: CodeRankFailed, Msg: "all backend ranks dead"}
+	}
+	b.seqNext++
+	j.seq = b.seqNext
+	j.remaining.Store(int32(alive))
+	// Dead ranks' executors are gone; their channels drain nothing, so a
+	// fan-out there would eventually wedge the whole backend.
+	for r := range b.jobCh {
+		if !b.dead[r] {
+			b.jobCh[r] <- j
+		}
+	}
+	b.mu.Unlock()
+	for _, sched := range b.scheds {
+		sched.Poke()
 	}
 	return nil
 }

@@ -294,6 +294,72 @@ func TestServerCloseDrainsSessions(t *testing.T) {
 	}
 }
 
+// TestConcurrentFTSubmissions pins the submit-ordering guarantee:
+// blocking FT collectives from many sessions racing into one shared
+// non-armed backend must land on every rank's queue in the same global
+// order. An unserialized fan-out can enqueue two jobs in opposite
+// orders on two ranks, leaving each rank blocked in a different
+// collective with disjoint tags — a permanent deadlock this test turns
+// into a timeout failure.
+func TestConcurrentFTSubmissions(t *testing.T) {
+	srv := newTestServer(t, Config{DrainTimeout: 5 * time.Second})
+	const world, elems, nSess, nReq = 4, 8, 6, 8
+	done := make(chan struct{})
+	errs := make(chan error, nSess)
+	var wg sync.WaitGroup
+	for s := 0; s < nSess; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess, err := Dial(srv.Addr(), SessionOpts{World: world, ProxyRank: -1})
+			if err != nil {
+				errs <- fmt.Errorf("session %d dial: %w", s, err)
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < nReq; i++ {
+				salt := s*nReq + i
+				vals := contrib(world, elems, salt)
+				// Interleave a plain allreduce so FT jobs hit the
+				// drain-then-block barrier with scheduled work in flight.
+				if i%2 == 0 {
+					if _, err := sess.Allreduce(vals); err != nil {
+						errs <- fmt.Errorf("session %d allreduce %d: %w", s, i, err)
+						return
+					}
+				}
+				out, mask, err := sess.ReduceFT(vals)
+				if err != nil {
+					errs <- fmt.Errorf("session %d FT %d: %w", s, i, err)
+					return
+				}
+				for r, alive := range mask {
+					if !alive {
+						errs <- fmt.Errorf("session %d FT %d: rank %d dead in a crash-free world", s, i, r)
+						return
+					}
+				}
+				for e, v := range out {
+					if want := wantSum(world, e, salt); v != want {
+						errs <- fmt.Errorf("session %d FT %d element %d: got %v, want %v", s, i, e, v, want)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent FT submissions deadlocked (per-rank queue orders diverged)")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestManySessionsConcurrent(t *testing.T) {
 	srv := newTestServer(t, Config{
 		FuseWindow:   time.Millisecond,

@@ -449,6 +449,18 @@ func (s *session) admit(id uint64) bool {
 		return false
 	}
 	s.pending.Add(1)
+	// Re-check after the increment: beginShutdown stores draining and
+	// then consults pending, so a pre-increment check alone lets Close
+	// land in the gap, see pending==0, and declare the session drained
+	// with this request still in flight. With both sides writing before
+	// reading, either this re-check sees draining or maybeDrained sees
+	// the increment — the request is rejected or counted, never dropped.
+	if s.draining.Load() {
+		s.pending.Add(-1)
+		s.maybeDrained()
+		s.send(encodeErr(errMsg{ID: id, Code: CodeShutdown, Msg: "session draining"}))
+		return false
+	}
 	return true
 }
 
@@ -505,6 +517,14 @@ func (s *session) handleProxyOp(id uint64, j *job) bool {
 		return false
 	}
 	s.pending.Add(1)
+	// Same increment-then-re-check as admit: beginShutdown racing this
+	// admission must either be observed here or observe the increment.
+	if s.draining.Load() {
+		s.pending.Add(-1)
+		s.maybeDrained()
+		s.send(encodeErr(errMsg{ID: id, Code: CodeShutdown, Msg: "session draining"}))
+		return false
+	}
 	s.srv.stProxyOps.Add(1)
 	if err := s.be.submitProxy(s.proxyRank, j); err != nil {
 		s.pending.Add(-1)

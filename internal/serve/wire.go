@@ -280,9 +280,11 @@ type resultMsg struct {
 }
 
 func encodeResult(m resultMsg) []byte {
-	p := make([]byte, 0, 13+len(m.Mask)+len(m.Data))
+	// The mask length is a uint32: survivor masks are world-sized and
+	// worlds may be as large as maxWireWorld, which outgrows a byte.
+	p := make([]byte, 0, 16+len(m.Mask)+len(m.Data))
 	p = binary.LittleEndian.AppendUint64(p, m.ID)
-	p = append(p, byte(len(m.Mask)))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(m.Mask)))
 	for _, alive := range m.Mask {
 		if alive {
 			p = append(p, 1)
@@ -296,25 +298,28 @@ func encodeResult(m resultMsg) []byte {
 }
 
 func parseResult(p []byte) (resultMsg, error) {
-	if len(p) < 13 {
-		return resultMsg{}, protoErrf("result body %d bytes, want >= 13", len(p))
+	if len(p) < 16 {
+		return resultMsg{}, protoErrf("result body %d bytes, want >= 16", len(p))
 	}
 	m := resultMsg{ID: binary.LittleEndian.Uint64(p[0:8])}
-	ml := int(p[8])
-	if len(p) < 13+ml {
+	ml := int(binary.LittleEndian.Uint32(p[8:12]))
+	if ml > maxWireWorld {
+		return resultMsg{}, protoErrf("result mask %d entries exceeds world cap %d", ml, maxWireWorld)
+	}
+	if len(p) < 16+ml {
 		return resultMsg{}, protoErrf("result mask %d bytes does not fit body %d", ml, len(p))
 	}
 	if ml > 0 {
 		m.Mask = make([]bool, ml)
 		for i := 0; i < ml; i++ {
-			m.Mask[i] = p[9+i] != 0
+			m.Mask[i] = p[12+i] != 0
 		}
 	}
-	dl := int(binary.LittleEndian.Uint32(p[9+ml : 13+ml]))
-	if dl%8 != 0 || len(p) != 13+ml+dl {
-		return resultMsg{}, protoErrf("result payload %d bytes for declared %d", len(p)-13-ml, dl)
+	dl := int(binary.LittleEndian.Uint32(p[12+ml : 16+ml]))
+	if dl%8 != 0 || len(p) != 16+ml+dl {
+		return resultMsg{}, protoErrf("result payload %d bytes for declared %d", len(p)-16-ml, dl)
 	}
-	m.Data = p[13+ml:]
+	m.Data = p[16+ml:]
 	return m, nil
 }
 
