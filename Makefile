@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fuzz trace net progress serve
+.PHONY: verify test build race vet bench chaos crash fec fuzz trace net progress serve
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -79,13 +79,25 @@ serve:
 	$(GO) test -race -run 'TestConformanceGridDaemon' ./internal/conform
 	./scripts/bench.sh
 
+# Erasure-coding gate: the codec and controller under the race detector,
+# the FEC paths of all three substrates (simulator, live runtime, TCP
+# loopback), the cross-substrate FEC conformance grids, and the
+# loss-sweep benchmark with its zero-retransmit gate (BENCH_fec.json).
+fec:
+	$(GO) test -race ./internal/fec/...
+	$(GO) test -race -run 'TestFEC|TestLiveFEC|TestNetFEC' ./internal/simmpi ./internal/runtime ./internal/nettransport
+	$(GO) test -race -run 'TestConformanceFEC' ./internal/conform
+	$(GO) run ./cmd/adaptbench -fec-json BENCH_fec.json -scale quick
+
 # Short fuzz passes over the tag-matching predicate, the fault-plan
-# parser, the unified matching core, and the daemon's framed request
-# codec; the committed corpora under testdata/fuzz run in every normal
-# `go test`, this target explores beyond them.
+# parser, the unified matching core, the daemon's framed request codec,
+# and the erasure codec's encode/reconstruct round trip; the committed
+# corpora under testdata/fuzz run in every normal `go test`, this target
+# explores beyond them.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTagMatch -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run '^$$' -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/progress
 	$(GO) test -run '^$$' -fuzz FuzzRequestFrame -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzFEC -fuzztime $(FUZZTIME) ./internal/fec

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +67,7 @@ func run() int {
 	ctrace := flag.String("ctrace", "", "capture causal event traces and write Chrome trace-event JSON (Perfetto) to this file")
 	ctraceCap := flag.Int("ctrace-cap", 500_000, "per-cell causal-trace record cap (0 = unbounded)")
 	ctraceReport := flag.Bool("ctrace-report", false, "print a critical-path/overlap report for the captured traces")
+	fecJSON := flag.String("fec-json", "", "run the FEC loss sweep, write it as JSON to this file, and fail unless the zero-retransmit gate holds")
 	serveAddr := flag.String("serve", "", "benchmark a running adaptd at this address instead of the simulated exhibits")
 	servePoints := flag.String("serve-points", "1x64,4x64,16x32", "comma-separated SESSIONSxREQUESTS load points for -serve")
 	serveWorld := flag.Int("serve-world", 4, "backend world size for -serve requests")
@@ -97,6 +99,33 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "adaptbench:", err)
 			return 1
 		}
+		return 0
+	}
+	if *fecJSON != "" {
+		var s bench.Scale
+		switch *scale {
+		case "full":
+			s = bench.Full()
+		case "quick":
+			s = bench.Quick()
+		default:
+			fmt.Fprintf(os.Stderr, "adaptbench: unknown scale %q\n", *scale)
+			return 2
+		}
+		rep := s.FECSweep()
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*fecJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+		if err := rep.GateErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "adaptbench: wrote %s (gates pass)\n", *fecJSON)
 		return 0
 	}
 	if *exp == "" {

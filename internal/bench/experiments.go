@@ -354,7 +354,7 @@ func Experiments() []string {
 
 // Extensions lists the exhibit ids that go beyond the paper.
 func Extensions() []string {
-	return []string{"ext-nvlink", "ext-placement", "ext-allreduce", "ext-chaos", "ext-crash"}
+	return []string{"ext-nvlink", "ext-placement", "ext-allreduce", "ext-chaos", "ext-crash", "ext-fec"}
 }
 
 // RunTables generates one exhibit's tables (or every paper exhibit for
@@ -371,6 +371,7 @@ func RunTables(id string, s Scale) ([]*Table, error) {
 		"ext-allreduce": s.ExtAllreduce,
 		"ext-chaos":     s.ExtChaos,
 		"ext-crash":     s.ExtCrash,
+		"ext-fec":       s.ExtFEC,
 	}
 	if id == "all" {
 		var out []*Table

@@ -149,6 +149,61 @@ func TestPutBufExactClassViewIsUsable(t *testing.T) {
 	PutBuf(got)
 }
 
+// TestParityShardSizeClasses pins the pool contract the erasure codec
+// leans on (internal/fec): parity and syndrome buffers are GetBufZero'd
+// at the group's padded shard length — an arbitrary size, almost never
+// a class boundary — dirtied with GF(256) accumulation, and returned.
+// Reconstructed shards are handed to the matched recv as a plain
+// reslice to the true segment size, so when the transport later
+// recycles that segment, the reslice must re-enter its full class.
+// Regressions here silently poison every FEC group that follows.
+func TestParityShardSizeClasses(t *testing.T) {
+	// Odd shard lengths straddling class boundaries, like real groups of
+	// mixed-size eager segments padded to the longest member.
+	for _, n := range []int{300, 512, 513, 4095, 8 << 10, (8 << 10) + 1} {
+		par := GetBufZero(n)
+		if len(par) != n {
+			t.Fatalf("GetBufZero(%d): len=%d", n, len(par))
+		}
+		for i, v := range par {
+			if v != 0 {
+				t.Fatalf("GetBufZero(%d): dirty parity byte %d = %#x", n, i, v)
+			}
+		}
+		for i := range par { // the codec XOR-accumulates in place
+			par[i] ^= byte(i * 7)
+		}
+		cl := cap(par)
+		PutBuf(par)
+		got := GetBuf(cl)
+		if cap(got) != cl || len(got) != cl {
+			t.Fatalf("class %d after parity round trip: len=%d cap=%d", cl, len(got), cap(got))
+		}
+		PutBuf(got)
+	}
+
+	// A reconstructed shard: syndrome buffer resliced to the true segment
+	// size (smaller than the padded shard length). Recycling the reslice
+	// must recover the whole class, and the next zeroed hand-out of that
+	// class must carry no stale syndrome bytes.
+	synd := GetBufZero(1000) // class 1024
+	for i := range synd {
+		synd[i] = 0xC3
+	}
+	seg := synd[:700] // data[i] = synd[l][:sizes[i]]
+	PutBuf(seg)
+	z := GetBufZero(1024)
+	if cap(z) != 1024 {
+		t.Fatalf("reconstructed-shard reslice lost its class: cap=%d", cap(z))
+	}
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("stale syndrome byte %d = %#x after recycle", i, v)
+		}
+	}
+	PutBuf(z)
+}
+
 func TestPoolReuse(t *testing.T) {
 	b := GetBuf(8192)
 	b[0] = 42

@@ -42,6 +42,10 @@ const (
 	// notification: both use seg = sender rank under the same sequence.
 	KindDone    // "I hold the full payload" notification toward the root
 	KindRedrive // re-drive request (missing-segment bitmap) to a new parent
+	// KindFec tags erasure-coding parity traffic: parity shards ride the
+	// wire under (KindFec, group id, parity index) so their fault
+	// verdicts and trace spans are distinguishable from data segments.
+	KindFec
 )
 
 func (k CollKind) String() string {
@@ -70,6 +74,8 @@ func (k CollKind) String() string {
 		return "done"
 	case KindRedrive:
 		return "redrive"
+	case KindFec:
+		return "fec"
 	}
 	return fmt.Sprintf("CollKind(%d)", uint8(k))
 }

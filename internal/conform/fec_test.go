@@ -1,0 +1,299 @@
+package conform
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"adapt/internal/core"
+	"adapt/internal/faults"
+	"adapt/internal/fec"
+	"adapt/internal/hwloc"
+	"adapt/internal/netmodel"
+	"adapt/internal/nettransport"
+	"adapt/internal/noise"
+	"adapt/internal/runtime"
+	"adapt/internal/sim"
+	"adapt/internal/simmpi"
+)
+
+// FEC conformance: erasure-coded eager streams must be invisible in the
+// bytes on every substrate. A lossy link whose per-group erasures stay
+// within the parity budget repairs from parity with zero retransmissions
+// — the round trip the RTO machinery would have paid simply never
+// happens. Losses beyond the budget fall back to that machinery and the
+// run still reproduces the golden; only the counters tell the two paths
+// apart. The invariant every grid cell asserts:
+//
+//	GroupsLost == 0  ⇒  Retries == 0
+//
+// (a group whose erasures outran its parity is the only legal reason to
+// retransmit), plus a seed scan demanding at least one run where losses
+// happened, reconstruction happened, and no retransmit fired — proof the
+// zero-retransmit path is actually exercised, not vacuously true.
+
+// fecGridCfg fixes parity at 2 per group of 4, so any double erasure per
+// group repairs without a round trip.
+func fecGridCfg() fec.Config { return fec.Config{K: 4, M: 2} }
+
+// fecGridPlans degrade the root's fan-out links (root is rank 1 in the
+// registry) in the forward direction only, so socket-substrate FEC acks
+// riding the reverse direction stay clean. Drop and corrupt are
+// equivalent detected losses: a corrupt rule flips payload bytes, the
+// CRC catches it, and the frame dies exactly like a drop.
+var fecGridPlans = []struct{ name, text string }{
+	{"drop", "seed=%d; link 1->0: drop=0.15; link 1->2: drop=0.15"},
+	{"corrupt", "seed=%d; link 1->0: corrupt=0.15; link 1->2: corrupt=0.15"},
+}
+
+// fecFanout marks the pure fan-out collectives (broadcast and scatter
+// families): every data byte flows away from the root, so the degraded
+// links in fecGridPlans carry data but never acknowledgements. Only
+// there is the strict zero-retransmit invariant exact on the simulator:
+// its chaos transport acks every message, acks for reverse-direction
+// data ride the degraded links, and a lost ack forces a retransmission
+// the FEC layer can never prevent (the payload already arrived). The
+// byte-conformance and no-failure checks still run on every case.
+var fecFanout = map[string]bool{
+	"core/bcast-binomial":    true,
+	"core/bcast-chain":       true,
+	"core/bcast-binary":      true,
+	"core/bcast-twotree":     true,
+	"core/scatter":           true,
+	"coll/bcast-blocking":    true,
+	"coll/bcast-nonblocking": true,
+	"coll/scatter":           true,
+	"coll/scatterv":          true,
+	"coll/bcast-multilevel":  true,
+}
+
+// runFECCase is RunCase with the world's FEC layer armed: same simulator,
+// same plan machinery, plus the codec between the injector and the wire.
+func runFECCase(p *netmodel.Platform, cs Case, opt core.Options, plan faults.Plan, rec faults.Recovery, cfg fec.Config) (Result, fec.Stats) {
+	k := sim.New()
+	w := simmpi.NewWorld(k, p, noise.None)
+	w.InstallFaults(plan, rec)
+	w.EnableFEC(cfg)
+	out := make([][]byte, w.Size())
+	w.Spawn(func(c *simmpi.Comm) {
+		res := cs.Run(c, cs.In(c.Rank()), opt)
+		if res.Data != nil {
+			out[c.Rank()] = append([]byte(nil), res.Data...)
+		}
+	})
+	end, err := k.Run()
+	return Result{Out: out, End: end, Err: err, Failures: w.Failures(), Stats: w.FaultStats()}, w.FECStats()
+}
+
+// fecGridRec is the retransmit policy for the simulated FEC cells: the
+// RTO must dominate the group-resolution latency (idle flush at RTO/4,
+// parity transfer, repair-ack) or the retry timer races the repair and
+// the zero-retransmit invariant turns probabilistic. Virtual time makes
+// the generous value free.
+func fecGridRec() faults.Recovery {
+	return faults.Recovery{RTO: 10 * time.Millisecond}.Normalized()
+}
+
+// TestConformanceFECGrid walks every registered collective on the
+// simulator with FEC armed under lossy and corrupting plans, three seeds
+// each, and demands golden bytes plus the zero-retransmit invariant.
+func TestConformanceFECGrid(t *testing.T) {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	n := p.Topo.Size()
+	size := 16 * 8 * n
+	opt := core.DefaultOptions()
+	opt.SegSize = 256
+	for _, pl := range fecGridPlans {
+		pl := pl
+		t.Run(pl.name, func(t *testing.T) {
+			exercised := false
+			for _, cs := range Cases(p.Topo, size) {
+				golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+				if golden.Err != nil {
+					t.Fatalf("%s: golden run failed: %v", cs.Name, golden.Err)
+				}
+				for seed := 1; seed <= 3; seed++ {
+					plan := faults.MustParsePlan(fmt.Sprintf(pl.text, seed))
+					got, fs := runFECCase(p, cs, opt, plan, fecGridRec(), fecGridCfg())
+					if d := Diff(golden, got); d != "" {
+						t.Errorf("%s seed %d: %s (faults %v, fec %+v)", cs.Name, seed, d, got.Stats, fs)
+					}
+					if len(got.Failures) != 0 {
+						t.Errorf("%s seed %d: unrecovered loss: %v", cs.Name, seed, got.Failures[0])
+					}
+					if !fecFanout[cs.Name] {
+						continue
+					}
+					if fs.GroupsLost == 0 && got.Stats.Retries != 0 {
+						t.Errorf("%s seed %d: %d retries with every group repaired (faults %v, fec %+v)",
+							cs.Name, seed, got.Stats.Retries, got.Stats, fs)
+					}
+					if got.Stats.Drops+got.Stats.Corrupts > 0 && fs.Reconstructed > 0 && got.Stats.Retries == 0 {
+						exercised = true
+					}
+				}
+			}
+			if !exercised {
+				t.Fatal("no (case, seed) exercised the zero-retransmit repair path")
+			}
+		})
+	}
+}
+
+// TestConformanceFECBeyondParity pushes loss past the parity budget
+// (m=1 under 60% drop): groups are lost, the RTO/retry machinery runs,
+// and the bytes are still golden — FEC composes with ARQ, it does not
+// replace it.
+func TestConformanceFECBeyondParity(t *testing.T) {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	size := 16 * 8 * p.Topo.Size()
+	opt := core.DefaultOptions()
+	opt.SegSize = 256
+	cs := Cases(p.Topo, size)[0] // core/bcast-binomial
+	golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+	if golden.Err != nil {
+		t.Fatalf("golden run failed: %v", golden.Err)
+	}
+	fellBack := false
+	for seed := 1; seed <= 10; seed++ {
+		plan := faults.MustParsePlan(fmt.Sprintf("seed=%d; all: drop=0.4", seed))
+		rec := faults.Recovery{RTO: 10 * time.Millisecond, MaxAttempts: 30}.Normalized()
+		got, fs := runFECCase(p, cs, opt, plan, rec, fec.Config{K: 4, M: 1})
+		if d := Diff(golden, got); d != "" {
+			t.Fatalf("seed %d: beyond-parity run diverged: %s (faults %v, fec %+v)", seed, d, got.Stats, fs)
+		}
+		if len(got.Failures) != 0 {
+			t.Fatalf("seed %d: unrecovered loss: %v", seed, got.Failures[0])
+		}
+		if fs.GroupsLost > 0 && got.Stats.Retries > 0 {
+			fellBack = true
+		}
+	}
+	if !fellBack {
+		t.Fatal("40% drop with m=1 never outran the parity into the retransmit path")
+	}
+}
+
+// TestConformanceFECGridLive replays the FEC grid on the in-process live
+// transport: real goroutines, wall-clock timers, same golden bytes.
+func TestConformanceFECGridLive(t *testing.T) {
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	n := p.Topo.Size()
+	size := 16 * 8 * n
+	rec := faults.Recovery{RTO: 50 * time.Millisecond}.Normalized()
+	for _, pl := range fecGridPlans {
+		pl := pl
+		t.Run(pl.name, func(t *testing.T) {
+			exercised := false
+			for i, cs := range Cases(p.Topo, size) {
+				opt := core.DefaultOptions()
+				opt.SegSize = 256
+				opt.Seq = i + 1
+				golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+				if golden.Err != nil {
+					t.Fatalf("%s: golden run failed: %v", cs.Name, golden.Err)
+				}
+				seed := i%3 + 1 // rotate seeds across cases; the scan needs one clean repair, not all
+				plan := faults.MustParsePlan(fmt.Sprintf(pl.text, seed))
+				w := runtime.NewWorld(n,
+					runtime.WithFaults(plan, rec),
+					runtime.WithFEC(fecGridCfg()),
+					runtime.WithRunTimeout(60*time.Second))
+				out := make([][]byte, n)
+				w.Run(func(c *runtime.Comm) {
+					res := cs.Run(c, cs.In(c.Rank()), opt)
+					if res.Data != nil {
+						out[c.Rank()] = append([]byte(nil), res.Data...)
+					}
+				})
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(golden.Out[r], out[r]) {
+						t.Errorf("%s: rank %d diverges from simulator golden (%d vs %d bytes, first delta at %d)",
+							cs.Name, r, len(golden.Out[r]), len(out[r]), firstDelta(golden.Out[r], out[r]))
+					}
+				}
+				st, fs := w.FaultStats(), w.FECStats()
+				if len(w.Failures()) != 0 {
+					t.Errorf("%s: unrecovered loss: %v", cs.Name, w.Failures()[0])
+				}
+				if fs.GroupsLost == 0 && st.Retries != 0 {
+					t.Errorf("%s: %d retries with every group repaired (faults %v, fec %+v)",
+						cs.Name, st.Retries, st, fs)
+				}
+				if st.Drops+st.Corrupts > 0 && fs.Reconstructed > 0 && st.Retries == 0 {
+					exercised = true
+				}
+			}
+			if !exercised {
+				t.Fatal("no case exercised the zero-retransmit repair path")
+			}
+		})
+	}
+}
+
+// TestConformanceFECGridTCP replays the FEC grid on real loopback
+// sockets: frames actually fly, corrupt rules flip real payload bytes
+// that die at the CRC, parity rides its own frame type, and the
+// receiver's reconstruction must complete each recv with the exact bytes
+// the simulator's golden produced. Gated behind -short like the other
+// TCP grids.
+func TestConformanceFECGridTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP FEC grid skipped in -short")
+	}
+	p := netmodel.Cori(1).WithTopo(hwloc.New(2, 1, 2))
+	n := p.Topo.Size()
+	size := 16 * 8 * n
+	rec := faults.Recovery{RTO: 100 * time.Millisecond, MaxAttempts: 10}.Normalized()
+	for _, pl := range fecGridPlans {
+		pl := pl
+		t.Run(pl.name, func(t *testing.T) {
+			exercised := false
+			for seed := 1; seed <= 4 && !exercised; seed++ {
+				plan := faults.MustParsePlan(fmt.Sprintf(pl.text, seed))
+				w, err := nettransport.NewLocalWorld(n,
+					nettransport.WithChaos(plan, rec),
+					nettransport.WithFEC(fecGridCfg()))
+				if err != nil {
+					t.Fatalf("NewLocalWorld(%d): %v", n, err)
+				}
+				w.WithRunTimeout(120 * time.Second)
+				for i, cs := range Cases(p.Topo, size) {
+					opt := core.DefaultOptions()
+					opt.SegSize = 256
+					opt.Seq = i + 1
+					golden := RunCase(p, cs, opt, nil, faults.Recovery{})
+					if golden.Err != nil {
+						t.Fatalf("%s: golden run failed: %v", cs.Name, golden.Err)
+					}
+					out := make([][]byte, n)
+					w.Run(func(c *nettransport.Comm) {
+						res := cs.Run(c, cs.In(c.Rank()), opt)
+						if res.Data != nil {
+							out[c.Rank()] = append([]byte(nil), res.Data...)
+						}
+					})
+					for r := 0; r < n; r++ {
+						if !bytes.Equal(golden.Out[r], out[r]) {
+							t.Errorf("seed %d %s: rank %d diverges from simulator golden (%d vs %d bytes, first delta at %d)",
+								seed, cs.Name, r, len(golden.Out[r]), len(out[r]), firstDelta(golden.Out[r], out[r]))
+						}
+					}
+				}
+				st, fs := w.FaultStats(), w.FECStats()
+				w.Close()
+				if fs.GroupsLost == 0 && st.Retries != 0 {
+					t.Errorf("seed %d: %d retries with every group repaired (faults %v, fec %+v)",
+						seed, st.Retries, st, fs)
+				}
+				if st.Drops+st.Corrupts > 0 && fs.Reconstructed > 0 && st.Retries == 0 {
+					exercised = true
+				}
+			}
+			if !exercised {
+				t.Fatal("no seed exercised the zero-retransmit repair path on sockets")
+			}
+		})
+	}
+}

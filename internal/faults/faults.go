@@ -94,6 +94,13 @@ type Rule struct {
 	// DupProb is the probability a second copy of the message is
 	// injected (the receiver's dedup layer must suppress it).
 	DupProb float64
+	// CorruptProb is the per-attempt probability the payload is damaged
+	// in flight (seeded bit-flips). The wire transport detects this via
+	// the frame CRC and treats the frame as a drop — feeding FEC
+	// reconstruction — instead of delivering garbage; the in-process
+	// substrates model detection directly, so a corrupted attempt is a
+	// counted, distinguishable flavor of loss.
+	CorruptProb float64
 	// DelayProb gates a fixed Delay spike added to the message's flight
 	// time. A Delay with zero DelayProb is treated as always-on.
 	DelayProb float64
@@ -136,7 +143,7 @@ func (p Plan) Enabled() bool {
 		return true
 	}
 	for _, r := range p.Rules {
-		if r.DropProb > 0 || r.DupProb > 0 || r.Delay > 0 || r.Jitter > 0 || r.SlowBw > 0 {
+		if r.DropProb > 0 || r.DupProb > 0 || r.CorruptProb > 0 || r.Delay > 0 || r.Jitter > 0 || r.SlowBw > 0 {
 			return true
 		}
 	}
@@ -172,7 +179,7 @@ func (p Plan) Validate() error {
 		for _, pr := range []struct {
 			name string
 			v    float64
-		}{{"drop", r.DropProb}, {"dup", r.DupProb}, {"delay", r.DelayProb}} {
+		}{{"drop", r.DropProb}, {"dup", r.DupProb}, {"corrupt", r.CorruptProb}, {"delay", r.DelayProb}} {
 			if pr.v < 0 || pr.v > 1 {
 				return fmt.Errorf("faults: rule %d (%s): %s probability %g outside [0,1]", i, r.Scope, pr.name, pr.v)
 			}
@@ -207,6 +214,19 @@ type Recovery struct {
 	// is final, the repaired tree takes effect, and every surviving rank
 	// receives a death notice. Must exceed SuspectAfter.
 	ConfirmAfter time.Duration
+
+	// FullJitter spreads the retransmit backoff: instead of the fixed
+	// Timeout(attempt), each armed retry timer draws uniformly from
+	// [RTO, Timeout(attempt)] — the full-jitter strategy floored at one
+	// base RTO so a sender never retransmits before an ack could
+	// possibly have returned. After a burst drop hits many senders at
+	// once, their retransmissions desynchronize instead of re-colliding
+	// every backoff epoch. Deterministic: the draw is a pure function of
+	// (JitterSeed, transmission id, attempt), so the simulator replays
+	// the same schedule for a given seed.
+	FullJitter bool
+	// JitterSeed seeds the full-jitter draws (0 is a valid seed).
+	JitterSeed int64
 }
 
 // DefaultRecovery is the standard tuning: 200µs base timeout, doubling
@@ -266,6 +286,35 @@ func (r Recovery) Timeout(attempt int) time.Duration {
 	return time.Duration(t)
 }
 
+// RetryDelay returns the wait armed after the given attempt for the
+// transmission with the given id: the plain capped-exponential
+// Timeout(attempt) normally, or a seeded full-jitter draw from
+// [RTO, Timeout(attempt)] when FullJitter is on. Attempt 0's window is
+// degenerate ([RTO, RTO]), so the initial ack wait is never shortened.
+func (r Recovery) RetryDelay(attempt int, id uint64) time.Duration {
+	t := r.Timeout(attempt)
+	if !r.FullJitter || t <= r.RTO {
+		return t
+	}
+	u := jitterUniform(r.JitterSeed, id, attempt)
+	return r.RTO + time.Duration(u*float64(t-r.RTO))
+}
+
+// jitterUniform draws a deterministic value in [0,1) from the retry's
+// identity — same construction as Injector.uniform, distinct domain.
+func jitterUniform(seed int64, id uint64, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [25]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+		buf[8+i] = byte(id >> (8 * i))
+		buf[16+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	buf[24] = 'J'
+	h.Write(buf[:])
+	return float64(h.Sum64()&((1<<53)-1)) / (1 << 53)
+}
+
 // TimeoutError reports an unrecoverable message loss: every attempt went
 // unacknowledged. It names the tree edge (Rank→Peer), the wire tag —
 // and through it the collective kind, operation sequence, and segment —
@@ -305,6 +354,10 @@ type Verdict struct {
 	Drop bool
 	// Dup: a second copy is injected alongside the first.
 	Dup bool
+	// Corrupt: the attempt arrives with flipped payload bits. The wire
+	// transport delivers the damaged frame and lets the CRC catch it;
+	// the in-process substrates treat it as a detected loss directly.
+	Corrupt bool
 	// Extra is added latency (spikes, jitter, degradation).
 	Extra time.Duration
 }
@@ -314,6 +367,7 @@ type Verdict struct {
 type Stats struct {
 	Drops      uint64 // attempts lost in flight (incl. lost acks)
 	Dups       uint64 // duplicate copies injected
+	Corrupts   uint64 // attempts damaged in flight (detected, not delivered)
 	Delays     uint64 // messages that drew extra latency
 	Retries    uint64 // retransmissions performed
 	Timeouts   uint64 // messages failed after exhausting attempts
@@ -322,11 +376,11 @@ type Stats struct {
 
 // Total returns the number of injected faults (not counting recovery
 // actions).
-func (s Stats) Total() uint64 { return s.Drops + s.Dups + s.Delays }
+func (s Stats) Total() uint64 { return s.Drops + s.Dups + s.Corrupts + s.Delays }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("drops %d, dups %d, delays %d, retries %d, timeouts %d, suppressed %d",
-		s.Drops, s.Dups, s.Delays, s.Retries, s.Timeouts, s.Suppressed)
+	return fmt.Sprintf("drops %d, dups %d, corrupts %d, delays %d, retries %d, timeouts %d, suppressed %d",
+		s.Drops, s.Dups, s.Corrupts, s.Delays, s.Retries, s.Timeouts, s.Suppressed)
 }
 
 // Injector evaluates a Plan. Safe for concurrent use (the live runtime
@@ -337,6 +391,7 @@ type Injector struct {
 
 	drops      atomic.Uint64
 	dups       atomic.Uint64
+	corrupts   atomic.Uint64
 	delays     atomic.Uint64
 	retries    atomic.Uint64
 	timeouts   atomic.Uint64
@@ -398,6 +453,9 @@ func (in *Injector) Message(src, dst int, tag comm.Tag, id uint64, attempt int, 
 		if r.DupProb > 0 && in.uniform(i, '2', src, dst, tag, id, attempt) < r.DupProb {
 			v.Dup = true
 		}
+		if r.CorruptProb > 0 && in.uniform(i, 'c', src, dst, tag, id, attempt) < r.CorruptProb {
+			v.Corrupt = true
+		}
 		if r.Delay > 0 && (r.DelayProb == 0 || in.uniform(i, 's', src, dst, tag, id, attempt) < r.DelayProb) {
 			v.Extra += r.Delay
 		}
@@ -413,8 +471,16 @@ func (in *Injector) Message(src, dst int, tag comm.Tag, id uint64, attempt int, 
 		perf.RecordFaultDrop()
 		// A dropped attempt never materializes, so its dup/delay are moot.
 		v.Dup = false
+		v.Corrupt = false
 		v.Extra = 0
 		return v
+	}
+	if v.Corrupt {
+		in.corrupts.Add(1)
+		perf.RecordFaultCorrupt()
+		// The damaged copy still flies (keeping Extra) but is discarded
+		// on arrival; duplicating it would just be a second discard.
+		v.Dup = false
 	}
 	if v.Dup {
 		in.dups.Add(1)
@@ -428,15 +494,22 @@ func (in *Injector) Message(src, dst int, tag comm.Tag, id uint64, attempt int, 
 }
 
 // AckDrop decides whether the acknowledgement travelling src→dst (the
-// reverse of the data link) is lost. Only drop rules apply to acks.
+// reverse of the data link) is lost. Drop rules apply directly; corrupt
+// rules apply too — a damaged ack fails its checksum and is discarded,
+// which is indistinguishable from loss to the waiting sender.
 func (in *Injector) AckDrop(src, dst int, tag comm.Tag, id uint64, attempt int, now time.Duration) bool {
 	for i, r := range in.plan.Rules {
-		if r.DropProb <= 0 || !r.Scope.Matches(src, dst) || now < r.After {
+		if !r.Scope.Matches(src, dst) || now < r.After {
 			continue
 		}
-		if in.uniform(i, 'a', src, dst, tag, id, attempt) < r.DropProb {
+		if r.DropProb > 0 && in.uniform(i, 'a', src, dst, tag, id, attempt) < r.DropProb {
 			in.drops.Add(1)
 			perf.RecordFaultDrop()
+			return true
+		}
+		if r.CorruptProb > 0 && in.uniform(i, 'k', src, dst, tag, id, attempt) < r.CorruptProb {
+			in.corrupts.Add(1)
+			perf.RecordFaultCorrupt()
 			return true
 		}
 	}
@@ -466,6 +539,7 @@ func (in *Injector) Stats() Stats {
 	return Stats{
 		Drops:      in.drops.Load(),
 		Dups:       in.dups.Load(),
+		Corrupts:   in.corrupts.Load(),
 		Delays:     in.delays.Load(),
 		Retries:    in.retries.Load(),
 		Timeouts:   in.timeouts.Load(),
@@ -497,6 +571,11 @@ func RandomPlan(rng *rand.Rand, n int) Plan {
 		}
 		if rng.Intn(2) == 0 {
 			r.DupProb = 0.4 * rng.Float64()
+		}
+		if rng.Intn(3) == 0 {
+			// Corruption is loss too: bound drop+corrupt together so the
+			// default retry budget still converges.
+			r.CorruptProb = (0.35 - r.DropProb) * rng.Float64()
 		}
 		if rng.Intn(2) == 0 {
 			r.Delay = time.Duration(rng.Intn(120)) * time.Microsecond

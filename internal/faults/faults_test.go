@@ -223,6 +223,7 @@ func TestParseRoundTrip(t *testing.T) {
 	cases := []string{
 		"seed=42",
 		"seed=42; all: drop=0.1, jitter=30µs",
+		"seed=5; all: corrupt=0.2; link 1->2: drop=0.1, corrupt=0.05, jitter=10µs",
 		"seed=-7; link 0->1: drop=1, after=1ms; rank 2: delay=100µs@0.25, slow=1e+09",
 		"seed=0; all: dup=0.5; link 3->0: drop=0.25, delay=1ms",
 	}
@@ -340,6 +341,94 @@ func TestRandomPlanConvergesUnderDefaults(t *testing.T) {
 			if r.DropProb > 0.35 {
 				t.Fatalf("RandomPlan drop %g exceeds recovery budget", r.DropProb)
 			}
+		}
+	}
+}
+
+// Corrupt verdicts are a distinct, counted flavor of loss: deterministic
+// per identity, suppressing dup on the same attempt, never co-occurring
+// with a drop verdict (the drop wins), and treated as ack loss on the
+// reverse link.
+func TestCorruptVerdicts(t *testing.T) {
+	p := MustParsePlan("seed=17; all: corrupt=0.5")
+	in := NewInjector(p)
+	sawCorrupt, sawClean := false, false
+	for id := uint64(1); id <= 64; id++ {
+		v := in.Message(0, 1, comm.MakeTag(comm.KindBcast, 1, int(id)), id, 0, 0, 256)
+		if v.Drop {
+			t.Fatal("corrupt-only plan produced a drop verdict")
+		}
+		if v.Corrupt {
+			sawCorrupt = true
+			if v.Dup {
+				t.Fatal("corrupt verdict kept its dup")
+			}
+		} else {
+			sawClean = true
+		}
+		again := in.Message(0, 1, comm.MakeTag(comm.KindBcast, 1, int(id)), id, 0, 0, 256)
+		if again.Corrupt != v.Corrupt {
+			t.Fatal("corrupt verdict not deterministic per identity")
+		}
+	}
+	if !sawCorrupt || !sawClean {
+		t.Fatalf("corrupt=0.5 over 64 draws: corrupt=%v clean=%v", sawCorrupt, sawClean)
+	}
+	if st := in.Stats(); st.Corrupts == 0 || st.Total() == 0 {
+		t.Fatalf("stats did not count corrupts: %+v", st)
+	}
+	// A corrupted ack is a lost ack.
+	ackLost := false
+	for id := uint64(1); id <= 64; id++ {
+		if in.AckDrop(1, 0, comm.MakeTag(comm.KindBcast, 1, 0), id, 0, 0) {
+			ackLost = true
+		}
+	}
+	if !ackLost {
+		t.Fatal("corrupt rule never lost an ack on the reverse link")
+	}
+}
+
+// Full jitter: two senders that timed out together draw different
+// backoff waits (desynchronizing the retransmit storm), each wait stays
+// inside [RTO, Timeout(attempt)], attempt 0 is untouched, and the whole
+// schedule is reproducible from the seed.
+func TestFullJitterDesynchronizesSenders(t *testing.T) {
+	rec := Recovery{FullJitter: true, JitterSeed: 42}.Normalized()
+	if got := rec.RetryDelay(0, 1); got != rec.RTO {
+		t.Fatalf("attempt 0 delay %v, want plain RTO %v", got, rec.RTO)
+	}
+	// Two senders = two transmission ids, timed out on the same attempt.
+	diverged := false
+	for attempt := 1; attempt < 6; attempt++ {
+		a := rec.RetryDelay(attempt, 101)
+		b := rec.RetryDelay(attempt, 202)
+		hi := rec.Timeout(attempt)
+		for _, d := range []time.Duration{a, b} {
+			if d < rec.RTO || d > hi {
+				t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]", attempt, d, rec.RTO, hi)
+			}
+		}
+		if a != b {
+			diverged = true
+		}
+		if again := rec.RetryDelay(attempt, 101); again != a {
+			t.Fatalf("attempt %d: jittered delay not reproducible", attempt)
+		}
+	}
+	if !diverged {
+		t.Fatal("two timed-out senders never desynchronized across 5 attempts")
+	}
+	// Different seeds give different schedules; jitter off is the old law.
+	other := rec
+	other.JitterSeed = 43
+	if rec.RetryDelay(3, 101) == other.RetryDelay(3, 101) {
+		t.Fatal("jitter schedule ignores the seed")
+	}
+	plain := Recovery{}.Normalized()
+	for attempt := 0; attempt < 6; attempt++ {
+		if plain.RetryDelay(attempt, 7) != plain.Timeout(attempt) {
+			t.Fatalf("FullJitter off: RetryDelay differs from Timeout at attempt %d", attempt)
 		}
 	}
 }

@@ -15,8 +15,10 @@ import (
 // fail-stop crash rule `crash@R[:afterK]` (rank R halts forever when it
 // initiates its (K+1)-th send; K defaults to 0 — the very first send).
 // Scopes: `all`, `rank R`, `link A->B`. Effects: `drop=P`, `dup=P`,
-// `delay=DUR[@P]` (P defaults to always), `jitter=DUR`, `after=DUR`,
-// `slow=BYTES_PER_SEC`. ParsePlan and Plan.String round-trip.
+// `corrupt=P` (seeded bit-flips, detected by the frame CRC and treated
+// as a drop), `delay=DUR[@P]` (P defaults to always), `jitter=DUR`,
+// `after=DUR`, `slow=BYTES_PER_SEC`. ParsePlan and Plan.String
+// round-trip.
 
 // ParsePlan parses the textual plan format.
 func ParsePlan(s string) (Plan, error) {
@@ -137,6 +139,8 @@ func parseEffect(r *Rule, eff string) error {
 		return parseProb(val, &r.DropProb, "drop")
 	case "dup":
 		return parseProb(val, &r.DupProb, "dup")
+	case "corrupt":
+		return parseProb(val, &r.CorruptProb, "corrupt")
 	case "delay":
 		durTxt, probTxt, hasProb := strings.Cut(val, "@")
 		d, err := time.ParseDuration(durTxt)
@@ -171,7 +175,7 @@ func parseEffect(r *Rule, eff string) error {
 		r.SlowBw = f
 		return nil
 	}
-	return fmt.Errorf("faults: unknown effect %q (want drop, dup, delay, jitter, after, slow)", key)
+	return fmt.Errorf("faults: unknown effect %q (want drop, dup, corrupt, delay, jitter, after, slow)", key)
 }
 
 func parseProb(val string, dst *float64, what string) error {
@@ -206,6 +210,9 @@ func (p Plan) String() string {
 		}
 		if r.DupProb > 0 {
 			eff("dup=%s", strconv.FormatFloat(r.DupProb, 'g', -1, 64))
+		}
+		if r.CorruptProb > 0 {
+			eff("corrupt=%s", strconv.FormatFloat(r.CorruptProb, 'g', -1, 64))
 		}
 		if r.Delay > 0 {
 			if r.DelayProb > 0 {

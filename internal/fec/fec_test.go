@@ -1,0 +1,327 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"adapt/internal/comm"
+)
+
+// mkShards builds k deterministic shards; the last one is short to
+// exercise the zero-padding path, and one mid shard is empty when k
+// allows, standing in for a zero-length pipeline segment.
+func mkShards(rng *rand.Rand, k, size int) ([][]byte, []int) {
+	data := make([][]byte, k)
+	sizes := make([]int, k)
+	for i := range data {
+		n := size
+		if i == k-1 && size > 1 {
+			n = size / 2 // short trailing segment
+		}
+		if k > 3 && i == 1 {
+			n = 0
+		}
+		b := make([]byte, n)
+		rng.Read(b)
+		data[i] = b
+		sizes[i] = n
+	}
+	return data, sizes
+}
+
+// erase returns a copy of data with the given shard indices erased.
+func erase(data [][]byte, lost []int) [][]byte {
+	out := make([][]byte, len(data))
+	copy(out, data)
+	for _, i := range lost {
+		out[i] = nil
+	}
+	return out
+}
+
+// eraseParity nils the given parity indices (copy).
+func eraseParity(parity [][]byte, lost []int) [][]byte {
+	out := make([][]byte, len(parity))
+	copy(out, parity)
+	for _, i := range lost {
+		out[i] = nil
+	}
+	return out
+}
+
+func checkRoundTrip(t *testing.T, p Params, data [][]byte, sizes []int, lostData, lostParity []int) {
+	t.Helper()
+	parity := EncodeParity(p, data)
+	got := erase(data, lostData)
+	pgot := eraseParity(parity, lostParity)
+	err := Reconstruct(p, got, pgot, sizes)
+	if err != nil {
+		t.Fatalf("k=%d m=%d lost=%v lostParity=%v: reconstruct failed: %v", p.K, p.M, lostData, lostParity, err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("k=%d m=%d: shard %d mismatch after reconstruct (len %d vs %d)",
+				p.K, p.M, i, len(got[i]), len(data[i]))
+		}
+	}
+}
+
+// combinations invokes fn with every size-r subset of [0,n).
+func combinations(n, r int, fn func([]int)) {
+	idx := make([]int, r)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == r {
+			fn(append([]int(nil), idx...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestErasureBoundary is the boundary table: for each geometry, EVERY
+// loss pattern of exactly m data shards reconstructs bit-exactly, and
+// every pattern of m+1 losses fails with the structured *ErrShortParity
+// that sends the transports to the retransmit backstop.
+func TestErasureBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []Params{
+		{K: 1, M: 1}, {K: 2, M: 1}, {K: 4, M: 1},
+		{K: 4, M: 2}, {K: 4, M: 3}, {K: 4, M: 4},
+		{K: 6, M: 2}, {K: 8, M: 3}, {K: 3, M: 3},
+	} {
+		data, sizes := mkShards(rng, g.K, 257) // off-class size exercises padding
+		parity := EncodeParity(g, data)
+
+		// loss == m: every data-loss pattern reconstructs.
+		combinations(g.K, min(g.M, g.K), func(lost []int) {
+			checkRoundTrip(t, g, data, sizes, lost, nil)
+		})
+
+		// loss == m but split across data and parity: still fine as long
+		// as missing data <= surviving parity.
+		if g.M >= 2 && g.K >= 2 {
+			checkRoundTrip(t, g, data, sizes, []int{0}, []int{g.M - 1})
+		}
+
+		// loss == m+1 data shards (when the group has that many): fails
+		// with ErrShortParity, never silently corrupts.
+		if g.K >= g.M+1 {
+			combinations(g.K, g.M+1, func(lost []int) {
+				got := erase(data, lost)
+				err := Reconstruct(g, got, eraseParity(parity, nil), sizes)
+				sp, ok := err.(*ErrShortParity)
+				if !ok {
+					t.Fatalf("k=%d m=%d lost=%v: want *ErrShortParity, got %v", g.K, g.M, lost, err)
+				}
+				if sp.Missing != g.M+1 || sp.Have != g.M {
+					t.Fatalf("k=%d m=%d: ErrShortParity{%d,%d}, want {%d,%d}",
+						g.K, g.M, sp.Missing, sp.Have, g.M+1, g.M)
+				}
+				for _, i := range lost {
+					if got[i] != nil {
+						t.Fatalf("k=%d m=%d: failed reconstruct partially filled shard %d", g.K, g.M, i)
+					}
+				}
+			})
+		}
+
+		// m data losses plus one parity loss: one shard short, structured
+		// failure.
+		if g.K >= g.M {
+			lost := make([]int, g.M)
+			for i := range lost {
+				lost[i] = i
+			}
+			got := erase(data, lost)
+			err := Reconstruct(g, got, eraseParity(parity, []int{0}), sizes)
+			if _, ok := err.(*ErrShortParity); !ok {
+				t.Fatalf("k=%d m=%d: m data + 1 parity lost: want *ErrShortParity, got %v", g.K, g.M, err)
+			}
+		}
+	}
+}
+
+// TestRecoverable pins the recoverability predicate the transports use
+// to decide FEC-vs-fallback.
+func TestRecoverable(t *testing.T) {
+	for _, tc := range []struct {
+		missing, have int
+		want          bool
+	}{
+		{0, 0, true}, {1, 1, true}, {2, 1, false}, {3, 3, true}, {4, 3, false},
+	} {
+		if got := Recoverable(tc.missing, tc.have); got != tc.want {
+			t.Fatalf("Recoverable(%d,%d) = %v, want %v", tc.missing, tc.have, got, tc.want)
+		}
+	}
+}
+
+// TestXORParityIsXOR pins the m=1 code to plain XOR: no field
+// multiplies, byte i of parity is the XOR of byte i across shards.
+func TestXORParityIsXOR(t *testing.T) {
+	data := [][]byte{{0x01, 0x02}, {0x10, 0x20}, {0xff, 0x00}}
+	parity := EncodeParity(Params{K: 3, M: 1}, data)
+	want := []byte{0x01 ^ 0x10 ^ 0xff, 0x02 ^ 0x20 ^ 0x00}
+	if !bytes.Equal(parity[0], want) {
+		t.Fatalf("xor parity = %x, want %x", parity[0], want)
+	}
+}
+
+// TestGF256Tables sanity-checks the field: a*inv(a) == 1 and the exp
+// table cycles with period 255.
+func TestGF256Tables(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		if seen[gfExp[i]] {
+			t.Fatalf("exp table repeats within one period at %d", i)
+		}
+		seen[gfExp[i]] = true
+	}
+}
+
+// TestZeroLengthGroup: a group whose every member is empty (barrier
+// traffic) encodes to empty parity and "reconstructs" losses as empty
+// non-nil shards.
+func TestZeroLengthGroup(t *testing.T) {
+	p := Params{K: 3, M: 2}
+	data := [][]byte{{}, {}, {}}
+	parity := EncodeParity(p, data)
+	got := [][]byte{nil, {}, nil}
+	if err := Reconstruct(p, got, parity, []int{0, 0, 0}); err != nil {
+		t.Fatalf("zero-length reconstruct: %v", err)
+	}
+	if got[0] == nil || len(got[0]) != 0 || got[2] == nil || len(got[2]) != 0 {
+		t.Fatalf("zero-length shards not reconstructed as empty non-nil: %#v", got)
+	}
+}
+
+// TestSplit pins the il2p small/large block-count arithmetic.
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct {
+		total, k int
+		want     []int
+	}{
+		{0, 4, nil},
+		{1, 4, []int{1}},
+		{4, 4, []int{4}},
+		{5, 4, []int{3, 2}},
+		{9, 4, []int{3, 3, 3}},
+		{10, 4, []int{4, 3, 3}},
+		{11, 4, []int{4, 4, 3}},
+		{12, 4, []int{4, 4, 4}},
+		{13, 4, []int{4, 3, 3, 3}},
+		{1023, 200, []int{171, 171, 171, 170, 170, 170}},
+	} {
+		got := Split(tc.total, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", tc.total, tc.k, got, tc.want)
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != tc.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", tc.total, tc.k, got, tc.want)
+			}
+		}
+		if tc.total > 0 && sum != tc.total {
+			t.Fatalf("Split(%d,%d) sums to %d", tc.total, tc.k, sum)
+		}
+	}
+}
+
+// TestControllerAdaptsM: the controller raises m as observed loss
+// climbs and respects the budget clamp.
+func TestControllerAdaptsM(t *testing.T) {
+	ct := NewController(Config{K: 8, MaxM: 4, Budget: 0.5})
+	if m := ct.ChooseM(0, 1, 8); m != 1 {
+		t.Fatalf("unobserved link m = %d, want 1", m)
+	}
+	// Feed a lossy phase: 3 of 10 shards lost per group.
+	for i := 0; i < 12; i++ {
+		ct.Observe(0, 1, 10, 3)
+	}
+	m := ct.ChooseM(0, 1, 8)
+	if m <= 1 {
+		t.Fatalf("lossy link m = %d, want > 1", m)
+	}
+	if m > 4 {
+		t.Fatalf("m = %d exceeds MaxM/budget clamp", m)
+	}
+	// Total loss saturates at the budget, never past it.
+	for i := 0; i < 20; i++ {
+		ct.Observe(0, 1, 10, 10)
+	}
+	if m := ct.ChooseM(0, 1, 8); m != 4 {
+		t.Fatalf("saturated link m = %d, want clamp 4", m)
+	}
+	// A quiet link is unaffected.
+	if m := ct.ChooseM(2, 3, 8); m != 1 {
+		t.Fatalf("quiet link m = %d, want 1", m)
+	}
+	// Fixed-M config ignores observations.
+	fx := NewController(Config{K: 4, M: 2})
+	fx.Observe(0, 1, 10, 10)
+	if m := fx.ChooseM(0, 1, 4); m != 2 {
+		t.Fatalf("fixed m = %d, want 2", m)
+	}
+}
+
+// TestRecoveryDecay: the EWMA forgets a lossy burst once the link goes
+// clean, stepping m back down.
+func TestRecoveryDecay(t *testing.T) {
+	ct := NewController(Config{K: 8, MaxM: 4, Budget: 0.5})
+	for i := 0; i < 10; i++ {
+		ct.Observe(0, 1, 10, 4)
+	}
+	high := ct.ChooseM(0, 1, 8)
+	for i := 0; i < 40; i++ {
+		ct.Observe(0, 1, 10, 0)
+	}
+	low := ct.ChooseM(0, 1, 8)
+	if low >= high {
+		t.Fatalf("m did not decay after clean phase: %d -> %d", high, low)
+	}
+	if low != 1 {
+		t.Fatalf("clean link settled at m=%d, want 1", low)
+	}
+}
+
+// TestParityBuffersPooled: parity buffers come from the segment pool
+// and can be returned without poisoning size classes.
+func TestParityBuffersPooled(t *testing.T) {
+	p := Params{K: 2, M: 2}
+	data := [][]byte{make([]byte, 300), make([]byte, 300)}
+	parity := EncodeParity(p, data)
+	for _, q := range parity {
+		if cap(q) < 300 {
+			t.Fatalf("parity cap %d below shard length", cap(q))
+		}
+		comm.PutBuf(q)
+	}
+	// Reuse must hand back sane buffers, not aliased stale parity.
+	b := comm.GetBufZero(300)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("pooled buffer dirty at %d: %d", i, v)
+		}
+	}
+	comm.PutBuf(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFEC round-trips random (k, m, loss-pattern) geometries through
+// encode → erase → reconstruct. Invariants:
+//
+//   - any loss pattern with missing-data <= surviving-parity decodes
+//     bit-exactly (including short and empty shards);
+//   - any pattern past that bound fails with *ErrShortParity and leaves
+//     the missing shards nil (no partial garbage);
+//   - present shards are never modified by Reconstruct.
+func FuzzFEC(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(0b0101), uint16(0), int64(1), uint16(64))
+	f.Add(uint8(1), uint8(1), uint16(1), uint16(0), int64(2), uint16(1))
+	f.Add(uint8(8), uint8(4), uint16(0b11110000), uint16(0b0011), int64(3), uint16(257))
+	f.Add(uint8(4), uint8(1), uint16(0b0001), uint16(0b1), int64(4), uint16(300))
+	f.Add(uint8(6), uint8(3), uint16(0b111), uint16(0), int64(5), uint16(0))
+	f.Add(uint8(3), uint8(3), uint16(0b111), uint16(0b101), int64(6), uint16(9))
+	f.Fuzz(func(t *testing.T, kRaw, mRaw uint8, lossData, lossParity uint16, seed int64, sizeRaw uint16) {
+		k := int(kRaw)%12 + 1
+		m := int(mRaw)%6 + 1
+		size := int(sizeRaw) % 1024
+		p := Params{K: k, M: m}
+		rng := rand.New(rand.NewSource(seed))
+
+		data := make([][]byte, k)
+		sizes := make([]int, k)
+		orig := make([][]byte, k)
+		for i := range data {
+			n := size
+			switch rng.Intn(4) {
+			case 0:
+				n = 0
+			case 1:
+				if size > 0 {
+					n = rng.Intn(size)
+				}
+			}
+			b := make([]byte, n)
+			rng.Read(b)
+			data[i] = b
+			orig[i] = append([]byte(nil), b...)
+			sizes[i] = n
+		}
+		parity := EncodeParity(p, data)
+
+		got := make([][]byte, k)
+		copy(got, data)
+		missing := 0
+		for i := 0; i < k; i++ {
+			if lossData&(1<<i) != 0 {
+				got[i] = nil
+				missing++
+			}
+		}
+		pgot := make([][]byte, m)
+		copy(pgot, parity)
+		have := 0
+		for j := 0; j < m; j++ {
+			if lossParity&(1<<j) != 0 {
+				pgot[j] = nil
+			} else {
+				have++
+			}
+		}
+
+		err := Reconstruct(p, got, pgot, sizes)
+		if Recoverable(missing, have) {
+			if err != nil {
+				t.Fatalf("k=%d m=%d missing=%d have=%d: want success, got %v", k, m, missing, have, err)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], orig[i]) {
+					t.Fatalf("k=%d m=%d: shard %d mismatch after reconstruct", k, m, i)
+				}
+				if got[i] == nil {
+					t.Fatalf("k=%d m=%d: shard %d still nil after successful reconstruct", k, m, i)
+				}
+			}
+		} else {
+			sp, ok := err.(*ErrShortParity)
+			if !ok {
+				t.Fatalf("k=%d m=%d missing=%d have=%d: want *ErrShortParity, got %v", k, m, missing, have, err)
+			}
+			if sp.Missing != missing || sp.Have != have {
+				t.Fatalf("ErrShortParity{%d,%d}, want {%d,%d}", sp.Missing, sp.Have, missing, have)
+			}
+			for i := 0; i < k; i++ {
+				if lossData&(1<<i) != 0 && got[i] != nil {
+					t.Fatalf("failed reconstruct filled shard %d", i)
+				}
+			}
+		}
+		// Present shards must be untouched either way.
+		for i := 0; i < k; i++ {
+			if lossData&(1<<i) == 0 && !bytes.Equal(data[i], orig[i]) {
+				t.Fatalf("Reconstruct modified present shard %d", i)
+			}
+		}
+	})
+}

@@ -136,6 +136,9 @@ func (c *Comm) die() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	if c.fecTx != nil {
+		c.fecTx.shutdown()
+	}
 	// Kill every send queue (backlogs dispose, the writer drains and
 	// exits), stop the readiness loop, then cut the sockets. The loop must
 	// stop before the raw fds close.
@@ -174,6 +177,9 @@ func (c *Comm) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.fecTx != nil {
+		c.fecTx.shutdown()
+	}
 	for r, cs := range c.conns {
 		if cs == nil {
 			continue

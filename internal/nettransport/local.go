@@ -8,6 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adapt/internal/faults"
+	"adapt/internal/fec"
 )
 
 // LocalWorld is an n-rank communicator whose endpoints live in one
@@ -150,6 +153,35 @@ func (w *LocalWorld) pendingDump() string {
 		}
 	}
 	return b.String()
+}
+
+// FaultStats aggregates the injector counters across every endpoint
+// (each rank draws and counts its own verdicts).
+func (w *LocalWorld) FaultStats() faults.Stats {
+	var s faults.Stats
+	for _, c := range w.comms {
+		cs := c.FaultStats()
+		s.Drops += cs.Drops
+		s.Dups += cs.Dups
+		s.Corrupts += cs.Corrupts
+		s.Delays += cs.Delays
+		s.Retries += cs.Retries
+		s.Timeouts += cs.Timeouts
+		s.Suppressed += cs.Suppressed
+	}
+	return s
+}
+
+// FECStats aggregates the erasure-coding counters across every endpoint.
+func (w *LocalWorld) FECStats() fec.Stats {
+	var s fec.Stats
+	for _, c := range w.comms {
+		cs := c.FECStats()
+		s.ParityEncoded += cs.ParityEncoded
+		s.Reconstructed += cs.Reconstructed
+		s.GroupsLost += cs.GroupsLost
+	}
+	return s
 }
 
 // Crashed returns the per-rank self-death mask (ranks that hit their

@@ -32,12 +32,14 @@ package nettransport
 
 import (
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sync"
 	"time"
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/fec"
 	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
@@ -60,6 +62,13 @@ type config struct {
 	crashExit    func() // how a dying rank leaves (Goexit in-process, Exit(3) in a worker)
 	onPeerDeath  func(rank int)
 	dialRecovery faults.Recovery
+
+	// Message-level chaos + erasure coding (LocalWorld testing surface;
+	// cluster workers stay chaos-free). See fec.go.
+	chaosOn   bool
+	chaosPlan faults.Plan
+	chaosRec  faults.Recovery
+	fecCfg    fec.Config
 }
 
 func defaultConfig() config {
@@ -128,6 +137,31 @@ func WithDeathHook(f func(rank int)) Option {
 	return func(c *config) { c.onPeerDeath = f }
 }
 
+// WithChaos arms message-level fault injection on the eager frame
+// stream: each eager transmission draws a deterministic verdict from the
+// plan — dropped frames never reach the socket, corrupted ones fly with
+// damaged bytes and die at the receiver's CRC, duplicates are enqueued
+// twice. rec tunes the FEC layer's group-resend backstop; use wall-clock
+// RTOs (tens of milliseconds), not the simulator's microsecond defaults.
+// Recovery from loss is the FEC machinery's job (WithFEC): without it,
+// a dropped eager frame is lost for good, exactly like the runtime's
+// exhausted-retry path.
+func WithChaos(plan faults.Plan, rec faults.Recovery) Option {
+	return func(c *config) {
+		c.chaosOn = true
+		c.chaosPlan = plan
+		c.chaosRec = rec.Normalized()
+	}
+}
+
+// WithFEC arms erasure coding over the eager segment stream: senders
+// group segments per destination, encode parity, and resend whole groups
+// on an un-acked timer; receivers reconstruct within-parity erasures
+// with no retransmit round trip. See fec.go.
+func WithFEC(cfg fec.Config) Option {
+	return func(c *config) { c.fecCfg = cfg.Normalized() }
+}
+
 // rdvPull is a matched rendezvous receive parked until the payload frame
 // arrives (or the sender's death fails it).
 type rdvPull struct {
@@ -162,6 +196,11 @@ type Comm struct {
 	closed    bool                     // clean shutdown begun; losses are expected
 
 	xidNext uint64 // owner-goroutine only
+
+	// Chaos + FEC (nil without WithChaos/WithFEC; see fec.go).
+	inj   *faults.Injector
+	fecTx *fecSender
+	fecRx *fecTracker
 
 	// Fail-stop self-crash schedule (owner-goroutine only).
 	crashAfter int // send initiations before this rank dies; -1 = never
@@ -205,6 +244,19 @@ func newComm(rank, size int, ln net.Listener, cfg config) *Comm {
 		if cr.Rank >= size {
 			panic(fmt.Sprintf("nettransport: crash rule for rank %d in a %d-rank world", cr.Rank, size))
 		}
+	}
+	if cfg.chaosOn {
+		// Every endpoint builds its own injector from the shared plan:
+		// verdicts are keyed by message identity, so the streams agree
+		// across endpoints; only the counters are endpoint-local
+		// (LocalWorld.FaultStats aggregates them).
+		c.inj = faults.NewInjector(cfg.chaosPlan)
+	}
+	if cfg.fecCfg.Enabled() {
+		c.fecTx = newFecSender(c)
+	}
+	if cfg.fecCfg.Enabled() || c.inj != nil {
+		c.fecRx = newFecTracker(c, cfg.fecCfg.Enabled())
 	}
 	return c
 }
@@ -272,8 +324,21 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 			payload = comm.GetBuf(len(msg.Data))
 			copy(payload, msg.Data)
 		}
-		hdr := encodeEagerHdr(frameEager, tag, xid, msg.Size, len(payload), msg.Data != nil)
-		c.sched.enqueue(dst, outFrame{hdr: hdr, payload: payload, pooled: true})
+		meta := fecMeta{tag: tag, xid: xid, size: msg.Size, plen: len(payload),
+			hasData: msg.Data != nil}
+		switch {
+		case c.fecTx != nil:
+			// FEC framer owns the snapshot until the group resolves; each
+			// transmission (including resends) ships its own wire copy.
+			c.fecTx.send(dst, meta, payload)
+		case c.inj != nil:
+			c.transmitEager(dst, meta, payload, 0)
+			comm.PutBuf(payload)
+		default:
+			hdr := encodeEagerHdr(frameEager, tag, xid, msg.Size, len(payload),
+				msg.Data != nil, crc32.ChecksumIEEE(payload))
+			c.sched.enqueue(dst, outFrame{hdr: hdr, payload: payload, pooled: true})
+		}
 		req.Complete(st)
 		return req
 	}
@@ -294,7 +359,7 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	c.sendPend[xid] = req
 	c.mu.Unlock()
-	hdr := encodeEagerHdr(frameRTS, tag, xid, msg.Size, 0, msg.Data != nil)
+	hdr := encodeEagerHdr(frameRTS, tag, xid, msg.Size, 0, msg.Data != nil, 0)
 	c.sched.enqueue(dst, outFrame{hdr: hdr})
 	return req
 }
@@ -309,6 +374,12 @@ func (c *Comm) Irecv(src int, tag comm.Tag) comm.Request {
 // pooled straight off the read path); rendezvous envelopes park the
 // receive as a pull and grant the sender.
 func (c *Comm) onMatch(req *progress.Req, env *progress.Env, wasUnexpected bool) {
+	if env.Err != nil {
+		// A tombstoned FEC group member: the sender exhausted its resend
+		// budget, so the matched receive fails with the structured loss.
+		req.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Err: env.Err})
+		return
+	}
 	if !env.Rdv {
 		req.Complete(comm.Status{Source: env.Src, Tag: env.Tag, Msg: env.Msg})
 		return

@@ -3,6 +3,7 @@ package nettransport
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 
@@ -71,6 +72,12 @@ type connState struct {
 	msize   int
 	hasData bool
 	seq     int
+	crc     uint32 // eager/fecpar payload checksum as claimed by the sender
+	gid     uint64 // fec group id (fecpar/fecack/fecdead)
+	gk      int    // fec group size k
+	gm      int    // fec parity count m
+	gidx    int    // fec parity shard index
+	gatt    int    // fecdead: attempts spent before the give-up
 
 	payload  []byte // destination for stagePayload; pooled for eager/data
 	pooledPl bool
@@ -221,6 +228,21 @@ func (cs *connState) classify() error {
 			return fmt.Errorf("nettransport: bye frame with %d-byte body", cs.body)
 		}
 		cs.fixed = 0
+	case frameFecParity:
+		if cs.body < fecParityFixed {
+			return fmt.Errorf("nettransport: short %d-byte fec parity frame", cs.body)
+		}
+		cs.fixed = fecParityFixed
+	case frameFecAck:
+		if cs.body != 8 {
+			return fmt.Errorf("nettransport: frame body %d bytes, want %d", cs.body, 8)
+		}
+		cs.fixed = 8
+	case frameFecDead:
+		if cs.body < fecDeadFixed {
+			return fmt.Errorf("nettransport: short %d-byte fec tombstone", cs.body)
+		}
+		cs.fixed = fecDeadFixed
 	default:
 		return fmt.Errorf("nettransport: unknown frame type %d", cs.ftype)
 	}
@@ -243,11 +265,42 @@ func (c *Comm) parseFixed(cs *connState) error {
 		cs.xid = binary.LittleEndian.Uint64(fix[8:])
 		cs.msize = int(binary.LittleEndian.Uint32(fix[16:]))
 		cs.hasData = fix[20]&flagHasData != 0
+		cs.crc = binary.LittleEndian.Uint32(fix[21:])
 		if cs.ftype == frameRTS && plen != 0 {
 			return fmt.Errorf("nettransport: rts frame with %d payload bytes", plen)
 		}
 		if plen > 0 {
 			cs.armPayload(comm.GetBuf(plen), true, plen)
+			return nil
+		}
+		return c.finishFrame(cs)
+	case frameFecParity:
+		cs.gid = binary.LittleEndian.Uint64(fix[0:])
+		cs.gk = int(fix[8])
+		cs.gm = int(fix[9])
+		cs.gidx = int(fix[10])
+		cs.crc = binary.LittleEndian.Uint32(fix[11:])
+		if plen < cs.gk*fecMetaLen || cs.gidx >= cs.gm {
+			return fmt.Errorf("nettransport: malformed fec parity frame (k=%d m=%d idx=%d body=%d)",
+				cs.gk, cs.gm, cs.gidx, cs.body)
+		}
+		if plen > 0 {
+			cs.armPayload(comm.GetBuf(plen), true, plen)
+			return nil
+		}
+		return c.finishFrame(cs)
+	case frameFecAck:
+		cs.gid = binary.LittleEndian.Uint64(fix[0:])
+		return c.finishFrame(cs)
+	case frameFecDead:
+		cs.gid = binary.LittleEndian.Uint64(fix[0:])
+		cs.gatt = int(binary.LittleEndian.Uint32(fix[8:]))
+		cs.gk = int(fix[12])
+		if plen != cs.gk*fecMetaLen {
+			return fmt.Errorf("nettransport: fec tombstone roster %d bytes for k=%d", plen, cs.gk)
+		}
+		if plen > 0 {
+			cs.armPayload(make([]byte, plen), false, plen)
 			return nil
 		}
 		return c.finishFrame(cs)
@@ -292,6 +345,20 @@ func (c *Comm) finishFrame(cs *connState) error {
 	cs.stage = stageHdr
 	switch ftype {
 	case frameEager:
+		if crc32.ChecksumIEEE(payload) != cs.crc {
+			// Damaged in flight: discard at the checksum. Corruption becomes
+			// detected loss — repaired by the FEC layer's parity (or the
+			// sender's group-resend timer), never delivered.
+			if payload != nil {
+				comm.PutBuf(payload)
+			}
+			perf.RecordFaultCorrupt()
+			return nil
+		}
+		if c.fecRx != nil {
+			c.fecRx.onEager(cs.rank, cs.tag, cs.xid, cs.msize, cs.hasData, payload)
+			return nil
+		}
 		msg := comm.Msg{Size: cs.msize}
 		if cs.hasData {
 			if payload == nil {
@@ -319,6 +386,27 @@ func (c *Comm) finishFrame(cs *connState) error {
 			survivors[i] = v != 0
 		}
 		c.pushNotice(comm.Notice{Kind: comm.NoticeCommit, Seq: cs.seq, Survivors: survivors})
+	case frameFecParity:
+		if c.fecRx == nil || crc32.ChecksumIEEE(payload) != cs.crc {
+			// No FEC armed here, or the parity itself arrived damaged: a
+			// lost shard, same as a dropped one.
+			if payload != nil {
+				comm.PutBuf(payload)
+				if c.fecRx != nil {
+					perf.RecordFaultCorrupt()
+				}
+			}
+			return nil
+		}
+		c.fecRx.onParity(cs.rank, cs.gid, cs.gk, cs.gm, cs.gidx, payload)
+	case frameFecAck:
+		if c.fecTx != nil {
+			c.fecTx.onAck(cs.gid)
+		}
+	case frameFecDead:
+		if c.fecRx != nil {
+			c.fecRx.onDead(cs.rank, cs.gid, cs.gatt, payload)
+		}
 	case frameBye:
 		// Clean shutdown: keep reading to EOF so the kernel can reclaim the
 		// socket, but never treat what follows as a death.

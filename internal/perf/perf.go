@@ -35,10 +35,21 @@ var (
 	// clean run — scripts/bench.sh enforces that as a no-regression gate.
 	faultDrops      atomic.Uint64 // messages (or acks) lost in flight
 	faultDups       atomic.Uint64 // duplicate copies injected
+	faultCorrupts   atomic.Uint64 // payloads damaged in flight (detected, discarded)
 	faultDelays     atomic.Uint64 // messages charged extra latency
 	faultRetries    atomic.Uint64 // retransmissions performed
 	faultTimeouts   atomic.Uint64 // operations failed after all attempts
 	faultSuppressed atomic.Uint64 // duplicate arrivals deduplicated
+
+	// Erasure-coded segment stream (internal/fec + the transports' group
+	// framers). Encoded/reconstructed move only when FEC is enabled;
+	// group-lost counts the groups that fell past the parity budget and
+	// went back to the ARQ retransmit path. scripts/bench.sh asserts the
+	// loss-sweep exhibit moves the first two and that reconstructable
+	// loss leaves the retransmit counter at zero.
+	fecEncoded       atomic.Uint64 // parity shards encoded and sent
+	fecReconstructed atomic.Uint64 // data segments rebuilt from parity
+	fecGroupLost     atomic.Uint64 // groups with more erasures than parity
 
 	// Fail-stop failure detection / tree repair. All zero in a clean run —
 	// scripts/bench.sh enforces zero detector false-positives as a gate.
@@ -104,6 +115,20 @@ func RecordFaultDrop() { faultDrops.Add(1) }
 
 // RecordFaultDup counts one injected duplicate copy.
 func RecordFaultDup() { faultDups.Add(1) }
+
+// RecordFaultCorrupt counts one payload damaged in flight (and detected
+// — by the frame CRC on the wire, or modeled directly in-process).
+func RecordFaultCorrupt() { faultCorrupts.Add(1) }
+
+// RecordFecEncoded counts m parity shards encoded for one group.
+func RecordFecEncoded(m int) { fecEncoded.Add(uint64(m)) }
+
+// RecordFecReconstructed counts one data segment rebuilt from parity.
+func RecordFecReconstructed() { fecReconstructed.Add(1) }
+
+// RecordFecGroupLost counts one group whose erasures exceeded its
+// parity — recovery falls back to the ARQ retransmit path.
+func RecordFecGroupLost() { fecGroupLost.Add(1) }
 
 // RecordFaultDelay counts one message charged extra latency.
 func RecordFaultDelay() { faultDelays.Add(1) }
@@ -181,10 +206,15 @@ type Snapshot struct {
 
 	FaultDrops      uint64
 	FaultDups       uint64
+	FaultCorrupts   uint64
 	FaultDelays     uint64
 	FaultRetries    uint64
 	FaultTimeouts   uint64
 	FaultSuppressed uint64
+
+	FecEncoded       uint64
+	FecReconstructed uint64
+	FecGroupLost     uint64
 
 	DetectorSuspects uint64
 	DetectorConfirms uint64
@@ -209,8 +239,14 @@ type Snapshot struct {
 // FaultTotal sums every fault-path counter; non-zero means the fault
 // injection or recovery machinery ran.
 func (s Snapshot) FaultTotal() uint64 {
-	return s.FaultDrops + s.FaultDups + s.FaultDelays +
+	return s.FaultDrops + s.FaultDups + s.FaultCorrupts + s.FaultDelays +
 		s.FaultRetries + s.FaultTimeouts + s.FaultSuppressed
+}
+
+// FecTotal sums the erasure-coding counters; non-zero means the FEC
+// layer encoded, repaired, or abandoned at least one group.
+func (s Snapshot) FecTotal() uint64 {
+	return s.FecEncoded + s.FecReconstructed + s.FecGroupLost
 }
 
 // DetectorTotal sums the failure-detection counters; non-zero means a
@@ -246,10 +282,14 @@ func Read() Snapshot {
 		BufRecycled:      bufRecycle.Load(),
 		FaultDrops:       faultDrops.Load(),
 		FaultDups:        faultDups.Load(),
+		FaultCorrupts:    faultCorrupts.Load(),
 		FaultDelays:      faultDelays.Load(),
 		FaultRetries:     faultRetries.Load(),
 		FaultTimeouts:    faultTimeouts.Load(),
 		FaultSuppressed:  faultSuppressed.Load(),
+		FecEncoded:       fecEncoded.Load(),
+		FecReconstructed: fecReconstructed.Load(),
+		FecGroupLost:     fecGroupLost.Load(),
 		DetectorSuspects: detectorSuspects.Load(),
 		DetectorConfirms: detectorConfirms.Load(),
 		TreeRepairs:      treeRepairs.Load(),
@@ -281,10 +321,14 @@ func Reset() {
 	bufRecycle.Store(0)
 	faultDrops.Store(0)
 	faultDups.Store(0)
+	faultCorrupts.Store(0)
 	faultDelays.Store(0)
 	faultRetries.Store(0)
 	faultTimeouts.Store(0)
 	faultSuppressed.Store(0)
+	fecEncoded.Store(0)
+	fecReconstructed.Store(0)
+	fecGroupLost.Store(0)
 	detectorSuspects.Store(0)
 	detectorConfirms.Store(0)
 	treeRepairs.Store(0)
@@ -327,8 +371,12 @@ func (s Snapshot) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "perf: buffer pool %d gets (%.0f%% reuse), %d puts (%.0f%% recycled)\n",
 		s.BufGets, hitRate, s.BufPuts, recRate)
 	if s.FaultTotal() > 0 {
-		fmt.Fprintf(w, "perf: faults %d drops, %d dups, %d delays; recovery %d retries, %d timeouts, %d suppressed\n",
-			s.FaultDrops, s.FaultDups, s.FaultDelays, s.FaultRetries, s.FaultTimeouts, s.FaultSuppressed)
+		fmt.Fprintf(w, "perf: faults %d drops, %d dups, %d corrupts, %d delays; recovery %d retries, %d timeouts, %d suppressed\n",
+			s.FaultDrops, s.FaultDups, s.FaultCorrupts, s.FaultDelays, s.FaultRetries, s.FaultTimeouts, s.FaultSuppressed)
+	}
+	if s.FecTotal() > 0 {
+		fmt.Fprintf(w, "perf: fec %d parity encoded, %d segments reconstructed, %d groups lost to ARQ\n",
+			s.FecEncoded, s.FecReconstructed, s.FecGroupLost)
 	}
 	if s.DetectorTotal() > 0 {
 		fmt.Fprintf(w, "perf: detector %d suspects, %d confirms; %d tree repairs\n",

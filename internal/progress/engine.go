@@ -69,6 +69,14 @@ type Env struct {
 	// PostID carries the sender's SendPost trace record id for the
 	// matched-receive Link edge. Zero when tracing is off.
 	PostID uint64
+
+	// Err, when non-nil, turns the envelope into a structured failure
+	// notification: the transfer it announces is unrecoverable (e.g. an
+	// erasure-coded group exhausted both its parity and its NACK-resend
+	// budget), and the matching receive must complete with this error
+	// instead of data. Failure envelopes flow through the same matching
+	// core as data so ordering, wildcards and dedup apply uniformly.
+	Err error
 }
 
 // Req implements comm.Request for every substrate.

@@ -69,12 +69,27 @@ func (w *World) Failures() []*faults.TimeoutError {
 func (c *Comm) chaosDeliver(d *Comm, env *progress.Env, size int) {
 	w := c.w
 	env.Xid = w.xmitSeq.Add(1)
-	var wait time.Duration
-	for attempt := 0; attempt < w.rec.MaxAttempts; attempt++ {
+	if w.fec != nil && env.Rts == nil {
+		// Eager segments route through the FEC framer (fec.go): a lost
+		// first attempt waits for its group's parity before falling back
+		// to the retry walk below.
+		w.fec.send(c, d, env, size)
+		return
+	}
+	c.chaosWalk(d, env, size, 0, 0)
+}
+
+// chaosWalk resolves the attempt sequence from startAttempt on, with
+// wait already accumulated by earlier (consumed) attempts. A corrupt
+// verdict is a detected loss — the damaged copy fails its checksum at
+// the receiver — so it burns an attempt exactly like a drop.
+func (c *Comm) chaosWalk(d *Comm, env *progress.Env, size int, startAttempt int, wait time.Duration) {
+	w := c.w
+	for attempt := startAttempt; attempt < w.rec.MaxAttempts; attempt++ {
 		v := w.inj.Message(c.rank, d.rank, env.Tag, env.Xid, attempt, c.Now(), size)
-		if v.Drop {
+		if v.Drop || v.Corrupt {
 			c.traceFault(trace.FaultDrop, d.rank, env.Tag, size, env.Xid)
-			wait += w.rec.Timeout(attempt)
+			wait += w.rec.RetryDelay(attempt, env.Xid)
 			if attempt+1 < w.rec.MaxAttempts {
 				w.inj.NoteRetry()
 				c.traceFault(trace.FaultRetry, d.rank, env.Tag, size, env.Xid)

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/faults"
+	"adapt/internal/fec"
+)
+
+// liveRec gives group repair plenty of headroom on wall clock: the group
+// flush runs at RTO/4 and reconstruction delivers synchronously at
+// close, well inside the first retransmit timer.
+func liveRec() faults.Recovery {
+	return faults.Recovery{RTO: 50 * time.Millisecond}.Normalized()
+}
+
+func livePayload(i int) []byte {
+	b := make([]byte, 48+i%5)
+	for j := range b {
+		b[j] = byte(i*17 + j)
+	}
+	return b
+}
+
+// Within-parity losses on a forward-lossy link repair with zero
+// retransmissions on the live runtime too — the same invariant the
+// simulator proves, on real goroutines and wall clock.
+func TestLiveFECZeroRetransmitWithinParity(t *testing.T) {
+	exercised := false
+	for seed := 1; seed <= 12; seed++ {
+		plan := faults.MustParsePlan(fmt.Sprintf("seed=%d; link 0->1: drop=0.12", seed))
+		w := NewWorld(2, WithFaults(plan, liveRec()), WithFEC(fec.Config{K: 4, M: 2}),
+			WithRunTimeout(30*time.Second))
+		var mu sync.Mutex
+		received := 0
+		w.Run(func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				for i := 0; i < 32; i++ {
+					c.Send(1, ptag(i), comm.Bytes(livePayload(i)))
+				}
+			case 1:
+				for i := 0; i < 32; i++ {
+					st := c.Recv(0, ptag(i))
+					if !bytes.Equal(st.Msg.Data, livePayload(i)) {
+						t.Errorf("seed %d segment %d corrupted", seed, i)
+					}
+					mu.Lock()
+					received++
+					mu.Unlock()
+				}
+			}
+		})
+		if received != 32 {
+			t.Fatalf("seed %d: received %d of 32", seed, received)
+		}
+		st, fs := w.FaultStats(), w.FECStats()
+		if fs.GroupsLost == 0 && st.Retries != 0 {
+			t.Fatalf("seed %d: %d retries with every group repaired (faults %v, fec %+v)",
+				seed, st.Retries, st, fs)
+		}
+		if len(w.Failures()) != 0 {
+			t.Fatalf("seed %d: unrecovered loss: %v", seed, w.Failures()[0])
+		}
+		if st.Drops > 0 && fs.Reconstructed > 0 && st.Retries == 0 {
+			exercised = true
+		}
+	}
+	if !exercised {
+		t.Fatal("no seed exercised the zero-retransmit repair path")
+	}
+}
+
+// Loss beyond the parity budget resumes the send-time retry walk: the
+// stream completes via retransmission, and the lost-group counter shows
+// the fallback actually ran.
+func TestLiveFECLossBeyondParityFallsBackToARQ(t *testing.T) {
+	plan := faults.MustParsePlan("seed=6; link 0->1: drop=0.7")
+	w := NewWorld(2, WithFaults(plan, liveRec()), WithFEC(fec.Config{K: 4, M: 1}),
+		WithRunTimeout(30*time.Second))
+	var mu sync.Mutex
+	received := 0
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < 16; i++ {
+				c.Send(1, ptag(i), comm.Bytes(livePayload(i)))
+			}
+		case 1:
+			for i := 0; i < 16; i++ {
+				st := c.Recv(0, ptag(i))
+				if !bytes.Equal(st.Msg.Data, livePayload(i)) {
+					t.Errorf("segment %d corrupted", i)
+				}
+				mu.Lock()
+				received++
+				mu.Unlock()
+			}
+		}
+	})
+	if received != 16 {
+		t.Fatalf("received %d of 16", received)
+	}
+	st, fs := w.FaultStats(), w.FECStats()
+	if fs.GroupsLost == 0 {
+		t.Fatalf("70%% drop with m=1 never outran the parity: %+v", fs)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("lost groups never retransmitted: faults %v, fec %+v", st, fs)
+	}
+	if len(w.Failures()) != 0 {
+		t.Fatalf("ARQ backstop failed to recover: %v", w.Failures()[0])
+	}
+}
+
+// A black-holed link under FEC still lands in the structured-failure
+// path once the resumed walk exhausts its budget: the watchdog dump (not
+// a hang) reports the loss, same as plain chaos.
+func TestLiveFECExhaustedAttemptsRecorded(t *testing.T) {
+	plan := faults.MustParsePlan("seed=2; link 0->1: drop=1")
+	rec := faults.Recovery{RTO: time.Millisecond, MaxAttempts: 2}.Normalized()
+	w := NewWorld(2, WithFaults(plan, rec), WithFEC(fec.Config{K: 2, M: 1}),
+		WithRunTimeout(500*time.Millisecond))
+	panicked := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		w.Run(func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				c.Send(1, ptag(0), comm.Bytes(livePayload(0)))
+				c.Send(1, ptag(1), comm.Bytes(livePayload(1)))
+			case 1:
+				c.Recv(0, ptag(0))
+				c.Recv(0, ptag(1))
+			}
+		})
+	}()
+	if !panicked {
+		t.Fatal("receiver of a black-holed stream did not hit the watchdog")
+	}
+	if fs := w.FECStats(); fs.GroupsLost == 0 {
+		t.Fatalf("total loss never recorded a lost group: %+v", fs)
+	}
+	if len(w.Failures()) == 0 {
+		t.Fatal("no structured failures recorded")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/fec"
 	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
@@ -50,6 +51,10 @@ type World struct {
 	inj     *faults.Injector
 	rec     faults.Recovery
 	xmitSeq atomic.Uint64
+
+	// Erasure coding over the eager segment stream (nil = off; see fec.go).
+	fec    *fecCtl
+	fecCfg fec.Config
 
 	failMu   sync.Mutex
 	failures []*faults.TimeoutError
@@ -89,6 +94,9 @@ func NewWorld(n int, opts ...Option) *World {
 	w := &World{start: time.Now(), eagerLimit: DefaultEagerLimit}
 	for _, o := range opts {
 		o(w)
+	}
+	if w.fecCfg.Enabled() && w.inj != nil {
+		w.fec = newFecCtl(w)
 	}
 	for r := 0; r < n; r++ {
 		c := &Comm{w: w, rank: r, wake: make(chan struct{}, 1)}

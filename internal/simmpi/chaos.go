@@ -37,6 +37,50 @@ type xmitState struct {
 	failed    bool
 }
 
+// xmit is a handle on one reliable transmission: the FEC layer uses it
+// to observe a message's fate (first-attempt loss, delivery, failure)
+// and to complete it out-of-band when a parity reconstruction repairs a
+// dropped copy (see fec.go).
+type xmit struct {
+	w        *World
+	src, dst int
+	tag      comm.Tag
+	id       uint64
+	st       *xmitState
+	onAck    func()
+	// firstLost records whether attempt 0 drew a drop or corrupt verdict
+	// — i.e. whether the first copy will never deliver. Known as soon as
+	// chaosSend returns (the first attempt draws its verdict inline).
+	firstLost bool
+}
+
+// repair completes the transmission out-of-band: an erasure-coded group
+// reconstructed the payload at the receiver, so the message is delivered
+// (via deliver, unless a wire copy arrived first — dedup holds) and a
+// repair-ack travels back to stop the retransmit chain. The repair-ack
+// is group control traffic and is not subject to per-message ack-loss
+// verdicts; the per-attempt ack path keeps its own loss draws.
+func (x *xmit) repair(deliver func()) {
+	if x.st.failed || x.w.deadRank(x.src) || x.w.deadRank(x.dst) {
+		return
+	}
+	if x.st.delivered {
+		x.w.inj.NoteSuppressed()
+	} else {
+		x.st.delivered = true
+		deliver()
+	}
+	x.w.K.Schedule(x.w.Net.ControlLatency(x.dst, x.src), func() {
+		if x.st.acked || x.st.failed {
+			return
+		}
+		x.st.acked = true
+		if x.onAck != nil {
+			x.onAck()
+		}
+	})
+}
+
 // chaosSend reliably moves one logical message from c to dst.
 //
 //	transmit(extra, arrive) models one attempt's transport cost and calls
@@ -45,15 +89,19 @@ type xmitState struct {
 //	deliver                 runs exactly once, on the first arrival.
 //	onAck                   runs once when the sender learns of delivery.
 //	onFail                  runs once if every attempt goes unacknowledged.
+//
+// The returned handle lets the FEC layer repair the transmission; most
+// callers discard it.
 func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 	transmit func(extra time.Duration, arrive func()),
-	deliver func(), onAck func(), onFail func(err *faults.TimeoutError)) {
+	deliver func(), onAck func(), onFail func(err *faults.TimeoutError)) *xmit {
 
 	w := c.w
 	w.xmitSeq++
 	id := w.xmitSeq
 	start := w.K.Now()
 	st := &xmitState{}
+	x := &xmit{w: w, src: c.rank, dst: dst, tag: tag, id: id, st: st, onAck: onAck}
 
 	var try func()
 	try = func() {
@@ -68,13 +116,22 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 		if v.Drop {
 			w.traceFault(trace.FaultDrop, c.rank, dst, tag, size, id)
 		}
-		send := func(extra time.Duration) {
+		if attempt == 0 {
+			x.firstLost = v.Drop || v.Corrupt
+		}
+		send := func(extra time.Duration, corrupt bool) {
 			transmit(extra, func() {
 				if w.deadRank(c.rank) || w.deadRank(dst) {
 					// Annihilation: a copy in flight from or to a crashed
 					// rank vanishes at arrival — no delivery, no ack. The
 					// sender (if alive) keeps retrying into its timeout
 					// budget, exactly as with a black-holed link.
+					return
+				}
+				if corrupt {
+					// The damaged copy reached the receiver but fails its
+					// checksum: a detected loss — no delivery, no ack, the
+					// sender stays in its retransmit cycle (or FEC repairs).
 					return
 				}
 				if st.delivered {
@@ -100,13 +157,13 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 			})
 		}
 		if !v.Drop {
-			send(v.Extra)
+			send(v.Extra, v.Corrupt)
 			if v.Dup {
 				// The duplicate trails the original by its own jitter draw.
-				send(v.Extra + w.Net.ControlLatency(c.rank, dst))
+				send(v.Extra+w.Net.ControlLatency(c.rank, dst), false)
 			}
 		}
-		w.K.Schedule(w.rec.Timeout(attempt), func() {
+		w.K.Schedule(w.rec.RetryDelay(attempt, id), func() {
 			if st.acked || st.failed {
 				return
 			}
@@ -150,6 +207,7 @@ func (c *Comm) chaosSend(dst int, tag comm.Tag, size int,
 		})
 	}
 	try()
+	return x
 }
 
 // traceFault records one fault-path event (drop / retry / timeout) with
@@ -181,7 +239,14 @@ func (c *Comm) chaosEager(d *Comm, req *progress.Req, tag comm.Tag, msg comm.Msg
 			retained = nil
 		}
 	}
-	c.chaosSend(d.rank, tag, msg.Size,
+	// When FEC is armed the framer shadows this transmission: it keeps its
+	// own shard copy and, if the wire copy is lost but the group's parity
+	// survives, re-delivers the reconstructed payload through mem.repair.
+	var mem *fecMember
+	if c.w.fec != nil && tag.Kind() != comm.KindFec {
+		mem = c.w.fec.newMember(c, d, tag, msg, req.PostID, retained)
+	}
+	x := c.chaosSend(d.rank, tag, msg.Size,
 		func(extra time.Duration, arrive func()) {
 			c.w.K.Schedule(extra, func() {
 				c.w.Net.StartTransfer(c.rank, d.rank, msg.Size, msg.Space, nil, arrive)
@@ -197,6 +262,9 @@ func (c *Comm) chaosEager(d *Comm, req *progress.Req, tag comm.Tag, msg comm.Msg
 			env := d.eng.NewEnv(c.rank, tag, del, nil)
 			env.PostID = req.PostID
 			d.arrive(env)
+			if mem != nil {
+				mem.arrived()
+			}
 		},
 		func() {
 			release()
@@ -208,6 +276,9 @@ func (c *Comm) chaosEager(d *Comm, req *progress.Req, tag comm.Tag, msg comm.Msg
 			fst.Err = err
 			req.CompleteIfLive(fst)
 		})
+	if mem != nil {
+		c.w.fec.enroll(mem, x)
+	}
 }
 
 // chaosRendezvous announces a rendezvous send under a fault plan: the RTS

@@ -50,6 +50,8 @@ type World struct {
 	rec      faults.Recovery
 	xmitSeq  uint64 // world-unique reliable-transmission ids
 	failures []*faults.TimeoutError
+	// Erasure coding over the eager segment stream (nil = off; see fec.go).
+	fec *fecCtl
 	// Fail-stop crash schedule and detector (nil = no crash rules armed;
 	// see crash.go).
 	crash *crashCtl

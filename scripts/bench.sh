@@ -4,7 +4,7 @@
 # BENCH_kernel.json / BENCH_progress.json so future changes can track
 # the perf trajectory. Run from the repo root:
 #
-#   ./scripts/bench.sh            # writes BENCH_kernel.json, BENCH_progress.json, BENCH_serve.json
+#   ./scripts/bench.sh            # writes BENCH_kernel.json, BENCH_progress.json, BENCH_fec.json, BENCH_serve.json
 #   ./scripts/bench.sh -count=3   # extra args forwarded to go test
 set -eu
 
@@ -120,6 +120,23 @@ END {
 ' "$praw" | { printf '[\n'; cat; printf ']\n'; } >"$pout"
 
 echo "wrote $pout"
+
+# FEC gate: the loss-sweep exhibit prices ARQ-only against erasure-coded
+# segment streams across a loss ladder and writes p50/p99 per rung to
+# BENCH_fec.json. adaptbench itself exits non-zero unless the
+# zero-retransmit gate holds: every FEC run whose groups all repaired
+# must retransmit nothing, and at least one run must repair real losses
+# that way.
+echo "bench.sh: running the FEC loss sweep (zero-retransmit gate)"
+fdir=$(mktemp -d)
+go build -o "$fdir/adaptbench" ./cmd/adaptbench
+"$fdir/adaptbench" -fec-json BENCH_fec.json -scale quick || {
+    echo "bench.sh: FAIL: FEC loss sweep failed its zero-retransmit gate" >&2
+    rm -rf "$fdir"
+    exit 1
+}
+rm -rf "$fdir"
+echo "wrote BENCH_fec.json"
 
 # Serving-layer gate: a real adaptd process serves a multi-point session
 # load (adaptbench -serve verifies every result), writes throughput and
