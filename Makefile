@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fec fuzz trace net progress serve
+.PHONY: verify test build race vet bench chaos crash fec fuzz trace net progress serve obs
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -77,6 +77,19 @@ net:
 serve:
 	$(GO) test -race ./internal/serve/...
 	$(GO) test -race -run 'TestConformanceGridDaemon' ./internal/conform
+	./scripts/bench.sh
+
+# Live telemetry gate: the metrics core under the race detector
+# (concurrent writers, merge algebra, quantile error bounds, the golden
+# Prometheus exposition, the zero-alloc contract), the perf snapshot
+# export-coverage tests, the admin e2e against a live daemon, the
+# gate-cost benchmarks, and the bench.sh obs section (adaptd -admin
+# under adaptbench -serve load, scraped mid-run by adaptctl -check ->
+# BENCH_obs.json).
+obs:
+	$(GO) test -race ./internal/metrics/... ./internal/perf/...
+	$(GO) test -race -run 'TestAdminAgainstLiveServer' ./internal/serve
+	$(GO) test -run '^$$' -bench 'BenchmarkObserve|BenchmarkCounterDisabled|BenchmarkLatencyBracketDisabled' -benchmem ./internal/metrics
 	./scripts/bench.sh
 
 # Erasure-coding gate: the codec and controller under the race detector,

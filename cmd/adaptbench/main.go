@@ -26,6 +26,7 @@ import (
 
 	"adapt/internal/bench"
 	"adapt/internal/faults"
+	"adapt/internal/metrics"
 	"adapt/internal/perf"
 	"adapt/internal/trace"
 	"adapt/internal/trace/analyze"
@@ -73,11 +74,22 @@ func run() int {
 	serveWorld := flag.Int("serve-world", 4, "backend world size for -serve requests")
 	serveElems := flag.Int("serve-elems", 16, "per-rank elements for -serve requests")
 	servePipeline := flag.Int("serve-pipeline", 4, "in-flight requests per session for -serve")
+	serveAdmin := flag.String("serve-admin", "", "daemon admin address: fold its per-point perf window (statusz delta) into the -serve report")
+	adminAddr := flag.String("admin", "", "expose this process's own telemetry/pprof admin plane at this address")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(validIDs())
 		return 0
+	}
+	if *adminAddr != "" {
+		admin, err := metrics.ServeAdmin(*adminAddr, metrics.AdminOpts{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptbench:", err)
+			return 1
+		}
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "adaptbench: admin on %s\n", admin.Addr())
 	}
 	if *serveAddr != "" {
 		points, err := parseServePoints(*servePoints)
@@ -95,7 +107,7 @@ func run() int {
 			defer f.Close()
 			w = io.MultiWriter(os.Stdout, f)
 		}
-		if err := runServeBench(w, *serveAddr, points, *serveWorld, *serveElems, *servePipeline); err != nil {
+		if err := runServeBench(w, *serveAddr, *serveAdmin, points, *serveWorld, *serveElems, *servePipeline); err != nil {
 			fmt.Fprintln(os.Stderr, "adaptbench:", err)
 			return 1
 		}

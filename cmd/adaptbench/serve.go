@@ -10,12 +10,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"adapt/internal/metrics"
 	"adapt/internal/serve"
 )
 
@@ -47,6 +49,9 @@ func parseServePoints(s string) ([]servePoint, error) {
 }
 
 // serveBenchRow is one point's measurement, serialized to the JSON report.
+// The server_* fields appear with -serve-admin: the daemon's own perf
+// window (perf.Snapshot.Delta between the scrapes bracketing the point),
+// so the report pairs client-observed latency with what the daemon did.
 type serveBenchRow struct {
 	Sessions      int     `json:"sessions"`
 	ReqsPerSess   int     `json:"requests_per_session"`
@@ -57,6 +62,33 @@ type serveBenchRow struct {
 	ReqsPerSec    float64 `json:"reqs_per_sec"`
 	P50us         float64 `json:"p50_us"`
 	P99us         float64 `json:"p99_us"`
+
+	ServerRequests  uint64 `json:"server_requests,omitempty"`
+	ServerFusedReqs uint64 `json:"server_fused_reqs,omitempty"`
+	ServerBatches   uint64 `json:"server_fuse_batches,omitempty"`
+	ServerOverloads uint64 `json:"server_overloads,omitempty"`
+}
+
+// scrapeStatusz pulls one /statusz document from the daemon's admin
+// plane. Each scrape advances the endpoint's rolling perf window, so a
+// scrape after a load point (with one before it) returns exactly that
+// point's server-side delta.
+func scrapeStatusz(adminAddr string) (metrics.Statusz, error) {
+	var st metrics.Statusz
+	resp, err := http.Get("http://" + adminAddr + "/statusz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /statusz: %s", resp.Status)
+	}
+	err = json.Unmarshal(body, &st)
+	return st, err
 }
 
 // serveContrib builds the world*elems input whose element-wise tree sum
@@ -83,7 +115,7 @@ func serveWantSum(world, e, salt int) float64 {
 // runServeBench drives every load point against the daemon at addr and
 // writes the JSON report to w. Each session keeps up to pipeline
 // requests in flight; per-request latency is Start→Wait wall time.
-func runServeBench(w io.Writer, addr string, points []servePoint, world, elems, pipeline int) error {
+func runServeBench(w io.Writer, addr, adminAddr string, points []servePoint, world, elems, pipeline int) error {
 	if world < 1 {
 		return fmt.Errorf("-serve-world must be >= 1")
 	}
@@ -95,13 +127,19 @@ func runServeBench(w io.Writer, addr string, points []servePoint, world, elems, 
 	}
 	rows := make([]serveBenchRow, 0, len(points))
 	for pi, pt := range points {
+		if adminAddr != "" {
+			// Reset the admin plane's rolling window to this point's start.
+			if _, err := scrapeStatusz(adminAddr); err != nil {
+				return fmt.Errorf("-serve-admin %s: %w", adminAddr, err)
+			}
+		}
 		lat, elapsed, err := runServePoint(addr, pt, world, elems, pipeline, pi)
 		if err != nil {
 			return fmt.Errorf("point %dx%d: %w", pt.Sessions, pt.Requests, err)
 		}
 		sort.Float64s(lat)
 		total := pt.Sessions * pt.Requests
-		rows = append(rows, serveBenchRow{
+		row := serveBenchRow{
 			Sessions:      pt.Sessions,
 			ReqsPerSess:   pt.Requests,
 			World:         world,
@@ -111,7 +149,19 @@ func runServeBench(w io.Writer, addr string, points []servePoint, world, elems, 
 			ReqsPerSec:    float64(total) / elapsed.Seconds(),
 			P50us:         percentile(lat, 0.50),
 			P99us:         percentile(lat, 0.99),
-		})
+		}
+		if adminAddr != "" {
+			st, err := scrapeStatusz(adminAddr)
+			if err != nil {
+				return fmt.Errorf("-serve-admin %s: %w", adminAddr, err)
+			}
+			pw := st.PerfWindow
+			row.ServerRequests = pw.ServeRequests
+			row.ServerFusedReqs = pw.ServeFusedReqs
+			row.ServerBatches = pw.ServeFusedBatch
+			row.ServerOverloads = pw.ServeOverloads
+		}
+		rows = append(rows, row)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -9,12 +9,19 @@
 //	adaptd -backend net -fuse 200us # TCP-loopback worlds, 200µs fuse window
 //	adaptd -chaos 'seed=11; all: drop=0.05' -perf
 //	adaptd -crash 2:0 -crash-group churn -backend net
+//	adaptd -admin 127.0.0.1:7078     # live telemetry plane (see adaptctl)
 //
 // The daemon prints exactly one "adaptd: listening on ADDR" line once
 // it accepts connections (scripts parse it), then serves until SIGINT
 // or SIGTERM, drains live sessions, and prints a final counters summary
 // whose "trouble N" field is the clean-run gate: overload rejections,
 // rank failures, and rank deaths all zero on a healthy run.
+//
+// -admin enables the telemetry plane and exposes /metrics (Prometheus
+// text), /statusz (JSON: sessions, backends with generations, request
+// quantiles, per-link FEC health, perf counters with per-window
+// deltas), /healthz (503 once draining), and /debug/pprof. One
+// "adaptd: admin on ADDR" line is printed for scripts.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"adapt/internal/faults"
+	"adapt/internal/metrics"
 	"adapt/internal/perf"
 	"adapt/internal/serve"
 )
@@ -76,6 +84,7 @@ func run() int {
 	chaos := flag.String("chaos", "", "fault plan for runtime backends (e.g. 'seed=11; all: drop=0.05')")
 	crashGroup := flag.String("crash-group", "", "group whose net backends arm the -crash rules")
 	perfStats := flag.Bool("perf", false, "print full perf counters to stderr at shutdown")
+	adminAddr := flag.String("admin", "", "admin/telemetry HTTP address (empty disables the plane)")
 	var crashes crashFlags
 	flag.Var(&crashes, "crash", "fail-stop crash rule R:K for -crash-group worlds (repeatable)")
 	flag.Parse()
@@ -110,6 +119,21 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("adaptd: listening on %s\n", srv.Addr())
+	if *adminAddr != "" {
+		admin, err := metrics.ServeAdmin(*adminAddr, metrics.AdminOpts{
+			Status:  func() any { return srv.StatusReport() },
+			Healthy: func() bool { return !srv.Draining() },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptd: %v\n", err)
+			srv.Close()
+			return 1
+		}
+		// Left open through drain on purpose: /healthz turning 503 and the
+		// drain histograms filling are exactly what a watcher wants to see.
+		defer admin.Close()
+		fmt.Printf("adaptd: admin on %s\n", admin.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"adapt/internal/comm"
+	"adapt/internal/metrics"
 	"adapt/internal/perf"
 )
 
@@ -293,12 +294,30 @@ func (r Recovery) Timeout(attempt int) time.Duration {
 // degenerate ([RTO, RTO]), so the initial ack wait is never shortened.
 func (r Recovery) RetryDelay(attempt int, id uint64) time.Duration {
 	t := r.Timeout(attempt)
-	if !r.FullJitter || t <= r.RTO {
-		return t
+	if r.FullJitter && t > r.RTO {
+		u := jitterUniform(r.JitterSeed, id, attempt)
+		t = r.RTO + time.Duration(u*float64(t-r.RTO))
 	}
-	u := jitterUniform(r.JitterSeed, id, attempt)
-	return r.RTO + time.Duration(u*float64(t-r.RTO))
+	// Attempt 0 is the initial ack wait; attempt > 0 means the recovery
+	// machinery is actually retransmitting — the live-telemetry signal
+	// for "how hard is ARQ working right now". Determinism is untouched:
+	// the delay itself never depends on the telemetry gate.
+	if attempt > 0 {
+		mRetryAttempt.Observe(uint64(attempt))
+		mRetryDelay.ObserveDuration(t)
+	}
+	return t
 }
+
+// RTO/retry telemetry (DESIGN.md §15): the per-window rate and attempt
+// distribution of armed retransmissions, across every substrate that
+// drives recovery through RetryDelay.
+var (
+	mRetryAttempt = metrics.NewHistogram("adapt_fault_retry_attempt",
+		"attempt number at each armed retransmission (1 = first retry)")
+	mRetryDelay = metrics.NewHistogram("adapt_fault_retry_delay_ns",
+		"backoff delay armed before each retransmission")
+)
 
 // jitterUniform draws a deterministic value in [0,1) from the retry's
 // identity — same construction as Injector.uniform, distinct domain.

@@ -3,6 +3,8 @@ package fec
 import (
 	"math"
 	"sync"
+
+	"adapt/internal/metrics"
 )
 
 // Config tunes the transports' FEC layer.
@@ -118,6 +120,9 @@ func (ct *Controller) Loss(src, dst int) float64 {
 // never past the bandwidth budget.
 func (ct *Controller) ChooseM(src, dst, k int) int {
 	if ct.cfg.M > 0 {
+		if metrics.Enabled() {
+			metrics.RecordLink(src, dst, ct.Loss(src, dst), ct.cfg.M)
+		}
 		return ct.cfg.M
 	}
 	loss := ct.Loss(src, dst)
@@ -135,5 +140,21 @@ func (ct *Controller) ChooseM(src, dst, k int) int {
 	if m > cap {
 		m = cap
 	}
+	// Publish the choice to the live telemetry plane: /statusz renders
+	// the per-link loss EWMA and chosen parity while the run is hot.
+	metrics.RecordLink(src, dst, loss, m)
 	return m
+}
+
+// LinkEstimates snapshots every observed link's loss EWMA, keyed by
+// directed (src, dst) — the controller-local view of the health table
+// the telemetry plane aggregates.
+func (ct *Controller) LinkEstimates() map[[2]int]float64 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	out := make(map[[2]int]float64, len(ct.links))
+	for k, loss := range ct.links {
+		out[[2]int{int(int32(k >> 32)), int(int32(k))}] = loss
+	}
+	return out
 }

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"adapt/internal/perf"
+)
+
+// TestAdminEndpoint drives the whole admin plane over real HTTP: the
+// Prometheus surface, the statusz document (app section, perf window
+// delta between scrapes), and draining-aware health.
+func TestAdminEndpoint(t *testing.T) {
+	withTelemetry(t, false) // ServeAdmin must flip the gate on itself
+	r := NewRegistry()
+	h := r.NewHistogram("t_admin_latency_ns", "admin test latency")
+	c := r.NewCounter("t_admin_reqs_total", "admin test requests")
+
+	var healthy atomic.Bool
+	healthy.Store(true)
+	a, err := ServeAdmin("127.0.0.1:0", AdminOpts{
+		Registry: r,
+		Status:   func() any { return map[string]int{"sessions": 3} },
+		Healthy:  healthy.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if !Enabled() {
+		t.Fatal("ServeAdmin did not enable the telemetry plane")
+	}
+
+	c.Add(11)
+	for _, v := range []uint64{100, 200, 400, 800} {
+		h.Observe(v)
+	}
+	perf.RecordNetDialRetry() // make the perf window move between scrapes
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + a.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE t_admin_latency_ns histogram",
+		"t_admin_reqs_total 11",
+		"t_admin_latency_ns_count 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var st Statusz
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if st.UptimeSecs < 0 || st.WindowSecs < 0 {
+		t.Errorf("negative uptime/window: %+v", st)
+	}
+	app, ok := st.App.(map[string]any)
+	if !ok || app["sessions"] != float64(3) {
+		t.Errorf("app section = %#v, want sessions=3", st.App)
+	}
+	var found *QuantileSummary
+	for i := range st.Histograms {
+		if st.Histograms[i].Name == "t_admin_latency_ns" {
+			found = &st.Histograms[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("statusz missing histogram summary: %+v", st.Histograms)
+	}
+	if found.Count != 4 || found.P50 == 0 || found.P999 < found.P50 {
+		t.Errorf("bad quantile summary: %+v", found)
+	}
+
+	// The perf window is a delta between consecutive scrapes: after one
+	// quiet rescrape the window's monotonic counters return to zero even
+	// though the cumulative snapshot keeps them.
+	perf.RecordNetDialRetry()
+	_, body = get("/statusz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PerfWindow.NetDialRetries == 0 {
+		t.Error("perf window missed the dial retry recorded between scrapes")
+	}
+	_, body = get("/statusz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PerfWindow.NetDialRetries != 0 {
+		t.Errorf("quiet window reports %d dial retries, want 0", st.PerfWindow.NetDialRetries)
+	}
+
+	code, _ = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d while healthy", code)
+	}
+	healthy.Store(false)
+	code, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d while draining, want 503", code)
+	}
+
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestLinkTable pins the FEC link-health aggregation: updates overwrite
+// per directed link, the snapshot sorts by (src, dst), and the gate
+// keeps RecordLink free when telemetry is off.
+func TestLinkTable(t *testing.T) {
+	withTelemetry(t, true)
+	ResetLinks()
+	t.Cleanup(ResetLinks)
+	RecordLink(1, 0, 0.25, 3)
+	RecordLink(0, 1, 0.10, 2)
+	RecordLink(1, 0, 0.30, 4) // overwrite
+	ls := Links()
+	if len(ls) != 2 {
+		t.Fatalf("got %d links, want 2: %+v", len(ls), ls)
+	}
+	if ls[0] != (LinkStat{Src: 0, Dst: 1, Loss: 0.10, M: 2}) {
+		t.Errorf("link[0] = %+v", ls[0])
+	}
+	if ls[1] != (LinkStat{Src: 1, Dst: 0, Loss: 0.30, M: 4}) {
+		t.Errorf("link[1] = %+v", ls[1])
+	}
+	Enable(false)
+	RecordLink(5, 6, 0.5, 1)
+	Enable(true)
+	if len(Links()) != 2 {
+		t.Error("RecordLink recorded while telemetry was off")
+	}
+}

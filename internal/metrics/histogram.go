@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed histogram layout. Values below firstExact land in exact
+// unit buckets; above that each power-of-two octave splits into
+// 2^subBits sub-buckets keyed by the top subBits bits after the leading
+// bit. With subBits=3 a bucket's width is 1/8 of its lower bound, so
+// any quantile read from bucket upper bounds overstates the true order
+// statistic by at most 12.5% (and is exact below firstExact). 496
+// buckets cover the full uint64 range; one histogram is ~4KiB of
+// atomics, allocated once at construction.
+const (
+	subBits    = 3
+	subCount   = 1 << subBits                       // 8 sub-buckets per octave
+	firstExact = 2 * subCount                       // values 0..15 are exact
+	numBuckets = firstExact + (63-subBits)*subCount // 496
+)
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < firstExact {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= subBits+1
+	sub := (v >> (uint(exp) - subBits)) & (subCount - 1)
+	return firstExact + (exp-subBits-1)*subCount + int(sub)
+}
+
+// bucketUpper returns the largest value that lands in bucket i.
+func bucketUpper(i int) uint64 {
+	if i < firstExact {
+		return uint64(i)
+	}
+	g := i - firstExact
+	exp := uint(g/subCount) + subBits + 1
+	sub := uint64(g % subCount)
+	lower := uint64(1)<<exp + sub<<(exp-subBits)
+	return lower + 1<<(exp-subBits) - 1
+}
+
+// Histogram is a lock-free log-bucketed distribution: concurrent
+// Observe calls are independent atomic adds, reads are snapshots.
+type Histogram struct {
+	m      metricMeta
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	counts [numBuckets]atomic.Uint64
+}
+
+// NewHistogram registers a histogram in r.
+func (r *Registry) NewHistogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{m: metricMeta{name: name, help: help, kind: "histogram", labels: labels}}
+	r.register(h)
+	return h
+}
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name, help string, labels ...Label) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, labels...)
+}
+
+func (h *Histogram) meta() metricMeta { return h.m }
+
+// Observe records one value: three atomic adds when enabled, one
+// atomic load when disabled.
+func (h *Histogram) Observe(v uint64) {
+	if !enabled.Load() {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveSince records the nanoseconds elapsed since a Clock() start.
+// A zero start means telemetry was off when the measurement began —
+// nothing is recorded, so enabling mid-flight never logs a bogus
+// epoch-sized latency.
+func (h *Histogram) ObserveSince(start int64) {
+	if start == 0 || !enabled.Load() {
+		return
+	}
+	d := time.Now().UnixNano() - start
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(uint64(d))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Snapshot captures a point-in-time view. Snapshots are mergeable:
+// bucket-wise addition is associative and commutative, so per-shard
+// histograms can roll up in any grouping order.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable histogram view.
+type HistSnapshot struct {
+	Count  uint64
+	Sum    uint64
+	Counts [numBuckets]uint64
+}
+
+// Merge folds other into s (bucket-wise addition).
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the upper bound of
+// the bucket holding that order statistic: never below the true value
+// by construction, above it by at most the bucket's 12.5% relative
+// width. Returns 0 on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Mean returns the arithmetic mean (0 on an empty snapshot).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// QuantileSummary is the standard operator view of one histogram.
+type QuantileSummary struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean"`
+	P50    uint64  `json:"p50"`
+	P90    uint64  `json:"p90"`
+	P99    uint64  `json:"p99"`
+	P999   uint64  `json:"p999"`
+}
+
+// Summary renders the snapshot's p50/p90/p99/p999 under the
+// histogram's identity.
+func (h *Histogram) Summary() QuantileSummary {
+	s := h.Snapshot()
+	return QuantileSummary{
+		Name:   h.m.name,
+		Labels: labelString(h.m.labels),
+		Count:  s.Count,
+		MeanNS: s.Mean(),
+		P50:    s.Quantile(0.50),
+		P90:    s.Quantile(0.90),
+		P99:    s.Quantile(0.99),
+		P999:   s.Quantile(0.999),
+	}
+}
+
+// Summaries returns every registered histogram's quantile summary in
+// stable order, skipping empty ones when skipEmpty is set.
+func (r *Registry) Summaries(skipEmpty bool) []QuantileSummary {
+	var out []QuantileSummary
+	for _, m := range r.sorted() {
+		h, ok := m.(*Histogram)
+		if !ok {
+			continue
+		}
+		sum := h.Summary()
+		if skipEmpty && sum.Count == 0 {
+			continue
+		}
+		out = append(out, sum)
+	}
+	return out
+}

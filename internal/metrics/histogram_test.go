@@ -1,0 +1,301 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTelemetry enables the plane for one test and restores the prior
+// gate state afterwards, so tests compose regardless of order.
+func withTelemetry(t *testing.T, on bool) {
+	t.Helper()
+	prev := Enabled()
+	Enable(on)
+	t.Cleanup(func() { Enable(prev) })
+}
+
+// TestBucketLayout pins the log-bucket geometry: round-tripping and
+// monotonicity over exact values, octave boundaries, and random draws.
+func TestBucketLayout(t *testing.T) {
+	// Every bucket's upper bound maps back to that bucket, and bounds
+	// strictly increase.
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketOf(bucketUpper(i)); got != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)) = %d", i, got)
+		}
+		if i > 0 && bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+	check := func(v uint64) {
+		b := bucketOf(v)
+		if b < 0 || b >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		if up := bucketUpper(b); v > up {
+			t.Fatalf("value %d above its bucket upper %d (bucket %d)", v, up, b)
+		}
+		if v < firstExact && bucketUpper(b) != v {
+			t.Fatalf("exact range: value %d got upper %d", v, bucketUpper(b))
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for exp := 4; exp < 64; exp++ {
+		p := uint64(1) << uint(exp)
+		for _, v := range []uint64{p - 1, p, p + 1} {
+			check(v)
+		}
+	}
+	check(^uint64(0))
+	rng := rand.New(rand.NewSource(42))
+	prev := -1
+	for v := uint64(0); v < 100000; v += uint64(rng.Intn(1000)) + 1 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = b
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines —
+// the -race build proves the lock-free claim, the totals prove no
+// observation is lost or double-counted.
+func TestHistogramConcurrent(t *testing.T) {
+	withTelemetry(t, true)
+	r := NewRegistry()
+	h := r.NewHistogram("t_conc", "concurrent writers")
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Fatalf("count = %d, want %d", s.Count, writers*per)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+// TestMergeAssociative pins the roll-up algebra: snapshots merge
+// associatively and commutatively, with an empty snapshot as identity.
+func TestMergeAssociative(t *testing.T) {
+	withTelemetry(t, true)
+	r := NewRegistry()
+	mk := func(name string, seed int64, n int) HistSnapshot {
+		h := r.NewHistogram(name, "merge test")
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.Observe(uint64(rng.Intn(1 << 24)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk("t_ma", 1, 300), mk("t_mb", 2, 500), mk("t_mc", 3, 700)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left != right {
+		t.Fatal("merge is not associative")
+	}
+	if a.Merge(b) != b.Merge(a) {
+		t.Fatal("merge is not commutative")
+	}
+	var zero HistSnapshot
+	if a.Merge(zero) != a {
+		t.Fatal("empty snapshot is not a merge identity")
+	}
+	if left.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count = %d, want %d", left.Count, a.Count+b.Count+c.Count)
+	}
+}
+
+// TestQuantileErrorBound checks every quantile read against an exact
+// sorted reference: the histogram answer is never below the true order
+// statistic and overshoots by at most the documented 12.5% bucket width
+// (exactly equal below firstExact).
+func TestQuantileErrorBound(t *testing.T) {
+	withTelemetry(t, true)
+	r := NewRegistry()
+	dists := []struct {
+		name string
+		gen  func(rng *rand.Rand) uint64
+	}{
+		{"t_q_uniform", func(rng *rand.Rand) uint64 { return uint64(rng.Intn(1 << 22)) }},
+		{"t_q_small", func(rng *rand.Rand) uint64 { return uint64(rng.Intn(12)) }},
+		{"t_q_heavy", func(rng *rand.Rand) uint64 {
+			// Log-uniform: exercises every octave.
+			return uint64(1) << uint(rng.Intn(40))
+		}},
+	}
+	for _, d := range dists {
+		h := r.NewHistogram(d.name, "quantile bound test")
+		rng := rand.New(rand.NewSource(7))
+		const n = 20000
+		vals := make([]uint64, n)
+		for i := range vals {
+			v := d.gen(rng)
+			vals[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			exact := vals[int(q*float64(n-1))]
+			got := s.Quantile(q)
+			if got < exact {
+				t.Errorf("%s q=%v: histogram %d below exact %d", d.name, q, got, exact)
+			}
+			bound := float64(exact) * 1.125
+			if exact < firstExact {
+				bound = float64(exact) // exact unit buckets
+			}
+			if float64(got) > bound {
+				t.Errorf("%s q=%v: histogram %d exceeds bound %.0f (exact %d)", d.name, q, got, bound, exact)
+			}
+		}
+	}
+	// Degenerate cases.
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean must be 0")
+	}
+}
+
+// TestObserveSinceGate pins the mid-flight enable contract: a bracket
+// started while telemetry was off (start == 0) records nothing even if
+// the gate flips on before the observation lands.
+func TestObserveSinceGate(t *testing.T) {
+	withTelemetry(t, false)
+	r := NewRegistry()
+	h := r.NewHistogram("t_gate", "gate test")
+	start := Clock()
+	if start != 0 {
+		t.Fatalf("Clock() = %d with telemetry off, want 0", start)
+	}
+	Enable(true)
+	h.ObserveSince(start)
+	if n := h.Snapshot().Count; n != 0 {
+		t.Fatalf("ObserveSince(0) recorded %d observations", n)
+	}
+	start = Clock()
+	if start == 0 {
+		t.Fatal("Clock() = 0 with telemetry on")
+	}
+	time.Sleep(time.Millisecond)
+	h.ObserveSince(start)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum == 0 {
+		t.Fatalf("enabled ObserveSince: count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+// TestMetricsZeroAlloc is the hot-path contract: with telemetry
+// disabled every recording entry point is a single atomic load — zero
+// allocations — and even enabled, the atomics-only paths stay
+// allocation-free.
+func TestMetricsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_za_counter", "zero alloc")
+	g := r.NewGauge("t_za_gauge", "zero alloc")
+	h := r.NewHistogram("t_za_hist", "zero alloc")
+
+	prev := Enabled()
+	defer Enable(prev)
+
+	for _, mode := range []bool{false, true} {
+		Enable(mode)
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.Inc()
+			c.Add(3)
+			g.Set(7)
+			g.Add(-2)
+			h.Observe(12345)
+			h.ObserveSince(Clock())
+		})
+		if allocs != 0 {
+			t.Errorf("enabled=%v: %v allocs/op on the recording hot path, want 0", mode, allocs)
+		}
+	}
+}
+
+func BenchmarkObserveDisabled(b *testing.B) {
+	prev := Enabled()
+	Enable(false)
+	defer Enable(prev)
+	r := NewRegistry()
+	h := r.NewHistogram("b_obs_off", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkObserveEnabled(b *testing.B) {
+	prev := Enabled()
+	Enable(true)
+	defer Enable(prev)
+	r := NewRegistry()
+	h := r.NewHistogram("b_obs_on", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkObserveEnabledParallel(b *testing.B) {
+	prev := Enabled()
+	Enable(true)
+	defer Enable(prev)
+	r := NewRegistry()
+	h := r.NewHistogram("b_obs_par", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(0)
+		for pb.Next() {
+			v += 1023
+			h.Observe(v)
+		}
+	})
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	prev := Enabled()
+	Enable(false)
+	defer Enable(prev)
+	r := NewRegistry()
+	c := r.NewCounter("b_ctr_off", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkLatencyBracketDisabled(b *testing.B) {
+	prev := Enabled()
+	Enable(false)
+	defer Enable(prev)
+	r := NewRegistry()
+	h := r.NewHistogram("b_brk_off", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(Clock())
+	}
+}

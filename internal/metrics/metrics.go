@@ -1,0 +1,276 @@
+// Package metrics is the live telemetry core: lock-free log-bucketed
+// histograms, gauges, and labeled counters layered over the same
+// atomics discipline as internal/perf, plus a Prometheus text
+// exposition and an opt-in HTTP admin plane (admin.go) so a running
+// adaptd can be scraped under load instead of only read at exit.
+//
+// Contract with the hot paths (the same deal the PR 5 trace gate
+// makes): telemetry is FREE when disabled and cheap when enabled.
+// Every recording entry point begins with one atomic load of the
+// package enable gate and returns immediately when it is off — zero
+// allocations, no time syscalls, no pointer chasing. TestMetricsZeroAlloc
+// and the make-obs benchmarks pin both sides of that contract.
+//
+// Naming scheme (DESIGN.md §15): adapt_<layer>_<signal>[_<unit>], with
+// _total suffix on monotonic counters and _ns on nanosecond-valued
+// histograms. Metric identity is name plus a fixed label set chosen at
+// construction; there is no dynamic label creation on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global telemetry gate. Off by default: a process that
+// never calls Enable pays one atomic load per instrumentation site.
+var enabled atomic.Bool
+
+// Enable switches the telemetry plane on or off. Flip it once at
+// startup (before traffic) — gauges balanced across an Inc/Dec pair
+// assume the gate does not move between the two halves.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the telemetry plane is on.
+func Enabled() bool { return enabled.Load() }
+
+// Clock returns a start timestamp for latency measurement: the current
+// time in nanoseconds when telemetry is enabled, 0 when disabled. Pair
+// it with Histogram.ObserveSince, which treats 0 as "telemetry was off
+// at the start — record nothing".
+func Clock() int64 {
+	if !enabled.Load() {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// Label is one fixed name="value" pair attached to a metric at
+// construction time.
+type Label struct {
+	Name, Value string
+}
+
+// metric is anything a registry can snapshot and expose.
+type metric interface {
+	meta() metricMeta
+}
+
+type metricMeta struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	labels []Label
+}
+
+// id renders the metric's full identity (name + sorted labels) for
+// uniqueness checks and stable ordering.
+func (m metricMeta) id() string {
+	if len(m.labels) == 0 {
+		return m.name
+	}
+	return m.name + "{" + labelString(m.labels) + "}"
+}
+
+func labelString(labels []Label) string {
+	s := ""
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Name + "=" + promQuote(l.Value)
+	}
+	return s
+}
+
+// Registry holds a set of named metrics. The package default registry
+// backs the New* constructors; tests build private ones.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byID    map[string]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]bool{}}
+}
+
+// defaultRegistry backs the package-level constructors.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the admin plane exposes.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m, panicking on duplicate identity — metric names are
+// wired at package init time, so a collision is a programming error.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := m.meta().id()
+	if r.byID[id] {
+		panic(fmt.Sprintf("metrics: duplicate metric %s", id))
+	}
+	r.byID[id] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// sorted returns the metrics in stable (name, labels) order.
+func (r *Registry) sorted() []metric {
+	r.mu.Lock()
+	out := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := out[i].meta(), out[j].meta()
+		if mi.name != mj.name {
+			return mi.name < mj.name
+		}
+		return labelString(mi.labels) < labelString(mj.labels)
+	})
+	return out
+}
+
+// Counter is a monotonically increasing count. Add/Inc are single
+// atomic adds when enabled and a single atomic load when disabled.
+type Counter struct {
+	m metricMeta
+	v atomic.Uint64
+}
+
+// NewCounterIn registers a counter in r.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{m: metricMeta{name: name, help: help, kind: "counter", labels: labels}}
+	r.register(c)
+	return c
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return defaultRegistry.NewCounter(name, help, labels...)
+}
+
+func (c *Counter) meta() metricMeta { return c.m }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (things currently in use). Set/Add
+// are single atomics when enabled.
+type Gauge struct {
+	m metricMeta
+	v atomic.Int64
+}
+
+// NewGauge registers a gauge in r.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{m: metricMeta{name: name, help: help, kind: "gauge", labels: labels}}
+	r.register(g)
+	return g
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return defaultRegistry.NewGauge(name, help, labels...)
+}
+
+func (g *Gauge) meta() metricMeta { return g.m }
+
+// Set stores the gauge level.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LinkStat is one directed link's health as last reported by an
+// adaptive FEC controller: the loss EWMA and the parity count chosen
+// for the next group.
+type LinkStat struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Loss float64 `json:"loss"`
+	M    int     `json:"m"`
+}
+
+// linkTable aggregates per-link health across every live world. Keyed
+// by directed (src, dst); worlds sharing rank numbering merge, which is
+// the operator view we want for one daemon's homogeneous backends.
+var linkTable struct {
+	mu    sync.RWMutex
+	links map[uint64]LinkStat
+}
+
+func linkKey(src, dst int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst))
+}
+
+// RecordLink publishes one link's current loss estimate and chosen
+// parity. Gated: free when telemetry is off.
+func RecordLink(src, dst int, loss float64, m int) {
+	if !enabled.Load() {
+		return
+	}
+	k := linkKey(src, dst)
+	linkTable.mu.Lock()
+	if linkTable.links == nil {
+		linkTable.links = map[uint64]LinkStat{}
+	}
+	linkTable.links[k] = LinkStat{Src: src, Dst: dst, Loss: loss, M: m}
+	linkTable.mu.Unlock()
+}
+
+// Links snapshots the link-health table sorted by (src, dst).
+func Links() []LinkStat {
+	linkTable.mu.RLock()
+	out := make([]LinkStat, 0, len(linkTable.links))
+	for _, l := range linkTable.links {
+		out = append(out, l)
+	}
+	linkTable.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// ResetLinks clears the link table (tests).
+func ResetLinks() {
+	linkTable.mu.Lock()
+	linkTable.links = nil
+	linkTable.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): one # HELP and # TYPE
+// pair per metric name, samples in stable (name, labels) order, label
+// values quoted with the standard escapes. Histograms render as
+// cumulative le-bucketed series over the log-bucket upper bounds —
+// only non-empty buckets are listed (cumulative counts stay correct)
+// plus the mandatory +Inf, _sum, and _count. The golden test in
+// prom_test.go pins this surface byte-for-byte so a scrape consumer
+// can't be broken silently.
+
+// promQuote escapes a label value per the exposition format.
+func promQuote(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// promHelp escapes a HELP line per the exposition format.
+func promHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// promLabels renders {a="x",b="y"} (empty string for no labels).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	return "{" + labelString(all) + "}"
+}
+
+// WritePrometheus renders every registered metric.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, m := range r.sorted() {
+		meta := m.meta()
+		if meta.name != lastName {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				meta.name, promHelp(meta.help), meta.name, meta.kind); err != nil {
+				return err
+			}
+			lastName = meta.name
+		}
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", meta.name, promLabels(meta.labels), v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", meta.name, promLabels(meta.labels), v.Value())
+		case *Histogram:
+			err = writePromHistogram(w, meta, v.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, meta metricMeta, s HistSnapshot) error {
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", meta.name,
+			promLabels(meta.labels, Label{"le", fmt.Sprintf("%d", bucketUpper(i))}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", meta.name,
+		promLabels(meta.labels, Label{"le", "+Inf"}), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", meta.name, promLabels(meta.labels), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", meta.name, promLabels(meta.labels), s.Count)
+	return err
+}

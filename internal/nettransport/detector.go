@@ -6,10 +6,19 @@ import (
 
 	"adapt/internal/comm"
 	"adapt/internal/faults"
+	"adapt/internal/metrics"
 	"adapt/internal/perf"
 	"adapt/internal/progress"
 	"adapt/internal/trace"
 )
+
+// mDetectLatency brackets the failure detector: from the moment a
+// connection loss is observed (peerLost) to the lease-confirmed death
+// commit. The spread is dominated by ConfirmAfter, so the histogram is
+// the operator's view of effective detection latency under the
+// configured recovery leases.
+var mDetectLatency = metrics.NewHistogram("adapt_detector_confirm_latency_ns",
+	"suspicion-to-confirmation latency of the lease failure detector")
 
 // Lease-based failure detection over sockets. The trigger is observed
 // teardown — a connection that errors or hits EOF without the Bye
@@ -31,6 +40,7 @@ func (c *Comm) peerLost(rank int, cause error) {
 		return
 	}
 	c.peerDown[rank] = true
+	c.lostAt[rank] = metrics.Clock()
 	c.mu.Unlock()
 	perf.RecordNetPeerDown()
 	if tb := c.cfg.traceBuf; tb != nil {
@@ -58,6 +68,7 @@ func (c *Comm) confirmDeath(rank int) {
 		return
 	}
 	c.confirmed[rank] = true
+	lostAt := c.lostAt[rank]
 
 	// Rendezvous sends parked on a grant that will never come.
 	for xid, req := range c.sendPend {
@@ -86,6 +97,7 @@ func (c *Comm) confirmDeath(rank int) {
 	c.eng.PushNotice(comm.Notice{Kind: comm.NoticeDeath, Rank: rank})
 	perf.RecordDetectorConfirm()
 	perf.RecordTreeRepair()
+	mDetectLatency.ObserveSince(lostAt)
 	if tb := c.cfg.traceBuf; tb != nil {
 		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Confirm, Peer: rank})
 		tb.Add(trace.Record{At: c.Now(), Rank: c.rank, Kind: trace.Repair, Peer: rank})

@@ -193,6 +193,7 @@ type Comm struct {
 	pulls     map[uint64]*rdvPull      // xid → matched recv awaiting DATA
 	peerDown  []bool                   // connection lost (death suspected)
 	confirmed []bool                   // detector-confirmed deaths
+	lostAt    []int64                  // metrics.Clock() at loss observation (telemetry)
 	closed    bool                     // clean shutdown begun; losses are expected
 
 	xidNext uint64 // owner-goroutine only
@@ -225,6 +226,7 @@ func newComm(rank, size int, ln net.Listener, cfg config) *Comm {
 		pulls:      make(map[uint64]*rdvPull),
 		peerDown:   make([]bool, size),
 		confirmed:  make([]bool, size),
+		lostAt:     make([]int64, size),
 		crashAfter: -1,
 		wake:       make(chan struct{}, 1),
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime/pprof"
 	"runtime/trace"
 	"sync/atomic"
@@ -347,6 +348,36 @@ func Reset() {
 	serveRankDeaths.Store(0)
 }
 
+// Delta returns the per-window counter movement between prev and s:
+// every monotonic counter field becomes s.field - prev.field, so a
+// periodic scraper (the admin /statusz window, adaptbench -serve
+// points) reports rates instead of process-lifetime totals. HeapPeak
+// is a high-water mark, not a counter — the current value carries
+// over. A counter that went backwards (perf.Reset between snapshots)
+// reports the current value rather than a wrapped difference.
+//
+// Implemented by reflection over the Snapshot fields so a counter
+// added to the struct is in the delta automatically — the same
+// future-proofing contract the export-coverage test enforces on
+// Fprint and JSON.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := s
+	ov := reflect.ValueOf(&out).Elem()
+	pv := reflect.ValueOf(prev)
+	for i := 0; i < ov.NumField(); i++ {
+		f := ov.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			continue // HeapPeak (int64 high-water mark) carries over
+		}
+		cur, old := f.Uint(), pv.Field(i).Uint()
+		if old > cur {
+			continue // reset between snapshots: report the current value
+		}
+		f.SetUint(cur - old)
+	}
+	return out
+}
+
 // JSON renders the snapshot as indented JSON (adaptbench -perf-json),
 // one stable machine-readable document per run for scripts and CI.
 func (s Snapshot) JSON() ([]byte, error) {
@@ -368,8 +399,8 @@ func (s Snapshot) Fprint(w io.Writer) {
 	if s.BufPuts > 0 {
 		recRate = 100 * float64(s.BufRecycled) / float64(s.BufPuts)
 	}
-	fmt.Fprintf(w, "perf: buffer pool %d gets (%.0f%% reuse), %d puts (%.0f%% recycled)\n",
-		s.BufGets, hitRate, s.BufPuts, recRate)
+	fmt.Fprintf(w, "perf: buffer pool %d gets (%d hits, %.0f%% reuse), %d puts (%d recycled, %.0f%%)\n",
+		s.BufGets, s.BufHits, hitRate, s.BufPuts, s.BufRecycled, recRate)
 	if s.FaultTotal() > 0 {
 		fmt.Fprintf(w, "perf: faults %d drops, %d dups, %d corrupts, %d delays; recovery %d retries, %d timeouts, %d suppressed\n",
 			s.FaultDrops, s.FaultDups, s.FaultCorrupts, s.FaultDelays, s.FaultRetries, s.FaultTimeouts, s.FaultSuppressed)

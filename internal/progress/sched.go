@@ -1,6 +1,25 @@
 package progress
 
-import "adapt/internal/comm"
+import (
+	"adapt/internal/comm"
+	"adapt/internal/metrics"
+)
+
+// Scheduler health telemetry (DESIGN.md §15), aggregated across every
+// scheduler instance in the process: per-rank executors in the serving
+// layer all feed the same counters, which is the operator view — "is
+// the progress plane spinning, stalling, or parked". Every site is
+// gated: one atomic load per tick when telemetry is off.
+var (
+	mSchedTicks = metrics.NewCounter("adapt_progress_sched_ticks_total",
+		"fair round-robin scheduling rounds executed")
+	mSchedStalls = metrics.NewCounter("adapt_progress_sched_stalls_total",
+		"rounds that advanced no operation (the starvation-gate trip signal)")
+	mSchedParks = metrics.NewCounter("adapt_progress_sched_parks_total",
+		"times a driver blocked on the shared notifier with work in flight")
+	mSchedDepth = metrics.NewHistogram("adapt_progress_sched_depth",
+		"live operations enrolled on a scheduler, observed at each Add")
+)
 
 // Notifier is a one-token wake channel shared across engines: each
 // wake-worthy event (completion, parked arrival, notice) on any attached
@@ -99,6 +118,9 @@ func (s *Scheduler) Add(it *Scheduled) {
 		s.allWired = false
 	}
 	s.items = append(s.items, it)
+	if metrics.Enabled() {
+		mSchedDepth.Observe(uint64(s.Live()))
+	}
 }
 
 // Items exposes the scheduled operations (completion ticks included).
@@ -150,6 +172,7 @@ func (s *Scheduler) Compact() int {
 func (s *Scheduler) step() (remaining int, advanced bool) {
 	n := len(s.items)
 	s.Ticks++
+	mSchedTicks.Inc()
 	start := s.rr
 	s.rr++
 	for k := 0; k < n; k++ {
@@ -178,7 +201,9 @@ func (s *Scheduler) Drive() {
 		if advanced {
 			continue
 		}
+		mSchedStalls.Inc()
 		if s.allWired {
+			mSchedParks.Inc()
 			s.notifier.Wait()
 			continue
 		}
@@ -206,7 +231,9 @@ func (s *Scheduler) DriveUntil(pred func() bool) {
 		if advanced {
 			continue
 		}
+		mSchedStalls.Inc()
 		if s.allWired {
+			mSchedParks.Inc()
 			s.notifier.Wait()
 			continue
 		}

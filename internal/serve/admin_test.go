@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"adapt/internal/metrics"
+)
+
+// TestAdminAgainstLiveServer is the telemetry plane's end-to-end test:
+// a real daemon serving real collectives with the admin endpoint
+// attached, scraped over HTTP mid-run. Pins that the serving layer's
+// instrumentation actually fires (latency histograms fill, the session
+// gauge tracks, the app section reflects live sessions) and that
+// /healthz flips to 503 once drain begins.
+func TestAdminAgainstLiveServer(t *testing.T) {
+	srv := newTestServer(t, Config{DrainTimeout: 2 * time.Second})
+	admin, err := metrics.ServeAdmin("127.0.0.1:0", metrics.AdminOpts{
+		Status:  func() any { return srv.StatusReport() },
+		Healthy: func() bool { return !srv.Draining() },
+	})
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer admin.Close()
+
+	const world, elems = 3, 8
+	sess, err := Dial(srv.Addr(), SessionOpts{World: world, ProxyRank: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer sess.Close()
+	for salt := 0; salt < 4; salt++ {
+		if _, err := sess.Allreduce(contrib(world, elems, salt)); err != nil {
+			t.Fatalf("Allreduce: %v", err)
+		}
+	}
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get("http://" + admin.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var st metrics.Statusz
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/statusz JSON: %v", err)
+	}
+	appJSON, _ := json.Marshal(st.App)
+	var rep StatusReport
+	if err := json.Unmarshal(appJSON, &rep); err != nil {
+		t.Fatalf("app section is not a StatusReport: %v\n%s", err, appJSON)
+	}
+	if rep.Sessions != 1 || len(rep.SessionList) != 1 {
+		t.Errorf("app sessions = %d (%d rows), want 1", rep.Sessions, len(rep.SessionList))
+	}
+	if rep.Requests < 4 || rep.Responses < 4 {
+		t.Errorf("app requests/responses = %d/%d, want >= 4", rep.Requests, rep.Responses)
+	}
+	if len(rep.Backends) != 1 || rep.Backends[0].World != world {
+		t.Errorf("app backends = %+v, want one world=%d row", rep.Backends, world)
+	}
+	var lat *metrics.QuantileSummary
+	for i := range st.Histograms {
+		h := &st.Histograms[i]
+		if h.Name == "adapt_serve_request_latency_ns" && strings.Contains(h.Labels, "allreduce") {
+			lat = h
+		}
+	}
+	if lat == nil || lat.Count < 4 || lat.P50 == 0 {
+		t.Errorf("allreduce latency summary missing or empty: %+v", lat)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE adapt_serve_request_latency_ns histogram",
+		`adapt_serve_request_latency_ns_count{kind="allreduce"}`,
+		"adapt_serve_sessions_live 1",
+		"adapt_serve_request_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d while serving", code)
+	}
+	sess.Close()
+	srv.Close()
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d after Close, want 503", code)
+	}
+}

@@ -73,6 +73,7 @@ type job struct {
 	peer int
 	tag  comm.Tag
 	msg  comm.Msg
+	t0   int64 // metrics.Clock() at admission (0 = telemetry off)
 
 	remaining atomic.Int32
 	once      sync.Once
@@ -342,9 +343,11 @@ func (b *backend) submitService(j *job) error {
 		perf.RecordServeOverload()
 		return ErrOverloaded
 	}
+	mTokensInUse.Inc()
 	inner := j.deliver
 	j.deliver = func(out []byte, mask []bool, err error) {
 		<-b.admit
+		mTokensInUse.Dec()
 		inner(out, mask, err)
 	}
 	b.mu.Lock()
@@ -364,6 +367,7 @@ func (b *backend) submitService(j *job) error {
 		if len(b.jobCh[r]) == cap(b.jobCh[r]) {
 			b.mu.Unlock()
 			<-b.admit
+			mTokensInUse.Dec()
 			perf.RecordServeOverload()
 			return ErrOverloaded
 		}
@@ -371,6 +375,7 @@ func (b *backend) submitService(j *job) error {
 	if alive == 0 {
 		b.mu.Unlock()
 		<-b.admit
+		mTokensInUse.Dec()
 		return &RequestError{Code: CodeRankFailed, Msg: "all backend ranks dead"}
 	}
 	b.seqNext++
@@ -620,6 +625,7 @@ func (b *backend) retire(r int, f flight) {
 		f.j.rankDone(r, f.op.Wait())
 		return
 	}
+	mLatProxy.ObserveSince(f.j.t0)
 	st, _ := f.req.Test()
 	if f.j.kind == jobIsend {
 		// A send's status echoes the posted message; don't ship the

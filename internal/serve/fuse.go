@@ -83,6 +83,7 @@ func (f *fuser) flush(elems int) {
 func (b *backend) submitFused(bt *fuseBatch) {
 	k := len(bt.parts)
 	elems := bt.elems
+	mFuseBatch.Observe(uint64(k))
 	if k > 1 {
 		perf.RecordServeFused(k)
 	}

@@ -1,0 +1,34 @@
+package serve
+
+import "adapt/internal/metrics"
+
+// Live telemetry for the serving layer (DESIGN.md §15). All recording
+// is gated on the process telemetry switch: with -admin off every site
+// costs one atomic load, and the latency sites skip even the timestamp
+// capture (metrics.Clock returns 0, ObserveSince records nothing).
+var (
+	mLatAllreduce = metrics.NewHistogram("adapt_serve_request_latency_ns",
+		"collective request latency, admission to response", metrics.Label{Name: "kind", Value: "allreduce"})
+	mLatReduceFT = metrics.NewHistogram("adapt_serve_request_latency_ns",
+		"collective request latency, admission to response", metrics.Label{Name: "kind", Value: "reduceft"})
+	mLatProxy = metrics.NewHistogram("adapt_serve_request_latency_ns",
+		"collective request latency, admission to response", metrics.Label{Name: "kind", Value: "proxy"})
+
+	mReqBytes = metrics.NewCounter("adapt_serve_request_bytes_total",
+		"payload bytes carried by admitted collective requests")
+
+	mSessionsLive = metrics.NewGauge("adapt_serve_sessions_live",
+		"client sessions currently open")
+	mTokensInUse = metrics.NewGauge("adapt_serve_admission_tokens_in_use",
+		"backend admission tokens held by live service jobs")
+
+	mSessPending = metrics.NewHistogram("adapt_serve_session_pending",
+		"per-session in-flight requests observed at each admission")
+	mFuseBatch = metrics.NewHistogram("adapt_serve_fuse_batch_size",
+		"requests per submitted allreduce batch (1 = unfused)")
+
+	mDrainServer = metrics.NewHistogram("adapt_serve_drain_ns",
+		"drain-before-close wait", metrics.Label{Name: "scope", Value: "server"})
+	mDrainSession = metrics.NewHistogram("adapt_serve_drain_ns",
+		"drain-before-close wait", metrics.Label{Name: "scope", Value: "session"})
+)

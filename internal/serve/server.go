@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"adapt/internal/comm"
+	"adapt/internal/metrics"
 	"adapt/internal/perf"
 )
 
@@ -112,6 +113,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Unlock()
 		s.stSessions.Add(1)
 		perf.RecordServeSession()
+		mSessionsLive.Inc()
 		go sess.run()
 	}
 }
@@ -195,6 +197,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	s.ln.Close()
+	drainT0 := metrics.Clock()
 	for _, sess := range sessions {
 		sess.beginShutdown()
 	}
@@ -208,6 +211,7 @@ func (s *Server) Close() error {
 		}
 		<-done
 	}
+	mDrainServer.ObserveSince(drainT0)
 	for _, b := range backends {
 		b.shutdown()
 	}
@@ -219,6 +223,7 @@ func (s *Server) dropSession(sess *session) {
 	delete(s.sessions, sess.id)
 	s.mu.Unlock()
 	s.stSessionsClosed.Add(1)
+	mSessionsLive.Dec()
 }
 
 // session is one client connection's server-side state.
@@ -448,7 +453,7 @@ func (s *session) admit(id uint64) bool {
 		s.send(encodeErr(errMsg{ID: id, Code: CodeOverloaded, Msg: "session in-flight cap reached"}))
 		return false
 	}
-	s.pending.Add(1)
+	mSessPending.Observe(uint64(s.pending.Add(1)))
 	// Re-check after the increment: beginShutdown stores draining and
 	// then consults pending, so a pre-increment check alone lets Close
 	// land in the gap, see pending==0, and declare the session drained
@@ -496,9 +501,23 @@ func (s *session) handleReduce(m reduceMsg, ft bool) {
 	}
 	s.srv.stRequests.Add(1)
 	perf.RecordServeRequest()
+	mReqBytes.Add(uint64(len(m.Vals)) * 8)
 	elems := len(m.Vals) / s.be.n
 	id := m.ID
 	deliver := func(out []byte, mask []bool, err error) { s.respond(id, out, mask, err) }
+	// Latency brackets only exist while telemetry is on: a zero Clock
+	// start means no closure, no timestamp, nothing recorded.
+	if t0 := metrics.Clock(); t0 != 0 {
+		h := mLatAllreduce
+		if ft {
+			h = mLatReduceFT
+		}
+		inner := deliver
+		deliver = func(out []byte, mask []bool, err error) {
+			h.ObserveSince(t0)
+			inner(out, mask, err)
+		}
+	}
 	if ft {
 		s.be.submitFT(m.Vals, elems, deliver)
 	} else {
@@ -526,6 +545,7 @@ func (s *session) handleProxyOp(id uint64, j *job) bool {
 		return false
 	}
 	s.srv.stProxyOps.Add(1)
+	j.t0 = metrics.Clock()
 	if err := s.be.submitProxy(s.proxyRank, j); err != nil {
 		s.pending.Add(-1)
 		s.maybeDrained()
@@ -559,8 +579,10 @@ func (s *session) opDone(id uint64, st comm.Status) {
 
 // handleClose drains in-flight work, then completes the Bye handshake.
 func (s *session) handleClose() {
+	drainT0 := metrics.Clock()
 	s.draining.Store(true)
 	s.maybeDrained()
+	defer mDrainSession.ObserveSince(drainT0)
 	select {
 	case <-s.drained:
 	case <-time.After(s.srv.cfg.DrainTimeout):

@@ -184,3 +184,64 @@ grep -q 'trouble 0' "$sdir/adaptd.txt" || {
 }
 rm -rf "$sdir"
 echo "wrote BENCH_serve.json"
+
+# Observability gate: a real adaptd with the telemetry plane attached,
+# driven by adaptbench -serve (folding the daemon's per-point perf
+# windows into the rows), scraped mid-run by adaptctl -check — which
+# fails unless the Prometheus exposition parses, the request-latency
+# quantiles are non-empty, /healthz is ready, and the trouble counters
+# are zero. Evidence lands in BENCH_obs.json; the daemon's own drain
+# summary must still report trouble 0.
+echo "bench.sh: checking the live telemetry plane (adaptd -admin + adaptctl)"
+odir=$(mktemp -d)
+go build -o "$odir/adaptd" ./cmd/adaptd
+go build -o "$odir/adaptbench" ./cmd/adaptbench
+go build -o "$odir/adaptctl" ./cmd/adaptctl
+"$odir/adaptd" -fuse 200us -admin 127.0.0.1:0 >"$odir/adaptd.txt" 2>&1 &
+adaptd_pid=$!
+addr=""
+admin=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    addr=$(sed -n 's/^adaptd: listening on //p' "$odir/adaptd.txt")
+    admin=$(sed -n 's/^adaptd: admin on //p' "$odir/adaptd.txt")
+    [ -n "$addr" ] && [ -n "$admin" ] && break
+    sleep 0.2
+done
+if [ -z "$addr" ] || [ -z "$admin" ]; then
+    echo "bench.sh: FAIL: adaptd never printed its listen/admin addresses" >&2
+    kill "$adaptd_pid" 2>/dev/null || true
+    cat "$odir/adaptd.txt" >&2
+    rm -rf "$odir"
+    exit 1
+fi
+"$odir/adaptbench" -serve "$addr" -serve-admin "$admin" -serve-points '2x128,4x128' >/dev/null &
+bench_pid=$!
+"$odir/adaptctl" -addr "$admin" -check -out BENCH_obs.json -timeout 30s || {
+    echo "bench.sh: FAIL: adaptctl -check rejected the telemetry plane (see BENCH_obs.json)" >&2
+    kill "$bench_pid" "$adaptd_pid" 2>/dev/null || true
+    cat "$odir/adaptd.txt" >&2
+    rm -rf "$odir"
+    exit 1
+}
+wait "$bench_pid" || {
+    echo "bench.sh: FAIL: adaptbench -serve load failed under the obs gate" >&2
+    kill "$adaptd_pid" 2>/dev/null || true
+    cat "$odir/adaptd.txt" >&2
+    rm -rf "$odir"
+    exit 1
+}
+kill -INT "$adaptd_pid"
+wait "$adaptd_pid" || {
+    echo "bench.sh: FAIL: adaptd exited non-zero at drain under the obs gate" >&2
+    cat "$odir/adaptd.txt" >&2
+    rm -rf "$odir"
+    exit 1
+}
+grep -q 'trouble 0' "$odir/adaptd.txt" || {
+    echo "bench.sh: FAIL: telemetry-enabled serving run moved trouble counters" >&2
+    cat "$odir/adaptd.txt" >&2
+    rm -rf "$odir"
+    exit 1
+}
+rm -rf "$odir"
+echo "wrote BENCH_obs.json"
