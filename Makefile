@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test build race vet bench chaos crash fec fuzz trace net progress serve obs
+.PHONY: verify test build race vet bench chaos crash fec fuzz trace net progress serve obs scale
 
 # Tier-1 gate: everything must build and every test must pass.
 verify:
@@ -25,6 +25,13 @@ vet:
 # and BENCH_progress.json for the perf trajectory.
 bench:
 	./scripts/bench.sh
+
+# Million-rank kernel-scaling ladder: tree bcast/reduce and allreduce in
+# the goroutine-per-rank and flat rank drivers from 1k to 1M simulated
+# ranks, with the ≥100k-broadcast-under-8GB and flat-beats-proc gates.
+# Rows (events/s, peak RSS, ranks/GB) merge into BENCH_kernel.json.
+scale:
+	SCALE_LADDER=1k,10k,100k,1m SCALE_COLLS=bcast,reduce,allreduce ./scripts/scale.sh
 
 # Shared progress-engine gate: the unified matching core and scheduler
 # under the race detector (fairness/starvation, mid-flight enrollment,

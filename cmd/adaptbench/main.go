@@ -76,11 +76,21 @@ func run() int {
 	servePipeline := flag.Int("serve-pipeline", 4, "in-flight requests per session for -serve")
 	serveAdmin := flag.String("serve-admin", "", "daemon admin address: fold its per-point perf window (statusz delta) into the -serve report")
 	adminAddr := flag.String("admin", "", "expose this process's own telemetry/pprof admin plane at this address")
+	ranksLadder := flag.String("ranks", "", `kernel-scaling ladder: comma-separated rank counts ("1k,10k,100k,1m") run through proc- and flat-mode collectives, reporting events/s, peak RSS, and ranks/GB`)
+	ranksJSON := flag.String("ranks-json", "", "write the -ranks ladder rows as a JSON array to this file")
+	ranksColls := flag.String("ranks-coll", "bcast,reduce,allreduce", "collectives for the -ranks ladder")
+	ranksCell := flag.String("ranks-cell", "", "internal: run one scale cell (mode/collective/ranks) in-process and print its JSON row")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(validIDs())
 		return 0
+	}
+	if *ranksCell != "" {
+		return runScaleCell(*ranksCell)
+	}
+	if *ranksLadder != "" {
+		return runScaleLadder(os.Stdout, *ranksLadder, *ranksColls, *ranksJSON)
 	}
 	if *adminAddr != "" {
 		admin, err := metrics.ServeAdmin(*adminAddr, metrics.AdminOpts{})

@@ -1,0 +1,102 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"adapt/internal/comm"
+	"adapt/internal/sim"
+)
+
+// Aggregate mode must build O(classes) facilities regardless of machine
+// size — that is its entire point (million-rank kernel runs can't afford
+// O(ranks) resource structs and their formatted names).
+func TestAggregateFacilityCount(t *testing.T) {
+	exact := NewNet(sim.New(), Cori(32))
+	if got := exact.Facilities(); got < 1024 {
+		t.Fatalf("exact Cori(32) facilities = %d, want ≥ ranks (1024)", got)
+	}
+	big := Cori(32)
+	big.Aggregate = true
+	agg := NewNet(sim.New(), big)
+	if got := agg.Facilities(); got != 4 {
+		t.Fatalf("aggregate CPU platform facilities = %d, want 4 (nicTx nicRx qpi cpu)", got)
+	}
+	gpu := PSGNVLink(8)
+	gpu.Aggregate = true
+	if got := NewNet(sim.New(), gpu).Facilities(); got != 9 {
+		t.Fatalf("aggregate NVLink platform facilities = %d, want 9", got)
+	}
+}
+
+// Full uniform load on a single-hop class: every rank exchanges with
+// its XOR partner over the shared-memory copy engines (one hop, one
+// stream per engine). The shared aggregate facility at ranks× bandwidth
+// must finish the batch at the same virtual time as the per-rank
+// facilities — aggregate throughput is preserved — and the run must be
+// deterministic. (Multi-hop routes do NOT keep batch makespans equal:
+// queued streams pipeline across store-and-forward hops differently
+// than parallel per-unit streams do; only throughput is preserved.)
+func TestAggregateThroughputMatchesExact(t *testing.T) {
+	const size = 1 * MB
+	run := func(agg bool) time.Duration {
+		p := Cori(1) // 32 ranks, XOR partners share a socket
+		p.Aggregate = agg
+		k := sim.New()
+		n := NewNet(k, p)
+		k.Schedule(0, func() {
+			for r := 0; r < p.Topo.Size(); r++ {
+				n.StartTransfer(r, r^1, size, comm.MemHost, nil, nil)
+			}
+		})
+		return k.MustRun()
+	}
+	exact := run(false)
+	agg1, agg2 := run(true), run(true)
+	if agg1 != agg2 {
+		t.Fatalf("aggregate mode nondeterministic: %v vs %v", agg1, agg2)
+	}
+	// Exact: 32 engines, one stream each → α + ser. Aggregate: one
+	// engine at 32× serving 32 queued streams of ser/32 → α + ser,
+	// up to sub-µs per-stream duration rounding.
+	if diff := exact - agg1; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("batch makespan: exact %v, aggregate %v", exact, agg1)
+	}
+	if want := Cori(1).ShmAlpha + Cori(1).ShmBw.Over(size); exact != want {
+		t.Fatalf("exact batch makespan = %v, want %v", exact, want)
+	}
+}
+
+// A lone stream in aggregate mode runs at the class aggregate rate —
+// the documented fidelity loss. Pin it so nobody mistakes the fluid
+// approximation for the contention model.
+func TestAggregateSingleStreamRunsAtAggregateRate(t *testing.T) {
+	p := Cori(4)
+	p.Aggregate = true
+	k := sim.New()
+	n := NewNet(k, p)
+	var arrived time.Duration
+	k.Schedule(0, func() {
+		n.StartTransfer(0, p.Topo.Size()-1, 4*MB, comm.MemHost, nil,
+			func() { arrived = k.Now() })
+	})
+	k.MustRun()
+	want := p.NetAlpha + 2*(p.NetBw*4).Over(4*MB)
+	if arrived != want {
+		t.Fatalf("aggregate single stream = %v, want %v (4× NIC rate)", arrived, want)
+	}
+}
+
+// The config knob round-trips through the JSON schema.
+func TestAggregateConfigRoundTrip(t *testing.T) {
+	p := Cori(2)
+	p.Aggregate = true
+	cfg := p.Config()
+	q, err := cfg.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Aggregate {
+		t.Fatal("Aggregate lost in config round-trip")
+	}
+}

@@ -36,6 +36,10 @@ type PlatformConfig struct {
 	CopyBwGB      float64 `json:"copyBwGB"`
 
 	EagerLimitKB int `json:"eagerLimitKB"`
+
+	// Aggregate collapses each facility class into one shared resource
+	// at the class's aggregate bandwidth (see Params.Aggregate).
+	Aggregate bool `json:"aggregate,omitempty"`
 }
 
 func parseDur(field, s string) (time.Duration, error) {
@@ -110,6 +114,7 @@ func (c *PlatformConfig) Platform() (*Platform, error) {
 	p.ReduceGPUBw = Rate(c.ReduceGPUBwGB * GB)
 	p.CopyBw = Rate(c.CopyBwGB * GB)
 	p.EagerLimit = c.EagerLimitKB * KB
+	p.Aggregate = c.Aggregate
 	return p, nil
 }
 
@@ -149,6 +154,7 @@ func (p *Platform) Config() PlatformConfig {
 		CopyBwGB:      float64(p.CopyBw) / GB,
 
 		EagerLimitKB: p.EagerLimit / KB,
+		Aggregate:    p.Aggregate,
 	}
 }
 

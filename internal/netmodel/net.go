@@ -39,6 +39,10 @@ type Net struct {
 	K *sim.Kernel
 	P *Platform
 
+	// Effective facility rates: the Params per-unit rates in exact mode,
+	// multiplied by the class's unit count when Params.Aggregate is set.
+	shmBw, qpiBw, netBw, pcieBw, nvlBw, gpuCalcBw Rate
+
 	nicTx, nicRx []*sim.Resource
 	qpi          []*sim.Resource
 	cpu          []*sim.Resource
@@ -49,10 +53,46 @@ type Net struct {
 	nvlIn        []*sim.Resource
 }
 
-// NewNet builds the facility set for platform p on kernel k.
+// at returns facility i of class s. An aggregated class holds a single
+// shared facility that every index maps to.
+func at(s []*sim.Resource, i int) *sim.Resource {
+	if len(s) == 1 {
+		return s[0]
+	}
+	return s[i]
+}
+
+// NewNet builds the facility set for platform p on kernel k: one
+// resource per node/rank per class, or — with p.Aggregate — one shared
+// resource per class at the class's aggregate bandwidth (see
+// Params.Aggregate for the fidelity tradeoff).
 func NewNet(k *sim.Kernel, p *Platform) *Net {
 	t := p.Topo
-	n := &Net{K: k, P: p}
+	n := &Net{K: k, P: p,
+		shmBw: p.ShmBw, qpiBw: p.QpiBw, netBw: p.NetBw,
+		pcieBw: p.PCIeBw, nvlBw: p.NVLinkBw, gpuCalcBw: p.ReduceGPUBw,
+	}
+	if p.Aggregate {
+		nodes, ranks := Rate(t.Nodes), Rate(t.Size())
+		n.netBw *= nodes
+		n.qpiBw *= nodes
+		n.shmBw *= ranks
+		n.pcieBw *= ranks
+		n.nvlBw *= ranks
+		n.gpuCalcBw *= ranks
+		one := func(name string) []*sim.Resource {
+			return []*sim.Resource{k.NewResource(name)}
+		}
+		n.nicTx, n.nicRx, n.qpi = one("nic-tx/*"), one("nic-rx/*"), one("qpi/*")
+		n.cpu = one("cpu/*")
+		if t.HasGPUs() {
+			n.gpuOut, n.gpuIn, n.gpuCalc = one("gpu-out/*"), one("gpu-in/*"), one("gpu-calc/*")
+			if p.NVLinkBw > 0 {
+				n.nvlOut, n.nvlIn = one("nvl-out/*"), one("nvl-in/*")
+			}
+		}
+		return n
+	}
 	for node := 0; node < t.Nodes; node++ {
 		n.nicTx = append(n.nicTx, k.NewResource(fmt.Sprintf("nic-tx/%d", node)))
 		n.nicRx = append(n.nicRx, k.NewResource(fmt.Sprintf("nic-rx/%d", node)))
@@ -73,6 +113,13 @@ func NewNet(k *sim.Kernel, p *Platform) *Net {
 		}
 	}
 	return n
+}
+
+// Facilities reports the number of contended resources backing the net
+// (O(classes) in aggregate mode, O(nodes+ranks) otherwise).
+func (n *Net) Facilities() int {
+	return len(n.nicTx) + len(n.nicRx) + len(n.qpi) + len(n.cpu) +
+		len(n.gpuOut) + len(n.gpuIn) + len(n.gpuCalc) + len(n.nvlOut) + len(n.nvlIn)
 }
 
 // ResolveSpace maps MemDefault to the platform's payload home.
@@ -108,10 +155,10 @@ func (n *Net) sendRoute(src, dst int, srcSpace comm.MemSpace) (time.Duration, []
 	if n.ResolveSpace(srcSpace) == comm.MemDevice {
 		if n.nvlinkPeer(src, dst) {
 			// Peer traffic leaves over the GPU's NVLink port.
-			return n.P.NVLinkAlpha, []hop{{n.nvlOut[src], n.P.NVLinkBw}}
+			return n.P.NVLinkAlpha, []hop{{at(n.nvlOut, src), n.nvlBw}}
 		}
 		alpha += n.P.PCIeAlpha
-		hops = append(hops, hop{n.gpuOut[src], n.P.PCIeBw})
+		hops = append(hops, hop{at(n.gpuOut, src), n.pcieBw})
 	}
 	switch level {
 	case hwloc.LevelSelf: // local copy, no fabric
@@ -119,16 +166,16 @@ func (n *Net) sendRoute(src, dst int, srcSpace comm.MemSpace) (time.Duration, []
 	case hwloc.LevelCore: // intra-socket
 		alpha += n.P.ShmAlpha
 		if len(hops) == 0 { // host→…: the sender core's copy engine
-			hops = append(hops, hop{n.cpu[src], n.P.ShmBw})
+			hops = append(hops, hop{at(n.cpu, src), n.shmBw})
 		}
 	case hwloc.LevelSocket: // inter-socket
 		alpha += n.P.QpiAlpha
-		hops = append(hops, hop{n.qpi[t.NodeOf(src)], n.P.QpiBw})
+		hops = append(hops, hop{at(n.qpi, t.NodeOf(src)), n.qpiBw})
 	default: // inter-node
 		alpha += n.P.NetAlpha
 		hops = append(hops,
-			hop{n.nicTx[t.NodeOf(src)], n.P.NetBw},
-			hop{n.nicRx[t.NodeOf(dst)], n.P.NetBw})
+			hop{at(n.nicTx, t.NodeOf(src)), n.netBw},
+			hop{at(n.nicRx, t.NodeOf(dst)), n.netBw})
 	}
 	return alpha, hops
 }
@@ -181,10 +228,10 @@ func (n *Net) Deliver(dst, size int, dstSpace comm.MemSpace, done func()) {
 func (n *Net) DeliverFrom(src, dst, size int, dstSpace comm.MemSpace, done func()) {
 	if n.ResolveSpace(dstSpace) == comm.MemDevice {
 		if src >= 0 && n.nvlinkPeer(src, dst) {
-			n.runHops(0, []hop{{n.nvlIn[dst], n.P.NVLinkBw}}, size, nil, done)
+			n.runHops(0, []hop{{at(n.nvlIn, dst), n.nvlBw}}, size, nil, done)
 			return
 		}
-		n.runHops(n.P.PCIeAlpha, []hop{{n.gpuIn[dst], n.P.PCIeBw}}, size, nil, done)
+		n.runHops(n.P.PCIeAlpha, []hop{{at(n.gpuIn, dst), n.pcieBw}}, size, nil, done)
 		return
 	}
 	n.K.Schedule(0, done)
@@ -209,7 +256,7 @@ func (n *Net) GPUReduce(rank, size int, done func()) {
 	if n.gpuCalc == nil {
 		panic("netmodel: GPUReduce on a CPU platform")
 	}
-	end := n.gpuCalc[rank].Use(n.P.ReduceGPUBw.Over(size))
+	end := at(n.gpuCalc, rank).Use(n.gpuCalcBw.Over(size))
 	n.K.At(end, done)
 }
 
@@ -222,14 +269,14 @@ func (n *Net) AsyncCopy(rank, size int, from, to comm.MemSpace, done func()) {
 	var r *sim.Resource
 	switch {
 	case from == comm.MemHost && to == comm.MemDevice:
-		r = n.gpuIn[rank]
+		r = at(n.gpuIn, rank)
 	case from == comm.MemDevice && to == comm.MemHost:
-		r = n.gpuOut[rank]
+		r = at(n.gpuOut, rank)
 	default:
 		panic(fmt.Sprintf("netmodel: AsyncCopy %v→%v", from, to))
 	}
 	n.K.Schedule(n.P.PCIeAlpha, func() {
-		end := r.Use(n.P.PCIeBw.Over(size))
+		end := r.Use(n.pcieBw.Over(size))
 		n.K.At(end, done)
 	})
 }

@@ -69,6 +69,18 @@ type Params struct {
 	// UnexpectedAlpha: fixed overhead of an unexpected-message buffering
 	// + later copy-out (plus size/CopyBw charged at match time).
 	UnexpectedAlpha time.Duration
+
+	// Aggregate collapses each facility class (NIC queues, QPI links,
+	// copy engines, PCIe/NVLink ports, GPU compute) into ONE shared
+	// resource whose bandwidth is the class's per-unit rate times the
+	// unit count, instead of one resource per node/rank. Latency (α)
+	// terms are untouched. This is a fluid-flow approximation: aggregate
+	// throughput is preserved when many ranks drive the fabric at once,
+	// but a single stream can transiently run at the class's aggregate
+	// rate, so per-facility contention fidelity is lost. Use it for
+	// million-rank kernel-scaling runs where O(ranks) resources (and
+	// their names) dominate memory; leave it off for model-accuracy work.
+	Aggregate bool
 }
 
 // Platform couples a machine topology with its cost parameters.

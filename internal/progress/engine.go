@@ -462,6 +462,44 @@ func (e *Engine) drain() int {
 	}
 }
 
+// DrainWhile fires queued callbacks one at a time while ok() holds,
+// leaving the remainder queued, and returns how many fired. It exists
+// for the flat (goroutine-free) rank driver: callbacks run in kernel
+// event context at one virtual instant, but a callback may advance the
+// rank's busy clock (a Compute charge), after which the REST of the
+// queue must not fire until that clock — the flat driver re-arms a
+// drain event there. The gate is re-evaluated before every callback
+// because each one can change the verdict.
+func (e *Engine) DrainWhile(ok func() bool) int {
+	n := 0
+	for ok() {
+		e.mu.Lock()
+		if len(e.cbQueue) == 0 {
+			e.mu.Unlock()
+			break
+		}
+		req := e.cbQueue[0]
+		e.cbQueue = e.cbQueue[1:]
+		e.mu.Unlock()
+		cb := req.cb
+		req.cb = nil
+		if req.DoneID != 0 {
+			e.curCause = req.DoneID
+		}
+		cb(req.status)
+		n++
+	}
+	return n
+}
+
+// PendingCallbacks reports how many completion callbacks are queued but
+// not yet fired (the flat driver re-arms a drain when nonzero).
+func (e *Engine) PendingCallbacks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cbQueue)
+}
+
 // observe installs a completion the owner just acted on as the causal
 // context (no-op for CauseOnComplete substrates, which already did).
 func (e *Engine) observe(doneID uint64) {

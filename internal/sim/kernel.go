@@ -1,19 +1,18 @@
 // Package sim is a deterministic discrete-event simulation kernel with
 // coroutine-style processes. It underpins the simulated MPI substrate
-// (internal/simmpi) used to reproduce the paper's 1000+-rank experiments
-// on a single machine.
+// (internal/simmpi) used to reproduce the paper's experiments — from the
+// 1000+-rank figures up to million-rank topology sweeps — on a single
+// machine.
 //
 // Determinism: the kernel runs exactly one goroutine at a time — either
 // the event dispatcher or a single resumed process — with strict handoff,
 // and orders simultaneous events by insertion sequence. Two runs of the
 // same workload produce identical virtual-time trajectories.
 //
-// The event queue is a monomorphic 4-ary min-heap over a concrete event
-// slice: no container/heap, no interface{} boxing, so the schedule →
-// dispatch round-trip performs zero per-event allocations (the paper's
-// figures push tens of millions of events through this loop). The 4-ary
-// layout halves the tree depth of a binary heap and keeps the children of
-// a node on one cache line.
+// The event queue is a two-tier bucketed calendar ("ladder") queue with a
+// monomorphic 4-ary heap as its front tier (see queue.go): amortized O(1)
+// schedule and dispatch with zero per-event allocations, preserving the
+// exact (at, seq) dispatch order of a single flat heap.
 package sim
 
 import (
@@ -36,9 +35,14 @@ type Kernel struct {
 
 	// Stats (see Stats); reported* track what Run already published to
 	// the process-wide perf counters, so repeated Runs publish deltas.
+	// queuePeak is the kernel-lifetime high-water mark; runPeak is the
+	// high-water mark since the previous Run returned, which is what Run
+	// publishes — republishing the lifetime peak made every later Run
+	// re-report run 1's burst (see TestKernelRunStatsAreDeltas).
 	dispatched         uint64
 	scheduled          uint64
 	queuePeak          int
+	runPeak            int
 	reportedDispatched uint64
 	reportedScheduled  uint64
 
@@ -49,9 +53,17 @@ type Kernel struct {
 	onDispatch func(seq uint64, at time.Duration)
 }
 
-// New creates an empty kernel at virtual time zero.
-func New() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+// New creates an empty kernel at virtual time zero with the default
+// (ladder) event queue.
+func New() *Kernel { return NewWithQueue(QueueLadder) }
+
+// NewWithQueue creates an empty kernel using the given event-queue
+// implementation. Both kinds dispatch in the identical (at, seq) order;
+// QueueHeap is the flat-heap reference for differential testing.
+func NewWithQueue(kind QueueKind) *Kernel {
+	k := &Kernel{yield: make(chan struct{})}
+	k.queue.heapOnly = kind == QueueHeap
+	return k
 }
 
 // Now returns the current virtual time.
@@ -62,99 +74,24 @@ func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 // Stats is a kernel's event-loop counter snapshot.
 type Stats struct {
-	Dispatched uint64 // events executed
-	Scheduled  uint64 // events inserted
-	QueuePeak  int    // maximum simultaneous pending events
-	QueueLen   int    // pending events right now
+	Dispatched   uint64 // events executed
+	Scheduled    uint64 // events inserted
+	QueuePeak    int    // kernel-lifetime maximum simultaneous pending events
+	QueuePeakRun int    // maximum pending events since the previous Run returned
+	QueueLen     int    // pending events right now
 }
 
-// Stats returns the kernel's counters.
+// Stats returns the kernel's counters. QueuePeak is the lifetime
+// high-water mark; QueuePeakRun covers only the window since the last
+// completed Run (it is what Run publishes to the process-wide counters).
 func (k *Kernel) Stats() Stats {
 	return Stats{
-		Dispatched: k.dispatched,
-		Scheduled:  k.scheduled,
-		QueuePeak:  k.queuePeak,
-		QueueLen:   k.queue.len(),
+		Dispatched:   k.dispatched,
+		Scheduled:    k.scheduled,
+		QueuePeak:    k.queuePeak,
+		QueuePeakRun: k.runPeak,
+		QueueLen:     k.queue.len(),
 	}
-}
-
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-// before is the dispatch order: time, then insertion sequence — the
-// tie-break that makes simultaneous events run in schedule order.
-func (e event) before(o event) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
-}
-
-// eventQueue is a monomorphic 4-ary min-heap ordered by event.before.
-// Push and pop touch concrete events only — no interface{} crossings.
-type eventQueue struct {
-	a []event
-}
-
-func (q *eventQueue) len() int { return len(q.a) }
-
-func (q *eventQueue) push(e event) {
-	q.a = append(q.a, e)
-	i := len(q.a) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !e.before(q.a[p]) {
-			break
-		}
-		q.a[i] = q.a[p]
-		i = p
-	}
-	q.a[i] = e
-}
-
-func (q *eventQueue) pop() event {
-	root := q.a[0]
-	n := len(q.a) - 1
-	last := q.a[n]
-	q.a[n] = event{} // drop the fn reference so the GC can reclaim it
-	q.a = q.a[:n]
-	if n > 0 {
-		q.siftDown(last)
-	}
-	return root
-}
-
-// siftDown re-inserts e from the root, walking the hole down toward the
-// smallest child until e fits.
-func (q *eventQueue) siftDown(e event) {
-	a := q.a
-	n := len(a)
-	i := 0
-	for {
-		first := i<<2 + 1
-		if first >= n {
-			break
-		}
-		m := first
-		end := first + 4
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if a[c].before(a[m]) {
-				m = c
-			}
-		}
-		if !a[m].before(e) {
-			break
-		}
-		a[i] = a[m]
-		i = m
-	}
-	a[i] = e
 }
 
 // Schedule runs fn after delay ≥ 0 of virtual time. This is the single
@@ -167,8 +104,11 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) {
 	k.seq++
 	k.scheduled++
 	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: fn})
-	if n := k.queue.len(); n > k.queuePeak {
-		k.queuePeak = n
+	if n := k.queue.len(); n > k.runPeak {
+		k.runPeak = n
+		if n > k.queuePeak {
+			k.queuePeak = n
+		}
 	}
 }
 
@@ -185,10 +125,15 @@ func (k *Kernel) At(t time.Duration, fn func()) {
 	k.Schedule(t-k.now, fn)
 }
 
+// deadlockReportCap bounds how many stuck-process names a deadlock error
+// spells out; at 100k+ ranks sorting and printing every name would cost
+// more than the simulation that deadlocked (see TestDeadlockReportCapped).
+const deadlockReportCap = 16
+
 // Run dispatches events until the queue drains. If processes are still
 // alive when the queue is empty, the simulation is deadlocked and Run
-// returns an error naming the stuck processes. On success it returns the
-// final virtual time.
+// returns an error naming the first deadlockReportCap stuck processes
+// (plus a total). On success it returns the final virtual time.
 func (k *Kernel) Run() (time.Duration, error) {
 	for k.queue.len() > 0 {
 		e := k.queue.pop()
@@ -200,9 +145,10 @@ func (k *Kernel) Run() (time.Duration, error) {
 		e.fn()
 	}
 	perf.RecordKernelRun(k.dispatched-k.reportedDispatched,
-		k.scheduled-k.reportedScheduled, k.queuePeak)
+		k.scheduled-k.reportedScheduled, k.runPeak)
 	k.reportedDispatched = k.dispatched
 	k.reportedScheduled = k.scheduled
+	k.runPeak = k.queue.len() // 0: the queue just drained
 	if k.live > 0 {
 		var stuck []string
 		for _, p := range k.procs {
@@ -211,7 +157,12 @@ func (k *Kernel) Run() (time.Duration, error) {
 			}
 		}
 		sort.Strings(stuck)
-		return k.now, fmt.Errorf("sim: deadlock at %v: %d processes stuck: %v", k.now, k.live, stuck)
+		more := ""
+		if len(stuck) > deadlockReportCap {
+			more = fmt.Sprintf(" (+%d more)", len(stuck)-deadlockReportCap)
+			stuck = stuck[:deadlockReportCap]
+		}
+		return k.now, fmt.Errorf("sim: deadlock at %v: %d processes stuck: %v%s", k.now, k.live, stuck, more)
 	}
 	return k.now, nil
 }

@@ -104,6 +104,14 @@ func (p *Proc) Now() time.Duration { return p.k.now }
 // Sleep blocks the process for d of virtual time. An Unpark delivered
 // while sleeping does not shorten the sleep; it is remembered and makes
 // the next Park return immediately.
+//
+// Sleep(0) is a no-op: it returns inline WITHOUT passing through the
+// event queue, so — unlike Schedule(0) — it does not yield to
+// already-queued same-instant events. Every replay golden and the
+// all-substrate conformance grid were recorded under these semantics
+// (a zero-duration compute phase costs nothing, including scheduling
+// position), so this is a documented contract, pinned by
+// TestSleepZeroDoesNotYield, not an oversight.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))

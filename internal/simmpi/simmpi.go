@@ -71,11 +71,18 @@ func NewWorld(k *sim.Kernel, p *netmodel.Platform, spec noise.Spec) *World {
 			Now:    k.Now,
 			Trace:  func() *trace.Buffer { return w.Trace },
 			Wake: func() {
+				if c.flat {
+					c.armDrain()
+					return
+				}
 				if c.proc != nil {
 					c.proc.Unpark()
 				}
 			},
 			Block: func() {
+				if c.flat {
+					panic(fmt.Sprintf("simmpi: flat rank %d blocked — flat-mode drivers must stay nonblocking (use Start*/OnComplete/OnIdle)", c.rank))
+				}
 				c.proc.Park()
 				c.noiseResume()
 			},
@@ -139,6 +146,15 @@ type Comm struct {
 
 	busyUntil time.Duration
 	noiseSrc  *noise.Source
+
+	// Flat rank-scheduling mode (see flat.go): the rank is this struct,
+	// not a goroutine. busyUntil doubles as the rank's forward clock —
+	// Compute advances it without blocking, sends launch lagged to it,
+	// and completion callbacks run from deduplicated kernel drain events.
+	flat       bool
+	drainArmed bool
+	drainFn    func()
+	onIdle     func()
 }
 
 var _ comm.Comm = (*Comm)(nil)
@@ -175,12 +191,39 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 	}
 	c.w.noteSend(c) // crash point: the rank may die initiating this send
 	req := c.eng.StartSend(dst, tag, msg.Size)
+	if lag := c.sendLag(); lag > 0 {
+		// Flat mode with the rank's busy clock ahead of virtual time: the
+		// protocol launches when the rank would actually have issued it.
+		c.w.K.Schedule(lag, func() { c.launchSend(req, dst, tag, msg) })
+	} else {
+		c.launchSend(req, dst, tag, msg)
+	}
+	return req
+}
+
+// sendLag returns how far this rank's busy clock runs ahead of virtual
+// time. Always zero in proc mode (the goroutine slept through its
+// compute, so its clock IS virtual time); in flat mode Compute advances
+// busyUntil without blocking and sends must launch lagged to it.
+func (c *Comm) sendLag() time.Duration {
+	if !c.flat {
+		return 0
+	}
+	if now := c.w.K.Now(); c.busyUntil > now {
+		return c.busyUntil - now
+	}
+	return 0
+}
+
+// launchSend runs the send protocol for an already-registered request:
+// eager push or rendezvous announcement. Runs at the rank's issue time.
+func (c *Comm) launchSend(req *progress.Req, dst int, tag comm.Tag, msg comm.Msg) {
 	d := c.w.ranks[dst]
 	st := comm.Status{Source: c.rank, Tag: tag, Msg: msg}
 	if msg.Size <= c.w.Net.P.EagerLimit {
 		if c.w.inj != nil {
 			c.chaosEager(d, req, tag, msg, st)
-			return req
+			return
 		}
 		// Eager: ship the payload now; sender completes at first-hop end.
 		// Real payloads are snapshotted into a pooled buffer — the sender
@@ -199,12 +242,12 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 				env.PostID = req.PostID
 				d.arrive(env)
 			})
-		return req
+		return
 	}
 	// Rendezvous: announce via RTS; data moves once the receiver matches.
 	if c.w.inj != nil {
 		c.chaosRendezvous(d, req, tag, msg)
-		return req
+		return
 	}
 	rtsDelay := c.w.Net.ControlLatency(c.rank, dst) + c.w.Net.P.RndvAlpha
 	c.w.K.Schedule(rtsDelay, func() {
@@ -212,7 +255,6 @@ func (c *Comm) Isend(dst int, tag comm.Tag, msg comm.Msg) comm.Request {
 		env.PostID = req.PostID
 		d.arrive(env)
 	})
-	return req
 }
 
 // Irecv posts a non-blocking receive matching (src, tag) into the rank's
@@ -383,6 +425,16 @@ func (c *Comm) ComputeFor(d time.Duration) {
 			Peer: -1, Dur: d, Parent: c.eng.TraceSetCause(0)}); id != 0 {
 			c.eng.TraceSetCause(id)
 		}
+	}
+	if c.flat {
+		// Flat rank: charge the work to the busy clock without blocking.
+		// Sends issued after this charge launch lagged to the new clock
+		// (sendLag), and queued completion callbacks wait for it (the
+		// DrainWhile gate) — the same virtual-time trajectory the proc
+		// mode produces by sleeping here.
+		c.busyUntil = c.noiseSrc.AvailableAt(c.w.K.Now(), c.busyUntil) + d
+		c.armDrain() // realize the clock as a kernel event (makespan parity)
+		return
 	}
 	c.noiseResume()
 	c.proc.Sleep(d)

@@ -13,7 +13,15 @@ out=BENCH_kernel.json
 pout=BENCH_progress.json
 raw=$(mktemp)
 praw=$(mktemp)
-trap 'rm -f "$raw" "$praw"' EXIT
+prev=$(mktemp)
+trap 'rm -f "$raw" "$praw" "$prev"' EXIT
+
+# Keep the previous kernel numbers for the dispatch-regression gate below.
+had_prev=0
+if [ -f "$out" ]; then
+    cp "$out" "$prev"
+    had_prev=1
+fi
 
 # No-regression gate: a clean run (no fault plan installed) must leave
 # every fault/recovery counter at zero — the chaos transport may cost
@@ -90,6 +98,47 @@ END {
 ' "$raw" | { printf '[\n'; cat; printf ']\n'; } >"$out"
 
 echo "wrote $out"
+
+# Kernel-scaling ladder: proc- vs flat-mode collectives across a rank
+# ladder (quick rungs here; `make scale` runs the full million-rank
+# ladder). adaptbench enforces the RSS and flat-beats-proc gates and
+# merges its rows into BENCH_kernel.json next to the microbench rows.
+./scripts/scale.sh "$out" || {
+    echo "bench.sh: FAIL: kernel-scaling ladder failed its gates" >&2
+    exit 1
+}
+
+# Dispatch-regression gate: the kernel dispatch microbenchmark must not
+# lose more than 15% of its ops/s against the previous recorded run
+# (ns/op may grow at most 1.18x).
+if [ "$had_prev" = 1 ]; then
+    awk '
+    # Handles both row formats: one object per line (the fresh awk
+    # output above) and one key per line (after the scale-row merge
+    # re-indents the array). Keys are alphabetical, so "name" is always
+    # seen before the object'\''s "ns_op".
+    {
+        if (match($0, /"name": *"[^"]*"/)) {
+            nm = substr($0, RSTART, RLENGTH)
+            sub(/^"name": *"/, "", nm)
+            sub(/"$/, "", nm)
+        }
+        if (nm == "BenchmarkKernelDispatch" && match($0, /"ns_op": *[0-9.eE+-]+/)) {
+            v = substr($0, RSTART, RLENGTH)
+            sub(/^"ns_op": */, "", v)
+            if (NR == FNR) old = v + 0; else new = v + 0
+        }
+    }
+    END {
+        if (old == 0 || new == 0) exit 0   # nothing comparable recorded
+        if (new > old * 1.18) {
+            printf "bench.sh: FAIL: kernel dispatch regressed %.2f -> %.2f ns/op (>15%% ops/s drop)\n", old, new > "/dev/stderr"
+            exit 1
+        }
+        printf "bench.sh: kernel dispatch %.2f -> %.2f ns/op (regression gate ok)\n", old, new
+    }
+    ' "$prev" "$out" || exit 1
+fi
 
 # Shared progress-engine gate: one rank-0 scheduler driving N
 # communicators × M concurrent collectives. Throughput (ops/s) and tail

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Kernel-scaling ladder: run adaptbench -ranks (proc- vs flat-mode
+# collectives across a rank ladder) and merge the rows into
+# BENCH_kernel.json. adaptbench itself enforces the scaling gates:
+# every ≥100k broadcast rung must fit under 8 GB peak RSS, and flat
+# mode must beat proc mode on both events/s and RSS wherever both ran.
+#
+#   ./scripts/scale.sh                     # quick ladder (1k,10k bcast)
+#   SCALE_LADDER=1k,10k,100k,1m \
+#   SCALE_COLLS=bcast,reduce,allreduce \
+#   ./scripts/scale.sh                     # the full million-rank ladder (make scale)
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_kernel.json}
+ladder=${SCALE_LADDER:-1k,10k}
+colls=${SCALE_COLLS:-bcast}
+
+tdir=$(mktemp -d)
+trap 'rm -rf "$tdir"' EXIT
+go build -o "$tdir/adaptbench" ./cmd/adaptbench
+"$tdir/adaptbench" -ranks "$ladder" -ranks-coll "$colls" -ranks-json "$out"
+echo "scale.sh: merged ladder rows into $out"
